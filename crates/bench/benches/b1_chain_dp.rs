@@ -1,0 +1,27 @@
+//! B1 — scaling of the Algorithm 1 chain DP (bottom-up vs memoised recursive).
+//!
+//! The ablation called out in DESIGN.md: both formulations are `O(n²)`; the
+//! bottom-up version avoids the recursion and memo-table overhead.
+
+use ckpt_bench::random_chain_instance;
+use ckpt_core::chain_dp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_chain_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_dp");
+    for &n in &[32usize, 128, 512, 1024] {
+        let instance =
+            random_chain_instance(7, n, 100.0, 2_000.0, 60.0, 90.0, 30.0, 1.0 / 10_000.0);
+        group.bench_with_input(BenchmarkId::new("bottom_up", n), &instance, |b, inst| {
+            b.iter(|| chain_dp::optimal_chain_schedule(black_box(inst)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("memoized", n), &instance, |b, inst| {
+            b.iter(|| chain_dp::optimal_chain_value_memoized(black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_dp);
+criterion_main!(benches);

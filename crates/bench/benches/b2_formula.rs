@@ -1,0 +1,30 @@
+//! B2 — cost of evaluating Proposition 1 and of evaluating a whole schedule.
+
+use ckpt_bench::random_chain_instance;
+use ckpt_core::{evaluate, Schedule};
+use ckpt_dag::properties;
+use ckpt_expectation::exact::{expected_time, ExecutionParams};
+use ckpt_expectation::optimal_period::optimal_period;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_formula(c: &mut Criterion) {
+    let params = ExecutionParams::new(3_600.0, 300.0, 60.0, 300.0, 1.0 / 86_400.0).unwrap();
+    c.bench_function("proposition1_closed_form", |b| {
+        b.iter(|| expected_time(black_box(&params)))
+    });
+
+    c.bench_function("optimal_period_golden_section", |b| {
+        b.iter(|| optimal_period(black_box(300.0), 60.0, 300.0, 1.0 / 86_400.0).unwrap())
+    });
+
+    let instance = random_chain_instance(3, 256, 100.0, 2_000.0, 60.0, 90.0, 30.0, 1.0 / 10_000.0);
+    let order = properties::as_chain(instance.graph()).unwrap();
+    let schedule = Schedule::checkpoint_everywhere(&instance, order).unwrap();
+    c.bench_function("expected_makespan_256_segments", |b| {
+        b.iter(|| evaluate::expected_makespan(black_box(&instance), black_box(&schedule)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_formula);
+criterion_main!(benches);

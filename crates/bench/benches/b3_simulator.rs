@@ -1,0 +1,45 @@
+//! B3 — simulator throughput: trials per second for exponential and Weibull
+//! platforms, single- and multi-segment schedules.
+
+use ckpt_failure::Weibull;
+use ckpt_simulator::{Segment, SimulationScenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let single = vec![Segment::new(3_600.0, 120.0, 60.0).unwrap()];
+    let multi: Vec<Segment> = (0..32)
+        .map(|i| Segment::new(500.0 + 50.0 * i as f64, 60.0, 90.0).unwrap())
+        .collect();
+
+    for (name, segments) in [("single_segment", &single), ("32_segments", &multi)] {
+        group.bench_with_input(
+            BenchmarkId::new("exponential_1000_trials", name),
+            segments,
+            |b, segs| {
+                b.iter(|| {
+                    SimulationScenario::exponential(1.0 / 5_000.0)
+                        .with_downtime(30.0)
+                        .with_trials(1_000)
+                        .with_seed(1)
+                        .run(black_box(segs))
+                })
+            },
+        );
+    }
+
+    group.bench_function("weibull_platform_500_trials", |b| {
+        b.iter(|| {
+            SimulationScenario::platform(16, Weibull::with_mean(0.7, 80_000.0).unwrap())
+                .with_downtime(30.0)
+                .with_trials(500)
+                .with_seed(2)
+                .run(black_box(&single))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! B4 — heuristic scaling on independent-task instances (the NP-hard setting).
+
+use ckpt_bench::random_independent_instance;
+use ckpt_core::heuristics;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("independent_heuristics");
+    group.sample_size(10);
+    for &n in &[50usize, 200, 800] {
+        let instance = random_independent_instance(5, n, 200.0, 3_000.0, 150.0, 1.0 / 20_000.0);
+        group.bench_with_input(BenchmarkId::new("lpt_young_local_search", n), &instance, |b, inst| {
+            b.iter(|| heuristics::independent_tasks_heuristic(black_box(inst), 2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("young_periodic_only", n), &instance, |b, inst| {
+            b.iter(|| {
+                let order = heuristics::lpt_order(black_box(inst)).unwrap();
+                heuristics::young_periodic_schedule(inst, order).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

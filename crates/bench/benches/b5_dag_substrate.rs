@@ -1,0 +1,38 @@
+//! B5 — DAG-substrate operations: generation, topological sorting,
+//! linearisation and transitive closure.
+
+use ckpt_dag::{generators, linearize, topo, traversal, LinearizationStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_substrate");
+
+    for &n in &[100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("build_chain", n), &n, |b, &n| {
+            b.iter(|| generators::uniform_chain(black_box(n), 1.0).unwrap())
+        });
+        let chain = generators::uniform_chain(n, 1.0).unwrap();
+        group.bench_with_input(BenchmarkId::new("topological_sort_chain", n), &chain, |b, g| {
+            b.iter(|| topo::topological_sort(black_box(g)))
+        });
+    }
+
+    // A layered random DAG exercises linearisation and reachability.
+    let mut state = 42u64;
+    let coin = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let layered = generators::layered_random(&[50, 50, 50, 50], |_, _| 1.0, 0.1, coin).unwrap();
+    group.bench_function("linearize_critical_path_200_tasks", |b| {
+        b.iter(|| linearize::linearize(black_box(&layered), LinearizationStrategy::CriticalPathFirst))
+    });
+    group.bench_function("transitive_closure_200_tasks", |b| {
+        b.iter(|| traversal::transitive_closure(black_box(&layered)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dag);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment E2 — Algorithm 1 optimality and scaling.
+//!
+//! Part 1 cross-checks the chain DP against exhaustive search on random small
+//! chains (the optimality certificate behind Proposition 3). Part 2 measures
+//! the DP's wall-clock scaling on chains up to 4 096 tasks, exhibiting the
+//! `O(n²)` growth.
+//!
+//! Run with `cargo run --release -p ckpt-bench --bin e2_chain_optimality`.
+
+use std::time::Instant;
+
+use ckpt_bench::{print_header, random_chain_instance, secs};
+use ckpt_core::{brute_force, chain_dp};
+
+fn main() {
+    println!("E2 — chain DP optimality (vs exhaustive search) and scaling\n");
+
+    // Part 1: optimality on random small chains.
+    print_header(&[("seed", 6), ("n", 4), ("DP value", 14), ("exhaustive", 14), ("match", 7)]);
+    for seed in 0..8u64 {
+        let inst = random_chain_instance(seed, 8, 100.0, 4_000.0, 60.0, 90.0, 30.0, 1.0 / 3_000.0);
+        let dp = chain_dp::optimal_chain_schedule(&inst).expect("chain instance");
+        let brute = brute_force::optimal_schedule(&inst).expect("small instance");
+        let matches = (dp.expected_makespan - brute.expected_makespan).abs()
+            / brute.expected_makespan
+            < 1e-10;
+        println!(
+            "{:>6} {:>4} {:>14} {:>14} {:>7}",
+            seed,
+            inst.task_count(),
+            secs(dp.expected_makespan),
+            secs(brute.expected_makespan),
+            if matches { "yes" } else { "NO" }
+        );
+    }
+
+    // Part 2: scaling of the O(n²) DP.
+    println!();
+    print_header(&[("n", 6), ("DP time (ms)", 14), ("ckpts", 7), ("E[T] (s)", 14)]);
+    for &n in &[64usize, 128, 256, 512, 1_024, 2_048, 4_096] {
+        let inst =
+            random_chain_instance(42, n, 100.0, 2_000.0, 60.0, 90.0, 30.0, 1.0 / 10_000.0);
+        let start = Instant::now();
+        let dp = chain_dp::optimal_chain_schedule(&inst).expect("chain instance");
+        let elapsed = start.elapsed().as_secs_f64() * 1_000.0;
+        println!(
+            "{:>6} {:>14.2} {:>7} {:>14}",
+            n,
+            elapsed,
+            dp.schedule.checkpoint_count(),
+            secs(dp.expected_makespan)
+        );
+    }
+
+    println!("\nExpected shape: 'match' is yes on every row; DP time grows roughly 4x per doubling of n.");
+}

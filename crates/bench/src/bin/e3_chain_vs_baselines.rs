@@ -1,0 +1,59 @@
+//! Experiment E3 — value of optimal checkpoint placement on chains.
+//!
+//! For chains of varying length and platforms of varying reliability,
+//! compares the expected makespan of the Algorithm 1 optimum against the
+//! periodic and trivial baselines, normalised to the optimum (1.00 = optimal).
+//!
+//! Run with `cargo run --release -p ckpt-bench --bin e3_chain_vs_baselines`.
+
+use ckpt_bench::{print_header, random_chain_instance};
+use ckpt_core::{chain_dp, evaluate, heuristics, Schedule};
+use ckpt_dag::properties;
+
+fn main() {
+    println!("E3 — optimal chain placement vs baselines (values normalised to the optimum)\n");
+    print_header(&[
+        ("n", 5),
+        ("MTBF", 9),
+        ("opt ckpts", 10),
+        ("optimal", 9),
+        ("every-task", 11),
+        ("final-only", 11),
+        ("every-5", 9),
+        ("young", 9),
+    ]);
+
+    for &n in &[10usize, 50, 200, 1_000] {
+        for &mtbf in &[500_000.0, 50_000.0, 5_000.0] {
+            let inst = random_chain_instance(7, n, 100.0, 1_500.0, 60.0, 90.0, 30.0, 1.0 / mtbf);
+            let order = properties::as_chain(inst.graph()).expect("chain");
+            let dp = chain_dp::optimal_chain_schedule(&inst).expect("chain");
+            let norm = |schedule: &Schedule| {
+                evaluate::expected_makespan(&inst, schedule).expect("valid schedule")
+                    / dp.expected_makespan
+            };
+            let everywhere = Schedule::checkpoint_everywhere(&inst, order.clone()).unwrap();
+            let final_only = Schedule::checkpoint_final_only(&inst, order.clone()).unwrap();
+            let every5 = heuristics::checkpoint_every_k(&inst, order.clone(), 5).unwrap();
+            let young = heuristics::young_periodic_schedule(&inst, order.clone()).unwrap();
+            println!(
+                "{:>5} {:>9} {:>10} {:>9.3} {:>11.3} {:>11.3} {:>9.3} {:>9.3}",
+                n,
+                mtbf,
+                dp.schedule.checkpoint_count(),
+                1.0,
+                norm(&everywhere),
+                norm(&final_only),
+                norm(&every5),
+                norm(&young),
+            );
+        }
+    }
+
+    println!(
+        "\nExpected shape: every baseline is >= 1.0; 'final-only' blows up on \
+         unreliable platforms (large n, small MTBF), 'every-task' is wasteful \
+         on reliable ones, Young-periodic tracks the optimum within a few \
+         percent, and the optimum's checkpoint count grows as reliability drops."
+    );
+}

@@ -1,0 +1,82 @@
+//! Experiment E6 — §3 scaling scenarios: workload models × overhead models.
+//!
+//! Sweeps the processor count for a fixed total load under the paper's
+//! workload models `W(p)` and checkpoint-overhead models `C(p)`, reporting
+//! the expected time of one checkpointed execution and the optimal checkpoint
+//! period at each scale.
+//!
+//! Run with `cargo run --release -p ckpt-bench --bin e6_scaling_scenarios`.
+
+use ckpt_bench::{print_header, secs};
+use ckpt_expectation::exact::expected_time;
+use ckpt_expectation::optimal_period::optimal_period;
+use ckpt_expectation::overhead::{OverheadModel, ScalingScenario};
+use ckpt_expectation::workload::WorkloadModel;
+
+fn main() {
+    let w_total = 1.0e7; // ~116 days of sequential work
+    let lambda_proc = 1.0 / (10.0 * 365.0 * 86_400.0); // ten-year per-processor MTBF
+    let base_cost = 600.0;
+
+    println!("E6 — platform scaling: workload models x overhead models (total load {:.1e} s)\n", w_total);
+
+    let workloads: [(&str, WorkloadModel); 3] = [
+        ("parallel", WorkloadModel::PerfectlyParallel),
+        ("amdahl-1%", WorkloadModel::Amdahl { gamma: 0.01 }),
+        ("kernel", WorkloadModel::NumericalKernel { gamma: 0.1 }),
+    ];
+    let overheads = [("prop", OverheadModel::Proportional), ("const", OverheadModel::Constant)];
+
+    print_header(&[
+        ("workload", 10),
+        ("overhead", 9),
+        ("p", 8),
+        ("W(p)", 12),
+        ("C(p)", 9),
+        ("lambda(p)", 12),
+        ("E[T] one ckpt", 14),
+        ("opt period", 12),
+    ]);
+
+    for (wname, workload) in &workloads {
+        for (oname, overhead) in &overheads {
+            let scenario = ScalingScenario {
+                lambda_proc,
+                base_checkpoint: base_cost,
+                base_recovery: base_cost,
+                downtime: 60.0,
+                workload: *workload,
+                overhead: *overhead,
+            };
+            for &p in &[16u32, 256, 4_096, 65_536] {
+                let params = scenario.instantiate(w_total, p).expect("valid scenario");
+                let period = optimal_period(
+                    params.checkpoint(),
+                    params.downtime(),
+                    params.recovery(),
+                    params.lambda(),
+                )
+                .expect("valid parameters");
+                println!(
+                    "{:>10} {:>9} {:>8} {:>12} {:>9} {:>12.3e} {:>14} {:>12}",
+                    wname,
+                    oname,
+                    p,
+                    secs(params.work()),
+                    secs(params.checkpoint()),
+                    params.lambda(),
+                    secs(expected_time(&params)),
+                    secs(period.period),
+                );
+            }
+        }
+    }
+
+    println!(
+        "\nExpected shape: with proportional overhead the expected time keeps \
+         shrinking with p for parallel work; with constant overhead (or a \
+         sequential fraction) it reaches a minimum and then grows again as \
+         failures at scale dominate — and the optimal period shrinks as λ(p) \
+         grows."
+    );
+}

@@ -1,0 +1,93 @@
+//! Experiment E7 — non-memoryless failures (§6, third extension).
+//!
+//! Plans chain schedules with (i) the exponential-equivalent DP and (ii) the
+//! work-before-failure greedy rule, then replays both (plus the trivial
+//! baselines) by simulation on platforms whose failures follow Weibull and
+//! log-normal laws with the same MTBF, across several shape parameters.
+//!
+//! Run with `cargo run --release -p ckpt-bench --bin e7_general_failures`.
+
+use ckpt_bench::{print_header, random_chain_instance, secs};
+use ckpt_core::{general_failures, Schedule};
+use ckpt_dag::properties;
+use ckpt_failure::{FailureDistribution, LogNormal, Weibull};
+
+fn main() {
+    let processors = 32usize;
+    let proc_mtbf = 200_000.0;
+    let lambda = processors as f64 / proc_mtbf;
+    let trials = 2_000;
+
+    let inst = random_chain_instance(13, 16, 1_000.0, 4_000.0, 120.0, 180.0, 60.0, lambda);
+    let order = properties::as_chain(inst.graph()).expect("chain");
+
+    println!(
+        "E7 — schedules replayed under non-memoryless failures ({} processors, per-processor MTBF {} s, {} trials)\n",
+        processors, proc_mtbf, trials
+    );
+    print_header(&[
+        ("law", 18),
+        ("strategy", 26),
+        ("ckpts", 7),
+        ("mean makespan", 15),
+        ("p95 makespan", 14),
+        ("mean failures", 14),
+    ]);
+
+    let laws: Vec<(String, Box<dyn FailureDistribution>)> = vec![
+        ("weibull k=0.5".into(), Box::new(Weibull::with_mean(0.5, proc_mtbf).unwrap())),
+        ("weibull k=0.7".into(), Box::new(Weibull::with_mean(0.7, proc_mtbf).unwrap())),
+        ("weibull k=1.0".into(), Box::new(Weibull::with_mean(1.0, proc_mtbf).unwrap())),
+        ("lognormal s=1.0".into(), Box::new(LogNormal::with_mean(proc_mtbf, 1.0).unwrap())),
+    ];
+
+    for (law_name, law) in &laws {
+        let exp_plan = general_failures::exponential_equivalent_schedule(&inst, law.as_ref(), processors)
+            .expect("chain instance");
+        let greedy = general_failures::work_before_failure_schedule(&inst, law.as_ref(), processors)
+            .expect("chain instance");
+        let everywhere = Schedule::checkpoint_everywhere(&inst, order.clone()).unwrap();
+        let final_only = Schedule::checkpoint_final_only(&inst, order.clone()).unwrap();
+
+        for (strategy, schedule) in [
+            ("exp-equivalent DP", &exp_plan),
+            ("work-before-failure", &greedy),
+            ("checkpoint every task", &everywhere),
+            ("final checkpoint only", &final_only),
+        ] {
+            // Rebuild the law per run (simulate_under_law takes ownership);
+            // using with_mean keeps every clone identical.
+            let outcome = match law_name.as_str() {
+                "weibull k=0.5" => general_failures::simulate_under_law(
+                    &inst, schedule, Weibull::with_mean(0.5, proc_mtbf).unwrap(), processors, trials, 31,
+                ),
+                "weibull k=0.7" => general_failures::simulate_under_law(
+                    &inst, schedule, Weibull::with_mean(0.7, proc_mtbf).unwrap(), processors, trials, 31,
+                ),
+                "weibull k=1.0" => general_failures::simulate_under_law(
+                    &inst, schedule, Weibull::with_mean(1.0, proc_mtbf).unwrap(), processors, trials, 31,
+                ),
+                _ => general_failures::simulate_under_law(
+                    &inst, schedule, LogNormal::with_mean(proc_mtbf, 1.0).unwrap(), processors, trials, 31,
+                ),
+            }
+            .expect("simulation");
+            println!(
+                "{:>18} {:>26} {:>7} {:>15} {:>14} {:>14.2}",
+                law_name,
+                strategy,
+                schedule.checkpoint_count(),
+                secs(outcome.makespan.mean),
+                secs(outcome.makespan_quantile(0.95)),
+                outcome.failures.mean,
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Expected shape: for k = 1.0 (the Exponential case) the exp-equivalent \
+         DP is best by construction; for k < 1 (infant mortality) the greedy \
+         rule narrows the gap or wins, and the trivial baselines bracket both."
+    );
+}

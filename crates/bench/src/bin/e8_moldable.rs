@@ -1,0 +1,69 @@
+//! Experiment E8 — moldable tasks (§6, second extension).
+//!
+//! For a chain of moldable tasks, sweeps the maximum allowed allocation and
+//! reports the per-task processor choices and the resulting expected makespan
+//! under the four combinations of workload/overhead models.
+//!
+//! Run with `cargo run --release -p ckpt-bench --bin e8_moldable`.
+
+use ckpt_bench::{print_header, secs};
+use ckpt_core::moldable::{plan_moldable_chain, MoldableTask};
+use ckpt_expectation::overhead::{OverheadModel, ScalingScenario};
+use ckpt_expectation::workload::WorkloadModel;
+
+fn main() {
+    let lambda_proc = 1.0 / (5.0 * 365.0 * 86_400.0);
+    let tasks: Vec<MoldableTask> = [2.0e5, 1.5e6, 8.0e5, 4.0e6, 3.0e5, 1.0e6]
+        .iter()
+        .map(|&w| MoldableTask::new(w).expect("positive work"))
+        .collect();
+    let total: f64 = tasks.iter().map(|t| t.sequential_work).sum();
+
+    println!("E8 — moldable chain allocation (6 tasks, {:.2e} s total sequential work)\n", total);
+    print_header(&[
+        ("workload", 12),
+        ("overhead", 9),
+        ("p_max", 8),
+        ("allocations", 34),
+        ("E[makespan]", 13),
+    ]);
+
+    let workloads: [(&str, WorkloadModel); 2] = [
+        ("parallel", WorkloadModel::PerfectlyParallel),
+        ("amdahl-5%", WorkloadModel::Amdahl { gamma: 0.05 }),
+    ];
+    let overheads = [("prop", OverheadModel::Proportional), ("const", OverheadModel::Constant)];
+
+    for (wname, workload) in &workloads {
+        for (oname, overhead) in &overheads {
+            let scenario = ScalingScenario {
+                lambda_proc,
+                base_checkpoint: 600.0,
+                base_recovery: 600.0,
+                downtime: 60.0,
+                workload: *workload,
+                overhead: *overhead,
+            };
+            for &p_max in &[64u32, 1_024, 16_384] {
+                let plan = plan_moldable_chain(&tasks, &scenario, p_max).expect("valid plan");
+                let allocs: Vec<String> =
+                    plan.allocations.iter().map(|a| a.processors.to_string()).collect();
+                println!(
+                    "{:>12} {:>9} {:>8} {:>34} {:>13}",
+                    wname,
+                    oname,
+                    p_max,
+                    allocs.join(","),
+                    secs(plan.expected_makespan),
+                );
+            }
+        }
+    }
+
+    println!(
+        "\nExpected shape: perfectly-parallel + proportional overhead saturates \
+         p_max for every task; Amdahl or constant overhead picks interior \
+         allocations that stop growing once failures outweigh the speed-up, \
+         and the makespan improvement from raising p_max flattens accordingly."
+    );
+}

@@ -1,0 +1,235 @@
+//! Sensitivity and risk analysis on top of the chain DP.
+//!
+//! Once Algorithm 1 gives the optimal placement for one failure rate, the
+//! natural operational questions are: *how does the optimal policy change as
+//! the platform degrades?* and *what is the risk of missing a deadline even
+//! under the optimal policy?* This module answers both:
+//!
+//! * [`lambda_sweep`] re-solves the chain DP across a λ grid and reports the
+//!   optimal checkpoint count and expected makespan at each point;
+//! * [`checkpoint_crossover_lambda`] finds, by bisection, the failure rate at
+//!   which the optimal policy starts taking more than a given number of
+//!   checkpoints — the "crossover" points the experiment harness plots;
+//! * [`deadline_risk`] estimates, by simulation, the probability that a
+//!   schedule exceeds a deadline.
+
+use ckpt_simulator::SimulationScenario;
+
+use crate::chain_dp::optimal_chain_schedule;
+use crate::error::ScheduleError;
+use crate::instance::ProblemInstance;
+use crate::schedule::Schedule;
+
+/// One row of a λ sweep.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LambdaSweepPoint {
+    /// The platform failure rate of this point.
+    pub lambda: f64,
+    /// The optimal number of checkpoints at that rate.
+    pub checkpoints: usize,
+    /// The optimal expected makespan at that rate.
+    pub expected_makespan: f64,
+    /// The slowdown with respect to the total work.
+    pub slowdown: f64,
+}
+
+/// Re-solves the chain DP on a logarithmic grid of `points` failure rates
+/// between `lambda_min` and `lambda_max` (inclusive).
+///
+/// # Errors
+///
+/// * [`ScheduleError::NotAChain`] if the instance is not a chain;
+/// * [`ScheduleError::NonPositiveParameter`] for an invalid λ range or fewer
+///   than two points.
+pub fn lambda_sweep(
+    instance: &ProblemInstance,
+    lambda_min: f64,
+    lambda_max: f64,
+    points: usize,
+) -> Result<Vec<LambdaSweepPoint>, ScheduleError> {
+    if !(lambda_min.is_finite() && lambda_min > 0.0) || !(lambda_max.is_finite() && lambda_max > lambda_min) {
+        return Err(ScheduleError::NonPositiveParameter { name: "lambda range", value: lambda_min });
+    }
+    if points < 2 {
+        return Err(ScheduleError::NonPositiveParameter { name: "points", value: points as f64 });
+    }
+    let ratio = (lambda_max / lambda_min).powf(1.0 / (points - 1) as f64);
+    let mut out = Vec::with_capacity(points);
+    let mut lambda = lambda_min;
+    for _ in 0..points {
+        let swept = instance.with_lambda(lambda)?;
+        let solution = optimal_chain_schedule(&swept)?;
+        out.push(LambdaSweepPoint {
+            lambda,
+            checkpoints: solution.schedule.checkpoint_count(),
+            expected_makespan: solution.expected_makespan,
+            slowdown: solution.expected_makespan / instance.total_weight(),
+        });
+        lambda *= ratio;
+    }
+    Ok(out)
+}
+
+/// Finds the smallest failure rate at which the optimal policy takes **more
+/// than** `checkpoints` checkpoints, by bisection over `[lambda_lo, lambda_hi]`.
+///
+/// Returns `None` if even at `lambda_hi` the optimal policy does not exceed
+/// `checkpoints` checkpoints.
+///
+/// # Errors
+///
+/// * [`ScheduleError::NotAChain`] if the instance is not a chain;
+/// * [`ScheduleError::NonPositiveParameter`] for an invalid λ bracket.
+pub fn checkpoint_crossover_lambda(
+    instance: &ProblemInstance,
+    checkpoints: usize,
+    lambda_lo: f64,
+    lambda_hi: f64,
+) -> Result<Option<f64>, ScheduleError> {
+    if !(lambda_lo.is_finite() && lambda_lo > 0.0) || !(lambda_hi.is_finite() && lambda_hi > lambda_lo) {
+        return Err(ScheduleError::NonPositiveParameter { name: "lambda bracket", value: lambda_lo });
+    }
+    let count_at = |lambda: f64| -> Result<usize, ScheduleError> {
+        Ok(optimal_chain_schedule(&instance.with_lambda(lambda)?)?
+            .schedule
+            .checkpoint_count())
+    };
+    if count_at(lambda_hi)? <= checkpoints {
+        return Ok(None);
+    }
+    if count_at(lambda_lo)? > checkpoints {
+        return Ok(Some(lambda_lo));
+    }
+    let (mut lo, mut hi) = (lambda_lo, lambda_hi);
+    for _ in 0..64 {
+        let mid = (lo * hi).sqrt();
+        if count_at(mid)? > checkpoints {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(hi))
+}
+
+/// The estimated probability (with a 95% confidence half-width) that the
+/// schedule's makespan exceeds `deadline`, by Monte-Carlo simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeadlineRisk {
+    /// The deadline that was tested.
+    pub deadline: f64,
+    /// Estimated probability of exceeding the deadline.
+    pub probability: f64,
+    /// Half-width of the 95% confidence interval of the estimate.
+    pub ci95_half_width: f64,
+}
+
+/// Estimates the probability that executing `schedule` takes longer than
+/// `deadline`, over `trials` Monte-Carlo trials.
+///
+/// # Errors
+///
+/// Propagates segment-conversion errors (cannot occur for valid instances).
+pub fn deadline_risk(
+    instance: &ProblemInstance,
+    schedule: &Schedule,
+    deadline: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<DeadlineRisk, ScheduleError> {
+    let segments = schedule
+        .to_segments(instance)
+        .map_err(|_| ScheduleError::EmptyInstance)?;
+    let outcome = SimulationScenario::exponential(instance.lambda())
+        .with_downtime(instance.downtime())
+        .with_trials(trials)
+        .with_seed(seed)
+        .run(&segments);
+    let p = outcome.exceedance_probability(deadline);
+    let half_width = 1.96 * (p * (1.0 - p) / trials as f64).sqrt();
+    Ok(DeadlineRisk { deadline, probability: p, ci95_half_width: half_width })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_dag::generators;
+
+    fn chain_instance(lambda: f64) -> ProblemInstance {
+        let graph = generators::uniform_chain(12, 500.0).unwrap();
+        ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(50.0)
+            .uniform_recovery_cost(75.0)
+            .downtime(20.0)
+            .platform_lambda(lambda)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_checkpoints_and_makespan() {
+        let inst = chain_instance(1e-4);
+        let sweep = lambda_sweep(&inst, 1e-7, 1e-2, 12).unwrap();
+        assert_eq!(sweep.len(), 12);
+        // Expected makespan grows with λ.
+        assert!(sweep.windows(2).all(|w| w[1].expected_makespan >= w[0].expected_makespan - 1e-9));
+        // Checkpoint count is non-decreasing in λ for uniform chains.
+        assert!(sweep.windows(2).all(|w| w[1].checkpoints >= w[0].checkpoints));
+        // Extremes: almost no checkpoints at 1e-7, every task checkpointed at 1e-2.
+        assert_eq!(sweep.first().unwrap().checkpoints, 1);
+        assert_eq!(sweep.last().unwrap().checkpoints, 12);
+        assert!(sweep.iter().all(|p| p.slowdown >= 1.0));
+    }
+
+    #[test]
+    fn sweep_validates_inputs() {
+        let inst = chain_instance(1e-4);
+        assert!(lambda_sweep(&inst, 0.0, 1.0, 5).is_err());
+        assert!(lambda_sweep(&inst, 1e-3, 1e-4, 5).is_err());
+        assert!(lambda_sweep(&inst, 1e-5, 1e-3, 1).is_err());
+    }
+
+    #[test]
+    fn crossover_is_bracketed_and_consistent() {
+        let inst = chain_instance(1e-4);
+        // Find where the optimum starts using more than 1 checkpoint.
+        let crossover = checkpoint_crossover_lambda(&inst, 1, 1e-8, 1e-1)
+            .unwrap()
+            .expect("at 0.1 failures/s every task is checkpointed");
+        // Just below the crossover: at most 1 checkpoint; at it: more than 1.
+        let below = optimal_chain_schedule(&inst.with_lambda(crossover * 0.8).unwrap())
+            .unwrap()
+            .schedule
+            .checkpoint_count();
+        let at = optimal_chain_schedule(&inst.with_lambda(crossover).unwrap())
+            .unwrap()
+            .schedule
+            .checkpoint_count();
+        assert!(below <= 1, "below = {below}");
+        assert!(at > 1, "at = {at}");
+    }
+
+    #[test]
+    fn crossover_returns_none_when_never_exceeded() {
+        let inst = chain_instance(1e-4);
+        // The policy can never take more than 12 checkpoints on 12 tasks.
+        assert!(checkpoint_crossover_lambda(&inst, 12, 1e-8, 1e-1).unwrap().is_none());
+        assert!(checkpoint_crossover_lambda(&inst, 1, 1e-1, 1e-8).is_err());
+    }
+
+    #[test]
+    fn deadline_risk_behaves_at_the_extremes() {
+        let inst = chain_instance(1e-4);
+        let solution = optimal_chain_schedule(&inst).unwrap();
+        let generous = deadline_risk(&inst, &solution.schedule, 1e9, 2_000, 1).unwrap();
+        assert_eq!(generous.probability, 0.0);
+        let impossible = deadline_risk(&inst, &solution.schedule, 1.0, 2_000, 1).unwrap();
+        assert_eq!(impossible.probability, 1.0);
+        let moderate =
+            deadline_risk(&inst, &solution.schedule, solution.expected_makespan, 2_000, 1).unwrap();
+        assert!(moderate.probability > 0.05 && moderate.probability < 0.95);
+        assert!(moderate.ci95_half_width > 0.0);
+    }
+}

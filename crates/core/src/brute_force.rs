@@ -1,0 +1,223 @@
+//! Exhaustive-search baselines for small instances.
+//!
+//! Proposition 2 tells us the general problem (choose an order *and* the
+//! checkpoint positions) is strongly NP-complete, so exhaustive search is the
+//! only exact reference for non-chain instances. These solvers are used by the
+//! test suite and by experiment E2/E4 to certify optimality of the chain DP
+//! and to measure the optimality gap of the heuristics on small instances.
+
+use ckpt_dag::topo;
+
+use crate::error::ScheduleError;
+use crate::evaluate::expected_makespan;
+use crate::instance::ProblemInstance;
+use crate::schedule::Schedule;
+
+/// An exhaustive-search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteForceSolution {
+    /// The optimal schedule found.
+    pub schedule: Schedule,
+    /// Its expected makespan.
+    pub expected_makespan: f64,
+    /// How many (order, checkpoint-set) candidates were evaluated.
+    pub candidates_evaluated: u64,
+}
+
+/// The largest task count accepted by [`optimal_schedule`].
+///
+/// `n!·2^{n−1}` candidates grow extremely fast; 9 tasks already means
+/// 92 897 280 evaluations in the worst (independent) case.
+pub const MAX_BRUTE_FORCE_TASKS: usize = 9;
+
+/// Finds the optimal schedule by enumerating **all** topological orders and
+/// **all** checkpoint subsets (the final checkpoint being mandatory).
+///
+/// # Errors
+///
+/// * [`ScheduleError::TooLargeForBruteForce`] if the instance has more than
+///   [`MAX_BRUTE_FORCE_TASKS`] tasks;
+/// * [`ScheduleError::EmptyInstance`] if it has none.
+pub fn optimal_schedule(instance: &ProblemInstance) -> Result<BruteForceSolution, ScheduleError> {
+    let n = instance.task_count();
+    if n == 0 {
+        return Err(ScheduleError::EmptyInstance);
+    }
+    if n > MAX_BRUTE_FORCE_TASKS {
+        return Err(ScheduleError::TooLargeForBruteForce { tasks: n, limit: MAX_BRUTE_FORCE_TASKS });
+    }
+    let orders = topo::all_topological_orders(instance.graph());
+    let mut best: Option<(Schedule, f64)> = None;
+    let mut candidates = 0u64;
+    for order in orders {
+        for mask in 0..(1u64 << (n - 1)) {
+            let mut checkpoints = vec![false; n];
+            checkpoints[n - 1] = true;
+            for (pos, flag) in checkpoints.iter_mut().enumerate().take(n - 1) {
+                *flag = mask & (1 << pos) != 0;
+            }
+            let schedule = Schedule::new(instance, order.clone(), checkpoints)?;
+            let value = expected_makespan(instance, &schedule)?;
+            candidates += 1;
+            let better = best.as_ref().is_none_or(|(_, b)| value < *b);
+            if better {
+                best = Some((schedule, value));
+            }
+        }
+    }
+    let (schedule, expected_makespan) = best.expect("n >= 1 so at least one candidate exists");
+    Ok(BruteForceSolution { schedule, expected_makespan, candidates_evaluated: candidates })
+}
+
+/// Finds the optimal checkpoint positions for a **fixed** execution order by
+/// enumerating all `2^{n−1}` checkpoint subsets.
+///
+/// # Errors
+///
+/// * [`ScheduleError::TooLargeForBruteForce`] if the instance has more than
+///   20 tasks (the subset enumeration alone stays tractable a bit longer than
+///   the full order × subset search);
+/// * [`ScheduleError::InvalidOrder`] if `order` is not a topological order.
+pub fn optimal_checkpoints_for_order(
+    instance: &ProblemInstance,
+    order: Vec<ckpt_dag::TaskId>,
+) -> Result<BruteForceSolution, ScheduleError> {
+    let n = instance.task_count();
+    if n == 0 {
+        return Err(ScheduleError::EmptyInstance);
+    }
+    const LIMIT: usize = 20;
+    if n > LIMIT {
+        return Err(ScheduleError::TooLargeForBruteForce { tasks: n, limit: LIMIT });
+    }
+    if !topo::is_topological_order(instance.graph(), &order) {
+        return Err(ScheduleError::InvalidOrder);
+    }
+    let mut best: Option<(Schedule, f64)> = None;
+    let mut candidates = 0u64;
+    for mask in 0..(1u64 << (n - 1)) {
+        let mut checkpoints = vec![false; n];
+        checkpoints[n - 1] = true;
+        for (pos, flag) in checkpoints.iter_mut().enumerate().take(n - 1) {
+            *flag = mask & (1 << pos) != 0;
+        }
+        let schedule = Schedule::new(instance, order.clone(), checkpoints)?;
+        let value = expected_makespan(instance, &schedule)?;
+        candidates += 1;
+        let better = best.as_ref().is_none_or(|(_, b)| value < *b);
+        if better {
+            best = Some((schedule, value));
+        }
+    }
+    let (schedule, expected_makespan) = best.expect("n >= 1 so at least one candidate exists");
+    Ok(BruteForceSolution { schedule, expected_makespan, candidates_evaluated: candidates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain_dp::optimal_chain_schedule;
+    use ckpt_dag::{generators, TaskId};
+
+    fn independent_instance(weights: &[f64], c: f64, lambda: f64) -> ProblemInstance {
+        let graph = generators::independent(weights).unwrap();
+        ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(c)
+            .uniform_recovery_cost(c)
+            .platform_lambda(lambda)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_oversized_instances() {
+        let inst = independent_instance(&vec![1.0; 10], 1.0, 1e-3);
+        assert!(matches!(
+            optimal_schedule(&inst),
+            Err(ScheduleError::TooLargeForBruteForce { .. })
+        ));
+        let big = independent_instance(&vec![1.0; 21], 1.0, 1e-3);
+        let order: Vec<TaskId> = (0..21).map(TaskId).collect();
+        assert!(optimal_checkpoints_for_order(&big, order).is_err());
+    }
+
+    #[test]
+    fn single_task_instance() {
+        let inst = independent_instance(&[100.0], 5.0, 1e-3);
+        let sol = optimal_schedule(&inst).unwrap();
+        assert_eq!(sol.candidates_evaluated, 1);
+        assert_eq!(sol.schedule.checkpoint_count(), 1);
+    }
+
+    #[test]
+    fn candidate_count_is_factorial_times_subsets() {
+        let inst = independent_instance(&[10.0, 20.0, 30.0], 2.0, 1e-2);
+        let sol = optimal_schedule(&inst).unwrap();
+        // 3! orders × 2^2 checkpoint subsets = 24.
+        assert_eq!(sol.candidates_evaluated, 24);
+    }
+
+    #[test]
+    fn brute_force_matches_chain_dp_on_chains() {
+        let graph = generators::chain(&[300.0, 500.0, 200.0, 400.0, 100.0, 600.0]).unwrap();
+        let inst = ProblemInstance::builder(graph)
+            .checkpoint_costs(vec![30.0, 10.0, 50.0, 20.0, 5.0, 40.0])
+            .recovery_costs(vec![60.0, 20.0, 100.0, 40.0, 10.0, 80.0])
+            .downtime(12.0)
+            .platform_lambda(1.0 / 2_500.0)
+            .build()
+            .unwrap();
+        let dp = optimal_chain_schedule(&inst).unwrap();
+        let brute = optimal_schedule(&inst).unwrap();
+        assert!(
+            (dp.expected_makespan - brute.expected_makespan).abs() / brute.expected_makespan < 1e-10,
+            "dp {} vs brute {}",
+            dp.expected_makespan,
+            brute.expected_makespan
+        );
+        // A chain has a single topological order, so the schedules coincide too.
+        assert_eq!(dp.schedule, brute.schedule);
+    }
+
+    #[test]
+    fn fixed_order_search_matches_full_search_for_symmetric_instances() {
+        // For identical independent tasks every order is equivalent, so
+        // optimising checkpoints over one order gives the global optimum.
+        let inst = independent_instance(&[250.0; 6], 20.0, 1.0 / 1_000.0);
+        let order: Vec<TaskId> = (0..6).map(TaskId).collect();
+        let fixed = optimal_checkpoints_for_order(&inst, order).unwrap();
+        let full = optimal_schedule(&inst).unwrap();
+        assert!((fixed.expected_makespan - full.expected_makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_uses_grouping_when_checkpoints_are_expensive() {
+        // Expensive checkpoints and moderate failure rate: the optimum groups
+        // several tasks per checkpoint rather than checkpointing every task.
+        let inst = independent_instance(&[100.0; 6], 400.0, 1.0 / 5_000.0);
+        let sol = optimal_schedule(&inst).unwrap();
+        assert!(sol.schedule.checkpoint_count() < 6);
+    }
+
+    #[test]
+    fn optimal_checkpoints_everywhere_when_failures_frequent_and_checkpoints_free() {
+        let inst = independent_instance(&[100.0; 5], 0.001, 1.0 / 80.0);
+        let sol = optimal_schedule(&inst).unwrap();
+        assert_eq!(sol.schedule.checkpoint_count(), 5);
+    }
+
+    #[test]
+    fn invalid_order_is_rejected() {
+        let graph = generators::chain(&[1.0, 2.0, 3.0]).unwrap();
+        let inst = ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(1.0)
+            .platform_lambda(1e-3)
+            .build()
+            .unwrap();
+        let bad_order = vec![TaskId(2), TaskId(1), TaskId(0)];
+        assert!(matches!(
+            optimal_checkpoints_for_order(&inst, bad_order),
+            Err(ScheduleError::InvalidOrder)
+        ));
+    }
+}

@@ -1,0 +1,372 @@
+//! Algorithm 1: the `O(n²)` dynamic program for linear chains (Proposition 3).
+//!
+//! For a chain `T1 → T2 → … → Tn`, the execution order is forced and only the
+//! checkpoint positions remain to be chosen. Writing `E(x)` for the optimal
+//! expected time to execute tasks `T_x … T_n` given that a checkpoint (or the
+//! initial state) protects the start of `T_x`, the paper's recurrence is
+//!
+//! ```text
+//! E(x) = min_{x ≤ j ≤ n} [ T(w_x + … + w_j, C_j, D, R_{x−1}, λ) + E(j+1) ]
+//! E(n+1) = 0
+//! ```
+//!
+//! where `T(·)` is the Proposition 1 closed form. Two implementations are
+//! provided: a faithful memoised-recursive transcription of the paper's
+//! `DPMAKESPAN` pseudo-code, and an equivalent bottom-up version (the form a
+//! production scheduler would use). Both are `O(n²)` thanks to prefix sums and
+//! memoisation, and they are cross-checked against each other and against
+//! exhaustive search in the tests.
+
+use ckpt_dag::properties;
+use ckpt_expectation::exact::{expected_time, ExecutionParams};
+
+use crate::error::ScheduleError;
+use crate::instance::ProblemInstance;
+use crate::schedule::Schedule;
+
+/// The result of the chain dynamic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainSolution {
+    /// The optimal schedule (chain order, optimal checkpoint positions).
+    pub schedule: Schedule,
+    /// The optimal expected makespan (the DP value).
+    pub expected_makespan: f64,
+    /// The positions (indices in the chain order) after which a checkpoint is
+    /// taken, in increasing order. Always ends with `n − 1`.
+    pub checkpoint_positions: Vec<usize>,
+}
+
+/// Computes the optimal checkpoint placement for a linear-chain instance,
+/// bottom-up, in `O(n²)` time and `O(n)` space.
+///
+/// # Errors
+///
+/// * [`ScheduleError::NotAChain`] if the instance graph is not a linear chain;
+/// * propagated validation errors (cannot occur for instances built through
+///   [`ProblemInstance::builder`]).
+pub fn optimal_chain_schedule(instance: &ProblemInstance) -> Result<ChainSolution, ScheduleError> {
+    let order = properties::as_chain(instance.graph()).ok_or(ScheduleError::NotAChain)?;
+    let n = order.len();
+    let lambda = instance.lambda();
+    let downtime = instance.downtime();
+
+    // Prefix sums of the chain weights: prefix[k] = w_0 + … + w_{k-1}.
+    let mut prefix = vec![0.0f64; n + 1];
+    for (k, &task) in order.iter().enumerate() {
+        prefix[k + 1] = prefix[k] + instance.weight(task);
+    }
+    // Recovery protecting a segment that starts at position x.
+    let recovery_before = |x: usize| -> f64 {
+        if x == 0 {
+            instance.initial_recovery()
+        } else {
+            instance.recovery_cost(order[x - 1])
+        }
+    };
+
+    // value[x] = optimal expected time for positions x..n ; choice[x] = the
+    // position of the first checkpoint in an optimal solution for x..n.
+    let mut value = vec![0.0f64; n + 1];
+    let mut choice = vec![0usize; n];
+    for x in (0..n).rev() {
+        let recovery = recovery_before(x);
+        let mut best = f64::INFINITY;
+        let mut best_j = n - 1;
+        for j in x..n {
+            let work = prefix[j + 1] - prefix[x];
+            let params = ExecutionParams::new(
+                work,
+                instance.checkpoint_cost(order[j]),
+                downtime,
+                recovery,
+                lambda,
+            )
+            .expect("instance parameters were validated at construction");
+            let cost = expected_time(&params) + value[j + 1];
+            if cost < best {
+                best = cost;
+                best_j = j;
+            }
+        }
+        value[x] = best;
+        choice[x] = best_j;
+    }
+
+    // Reconstruct the checkpoint positions.
+    let mut checkpoint_positions = Vec::new();
+    let mut x = 0usize;
+    while x < n {
+        let j = choice[x];
+        checkpoint_positions.push(j);
+        x = j + 1;
+    }
+    let mut checkpoint_after = vec![false; n];
+    for &j in &checkpoint_positions {
+        checkpoint_after[j] = true;
+    }
+    let schedule = Schedule::new(instance, order, checkpoint_after)?;
+    Ok(ChainSolution { schedule, expected_makespan: value[0], checkpoint_positions })
+}
+
+/// Faithful transcription of the paper's recursive `DPMAKESPAN(x, n)`
+/// (Algorithm 1), with memoisation. Returns the same optimum as
+/// [`optimal_chain_schedule`]; exposed separately so tests and benches can
+/// compare the two formulations.
+///
+/// # Errors
+///
+/// Same as [`optimal_chain_schedule`].
+pub fn optimal_chain_value_memoized(instance: &ProblemInstance) -> Result<f64, ScheduleError> {
+    let order = properties::as_chain(instance.graph()).ok_or(ScheduleError::NotAChain)?;
+    let n = order.len();
+    let lambda = instance.lambda();
+    let downtime = instance.downtime();
+    let mut prefix = vec![0.0f64; n + 1];
+    for (k, &task) in order.iter().enumerate() {
+        prefix[k + 1] = prefix[k] + instance.weight(task);
+    }
+    let mut memo: Vec<Option<f64>> = vec![None; n + 1];
+
+    // Proposition 1 applied to positions x..=j (0-based), recovering with the
+    // checkpoint of position x-1 (or the initial state).
+    struct Ctx<'a> {
+        instance: &'a ProblemInstance,
+        order: &'a [ckpt_dag::TaskId],
+        prefix: &'a [f64],
+        lambda: f64,
+        downtime: f64,
+    }
+    impl Ctx<'_> {
+        fn segment(&self, x: usize, j: usize) -> f64 {
+            let recovery = if x == 0 {
+                self.instance.initial_recovery()
+            } else {
+                self.instance.recovery_cost(self.order[x - 1])
+            };
+            let work = self.prefix[j + 1] - self.prefix[x];
+            let params = ExecutionParams::new(
+                work,
+                self.instance.checkpoint_cost(self.order[j]),
+                self.downtime,
+                recovery,
+                self.lambda,
+            )
+            .expect("instance parameters were validated at construction");
+            expected_time(&params)
+        }
+    }
+    fn dp(x: usize, n: usize, ctx: &Ctx<'_>, memo: &mut Vec<Option<f64>>) -> f64 {
+        if x == n {
+            return 0.0;
+        }
+        if let Some(v) = memo[x] {
+            return v;
+        }
+        // The paper's `best` initialisation: execute everything remaining and
+        // checkpoint only after the last task.
+        let mut best = ctx.segment(x, n - 1);
+        // Try checkpointing first after position j, for j < n - 1.
+        for j in x..n - 1 {
+            let cur = ctx.segment(x, j) + dp(j + 1, n, ctx, memo);
+            if cur < best {
+                best = cur;
+            }
+        }
+        memo[x] = Some(best);
+        best
+    }
+
+    let ctx = Ctx { instance, order: &order, prefix: &prefix, lambda, downtime };
+    Ok(dp(0, n, &ctx, &mut memo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::expected_makespan;
+    use ckpt_dag::generators;
+    use ckpt_failure::{Pcg64, RandomSource};
+    use proptest::prelude::*;
+
+    fn chain_instance(weights: &[f64], c: f64, r: f64, d: f64, lambda: f64) -> ProblemInstance {
+        let graph = generators::chain(weights).unwrap();
+        ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(c)
+            .uniform_recovery_cost(r)
+            .downtime(d)
+            .platform_lambda(lambda)
+            .build()
+            .unwrap()
+    }
+
+    /// Exhaustive optimum over all checkpoint subsets (final forced) — the
+    /// reference the DP is checked against.
+    fn exhaustive_optimum(instance: &ProblemInstance) -> f64 {
+        let order = properties::as_chain(instance.graph()).unwrap();
+        let n = order.len();
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << (n - 1)) {
+            let mut checkpoints = vec![false; n];
+            checkpoints[n - 1] = true;
+            for (pos, flag) in checkpoints.iter_mut().enumerate().take(n - 1) {
+                *flag = mask & (1 << pos) != 0;
+            }
+            let schedule = Schedule::new(instance, order.clone(), checkpoints).unwrap();
+            best = best.min(expected_makespan(instance, &schedule).unwrap());
+        }
+        best
+    }
+
+    #[test]
+    fn rejects_non_chain_graphs() {
+        let graph = generators::independent(&[1.0, 2.0]).unwrap();
+        let inst = ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(1.0)
+            .platform_lambda(1e-3)
+            .build()
+            .unwrap();
+        assert!(matches!(optimal_chain_schedule(&inst), Err(ScheduleError::NotAChain)));
+        assert!(matches!(optimal_chain_value_memoized(&inst), Err(ScheduleError::NotAChain)));
+    }
+
+    #[test]
+    fn single_task_chain_checkpoints_after_it() {
+        let inst = chain_instance(&[500.0], 10.0, 20.0, 5.0, 1e-3);
+        let sol = optimal_chain_schedule(&inst).unwrap();
+        assert_eq!(sol.checkpoint_positions, vec![0]);
+        let expected = expected_time(
+            &ExecutionParams::new(500.0, 10.0, 5.0, 0.0, 1e-3).unwrap(),
+        );
+        assert!((sol.expected_makespan - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_value_matches_schedule_evaluation() {
+        let inst = chain_instance(&[400.0, 100.0, 900.0, 250.0, 650.0, 300.0], 60.0, 60.0, 30.0, 1e-4);
+        let sol = optimal_chain_schedule(&inst).unwrap();
+        let eval = expected_makespan(&inst, &sol.schedule).unwrap();
+        assert!((sol.expected_makespan - eval).abs() < 1e-9);
+        // The schedule ends with the mandatory final checkpoint.
+        assert_eq!(*sol.checkpoint_positions.last().unwrap(), 5);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_search_on_small_chains() {
+        let cases: Vec<ProblemInstance> = vec![
+            chain_instance(&[100.0, 200.0, 300.0, 50.0, 400.0], 30.0, 30.0, 0.0, 1e-3),
+            chain_instance(&[10.0, 10.0, 10.0, 10.0, 10.0, 10.0], 5.0, 5.0, 1.0, 1e-2),
+            chain_instance(&[3600.0, 1800.0, 5400.0, 900.0], 600.0, 300.0, 60.0, 1e-5),
+            chain_instance(&[50.0, 50.0], 1.0, 1.0, 0.0, 1e-1),
+        ];
+        for inst in cases {
+            let sol = optimal_chain_schedule(&inst).unwrap();
+            let brute = exhaustive_optimum(&inst);
+            assert!(
+                (sol.expected_makespan - brute).abs() / brute < 1e-10,
+                "DP {} vs exhaustive {brute}",
+                sol.expected_makespan
+            );
+        }
+    }
+
+    #[test]
+    fn memoized_recursion_matches_bottom_up() {
+        let inst = chain_instance(
+            &[400.0, 100.0, 900.0, 250.0, 650.0, 300.0, 120.0, 780.0],
+            45.0,
+            90.0,
+            15.0,
+            2e-4,
+        );
+        let bottom_up = optimal_chain_schedule(&inst).unwrap().expected_makespan;
+        let memoized = optimal_chain_value_memoized(&inst).unwrap();
+        assert!((bottom_up - memoized).abs() / bottom_up < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_costs_are_honoured() {
+        // Make checkpointing after task 1 free and after task 0 exorbitant:
+        // the optimal solution must checkpoint after task 1, not after task 0.
+        let graph = generators::chain(&[1000.0, 1000.0, 1000.0]).unwrap();
+        let inst = ProblemInstance::builder(graph)
+            .checkpoint_costs(vec![10_000.0, 0.0, 10.0])
+            .recovery_costs(vec![10.0, 10.0, 10.0])
+            .platform_lambda(1.0 / 2_000.0)
+            .build()
+            .unwrap();
+        let sol = optimal_chain_schedule(&inst).unwrap();
+        assert!(sol.checkpoint_positions.contains(&1));
+        assert!(!sol.checkpoint_positions.contains(&0));
+    }
+
+    #[test]
+    fn rare_failures_lead_to_few_checkpoints() {
+        let inst = chain_instance(&[100.0; 10], 50.0, 50.0, 0.0, 1e-9);
+        let sol = optimal_chain_schedule(&inst).unwrap();
+        // With a ten-billion-second MTBF, intermediate checkpoints are pure
+        // overhead: only the final mandatory checkpoint remains.
+        assert_eq!(sol.checkpoint_positions, vec![9]);
+    }
+
+    #[test]
+    fn frequent_failures_lead_to_many_checkpoints() {
+        let inst = chain_instance(&[100.0; 10], 1.0, 1.0, 0.0, 1.0 / 50.0);
+        let sol = optimal_chain_schedule(&inst).unwrap();
+        // Failures every 50 s on average, tasks of 100 s with cheap
+        // checkpoints: checkpoint after every task.
+        assert_eq!(sol.checkpoint_positions.len(), 10);
+    }
+
+    #[test]
+    fn dp_beats_or_ties_standard_baselines() {
+        let inst = chain_instance(
+            &[300.0, 800.0, 150.0, 950.0, 420.0, 610.0, 75.0, 340.0],
+            45.0,
+            60.0,
+            10.0,
+            1.0 / 3_000.0,
+        );
+        let sol = optimal_chain_schedule(&inst).unwrap();
+        let order = properties::as_chain(inst.graph()).unwrap();
+        let all = Schedule::checkpoint_everywhere(&inst, order.clone()).unwrap();
+        let last = Schedule::checkpoint_final_only(&inst, order).unwrap();
+        assert!(sol.expected_makespan <= expected_makespan(&inst, &all).unwrap() + 1e-9);
+        assert!(sol.expected_makespan <= expected_makespan(&inst, &last).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn dp_scales_to_large_chains() {
+        // A 1 000-task chain must solve quickly and produce a valid schedule.
+        let weights: Vec<f64> = (0..1000).map(|i| 50.0 + (i % 17) as f64 * 10.0).collect();
+        let inst = chain_instance(&weights, 30.0, 30.0, 5.0, 1e-4);
+        let sol = optimal_chain_schedule(&inst).unwrap();
+        assert_eq!(sol.schedule.len(), 1000);
+        assert!(sol.expected_makespan > inst.total_weight());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_dp_is_never_beaten_by_random_schedules(
+            seed in any::<u64>(),
+            n in 2usize..9,
+            lambda_exp in -5.0f64..-2.0,
+        ) {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let weights: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 990.0).collect();
+            let lambda = 10f64.powf(lambda_exp);
+            let inst = chain_instance(&weights, 20.0, 40.0, 5.0, lambda);
+            let sol = optimal_chain_schedule(&inst).unwrap();
+            let order = properties::as_chain(inst.graph()).unwrap();
+            // Compare against 20 random checkpoint subsets.
+            for _ in 0..20 {
+                let mut checkpoints: Vec<bool> = (0..n).map(|_| rng.next_bool(0.5)).collect();
+                checkpoints[n - 1] = true;
+                let schedule = Schedule::new(&inst, order.clone(), checkpoints).unwrap();
+                let value = expected_makespan(&inst, &schedule).unwrap();
+                prop_assert!(sol.expected_makespan <= value + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! General checkpoint-cost models (paper §6, first extension).
+//!
+//! The baseline model charges a checkpoint taken after task `T_i` a cost `C_i`
+//! that depends only on `T_i`. In general, the state a checkpoint must save is
+//! the output of every completed task that still has an unexecuted successor —
+//! the **live set** — so the cost should be a function of that set. For linear
+//! chains the live set is always the single most recent task, which is why the
+//! paper's per-task model is fully general there (§6); for wider DAGs the two
+//! models differ and this module makes the difference explicit.
+
+use std::collections::BTreeSet;
+
+use ckpt_dag::{traversal, TaskGraph, TaskId};
+
+use crate::instance::ProblemInstance;
+
+/// How the cost of a checkpoint (and of the matching recovery) is computed
+/// from the execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CheckpointCostModel {
+    /// The paper's baseline: the cost of a checkpoint taken after task `T_i`
+    /// is `C_i`, regardless of what else is in memory.
+    #[default]
+    PerLastTask,
+    /// The checkpoint must save the output of every live task; its cost is the
+    /// **sum** of their per-task costs (bandwidth-bound stable storage).
+    LiveSetSum,
+    /// The live tasks are saved in parallel to per-processor local storage;
+    /// the cost is the **maximum** of their per-task costs.
+    LiveSetMax,
+}
+
+impl std::fmt::Display for CheckpointCostModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointCostModel::PerLastTask => write!(f, "per-last-task"),
+            CheckpointCostModel::LiveSetSum => write!(f, "live-set-sum"),
+            CheckpointCostModel::LiveSetMax => write!(f, "live-set-max"),
+        }
+    }
+}
+
+impl CheckpointCostModel {
+    /// The cost of a checkpoint taken after executing the prefix
+    /// `order[..=position]`, under this model.
+    ///
+    /// `per_task` maps a task to its individual cost (`C_i` for checkpoints,
+    /// `R_i` for recoveries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of bounds of `order`.
+    pub fn cost_after_prefix<F>(
+        &self,
+        graph: &TaskGraph,
+        order: &[TaskId],
+        position: usize,
+        per_task: F,
+    ) -> f64
+    where
+        F: Fn(TaskId) -> f64,
+    {
+        assert!(position < order.len(), "position out of bounds");
+        match self {
+            CheckpointCostModel::PerLastTask => per_task(order[position]),
+            CheckpointCostModel::LiveSetSum | CheckpointCostModel::LiveSetMax => {
+                let completed: BTreeSet<TaskId> = order[..=position].iter().copied().collect();
+                let mut live = traversal::live_tasks(graph, &completed);
+                if live.is_empty() {
+                    // End of the execution: by convention the final state to
+                    // save is the last task's output.
+                    live.push(order[position]);
+                }
+                match self {
+                    CheckpointCostModel::LiveSetSum => live.iter().map(|&t| per_task(t)).sum(),
+                    _ => live
+                        .iter()
+                        .map(|&t| per_task(t))
+                        .fold(0.0f64, f64::max),
+                }
+            }
+        }
+    }
+
+    /// The checkpoint cost after `order[..=position]` using the instance's
+    /// per-task checkpoint costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of bounds of `order`.
+    pub fn checkpoint_cost(
+        &self,
+        instance: &ProblemInstance,
+        order: &[TaskId],
+        position: usize,
+    ) -> f64 {
+        self.cost_after_prefix(instance.graph(), order, position, |t| instance.checkpoint_cost(t))
+    }
+
+    /// The recovery cost protecting a segment that starts right after
+    /// `order[..=position]`, using the instance's per-task recovery costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of bounds of `order`.
+    pub fn recovery_cost(
+        &self,
+        instance: &ProblemInstance,
+        order: &[TaskId],
+        position: usize,
+    ) -> f64 {
+        self.cost_after_prefix(instance.graph(), order, position, |t| instance.recovery_cost(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_dag::generators;
+
+    fn diamond_instance() -> ProblemInstance {
+        let graph = generators::diamond([10.0, 20.0, 30.0, 40.0]).unwrap();
+        ProblemInstance::builder(graph)
+            .checkpoint_costs(vec![1.0, 2.0, 4.0, 8.0])
+            .recovery_costs(vec![16.0, 32.0, 64.0, 128.0])
+            .platform_lambda(1e-3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn per_last_task_ignores_the_live_set() {
+        let inst = diamond_instance();
+        let order = vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)];
+        let model = CheckpointCostModel::PerLastTask;
+        assert_eq!(model.checkpoint_cost(&inst, &order, 1), 2.0);
+        assert_eq!(model.recovery_cost(&inst, &order, 2), 64.0);
+    }
+
+    #[test]
+    fn live_set_sum_counts_all_live_outputs() {
+        let inst = diamond_instance();
+        // Diamond a -> {b, c} -> d, order a b c d.
+        let order = vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)];
+        let model = CheckpointCostModel::LiveSetSum;
+        // After a: live = {a} (b and c still need it) -> cost 1.
+        assert_eq!(model.checkpoint_cost(&inst, &order, 0), 1.0);
+        // After a, b: live = {a (c pending), b (d pending)} -> 1 + 2 = 3.
+        assert_eq!(model.checkpoint_cost(&inst, &order, 1), 3.0);
+        // After a, b, c: live = {b, c} (both feed d) -> 2 + 4 = 6.
+        assert_eq!(model.checkpoint_cost(&inst, &order, 2), 6.0);
+        // After everything: convention = last task -> 8.
+        assert_eq!(model.checkpoint_cost(&inst, &order, 3), 8.0);
+    }
+
+    #[test]
+    fn live_set_max_takes_the_largest_cost() {
+        let inst = diamond_instance();
+        let order = vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)];
+        let model = CheckpointCostModel::LiveSetMax;
+        assert_eq!(model.checkpoint_cost(&inst, &order, 1), 2.0);
+        assert_eq!(model.checkpoint_cost(&inst, &order, 2), 4.0);
+        assert_eq!(model.recovery_cost(&inst, &order, 2), 64.0);
+    }
+
+    #[test]
+    fn all_models_coincide_on_linear_chains() {
+        // §6's observation: on a chain the live set is always the single most
+        // recently completed task, so the general models reduce to the
+        // baseline.
+        let graph = generators::chain(&[10.0, 20.0, 30.0]).unwrap();
+        let inst = ProblemInstance::builder(graph)
+            .checkpoint_costs(vec![3.0, 5.0, 7.0])
+            .recovery_costs(vec![11.0, 13.0, 17.0])
+            .platform_lambda(1e-3)
+            .build()
+            .unwrap();
+        let order = vec![TaskId(0), TaskId(1), TaskId(2)];
+        for pos in 0..3 {
+            let base = CheckpointCostModel::PerLastTask.checkpoint_cost(&inst, &order, pos);
+            assert_eq!(CheckpointCostModel::LiveSetSum.checkpoint_cost(&inst, &order, pos), base);
+            assert_eq!(CheckpointCostModel::LiveSetMax.checkpoint_cost(&inst, &order, pos), base);
+            let base_r = CheckpointCostModel::PerLastTask.recovery_cost(&inst, &order, pos);
+            assert_eq!(CheckpointCostModel::LiveSetSum.recovery_cost(&inst, &order, pos), base_r);
+            assert_eq!(CheckpointCostModel::LiveSetMax.recovery_cost(&inst, &order, pos), base_r);
+        }
+    }
+
+    #[test]
+    fn display_and_default() {
+        assert_eq!(CheckpointCostModel::default(), CheckpointCostModel::PerLastTask);
+        assert_eq!(CheckpointCostModel::PerLastTask.to_string(), "per-last-task");
+        assert_eq!(CheckpointCostModel::LiveSetSum.to_string(), "live-set-sum");
+        assert_eq!(CheckpointCostModel::LiveSetMax.to_string(), "live-set-max");
+    }
+
+    #[test]
+    #[should_panic(expected = "position out of bounds")]
+    fn out_of_bounds_position_panics() {
+        let inst = diamond_instance();
+        let order = vec![TaskId(0)];
+        let _ = CheckpointCostModel::PerLastTask.checkpoint_cost(&inst, &order, 3);
+    }
+}

@@ -1,0 +1,294 @@
+//! Scheduling arbitrary DAGs: linearise, then place checkpoints optimally
+//! along the linearisation.
+//!
+//! Proposition 2 rules out an efficient exact algorithm for the joint problem
+//! (order + checkpoints), even for independent tasks. The practical approach
+//! this module implements — and the experiments evaluate — decomposes it:
+//!
+//! 1. pick a linearisation of the DAG with one of the
+//!    [`LinearizationStrategy`] heuristics (§2's full-parallelism assumption
+//!    makes any topological order feasible);
+//! 2. place checkpoints optimally **for that order** with the same dynamic
+//!    program as Algorithm 1, generalised to use a [`CheckpointCostModel`]
+//!    when evaluating the cost of a checkpoint after a prefix (the §6
+//!    general-cost extension).
+//!
+//! For linear chains step 2 is exactly Algorithm 1 and the result is globally
+//! optimal; for other DAGs the result is a heuristic whose quality experiment
+//! E4 measures against brute force.
+
+use ckpt_dag::{linearize, LinearizationStrategy, TaskId};
+use ckpt_expectation::exact::{expected_time, ExecutionParams};
+
+use crate::cost_model::CheckpointCostModel;
+use crate::error::ScheduleError;
+use crate::instance::ProblemInstance;
+use crate::schedule::Schedule;
+
+/// The result of DAG scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagSolution {
+    /// The schedule produced (order + checkpoint placement).
+    pub schedule: Schedule,
+    /// Its expected makespan **under the per-last-task cost model** (the
+    /// model used by [`crate::evaluate::expected_makespan`]).
+    pub expected_makespan: f64,
+    /// Its expected makespan under the requested cost model (differs from
+    /// `expected_makespan` only for the live-set models on non-chain DAGs).
+    pub expected_makespan_under_model: f64,
+    /// The linearisation strategy that was used.
+    pub strategy: LinearizationStrategy,
+}
+
+/// Places checkpoints optimally along a **fixed** order, generalising the
+/// Algorithm 1 recurrence to an arbitrary [`CheckpointCostModel`].
+///
+/// Returns the schedule and its expected makespan *under the given model*.
+///
+/// # Errors
+///
+/// * [`ScheduleError::InvalidOrder`] if `order` is not a topological order;
+/// * propagated validation errors.
+pub fn optimal_checkpoints_for_order(
+    instance: &ProblemInstance,
+    order: Vec<TaskId>,
+    model: CheckpointCostModel,
+) -> Result<(Schedule, f64), ScheduleError> {
+    if !ckpt_dag::topo::is_topological_order(instance.graph(), &order) {
+        return Err(ScheduleError::InvalidOrder);
+    }
+    let n = order.len();
+    let lambda = instance.lambda();
+    let downtime = instance.downtime();
+
+    let mut prefix = vec![0.0f64; n + 1];
+    for (k, &task) in order.iter().enumerate() {
+        prefix[k + 1] = prefix[k] + instance.weight(task);
+    }
+    // Cost of a checkpoint taken after position j, and of the recovery
+    // protecting a segment that starts at position x (i.e. the recovery of the
+    // checkpoint taken after position x-1).
+    let checkpoint_cost = |j: usize| model.checkpoint_cost(instance, &order, j);
+    let recovery_before = |x: usize| -> f64 {
+        if x == 0 {
+            instance.initial_recovery()
+        } else {
+            model.recovery_cost(instance, &order, x - 1)
+        }
+    };
+
+    let mut value = vec![0.0f64; n + 1];
+    let mut choice = vec![0usize; n];
+    for x in (0..n).rev() {
+        let recovery = recovery_before(x);
+        let mut best = f64::INFINITY;
+        let mut best_j = n - 1;
+        for j in x..n {
+            let work = prefix[j + 1] - prefix[x];
+            let params = ExecutionParams::new(work, checkpoint_cost(j), downtime, recovery, lambda)
+                .expect("instance parameters were validated at construction");
+            let cost = expected_time(&params) + value[j + 1];
+            if cost < best {
+                best = cost;
+                best_j = j;
+            }
+        }
+        value[x] = best;
+        choice[x] = best_j;
+    }
+
+    let mut checkpoint_after = vec![false; n];
+    let mut x = 0usize;
+    while x < n {
+        let j = choice[x];
+        checkpoint_after[j] = true;
+        x = j + 1;
+    }
+    let schedule = Schedule::new(instance, order, checkpoint_after)?;
+    Ok((schedule, value[0]))
+}
+
+/// Schedules a DAG instance: linearises it with `strategy`, then places
+/// checkpoints optimally for that order under `model`.
+///
+/// # Errors
+///
+/// Propagates validation errors; cannot fail for instances built through
+/// [`ProblemInstance::builder`].
+pub fn schedule_dag(
+    instance: &ProblemInstance,
+    strategy: LinearizationStrategy,
+    model: CheckpointCostModel,
+) -> Result<DagSolution, ScheduleError> {
+    let order = linearize::linearize(instance.graph(), strategy);
+    let (schedule, value_under_model) = optimal_checkpoints_for_order(instance, order, model)?;
+    let expected_makespan = crate::evaluate::expected_makespan(instance, &schedule)?;
+    Ok(DagSolution {
+        schedule,
+        expected_makespan,
+        expected_makespan_under_model: value_under_model,
+        strategy,
+    })
+}
+
+/// Tries several linearisation strategies and keeps the best schedule (by
+/// expected makespan under `model`).
+///
+/// `random_tries` additional random linearisations (seeds `0..random_tries`)
+/// are explored on top of the deterministic strategies.
+///
+/// # Errors
+///
+/// Propagates validation errors.
+pub fn schedule_dag_best_of(
+    instance: &ProblemInstance,
+    model: CheckpointCostModel,
+    random_tries: u64,
+) -> Result<DagSolution, ScheduleError> {
+    let mut strategies = vec![
+        LinearizationStrategy::IdOrder,
+        LinearizationStrategy::HeaviestFirst,
+        LinearizationStrategy::LightestFirst,
+        LinearizationStrategy::CriticalPathFirst,
+    ];
+    strategies.extend((0..random_tries).map(LinearizationStrategy::Random));
+    let mut best: Option<DagSolution> = None;
+    for strategy in strategies {
+        let candidate = schedule_dag(instance, strategy, model)?;
+        let better = best
+            .as_ref()
+            .is_none_or(|b| candidate.expected_makespan_under_model < b.expected_makespan_under_model);
+        if better {
+            best = Some(candidate);
+        }
+    }
+    Ok(best.expect("at least one strategy was tried"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use crate::chain_dp;
+    use ckpt_dag::generators;
+
+    fn chain_instance() -> ProblemInstance {
+        let graph = generators::chain(&[400.0, 100.0, 900.0, 250.0, 650.0]).unwrap();
+        ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(60.0)
+            .uniform_recovery_cost(60.0)
+            .downtime(30.0)
+            .platform_lambda(1.0 / 4_000.0)
+            .build()
+            .unwrap()
+    }
+
+    fn fork_join_instance() -> ProblemInstance {
+        let graph = generators::fork_join(3, &[500.0, 300.0, 700.0], 100.0, 200.0).unwrap();
+        ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(40.0)
+            .uniform_recovery_cost(80.0)
+            .downtime(10.0)
+            .platform_lambda(1.0 / 3_000.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reduces_to_chain_dp_on_chains() {
+        let inst = chain_instance();
+        let dag = schedule_dag(&inst, LinearizationStrategy::IdOrder, CheckpointCostModel::PerLastTask)
+            .unwrap();
+        let chain = chain_dp::optimal_chain_schedule(&inst).unwrap();
+        assert!((dag.expected_makespan - chain.expected_makespan).abs() < 1e-9);
+        assert_eq!(dag.schedule, chain.schedule);
+        // Under any cost model the chain result is identical (§6 remark).
+        for model in [CheckpointCostModel::LiveSetSum, CheckpointCostModel::LiveSetMax] {
+            let general = schedule_dag(&inst, LinearizationStrategy::IdOrder, model).unwrap();
+            assert!((general.expected_makespan - chain.expected_makespan).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_order_is_rejected() {
+        let inst = chain_instance();
+        let bad: Vec<TaskId> = (0..5).rev().map(TaskId).collect();
+        assert!(matches!(
+            optimal_checkpoints_for_order(&inst, bad, CheckpointCostModel::PerLastTask),
+            Err(ScheduleError::InvalidOrder)
+        ));
+    }
+
+    #[test]
+    fn checkpoint_placement_is_optimal_for_the_given_order() {
+        let inst = fork_join_instance();
+        let order = linearize::linearize(inst.graph(), LinearizationStrategy::IdOrder);
+        let (schedule, _) =
+            optimal_checkpoints_for_order(&inst, order.clone(), CheckpointCostModel::PerLastTask)
+                .unwrap();
+        let value = crate::evaluate::expected_makespan(&inst, &schedule).unwrap();
+        let reference = brute_force::optimal_checkpoints_for_order(&inst, order).unwrap();
+        assert!(
+            (value - reference.expected_makespan).abs() / reference.expected_makespan < 1e-10,
+            "dp-for-order {value} vs exhaustive {}",
+            reference.expected_makespan
+        );
+    }
+
+    #[test]
+    fn best_of_is_no_worse_than_any_single_strategy() {
+        let inst = fork_join_instance();
+        let best = schedule_dag_best_of(&inst, CheckpointCostModel::PerLastTask, 4).unwrap();
+        for strategy in [
+            LinearizationStrategy::IdOrder,
+            LinearizationStrategy::HeaviestFirst,
+            LinearizationStrategy::LightestFirst,
+            LinearizationStrategy::CriticalPathFirst,
+        ] {
+            let single = schedule_dag(&inst, strategy, CheckpointCostModel::PerLastTask).unwrap();
+            assert!(best.expected_makespan_under_model <= single.expected_makespan_under_model + 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_of_is_close_to_brute_force_on_small_dags() {
+        let graph = generators::diamond([300.0, 500.0, 200.0, 400.0]).unwrap();
+        let inst = ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(50.0)
+            .uniform_recovery_cost(50.0)
+            .platform_lambda(1.0 / 2_000.0)
+            .build()
+            .unwrap();
+        let heuristic = schedule_dag_best_of(&inst, CheckpointCostModel::PerLastTask, 8).unwrap();
+        let brute = brute_force::optimal_schedule(&inst).unwrap();
+        let gap = heuristic.expected_makespan / brute.expected_makespan;
+        assert!(gap < 1.02, "gap {gap}");
+    }
+
+    #[test]
+    fn live_set_models_cost_more_on_wide_dags() {
+        // On a fork-join DAG the live set can contain several tasks, so the
+        // sum model makes checkpoints at wide points more expensive and the
+        // resulting expected makespan (under that model) is at least the
+        // per-last-task one for the same strategy.
+        let inst = fork_join_instance();
+        let per_task =
+            schedule_dag(&inst, LinearizationStrategy::IdOrder, CheckpointCostModel::PerLastTask)
+                .unwrap();
+        let live_sum =
+            schedule_dag(&inst, LinearizationStrategy::IdOrder, CheckpointCostModel::LiveSetSum)
+                .unwrap();
+        assert!(
+            live_sum.expected_makespan_under_model
+                >= per_task.expected_makespan_under_model - 1e-9
+        );
+    }
+
+    #[test]
+    fn solution_reports_its_strategy() {
+        let inst = chain_instance();
+        let sol = schedule_dag(&inst, LinearizationStrategy::HeaviestFirst, CheckpointCostModel::PerLastTask)
+            .unwrap();
+        assert_eq!(sol.strategy, LinearizationStrategy::HeaviestFirst);
+    }
+}

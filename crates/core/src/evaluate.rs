@@ -1,0 +1,180 @@
+//! Analytical evaluation of schedules.
+//!
+//! Because the platform failure law is Exponential (memoryless), the expected
+//! makespan of a schedule is simply the **sum of Proposition 1 over its
+//! checkpoint-delimited segments** — this is exactly how the proof of
+//! Proposition 2 and the recurrence of Algorithm 1 compose segment costs.
+
+use ckpt_expectation::exact::{expected_time, ExecutionParams};
+
+use crate::error::ScheduleError;
+use crate::instance::ProblemInstance;
+use crate::schedule::Schedule;
+
+/// The expected makespan of `schedule` on `instance`, computed analytically
+/// with Proposition 1 applied to each segment.
+///
+/// # Errors
+///
+/// Returns an error if a segment has no work (cannot happen for schedules
+/// produced by this crate) or if the instance parameters are invalid.
+pub fn expected_makespan(
+    instance: &ProblemInstance,
+    schedule: &Schedule,
+) -> Result<f64, ScheduleError> {
+    let mut total = 0.0;
+    for segment in schedule.segments(instance) {
+        total += segment_expected_time(
+            instance,
+            segment.work,
+            segment.checkpoint,
+            segment.recovery,
+        )?;
+    }
+    Ok(total)
+}
+
+/// The expected time of a single segment of `work` seconds followed by a
+/// checkpoint of `checkpoint` seconds, protected by `recovery`.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::NonPositiveParameter`] if `work ≤ 0`.
+pub fn segment_expected_time(
+    instance: &ProblemInstance,
+    work: f64,
+    checkpoint: f64,
+    recovery: f64,
+) -> Result<f64, ScheduleError> {
+    let params = ExecutionParams::new(
+        work,
+        checkpoint,
+        instance.downtime(),
+        recovery,
+        instance.lambda(),
+    )
+    .map_err(|_| ScheduleError::NonPositiveParameter { name: "segment work", value: work })?;
+    Ok(expected_time(&params))
+}
+
+/// The slowdown of a schedule: expected makespan divided by the total task
+/// weight (the lower bound achievable with free, failure-proof execution).
+///
+/// # Errors
+///
+/// Propagates errors from [`expected_makespan`].
+pub fn slowdown(instance: &ProblemInstance, schedule: &Schedule) -> Result<f64, ScheduleError> {
+    Ok(expected_makespan(instance, schedule)? / instance.total_weight())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_dag::{generators, TaskId};
+
+    fn ids(ids: &[usize]) -> Vec<TaskId> {
+        ids.iter().map(|&i| TaskId(i)).collect()
+    }
+
+    fn chain_instance(lambda: f64) -> ProblemInstance {
+        let graph = generators::chain(&[100.0, 200.0, 300.0]).unwrap();
+        ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(10.0)
+            .uniform_recovery_cost(20.0)
+            .initial_recovery(5.0)
+            .downtime(2.0)
+            .platform_lambda(lambda)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn expected_makespan_sums_segment_formulas() {
+        let inst = chain_instance(1e-4);
+        let schedule =
+            Schedule::new(&inst, ids(&[0, 1, 2]), vec![true, false, true]).unwrap();
+        // Two segments: (100, C=10, R=5) and (500, C=10, R=20).
+        let manual = expected_time(
+            &ExecutionParams::new(100.0, 10.0, 2.0, 5.0, 1e-4).unwrap(),
+        ) + expected_time(&ExecutionParams::new(500.0, 10.0, 2.0, 20.0, 1e-4).unwrap());
+        let computed = expected_makespan(&inst, &schedule).unwrap();
+        assert!((computed - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_zero_lambda_gives_failure_free_makespan() {
+        let inst = chain_instance(1e-15);
+        let schedule = Schedule::checkpoint_everywhere(&inst, ids(&[0, 1, 2])).unwrap();
+        let e = expected_makespan(&inst, &schedule).unwrap();
+        assert!((e - schedule.failure_free_makespan(&inst)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_failures_increase_expected_makespan() {
+        let low = chain_instance(1e-6);
+        let high = chain_instance(1e-3);
+        let s_low = Schedule::checkpoint_everywhere(&low, ids(&[0, 1, 2])).unwrap();
+        let s_high = Schedule::checkpoint_everywhere(&high, ids(&[0, 1, 2])).unwrap();
+        assert!(
+            expected_makespan(&high, &s_high).unwrap() > expected_makespan(&low, &s_low).unwrap()
+        );
+    }
+
+    #[test]
+    fn checkpointing_helps_when_failures_are_frequent() {
+        // With a high failure rate, checkpointing after every task beats a
+        // single final checkpoint.
+        let inst = chain_instance(1.0 / 300.0);
+        let all = Schedule::checkpoint_everywhere(&inst, ids(&[0, 1, 2])).unwrap();
+        let last = Schedule::checkpoint_final_only(&inst, ids(&[0, 1, 2])).unwrap();
+        assert!(
+            expected_makespan(&inst, &all).unwrap() < expected_makespan(&inst, &last).unwrap()
+        );
+    }
+
+    #[test]
+    fn checkpointing_hurts_when_failures_are_rare() {
+        // With a negligible failure rate, every checkpoint is pure overhead.
+        let inst = chain_instance(1e-9);
+        let all = Schedule::checkpoint_everywhere(&inst, ids(&[0, 1, 2])).unwrap();
+        let last = Schedule::checkpoint_final_only(&inst, ids(&[0, 1, 2])).unwrap();
+        assert!(
+            expected_makespan(&inst, &all).unwrap() > expected_makespan(&inst, &last).unwrap()
+        );
+    }
+
+    #[test]
+    fn slowdown_is_at_least_one() {
+        let inst = chain_instance(1e-4);
+        let s = Schedule::checkpoint_final_only(&inst, ids(&[0, 1, 2])).unwrap();
+        assert!(slowdown(&inst, &s).unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn segment_expected_time_rejects_zero_work() {
+        let inst = chain_instance(1e-4);
+        assert!(segment_expected_time(&inst, 0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn analytical_value_matches_simulation() {
+        // Cross-validation of the analytical evaluator against the
+        // Monte-Carlo simulator (experiment E1 in miniature, at schedule level).
+        let inst = chain_instance(1.0 / 2_000.0);
+        let schedule = Schedule::new(
+            &inst,
+            ids(&[0, 1, 2]),
+            vec![false, true, true],
+        )
+        .unwrap();
+        let analytical = expected_makespan(&inst, &schedule).unwrap();
+        let segments = schedule.to_segments(&inst).unwrap();
+        let outcome = ckpt_simulator::SimulationScenario::exponential(inst.lambda())
+            .with_downtime(inst.downtime())
+            .with_trials(20_000)
+            .with_seed(17)
+            .run(&segments);
+        let rel = outcome.makespan.relative_error(analytical);
+        assert!(rel < 0.02, "relative error {rel}");
+    }
+}

@@ -1,0 +1,361 @@
+//! Checkpoint-placement heuristics and baselines (paper §7 related work,
+//! plus the independent-task heuristics motivated by Proposition 2).
+//!
+//! Since choosing an order and checkpoint positions for independent tasks is
+//! strongly NP-complete (Proposition 2), practical schedulers need heuristics.
+//! This module provides the baselines the experiments compare against:
+//!
+//! * fixed-order placements: checkpoint after every task, only at the end,
+//!   every `k` tasks, or whenever the accumulated work exceeds a *period*
+//!   (Young/Daly-style periodic checkpointing transplanted to task
+//!   boundaries);
+//! * order heuristics for independent tasks (LPT / SPT);
+//! * a local-search improver that perturbs checkpoint decisions and adjacent
+//!   task pairs.
+
+use ckpt_dag::{linearize, topo, LinearizationStrategy, TaskId};
+use ckpt_expectation::approximations::young_period;
+
+use crate::error::ScheduleError;
+use crate::evaluate::expected_makespan;
+use crate::instance::ProblemInstance;
+use crate::schedule::Schedule;
+
+/// Checkpoint after every `k`-th task of `order` (and after the last task).
+///
+/// # Errors
+///
+/// * [`ScheduleError::NonPositiveParameter`] if `k == 0`;
+/// * [`ScheduleError::InvalidOrder`] if `order` is not a topological order.
+pub fn checkpoint_every_k(
+    instance: &ProblemInstance,
+    order: Vec<TaskId>,
+    k: usize,
+) -> Result<Schedule, ScheduleError> {
+    if k == 0 {
+        return Err(ScheduleError::NonPositiveParameter { name: "k", value: 0.0 });
+    }
+    let n = order.len();
+    let mut checkpoints = vec![false; n];
+    for pos in 0..n {
+        if (pos + 1) % k == 0 {
+            checkpoints[pos] = true;
+        }
+    }
+    if let Some(last) = checkpoints.last_mut() {
+        *last = true;
+    }
+    Schedule::new(instance, order, checkpoints)
+}
+
+/// Periodic checkpointing at task granularity: walk `order` accumulating work
+/// and checkpoint after the first task that pushes the accumulated work to
+/// `period` or beyond.
+///
+/// # Errors
+///
+/// * [`ScheduleError::NonPositiveParameter`] if `period ≤ 0`;
+/// * [`ScheduleError::InvalidOrder`] if `order` is not a topological order.
+pub fn checkpoint_by_period(
+    instance: &ProblemInstance,
+    order: Vec<TaskId>,
+    period: f64,
+) -> Result<Schedule, ScheduleError> {
+    if !period.is_finite() || period <= 0.0 {
+        return Err(ScheduleError::NonPositiveParameter { name: "period", value: period });
+    }
+    let n = order.len();
+    let mut checkpoints = vec![false; n];
+    let mut accumulated = 0.0;
+    for (pos, &task) in order.iter().enumerate() {
+        accumulated += instance.weight(task);
+        if accumulated >= period {
+            checkpoints[pos] = true;
+            accumulated = 0.0;
+        }
+    }
+    if let Some(last) = checkpoints.last_mut() {
+        *last = true;
+    }
+    Schedule::new(instance, order, checkpoints)
+}
+
+/// Periodic checkpointing using Young's first-order period `√(2·C̄/λ)`, where
+/// `C̄` is the mean per-task checkpoint cost. This is the natural transplant of
+/// divisible-load periodic checkpointing (paper §7) to the task model.
+///
+/// # Errors
+///
+/// Propagates errors from [`checkpoint_by_period`] (e.g. all-zero checkpoint
+/// costs make the Young period undefined).
+pub fn young_periodic_schedule(
+    instance: &ProblemInstance,
+    order: Vec<TaskId>,
+) -> Result<Schedule, ScheduleError> {
+    let n = instance.task_count() as f64;
+    let mean_c = instance.checkpoint_costs().iter().sum::<f64>() / n;
+    let period = young_period(mean_c, instance.lambda())
+        .map_err(|_| ScheduleError::NonPositiveParameter { name: "mean checkpoint cost", value: mean_c })?;
+    checkpoint_by_period(instance, order, period)
+}
+
+/// Longest-Processing-Time-first order for independent tasks.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::NotIndependent`] if the instance has dependences.
+pub fn lpt_order(instance: &ProblemInstance) -> Result<Vec<TaskId>, ScheduleError> {
+    if instance.graph().edge_count() != 0 {
+        return Err(ScheduleError::NotIndependent);
+    }
+    Ok(linearize::linearize(instance.graph(), LinearizationStrategy::HeaviestFirst))
+}
+
+/// Shortest-Processing-Time-first order for independent tasks.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::NotIndependent`] if the instance has dependences.
+pub fn spt_order(instance: &ProblemInstance) -> Result<Vec<TaskId>, ScheduleError> {
+    if instance.graph().edge_count() != 0 {
+        return Err(ScheduleError::NotIndependent);
+    }
+    Ok(linearize::linearize(instance.graph(), LinearizationStrategy::LightestFirst))
+}
+
+/// Result of the local-search improver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalSearchResult {
+    /// The improved schedule.
+    pub schedule: Schedule,
+    /// Its expected makespan.
+    pub expected_makespan: f64,
+    /// Number of accepted improving moves.
+    pub improvements: u64,
+}
+
+/// First-improvement local search over a schedule.
+///
+/// Two move families are explored repeatedly until a full pass yields no
+/// improvement (or `max_passes` passes have been made):
+///
+/// 1. toggling the checkpoint decision at any non-final position;
+/// 2. swapping two adjacent tasks in the order, when the swap keeps the order
+///    topologically valid.
+///
+/// The search is deterministic; it never degrades the starting schedule.
+///
+/// # Errors
+///
+/// Propagates evaluation errors (cannot occur for valid instances).
+pub fn local_search(
+    instance: &ProblemInstance,
+    start: Schedule,
+    max_passes: usize,
+) -> Result<LocalSearchResult, ScheduleError> {
+    let mut order: Vec<TaskId> = start.order().to_vec();
+    let mut checkpoints: Vec<bool> = start.checkpoint_after().to_vec();
+    let mut best_value = expected_makespan(instance, &start)?;
+    let mut improvements = 0u64;
+    let n = order.len();
+
+    for _ in 0..max_passes {
+        let mut improved = false;
+
+        // Move family 1: toggle checkpoint decisions (the final one is fixed).
+        for pos in 0..n.saturating_sub(1) {
+            checkpoints[pos] = !checkpoints[pos];
+            let candidate = Schedule::new(instance, order.clone(), checkpoints.clone())?;
+            let value = expected_makespan(instance, &candidate)?;
+            if value + 1e-12 < best_value {
+                best_value = value;
+                improvements += 1;
+                improved = true;
+            } else {
+                checkpoints[pos] = !checkpoints[pos];
+            }
+        }
+
+        // Move family 2: adjacent swaps that preserve precedence.
+        for pos in 0..n.saturating_sub(1) {
+            order.swap(pos, pos + 1);
+            if topo::is_topological_order(instance.graph(), &order) {
+                let candidate = Schedule::new(instance, order.clone(), checkpoints.clone())?;
+                let value = expected_makespan(instance, &candidate)?;
+                if value + 1e-12 < best_value {
+                    best_value = value;
+                    improvements += 1;
+                    improved = true;
+                    continue;
+                }
+            }
+            order.swap(pos, pos + 1);
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    let schedule = Schedule::new(instance, order, checkpoints)?;
+    Ok(LocalSearchResult { schedule, expected_makespan: best_value, improvements })
+}
+
+/// End-to-end heuristic for independent tasks (the Proposition 2 setting):
+/// LPT order, Young-periodic checkpoint placement, then local search.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::NotIndependent`] if the instance has dependences.
+pub fn independent_tasks_heuristic(
+    instance: &ProblemInstance,
+    local_search_passes: usize,
+) -> Result<LocalSearchResult, ScheduleError> {
+    let order = lpt_order(instance)?;
+    let start = young_periodic_schedule(instance, order)
+        .or_else(|_| Schedule::checkpoint_everywhere(instance, lpt_order(instance)?))?;
+    local_search(instance, start, local_search_passes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use ckpt_dag::generators;
+
+    fn independent_instance(weights: &[f64], c: f64, lambda: f64) -> ProblemInstance {
+        let graph = generators::independent(weights).unwrap();
+        ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(c)
+            .uniform_recovery_cost(c)
+            .platform_lambda(lambda)
+            .build()
+            .unwrap()
+    }
+
+    fn id_order(n: usize) -> Vec<TaskId> {
+        (0..n).map(TaskId).collect()
+    }
+
+    #[test]
+    fn every_k_places_expected_checkpoints() {
+        let inst = independent_instance(&[10.0; 7], 1.0, 1e-3);
+        let s = checkpoint_every_k(&inst, id_order(7), 3).unwrap();
+        // Positions 2, 5 and the final 6.
+        assert_eq!(
+            s.checkpoint_after(),
+            &[false, false, true, false, false, true, true]
+        );
+        assert!(checkpoint_every_k(&inst, id_order(7), 0).is_err());
+    }
+
+    #[test]
+    fn every_one_is_checkpoint_everywhere() {
+        let inst = independent_instance(&[10.0; 4], 1.0, 1e-3);
+        let s = checkpoint_every_k(&inst, id_order(4), 1).unwrap();
+        assert_eq!(s.checkpoint_count(), 4);
+    }
+
+    #[test]
+    fn period_grouping_accumulates_work() {
+        let inst = independent_instance(&[100.0, 100.0, 100.0, 100.0, 100.0], 1.0, 1e-3);
+        // Period 250: checkpoint after the 3rd task (300 >= 250) and after the
+        // last one.
+        let s = checkpoint_by_period(&inst, id_order(5), 250.0).unwrap();
+        assert_eq!(s.checkpoint_after(), &[false, false, true, false, true]);
+        assert!(checkpoint_by_period(&inst, id_order(5), 0.0).is_err());
+    }
+
+    #[test]
+    fn tiny_period_checkpoints_everywhere() {
+        let inst = independent_instance(&[100.0; 3], 1.0, 1e-3);
+        let s = checkpoint_by_period(&inst, id_order(3), 1.0).unwrap();
+        assert_eq!(s.checkpoint_count(), 3);
+    }
+
+    #[test]
+    fn young_periodic_schedule_is_valid_and_reasonable() {
+        let inst = independent_instance(&[600.0; 20], 60.0, 1.0 / 10_000.0);
+        let s = young_periodic_schedule(&inst, id_order(20)).unwrap();
+        // Young period = sqrt(2*60*10000) ≈ 1095 s → groups of 2 tasks.
+        assert!(s.checkpoint_count() >= 9 && s.checkpoint_count() <= 11, "{}", s.checkpoint_count());
+    }
+
+    #[test]
+    fn lpt_and_spt_orders() {
+        let inst = independent_instance(&[5.0, 9.0, 1.0, 7.0], 1.0, 1e-3);
+        assert_eq!(lpt_order(&inst).unwrap(), vec![TaskId(1), TaskId(3), TaskId(0), TaskId(2)]);
+        assert_eq!(spt_order(&inst).unwrap(), vec![TaskId(2), TaskId(0), TaskId(3), TaskId(1)]);
+        let chain_graph = generators::chain(&[1.0, 2.0]).unwrap();
+        let chain_inst = ProblemInstance::builder(chain_graph)
+            .uniform_checkpoint_cost(1.0)
+            .platform_lambda(1e-3)
+            .build()
+            .unwrap();
+        assert!(matches!(lpt_order(&chain_inst), Err(ScheduleError::NotIndependent)));
+        assert!(matches!(spt_order(&chain_inst), Err(ScheduleError::NotIndependent)));
+    }
+
+    #[test]
+    fn local_search_never_degrades() {
+        let inst = independent_instance(&[300.0, 80.0, 550.0, 120.0, 410.0], 40.0, 1.0 / 2_000.0);
+        let start = Schedule::checkpoint_everywhere(&inst, id_order(5)).unwrap();
+        let start_value = expected_makespan(&inst, &start).unwrap();
+        let result = local_search(&inst, start, 50).unwrap();
+        assert!(result.expected_makespan <= start_value + 1e-9);
+        assert!(
+            (expected_makespan(&inst, &result.schedule).unwrap() - result.expected_makespan).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn local_search_with_zero_passes_returns_start() {
+        let inst = independent_instance(&[10.0, 20.0], 1.0, 1e-3);
+        let start = Schedule::checkpoint_everywhere(&inst, id_order(2)).unwrap();
+        let value = expected_makespan(&inst, &start).unwrap();
+        let result = local_search(&inst, start.clone(), 0).unwrap();
+        assert_eq!(result.schedule, start);
+        assert_eq!(result.improvements, 0);
+        assert!((result.expected_makespan - value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heuristic_is_close_to_brute_force_on_small_instances() {
+        let inst = independent_instance(&[320.0, 75.0, 410.0, 150.0, 260.0, 90.0], 30.0, 1.0 / 1_500.0);
+        let heuristic = independent_tasks_heuristic(&inst, 100).unwrap();
+        let brute = brute_force::optimal_schedule(&inst).unwrap();
+        let gap = heuristic.expected_makespan / brute.expected_makespan;
+        assert!(gap < 1.02, "optimality gap {gap}");
+        assert!(heuristic.expected_makespan >= brute.expected_makespan - 1e-9);
+    }
+
+    #[test]
+    fn heuristic_rejects_dependent_tasks() {
+        let chain_graph = generators::chain(&[1.0, 2.0, 3.0]).unwrap();
+        let inst = ProblemInstance::builder(chain_graph)
+            .uniform_checkpoint_cost(1.0)
+            .platform_lambda(1e-3)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            independent_tasks_heuristic(&inst, 10),
+            Err(ScheduleError::NotIndependent)
+        ));
+    }
+
+    #[test]
+    fn local_search_respects_dependences_when_swapping() {
+        // On a chain, adjacent swaps are never valid, so the order must be
+        // unchanged after local search.
+        let graph = generators::chain(&[100.0, 200.0, 300.0]).unwrap();
+        let inst = ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(10.0)
+            .platform_lambda(1e-3)
+            .build()
+            .unwrap();
+        let start = Schedule::checkpoint_everywhere(&inst, id_order(3)).unwrap();
+        let result = local_search(&inst, start, 20).unwrap();
+        assert_eq!(result.schedule.order(), &id_order(3)[..]);
+    }
+}

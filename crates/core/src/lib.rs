@@ -1,0 +1,72 @@
+//! Checkpoint scheduling for computational workflows — the reproduction of
+//! INRIA RR-7907 / DSN 2012, *"On the complexity of scheduling checkpoints for
+//! computational workflows"* (Robert, Vivien, Zaidouni).
+//!
+//! The problem: a DAG of tasks is executed sequentially on a failure-prone
+//! platform (full parallelism, Exponential failures of rate `λ`). After each
+//! task one may take a coordinated checkpoint; on a failure the platform pays
+//! a downtime `D`, a recovery `R` from the last checkpoint, and re-executes
+//! everything since that checkpoint. The goal is to pick (i) the execution
+//! order and (ii) the checkpoint positions minimising the **expected
+//! makespan**.
+//!
+//! What this crate provides, mapped to the paper:
+//!
+//! | Paper | Here |
+//! |-------|------|
+//! | §2 framework (tasks, costs, platform) | [`ProblemInstance`], [`instance`] |
+//! | §3 Proposition 1 (exact expectation) | re-exported from `ckpt-expectation`, used by [`evaluate`] |
+//! | §4 Proposition 2 (strong NP-completeness, 3-PARTITION reduction) | [`three_partition`] |
+//! | §5 Algorithm 1 (`O(n²)` chain DP) | [`chain_dp`] |
+//! | §6 extension 1 (general checkpoint costs over the live set) | [`cost_model`], [`dag_schedule`] |
+//! | §6 extension 2 (moldable tasks) | [`moldable`] |
+//! | §6 extension 3 (Weibull / log-normal failures) | [`general_failures`] |
+//! | §7 baselines (periodic, Young/Daly) | [`heuristics`] |
+//!
+//! Exhaustive-search optimality baselines for small instances live in
+//! [`brute_force`]; schedules are evaluated analytically ([`evaluate`]) or by
+//! Monte-Carlo simulation (via `ckpt-simulator`, see [`Schedule::to_segments`]).
+//!
+//! # Example: optimal checkpoints for a linear chain
+//!
+//! ```rust
+//! use ckpt_core::{ProblemInstance, chain_dp};
+//! use ckpt_dag::generators;
+//!
+//! // A 6-task chain with heterogeneous weights, uniform checkpoint costs.
+//! let graph = generators::chain(&[400.0, 100.0, 900.0, 250.0, 650.0, 300.0])?;
+//! let instance = ProblemInstance::builder(graph)
+//!     .uniform_checkpoint_cost(60.0)
+//!     .uniform_recovery_cost(60.0)
+//!     .downtime(30.0)
+//!     .platform_lambda(1.0 / 20_000.0)
+//!     .build()?;
+//!
+//! let solution = chain_dp::optimal_chain_schedule(&instance)?;
+//! // The DP value equals the analytical evaluation of the schedule it returns.
+//! let eval = ckpt_core::evaluate::expected_makespan(&instance, &solution.schedule)?;
+//! assert!((solution.expected_makespan - eval).abs() < 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod brute_force;
+pub mod chain_dp;
+pub mod cost_model;
+pub mod dag_schedule;
+pub mod error;
+pub mod evaluate;
+pub mod general_failures;
+pub mod heuristics;
+pub mod instance;
+pub mod moldable;
+pub mod schedule;
+pub mod three_partition;
+
+pub use error::ScheduleError;
+pub use instance::{ProblemInstance, ProblemInstanceBuilder};
+pub use schedule::Schedule;

@@ -1,0 +1,140 @@
+//! Graphviz DOT export and a simple text round-trip format.
+//!
+//! Workflow DAGs are easiest to debug visually; [`to_dot`] renders a
+//! [`TaskGraph`] in Graphviz syntax (with weights as labels), and the
+//! edge-list format of [`to_edge_list`] / [`from_edge_list`] gives a
+//! dependency-free way to persist graphs in tests and experiment configs.
+
+use crate::error::GraphError;
+use crate::graph::{TaskGraph, TaskId};
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Node labels show the task name and weight; edges are unlabelled.
+pub fn to_dot(graph: &TaskGraph) -> String {
+    let mut out = String::from("digraph workflow {\n  rankdir=LR;\n");
+    for (id, task) in graph.iter() {
+        out.push_str(&format!(
+            "  t{} [label=\"{} ({:.1})\"];\n",
+            id.index(),
+            task.name(),
+            task.weight()
+        ));
+    }
+    for (from, to) in graph.edges() {
+        out.push_str(&format!("  t{} -> t{};\n", from.index(), to.index()));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serialises the graph in a line-oriented edge-list format:
+///
+/// ```text
+/// task <name> <weight>
+/// edge <from-index> <to-index>
+/// ```
+///
+/// Tasks appear in id order, so indices are stable across a round-trip.
+pub fn to_edge_list(graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    for (_, task) in graph.iter() {
+        out.push_str(&format!("task {} {}\n", task.name(), task.weight()));
+    }
+    for (from, to) in graph.edges() {
+        out.push_str(&format!("edge {} {}\n", from.index(), to.index()));
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`GraphError`] variants for malformed lines, invalid weights,
+/// unknown task indices, duplicate edges or cycles.
+pub fn from_edge_list(text: &str) -> Result<TaskGraph, GraphError> {
+    let mut graph = TaskGraph::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("task") => {
+                let name = parts.next().unwrap_or("task");
+                let weight: f64 = parts
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or(GraphError::InvalidWeight { weight: f64::NAN })?;
+                graph.add_task(name, weight)?;
+            }
+            Some("edge") => {
+                let from: usize = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(GraphError::UnknownTask { task: TaskId(usize::MAX) })?;
+                let to: usize = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(GraphError::UnknownTask { task: TaskId(usize::MAX) })?;
+                graph.add_dependency(TaskId(from), TaskId(to))?;
+            }
+            _ => {
+                return Err(GraphError::UnknownTask { task: TaskId(usize::MAX) });
+            }
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_output_contains_every_task_and_edge() {
+        let g = generators::chain(&[1.0, 2.0, 3.0]).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("t0 [label=\"T1 (1.0)\"]"));
+        assert!(dot.contains("t0 -> t1;"));
+        assert!(dot.contains("t1 -> t2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn edge_list_round_trip_preserves_structure() {
+        let g = generators::fork_join(3, &[5.0, 6.0, 7.0], 1.0, 2.0).unwrap();
+        let text = to_edge_list(&g);
+        let parsed = from_edge_list(&text).unwrap();
+        assert_eq!(parsed.task_count(), g.task_count());
+        assert_eq!(parsed.edge_count(), g.edge_count());
+        assert_eq!(parsed.total_weight(), g.total_weight());
+        let mut a = g.edges();
+        let mut b = parsed.edges();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edge_list_parser_skips_comments_and_blank_lines() {
+        let text = "# a comment\n\ntask a 1.5\ntask b 2.5\nedge 0 1\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.task_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.task(TaskId(0)).name(), "a");
+    }
+
+    #[test]
+    fn edge_list_parser_rejects_malformed_input() {
+        assert!(from_edge_list("task a nope").is_err());
+        assert!(from_edge_list("task a 1.0\nedge 0 x").is_err());
+        assert!(from_edge_list("banana 1 2").is_err());
+        assert!(from_edge_list("task a 1.0\ntask b 1.0\nedge 0 1\nedge 1 0").is_err());
+        assert!(from_edge_list("task a 1.0\nedge 0 7").is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for task-graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::TaskId;
+
+/// Error returned by [`TaskGraph`](crate::TaskGraph) operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Adding the edge would create a cycle, violating the DAG invariant.
+    CycleDetected {
+        /// Source of the offending edge.
+        from: TaskId,
+        /// Destination of the offending edge.
+        to: TaskId,
+    },
+    /// A task id does not belong to this graph.
+    UnknownTask {
+        /// The offending id.
+        task: TaskId,
+    },
+    /// The edge already exists.
+    DuplicateEdge {
+        /// Source of the edge.
+        from: TaskId,
+        /// Destination of the edge.
+        to: TaskId,
+    },
+    /// An edge from a task to itself was requested.
+    SelfLoop {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A task weight must be strictly positive and finite.
+    InvalidWeight {
+        /// The weight that was supplied.
+        weight: f64,
+    },
+    /// The operation needs a non-empty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::CycleDetected { from, to } => {
+                write!(f, "adding edge {from} -> {to} would create a cycle")
+            }
+            GraphError::UnknownTask { task } => write!(f, "task {task} does not belong to this graph"),
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "edge {from} -> {to} already exists")
+            }
+            GraphError::SelfLoop { task } => write!(f, "self-loop on task {task} is not allowed"),
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "task weight must be strictly positive and finite, got {weight}")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_tasks() {
+        let err = GraphError::CycleDetected { from: TaskId(1), to: TaskId(2) };
+        assert!(err.to_string().contains("T1"));
+        assert!(err.to_string().contains("T2"));
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn invalid_weight_reports_value() {
+        let err = GraphError::InvalidWeight { weight: -2.5 };
+        assert!(err.to_string().contains("-2.5"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Task-graph (DAG) substrate for checkpoint scheduling of computational
+//! workflows.
+//!
+//! The paper's framework (§2) takes as input an application task graph
+//! `G = (V, E)` whose nodes are tasks weighted by their computational weight
+//! `w_i` and whose edges are dependence constraints. This crate provides that
+//! substrate, built from scratch:
+//!
+//! * [`TaskGraph`] — a growable DAG container with eager cycle detection,
+//!   task weights and names;
+//! * [`topo`] — topological orders (single, random, exhaustive enumeration for
+//!   small graphs), needed because the paper's "full parallelism" assumption
+//!   turns scheduling into the choice of a linearisation (§2);
+//! * [`traversal`] — ancestors/descendants/transitive closure and reduction,
+//!   used by the general checkpoint-cost extension of §6 (the "live" task
+//!   set);
+//! * [`properties`] — chain/independence detection, critical path, depth,
+//!   width: the structural special cases the paper's results attach to;
+//! * [`generators`] — workload generators (linear chains, independent sets,
+//!   fork-join, layered random DAGs, trees, diamonds) used by the test suite
+//!   and the experiment harness;
+//! * [`linearize`] — linearisation strategies that turn an arbitrary DAG into
+//!   an execution order compatible with its dependences.
+//!
+//! # Example
+//!
+//! ```rust
+//! use ckpt_dag::{TaskGraph, generators, properties};
+//!
+//! // A 4-task linear chain T1 -> T2 -> T3 -> T4 with unit weights.
+//! let chain = generators::chain(&[1.0, 1.0, 1.0, 1.0])?;
+//! assert_eq!(chain.task_count(), 4);
+//! assert!(properties::as_chain(&chain).is_some());
+//!
+//! // A custom graph.
+//! let mut g = TaskGraph::new();
+//! let a = g.add_task("prepare", 10.0)?;
+//! let b = g.add_task("solve", 100.0)?;
+//! g.add_dependency(a, b)?;
+//! assert_eq!(g.total_weight(), 110.0);
+//! # Ok::<(), ckpt_dag::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dot;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod linearize;
+pub mod properties;
+pub mod topo;
+pub mod traversal;
+
+pub use error::GraphError;
+pub use graph::{Task, TaskGraph, TaskId};
+pub use linearize::LinearizationStrategy;

@@ -1,0 +1,244 @@
+//! Reachability-based queries: ancestors, descendants, transitive closure and
+//! transitive reduction.
+//!
+//! The general checkpoint-cost extension of §6 needs, for any prefix of an
+//! execution, the set of completed tasks that still have an unexecuted
+//! successor (the "live" set whose data a checkpoint must save). The queries
+//! here are the building blocks of that computation.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// The set of proper ancestors of `task` (tasks from which `task` is
+/// reachable, excluding `task` itself), in increasing id order.
+///
+/// # Panics
+///
+/// Panics if `task` does not belong to `graph`.
+pub fn ancestors(graph: &TaskGraph, task: TaskId) -> Vec<TaskId> {
+    assert!(task.0 < graph.task_count(), "unknown task {task}");
+    let mut seen = vec![false; graph.task_count()];
+    let mut stack = vec![task];
+    while let Some(node) = stack.pop() {
+        for &pred in graph.predecessors(node) {
+            if !seen[pred.0] {
+                seen[pred.0] = true;
+                stack.push(pred);
+            }
+        }
+    }
+    seen.iter()
+        .enumerate()
+        .filter_map(|(i, &s)| if s { Some(TaskId(i)) } else { None })
+        .collect()
+}
+
+/// The set of proper descendants of `task` (tasks reachable from `task`,
+/// excluding `task` itself), in increasing id order.
+///
+/// # Panics
+///
+/// Panics if `task` does not belong to `graph`.
+pub fn descendants(graph: &TaskGraph, task: TaskId) -> Vec<TaskId> {
+    assert!(task.0 < graph.task_count(), "unknown task {task}");
+    let mut seen = vec![false; graph.task_count()];
+    let mut stack = vec![task];
+    while let Some(node) = stack.pop() {
+        for &succ in graph.successors(node) {
+            if !seen[succ.0] {
+                seen[succ.0] = true;
+                stack.push(succ);
+            }
+        }
+    }
+    seen.iter()
+        .enumerate()
+        .filter_map(|(i, &s)| if s { Some(TaskId(i)) } else { None })
+        .collect()
+}
+
+/// The full transitive closure as a boolean reachability matrix:
+/// `closure[i][j]` is true iff `TaskId(j)` is reachable from `TaskId(i)`
+/// (with `closure[i][i] == true`).
+pub fn transitive_closure(graph: &TaskGraph) -> Vec<Vec<bool>> {
+    let n = graph.task_count();
+    let mut closure = vec![vec![false; n]; n];
+    // Process in reverse topological order so each node can reuse the closure
+    // of its successors.
+    let order = crate::topo::topological_sort(graph);
+    for &node in order.iter().rev() {
+        closure[node.0][node.0] = true;
+        let succ: Vec<TaskId> = graph.successors(node).to_vec();
+        for s in succ {
+            // closure[node] |= closure[s]
+            let (head, tail) = if node.0 < s.0 {
+                let (a, b) = closure.split_at_mut(s.0);
+                (&mut a[node.0], &b[0])
+            } else {
+                let (a, b) = closure.split_at_mut(node.0);
+                (&mut b[0], &a[s.0])
+            };
+            for j in 0..n {
+                head[j] = head[j] || tail[j];
+            }
+        }
+    }
+    closure
+}
+
+/// The transitive reduction of the graph: the minimal set of edges with the
+/// same reachability relation.
+///
+/// Returns the reduced edge list; the input graph is not modified.
+pub fn transitive_reduction(graph: &TaskGraph) -> Vec<(TaskId, TaskId)> {
+    let closure = transitive_closure(graph);
+    let mut reduced = Vec::new();
+    for (from, to) in graph.edges() {
+        // The edge from->to is redundant if some other successor s of `from`
+        // reaches `to`.
+        let redundant = graph
+            .successors(from)
+            .iter()
+            .any(|&s| s != to && closure[s.0][to.0]);
+        if !redundant {
+            reduced.push((from, to));
+        }
+    }
+    reduced
+}
+
+/// Given the set of `completed` tasks (which must be closed under
+/// predecessors), returns the subset whose output is still **live**: tasks
+/// with at least one successor that has not completed yet.
+///
+/// This is exactly the set of tasks a general checkpoint after that prefix
+/// must save (paper §6, first extension). For a linear chain the result is
+/// always the single most recently completed task, which is why the paper's
+/// per-task cost model is fully general for chains.
+pub fn live_tasks(graph: &TaskGraph, completed: &BTreeSet<TaskId>) -> Vec<TaskId> {
+    completed
+        .iter()
+        .copied()
+        .filter(|&t| {
+            graph
+                .successors(t)
+                .iter()
+                .any(|succ| !completed.contains(succ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0).unwrap();
+        let b = g.add_task("b", 1.0).unwrap();
+        let c = g.add_task("c", 1.0).unwrap();
+        let d = g.add_task("d", 1.0).unwrap();
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(a, c).unwrap();
+        g.add_dependency(b, d).unwrap();
+        g.add_dependency(c, d).unwrap();
+        g
+    }
+
+    #[test]
+    fn ancestors_and_descendants_on_diamond() {
+        let g = diamond();
+        assert_eq!(ancestors(&g, TaskId(0)), vec![]);
+        assert_eq!(ancestors(&g, TaskId(3)), vec![TaskId(0), TaskId(1), TaskId(2)]);
+        assert_eq!(descendants(&g, TaskId(0)), vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(descendants(&g, TaskId(3)), vec![]);
+        assert_eq!(ancestors(&g, TaskId(1)), vec![TaskId(0)]);
+        assert_eq!(descendants(&g, TaskId(1)), vec![TaskId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task")]
+    fn ancestors_rejects_unknown_task() {
+        let g = diamond();
+        let _ = ancestors(&g, TaskId(17));
+    }
+
+    #[test]
+    fn closure_matches_reachability() {
+        let g = diamond();
+        let closure = transitive_closure(&g);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    closure[i][j],
+                    g.is_reachable(TaskId(i), TaskId(j)),
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_of_chain_is_upper_triangular() {
+        let g = generators::chain(&[1.0; 5]).unwrap();
+        let closure = transitive_closure(&g);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(closure[i][j], j >= i);
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_removes_shortcut_edges() {
+        // a -> b -> c plus a redundant a -> c shortcut.
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0).unwrap();
+        let b = g.add_task("b", 1.0).unwrap();
+        let c = g.add_task("c", 1.0).unwrap();
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        g.add_dependency(a, c).unwrap();
+        let reduced = transitive_reduction(&g);
+        assert_eq!(reduced.len(), 2);
+        assert!(reduced.contains(&(a, b)));
+        assert!(reduced.contains(&(b, c)));
+        assert!(!reduced.contains(&(a, c)));
+    }
+
+    #[test]
+    fn reduction_of_diamond_keeps_all_edges() {
+        let g = diamond();
+        let reduced = transitive_reduction(&g);
+        assert_eq!(reduced.len(), 4);
+    }
+
+    #[test]
+    fn live_tasks_on_chain_is_last_completed() {
+        let g = generators::chain(&[1.0; 4]).unwrap();
+        let completed: BTreeSet<TaskId> = [TaskId(0), TaskId(1)].into_iter().collect();
+        assert_eq!(live_tasks(&g, &completed), vec![TaskId(1)]);
+        let all: BTreeSet<TaskId> = g.task_ids().collect();
+        assert_eq!(live_tasks(&g, &all), vec![]);
+    }
+
+    #[test]
+    fn live_tasks_on_diamond_prefix() {
+        let g = diamond();
+        // After completing a and b, both a (needed by c) and b (needed by d) are live.
+        let completed: BTreeSet<TaskId> = [TaskId(0), TaskId(1)].into_iter().collect();
+        assert_eq!(live_tasks(&g, &completed), vec![TaskId(0), TaskId(1)]);
+        // After completing a, b, c, only b and c are live (a's successors done).
+        let completed: BTreeSet<TaskId> = [TaskId(0), TaskId(1), TaskId(2)].into_iter().collect();
+        assert_eq!(live_tasks(&g, &completed), vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn live_tasks_of_independent_set_is_empty() {
+        let g = generators::independent(&[1.0, 1.0, 1.0]).unwrap();
+        let completed: BTreeSet<TaskId> = [TaskId(0)].into_iter().collect();
+        assert!(live_tasks(&g, &completed).is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Composition helpers: shifted distributions and finite mixtures.
+//!
+//! Real failure logs are rarely well described by a single textbook law;
+//! Heien et al. (cited in §6 of the paper) model heterogeneous failure causes
+//! as mixtures. [`Mixture`] lets the trace generator produce such synthetic
+//! logs, and [`Shifted`] models a minimum inter-failure separation (e.g. the
+//! time to detect the previous failure).
+
+use crate::distribution::{DistributionKind, FailureDistribution};
+use crate::error::{ensure_non_negative, FailureModelError};
+use crate::rng::RandomSource;
+
+/// A distribution shifted right by a constant offset: `X' = X + shift`.
+#[derive(Debug)]
+pub struct Shifted<D> {
+    inner: D,
+    shift: f64,
+}
+
+impl<D: FailureDistribution> Shifted<D> {
+    /// Wraps `inner`, adding `shift ≥ 0` to every sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `shift` is negative or not finite.
+    pub fn new(inner: D, shift: f64) -> Result<Self, FailureModelError> {
+        Ok(Shifted { inner, shift: ensure_non_negative("shift", shift)? })
+    }
+
+    /// The underlying distribution.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The shift added to every sample.
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+}
+
+impl<D: FailureDistribution> FailureDistribution for Shifted<D> {
+    fn kind(&self) -> DistributionKind {
+        DistributionKind::Other
+    }
+
+    fn sample(&self, rng: &mut dyn RandomSource) -> f64 {
+        self.inner.sample(rng) + self.shift
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.shift {
+            0.0
+        } else {
+            self.inner.pdf(x - self.shift)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.shift {
+            0.0
+        } else {
+            self.inner.cdf(x - self.shift)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.inner.mean() + self.shift
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.inner.quantile(p) + self.shift
+    }
+}
+
+/// A finite mixture of failure distributions with normalised weights.
+#[derive(Debug)]
+pub struct Mixture {
+    components: Vec<(f64, Box<dyn FailureDistribution>)>,
+}
+
+impl Mixture {
+    /// Builds a mixture from `(weight, distribution)` pairs.
+    ///
+    /// Weights are normalised to sum to one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FailureModelError::EmptyMixture`] if no components are given,
+    /// and [`FailureModelError::InvalidMixtureWeights`] if any weight is
+    /// negative, non-finite, or all weights are zero.
+    pub fn new(components: Vec<(f64, Box<dyn FailureDistribution>)>) -> Result<Self, FailureModelError> {
+        if components.is_empty() {
+            return Err(FailureModelError::EmptyMixture);
+        }
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        if !total.is_finite() || total <= 0.0 || components.iter().any(|(w, _)| *w < 0.0 || !w.is_finite()) {
+            return Err(FailureModelError::InvalidMixtureWeights);
+        }
+        let normalised = components
+            .into_iter()
+            .map(|(w, d)| (w / total, d))
+            .collect();
+        Ok(Mixture { components: normalised })
+    }
+
+    /// The number of mixture components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if the mixture has no components (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The normalised weights of the components.
+    pub fn weights(&self) -> Vec<f64> {
+        self.components.iter().map(|(w, _)| *w).collect()
+    }
+}
+
+impl FailureDistribution for Mixture {
+    fn kind(&self) -> DistributionKind {
+        DistributionKind::Other
+    }
+
+    fn sample(&self, rng: &mut dyn RandomSource) -> f64 {
+        let u = rng.next_f64();
+        let mut acc = 0.0;
+        for (w, d) in &self.components {
+            acc += w;
+            if u < acc {
+                return d.sample(rng);
+            }
+        }
+        // Floating-point slack: fall through to the last component.
+        self.components
+            .last()
+            .expect("mixture is never empty")
+            .1
+            .sample(rng)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.pdf(x)).sum()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.cdf(x)).sum()
+    }
+
+    fn mean(&self) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.mean()).sum()
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
+        // Bisection on the mixture CDF (monotone).
+        let mut lo = 0.0;
+        let mut hi = self
+            .components
+            .iter()
+            .map(|(_, d)| d.quantile(p.max(0.5)))
+            .fold(1.0, f64::max)
+            * 4.0
+            + 1.0;
+        // Grow `hi` until it brackets the quantile.
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if hi > 1e300 {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exponential::Exponential;
+    use crate::rng::Pcg64;
+    use crate::weibull::Weibull;
+
+    #[test]
+    fn shifted_moves_support() {
+        let exp = Exponential::new(0.01).unwrap();
+        let sh = Shifted::new(exp, 50.0).unwrap();
+        assert_eq!(sh.cdf(25.0), 0.0);
+        assert_eq!(sh.pdf(25.0), 0.0);
+        assert!((sh.mean() - 150.0).abs() < 1e-9);
+        assert!(sh.quantile(0.5) >= 50.0);
+    }
+
+    #[test]
+    fn shifted_samples_respect_minimum() {
+        let exp = Exponential::new(0.1).unwrap();
+        let sh = Shifted::new(exp, 10.0).unwrap();
+        let mut rng = Pcg64::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(sh.sample(&mut rng) >= 10.0);
+        }
+    }
+
+    #[test]
+    fn shifted_rejects_negative_shift() {
+        let exp = Exponential::new(0.1).unwrap();
+        assert!(Shifted::new(exp, -1.0).is_err());
+    }
+
+    #[test]
+    fn mixture_requires_components_and_valid_weights() {
+        assert!(matches!(Mixture::new(vec![]), Err(FailureModelError::EmptyMixture)));
+        let bad: Vec<(f64, Box<dyn FailureDistribution>)> =
+            vec![(-1.0, Box::new(Exponential::new(1.0).unwrap()))];
+        assert!(matches!(Mixture::new(bad), Err(FailureModelError::InvalidMixtureWeights)));
+        let zero: Vec<(f64, Box<dyn FailureDistribution>)> =
+            vec![(0.0, Box::new(Exponential::new(1.0).unwrap()))];
+        assert!(Mixture::new(zero).is_err());
+    }
+
+    #[test]
+    fn mixture_normalises_weights() {
+        let mix = Mixture::new(vec![
+            (2.0, Box::new(Exponential::new(1.0).unwrap()) as Box<dyn FailureDistribution>),
+            (6.0, Box::new(Exponential::new(2.0).unwrap())),
+        ])
+        .unwrap();
+        let w = mix.weights();
+        assert!((w[0] - 0.25).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+        assert_eq!(mix.len(), 2);
+        assert!(!mix.is_empty());
+    }
+
+    #[test]
+    fn mixture_mean_is_weighted_average() {
+        let mix = Mixture::new(vec![
+            (1.0, Box::new(Exponential::from_mtbf(100.0).unwrap()) as Box<dyn FailureDistribution>),
+            (1.0, Box::new(Exponential::from_mtbf(300.0).unwrap())),
+        ])
+        .unwrap();
+        assert!((mix.mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_cdf_is_weighted_average() {
+        let e1 = Exponential::new(0.01).unwrap();
+        let e2 = Exponential::new(0.05).unwrap();
+        let mix = Mixture::new(vec![
+            (0.3, Box::new(e1) as Box<dyn FailureDistribution>),
+            (0.7, Box::new(e2)),
+        ])
+        .unwrap();
+        for &x in &[0.0, 10.0, 100.0] {
+            let expected = 0.3 * e1.cdf(x) + 0.7 * e2.cdf(x);
+            assert!((mix.cdf(x) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixture_quantile_inverts_cdf() {
+        let mix = Mixture::new(vec![
+            (0.5, Box::new(Exponential::from_mtbf(100.0).unwrap()) as Box<dyn FailureDistribution>),
+            (0.5, Box::new(Weibull::with_mean(0.7, 1000.0).unwrap())),
+        ])
+        .unwrap();
+        for &p in &[0.1, 0.5, 0.9] {
+            let x = mix.quantile(p);
+            assert!((mix.cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn mixture_sample_mean_converges() {
+        let mix = Mixture::new(vec![
+            (0.5, Box::new(Exponential::from_mtbf(100.0).unwrap()) as Box<dyn FailureDistribution>),
+            (0.5, Box::new(Exponential::from_mtbf(500.0).unwrap())),
+        ])
+        .unwrap();
+        let mut rng = Pcg64::seed_from_u64(77);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| mix.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 300.0).abs() < 5.0, "sample mean = {mean}");
+    }
+}

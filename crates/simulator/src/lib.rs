@@ -1,0 +1,60 @@
+//! Discrete-event Monte-Carlo simulator for checkpointed workflow execution
+//! under stochastic failures.
+//!
+//! The simulator realises the execution model of the paper's §2 exactly:
+//!
+//! * the workflow is executed as a sequence of **segments**, each consisting of
+//!   some work followed by an (optional) checkpoint;
+//! * when a failure strikes during work, checkpointing or recovery, the
+//!   platform first incurs a **downtime** `D` (during which failures cannot
+//!   strike), then a **recovery** of the last checkpointed state (during which
+//!   failures *can* strike), and then re-executes the interrupted segment from
+//!   its beginning;
+//! * the first segment recovers to the initial state with its own recovery
+//!   cost `R₀` (re-reading inputs).
+//!
+//! Failures are supplied by a [`FailureStream`]: a platform-level Exponential
+//! stream (the paper's model), the superposition of per-processor streams of
+//! any law from `ckpt-failure`, or a recorded synthetic trace.
+//!
+//! The headline use is experiment E1: simulating a single segment and checking
+//! the sample mean against the closed form of Proposition 1.
+//!
+//! # Example
+//!
+//! ```rust
+//! use ckpt_simulator::{Segment, SimulationScenario};
+//! use ckpt_expectation::exact::{expected_time, ExecutionParams};
+//!
+//! let lambda = 1.0 / 10_000.0;
+//! let segment = Segment::new(3_600.0, 120.0, 60.0)?;
+//! let scenario = SimulationScenario::exponential(lambda)
+//!     .with_downtime(30.0)
+//!     .with_trials(2_000)
+//!     .with_seed(7);
+//! let outcome = scenario.run(&[segment]);
+//!
+//! let params = ExecutionParams::new(3_600.0, 120.0, 30.0, 60.0, lambda)?;
+//! let exact = expected_time(&params);
+//! // The Monte-Carlo mean is within a few percent of Proposition 1.
+//! assert!((outcome.makespan.mean - exact).abs() / exact < 0.05);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod error;
+pub mod event_log;
+pub mod montecarlo;
+pub mod segment;
+pub mod stream;
+
+pub use engine::{simulate, ExecutionRecord, TimeBreakdown};
+pub use error::SimulationError;
+pub use event_log::{simulate_with_log, ExecutionEvent, LoggedExecution};
+pub use montecarlo::{MonteCarloOutcome, SimulationScenario};
+pub use segment::Segment;
+pub use stream::{ExponentialStream, FailureStream, PlatformStream, TraceStream};

@@ -1,0 +1,437 @@
+//! Monte-Carlo driver: repeat an execution many times and summarise.
+
+use ckpt_expectation::numeric::SampleStats;
+use ckpt_failure::{FailureDistribution, Pcg64, PlatformFailureProcess, RandomSource};
+
+use crate::engine::{simulate, TimeBreakdown};
+use crate::error::SimulationError;
+use crate::segment::Segment;
+use crate::stream::{ExponentialStream, FailureStream, PlatformStream};
+
+/// How failures are generated across Monte-Carlo trials.
+#[derive(Debug, Clone)]
+enum FailureModel {
+    /// Platform-level Exponential process with the given rate.
+    Exponential { lambda: f64 },
+    /// Superposition of `p` per-processor processes drawn from a prototype law.
+    Platform {
+        processors: usize,
+        law: std::sync::Arc<dyn FailureDistribution>,
+    },
+}
+
+/// A reusable Monte-Carlo simulation configuration.
+///
+/// Build one with [`SimulationScenario::exponential`] or
+/// [`SimulationScenario::platform`], adjust it with the `with_*` methods and
+/// run it against any segment sequence with [`SimulationScenario::run`].
+#[derive(Debug, Clone)]
+pub struct SimulationScenario {
+    model: FailureModel,
+    downtime: f64,
+    trials: usize,
+    seed: u64,
+}
+
+/// Aggregated outcome of a Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloOutcome {
+    /// Statistics of the makespan across trials.
+    pub makespan: SampleStats,
+    /// Statistics of the failure count across trials.
+    pub failures: SampleStats,
+    /// Mean time breakdown across trials.
+    pub mean_breakdown: TimeBreakdown,
+    /// The raw makespan observations (one per trial), in trial order.
+    pub samples: Vec<f64>,
+}
+
+impl MonteCarloOutcome {
+    /// The empirical probability that the makespan exceeds `threshold`.
+    pub fn exceedance_probability(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&m| m > threshold).count() as f64 / self.samples.len() as f64
+    }
+
+    /// The empirical `q`-quantile of the makespan (`0 < q < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1)` or no samples were collected.
+    pub fn makespan_quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q < 1.0, "quantile requires q in (0, 1)");
+        assert!(!self.samples.is_empty(), "no samples collected");
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("makespans are finite"));
+        let idx = ((sorted.len() as f64) * q).floor() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+}
+
+impl SimulationScenario {
+    /// Scenario with a platform-level Exponential failure process of rate
+    /// `lambda` (the paper's model).
+    pub fn exponential(lambda: f64) -> Self {
+        SimulationScenario {
+            model: FailureModel::Exponential { lambda },
+            downtime: 0.0,
+            trials: 1000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Scenario with `processors` processors each following `law`
+    /// (the §6 general-distribution extension).
+    pub fn platform<D>(processors: usize, law: D) -> Self
+    where
+        D: FailureDistribution + 'static,
+    {
+        SimulationScenario {
+            model: FailureModel::Platform { processors, law: std::sync::Arc::new(law) },
+            downtime: 0.0,
+            trials: 1000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Sets the downtime `D` (builder style).
+    pub fn with_downtime(mut self, downtime: f64) -> Self {
+        self.downtime = downtime;
+        self
+    }
+
+    /// Sets the number of Monte-Carlo trials (builder style).
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the master seed (builder style). Each trial derives its own
+    /// sub-stream, so two scenarios with equal seeds produce identical
+    /// results.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured number of trials.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Runs the scenario on the given segment sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, the scenario has zero trials, or the
+    /// failure-model parameters are invalid; use [`SimulationScenario::try_run`]
+    /// for a recoverable error.
+    pub fn run(&self, segments: &[Segment]) -> MonteCarloOutcome {
+        self.try_run(segments).expect("invalid simulation scenario")
+    }
+
+    /// Runs the scenario, returning configuration errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::EmptySchedule`] if `segments` is empty;
+    /// * [`SimulationError::ZeroTrials`] if the scenario has zero trials;
+    /// * [`SimulationError::NonPositiveParameter`] for an invalid failure rate.
+    pub fn try_run(&self, segments: &[Segment]) -> Result<MonteCarloOutcome, SimulationError> {
+        if segments.is_empty() {
+            return Err(SimulationError::EmptySchedule);
+        }
+        if self.trials == 0 {
+            return Err(SimulationError::ZeroTrials);
+        }
+        if let FailureModel::Exponential { lambda } = self.model {
+            if !lambda.is_finite() || lambda <= 0.0 {
+                return Err(SimulationError::NonPositiveParameter { name: "lambda", value: lambda });
+            }
+        }
+
+        let root = Pcg64::seed_from_u64(self.seed);
+        let mut makespans = Vec::with_capacity(self.trials);
+        let mut failures = Vec::with_capacity(self.trials);
+        let mut breakdown_sum = TimeBreakdown::default();
+
+        for trial in 0..self.trials {
+            let mut trial_rng = root.derive(trial as u64);
+            let trial_seed = trial_rng.next_u64();
+            let record = match &self.model {
+                FailureModel::Exponential { lambda } => {
+                    let mut stream = ExponentialStream::new(*lambda, trial_seed);
+                    simulate(segments, self.downtime, &mut stream)?
+                }
+                FailureModel::Platform { processors, law } => {
+                    let proto = SharedLaw(std::sync::Arc::clone(law));
+                    let process = PlatformFailureProcess::homogeneous(*processors, proto, trial_seed)
+                        .expect("scenario constructors require at least one processor");
+                    let mut stream = PlatformStream::new(process);
+                    simulate(segments, self.downtime, &mut stream)?
+                }
+            };
+            makespans.push(record.makespan);
+            failures.push(record.failures as f64);
+            breakdown_sum.useful += record.breakdown.useful;
+            breakdown_sum.lost += record.breakdown.lost;
+            breakdown_sum.downtime += record.breakdown.downtime;
+            breakdown_sum.recovery += record.breakdown.recovery;
+        }
+
+        let n = self.trials as f64;
+        Ok(MonteCarloOutcome {
+            makespan: SampleStats::from_values(&makespans),
+            failures: SampleStats::from_values(&failures),
+            mean_breakdown: TimeBreakdown {
+                useful: breakdown_sum.useful / n,
+                lost: breakdown_sum.lost / n,
+                downtime: breakdown_sum.downtime / n,
+                recovery: breakdown_sum.recovery / n,
+            },
+            samples: makespans,
+        })
+    }
+
+    /// Runs the scenario with a caller-supplied stream factory — used to
+    /// replay recorded traces or scripted failures across trials.
+    ///
+    /// The factory receives the trial index and must return a fresh stream.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimulationScenario::try_run`].
+    pub fn run_with_streams<F, S>(
+        &self,
+        segments: &[Segment],
+        mut factory: F,
+    ) -> Result<MonteCarloOutcome, SimulationError>
+    where
+        F: FnMut(usize) -> S,
+        S: FailureStream,
+    {
+        if segments.is_empty() {
+            return Err(SimulationError::EmptySchedule);
+        }
+        if self.trials == 0 {
+            return Err(SimulationError::ZeroTrials);
+        }
+        let mut makespans = Vec::with_capacity(self.trials);
+        let mut failures = Vec::with_capacity(self.trials);
+        let mut breakdown_sum = TimeBreakdown::default();
+        for trial in 0..self.trials {
+            let mut stream = factory(trial);
+            let record = simulate(segments, self.downtime, &mut stream)?;
+            makespans.push(record.makespan);
+            failures.push(record.failures as f64);
+            breakdown_sum.useful += record.breakdown.useful;
+            breakdown_sum.lost += record.breakdown.lost;
+            breakdown_sum.downtime += record.breakdown.downtime;
+            breakdown_sum.recovery += record.breakdown.recovery;
+        }
+        let n = self.trials as f64;
+        Ok(MonteCarloOutcome {
+            makespan: SampleStats::from_values(&makespans),
+            failures: SampleStats::from_values(&failures),
+            mean_breakdown: TimeBreakdown {
+                useful: breakdown_sum.useful / n,
+                lost: breakdown_sum.lost / n,
+                downtime: breakdown_sum.downtime / n,
+                recovery: breakdown_sum.recovery / n,
+            },
+            samples: makespans,
+        })
+    }
+}
+
+/// A cloneable, shareable view over a prototype failure law.
+///
+/// [`PlatformFailureProcess::homogeneous`] needs an owned, cloneable law to
+/// hand one copy to every processor; scenarios store the prototype behind an
+/// `Arc`, and this adaptor forwards every trait method to it.
+#[derive(Debug, Clone)]
+struct SharedLaw(std::sync::Arc<dyn FailureDistribution>);
+
+impl FailureDistribution for SharedLaw {
+    fn kind(&self) -> ckpt_failure::DistributionKind {
+        self.0.kind()
+    }
+    fn sample(&self, rng: &mut dyn RandomSource) -> f64 {
+        self.0.sample(rng)
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        self.0.pdf(x)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.0.cdf(x)
+    }
+    fn survival(&self, x: f64) -> f64 {
+        self.0.survival(x)
+    }
+    fn hazard(&self, x: f64) -> f64 {
+        self.0.hazard(x)
+    }
+    fn mean(&self) -> f64 {
+        self.0.mean()
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        self.0.quantile(p)
+    }
+    fn conditional_survival(&self, elapsed: f64, x: f64) -> f64 {
+        self.0.conditional_survival(elapsed, x)
+    }
+    fn sample_remaining(&self, elapsed: f64, rng: &mut dyn RandomSource) -> f64 {
+        self.0.sample_remaining(elapsed, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::ScriptedStream;
+    use ckpt_expectation::exact::{expected_time, ExecutionParams};
+    use ckpt_failure::{Exponential, Weibull};
+
+    fn seg(work: f64, ckpt: f64, rec: f64) -> Segment {
+        Segment::new(work, ckpt, rec).unwrap()
+    }
+
+    #[test]
+    fn scenario_validation() {
+        let scenario = SimulationScenario::exponential(0.001);
+        assert!(matches!(scenario.try_run(&[]), Err(SimulationError::EmptySchedule)));
+        let zero = SimulationScenario::exponential(0.001).with_trials(0);
+        assert!(matches!(
+            zero.try_run(&[seg(1.0, 0.0, 0.0)]),
+            Err(SimulationError::ZeroTrials)
+        ));
+        let bad = SimulationScenario::exponential(0.0);
+        assert!(bad.try_run(&[seg(1.0, 0.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let segments = vec![seg(1000.0, 50.0, 30.0)];
+        let a = SimulationScenario::exponential(1e-3).with_seed(5).with_trials(200).run(&segments);
+        let b = SimulationScenario::exponential(1e-3).with_seed(5).with_trials(200).run(&segments);
+        let c = SimulationScenario::exponential(1e-3).with_seed(6).with_trials(200).run(&segments);
+        assert_eq!(a.samples, b.samples);
+        assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn monte_carlo_mean_matches_proposition_1() {
+        // The headline validation (experiment E1 in miniature): the sample
+        // mean of the simulated makespan of a single segment must match the
+        // closed form of Proposition 1.
+        let lambda = 1.0 / 5_000.0;
+        let (w, c, d, r) = (3_600.0, 120.0, 60.0, 90.0);
+        let scenario = SimulationScenario::exponential(lambda)
+            .with_downtime(d)
+            .with_trials(20_000)
+            .with_seed(2024);
+        let outcome = scenario.run(&[seg(w, c, r)]);
+        let exact = expected_time(&ExecutionParams::new(w, c, d, r, lambda).unwrap());
+        let rel = outcome.makespan.relative_error(exact);
+        assert!(rel < 0.02, "relative error {rel}, mean {}, exact {exact}", outcome.makespan.mean);
+    }
+
+    #[test]
+    fn multi_segment_expectation_is_sum_of_segment_expectations() {
+        let lambda = 1.0 / 2_000.0;
+        let d = 30.0;
+        let segments = vec![seg(500.0, 60.0, 0.0), seg(800.0, 60.0, 45.0), seg(300.0, 30.0, 45.0)];
+        let scenario = SimulationScenario::exponential(lambda)
+            .with_downtime(d)
+            .with_trials(20_000)
+            .with_seed(99);
+        let outcome = scenario.run(&segments);
+        let exact: f64 = segments
+            .iter()
+            .map(|s| {
+                expected_time(
+                    &ExecutionParams::new(s.work(), s.checkpoint(), d, s.recovery(), lambda).unwrap(),
+                )
+            })
+            .sum();
+        let rel = outcome.makespan.relative_error(exact);
+        assert!(rel < 0.02, "relative error {rel}");
+    }
+
+    #[test]
+    fn breakdown_mean_partitions_mean_makespan() {
+        let scenario = SimulationScenario::exponential(1e-3)
+            .with_downtime(20.0)
+            .with_trials(500)
+            .with_seed(3);
+        let outcome = scenario.run(&[seg(1000.0, 100.0, 50.0)]);
+        assert!((outcome.mean_breakdown.total() - outcome.makespan.mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exceedance_and_quantiles() {
+        let scenario = SimulationScenario::exponential(1e-4).with_trials(1000).with_seed(1);
+        let outcome = scenario.run(&[seg(100.0, 10.0, 5.0)]);
+        assert_eq!(outcome.exceedance_probability(0.0), 1.0);
+        assert_eq!(outcome.exceedance_probability(f64::INFINITY), 0.0);
+        let q50 = outcome.makespan_quantile(0.5);
+        let q95 = outcome.makespan_quantile(0.95);
+        assert!(q95 >= q50);
+        assert!(q50 >= 110.0 - 1e-9);
+    }
+
+    #[test]
+    fn platform_scenario_exponential_matches_aggregate_rate() {
+        // p processors with per-processor rate λ_proc behave like a single
+        // platform-level stream of rate p·λ_proc.
+        let p = 8;
+        let lambda_proc = 1.0 / 40_000.0;
+        let lambda = lambda_proc * p as f64;
+        let (w, c, d, r) = (2_000.0, 100.0, 30.0, 60.0);
+        let platform = SimulationScenario::platform(p, Exponential::new(lambda_proc).unwrap())
+            .with_downtime(d)
+            .with_trials(15_000)
+            .with_seed(7)
+            .run(&[seg(w, c, r)]);
+        let exact = expected_time(&ExecutionParams::new(w, c, d, r, lambda).unwrap());
+        let rel = platform.makespan.relative_error(exact);
+        assert!(rel < 0.03, "relative error {rel}");
+    }
+
+    #[test]
+    fn weibull_platform_runs_and_differs_from_exponential() {
+        let mean = 20_000.0;
+        let segments = vec![seg(5_000.0, 200.0, 100.0)];
+        let weib = SimulationScenario::platform(4, Weibull::with_mean(0.7, mean).unwrap())
+            .with_downtime(30.0)
+            .with_trials(4_000)
+            .with_seed(11)
+            .run(&segments);
+        let expo = SimulationScenario::platform(4, Exponential::from_mtbf(mean).unwrap())
+            .with_downtime(30.0)
+            .with_trials(4_000)
+            .with_seed(11)
+            .run(&segments);
+        assert!(weib.makespan.mean > 0.0 && expo.makespan.mean > 0.0);
+        // Same MTBF but different law: means should not coincide exactly.
+        assert!((weib.makespan.mean - expo.makespan.mean).abs() > 1e-6);
+    }
+
+    #[test]
+    fn run_with_streams_uses_the_factory() {
+        let scenario = SimulationScenario::exponential(1.0).with_trials(3).with_downtime(0.0);
+        // Scripted: no failures at all, regardless of the exponential config.
+        let outcome = scenario
+            .run_with_streams(&[seg(10.0, 1.0, 0.0)], |_trial| ScriptedStream::new(vec![]))
+            .unwrap();
+        assert_eq!(outcome.makespan.mean, 11.0);
+        assert_eq!(outcome.failures.mean, 0.0);
+    }
+
+    #[test]
+    fn trials_accessor() {
+        assert_eq!(SimulationScenario::exponential(1.0).with_trials(17).trials(), 17);
+    }
+}

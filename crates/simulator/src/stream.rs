@@ -1,0 +1,287 @@
+//! Failure streams: where the simulator's failures come from.
+//!
+//! The simulator only ever asks one question: *"when is the first failure
+//! strictly after time `t`?"*. Three answers are provided:
+//!
+//! * [`ExponentialStream`] — a platform-level Exponential process of rate
+//!   `λ = p·λ_proc`, the paper's model;
+//! * [`PlatformStream`] — the superposition of per-processor streams of any
+//!   law (Weibull, log-normal, mixtures), for the §6 extension;
+//! * [`TraceStream`] — replay of a recorded or synthetic failure trace.
+
+use ckpt_failure::{
+    Exponential, FailureDistribution, Pcg64, PlatformFailureProcess, TraceReplay,
+};
+
+/// A source of platform-level failure instants.
+///
+/// Implementations return the first failure time strictly greater than
+/// `after`, consuming the stream up to that point. `None` means the stream is
+/// exhausted (only possible for finite traces) and no further failure will
+/// ever occur.
+pub trait FailureStream {
+    /// The first failure strictly after `after`, or `None` if no failure will
+    /// ever occur again.
+    fn next_failure_after(&mut self, after: f64) -> Option<f64>;
+}
+
+/// Platform-level Exponential failure stream (the paper's §2 model).
+#[derive(Debug, Clone)]
+pub struct ExponentialStream {
+    law: Exponential,
+    rng: Pcg64,
+    next: f64,
+}
+
+impl ExponentialStream {
+    /// Creates a stream with platform rate `lambda`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive and finite (construct the
+    /// [`Exponential`] yourself to get a recoverable error).
+    pub fn new(lambda: f64, seed: u64) -> Self {
+        let law = Exponential::new(lambda).expect("lambda must be positive and finite");
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let next = law.sample(&mut rng);
+        ExponentialStream { law, rng, next }
+    }
+
+    /// The platform failure rate.
+    pub fn lambda(&self) -> f64 {
+        self.law.rate()
+    }
+}
+
+impl FailureStream for ExponentialStream {
+    fn next_failure_after(&mut self, after: f64) -> Option<f64> {
+        // Advance the renewal process until the candidate lies after `after`.
+        // Because the law is memoryless this is statistically identical to
+        // resampling from `after`, but it keeps a single well-defined event
+        // stream, which makes trials reproducible and comparable with the
+        // per-processor and trace-based streams.
+        while self.next <= after {
+            self.next += self.law.sample(&mut self.rng);
+        }
+        Some(self.next)
+    }
+}
+
+/// Failure stream backed by the superposition of per-processor processes.
+///
+/// The underlying [`PlatformFailureProcess`] consumes events as it advances,
+/// but the simulator may ask about the same future failure several times
+/// (e.g. a failure beyond the current attempt must still be visible to the
+/// next attempt), so the stream caches the most recent candidate until the
+/// caller has moved past it.
+pub struct PlatformStream {
+    process: PlatformFailureProcess,
+    pending: Option<f64>,
+}
+
+impl std::fmt::Debug for PlatformStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlatformStream")
+            .field("processors", &self.process.processor_count())
+            .field("pending", &self.pending)
+            .finish()
+    }
+}
+
+impl PlatformStream {
+    /// Wraps a [`PlatformFailureProcess`].
+    pub fn new(process: PlatformFailureProcess) -> Self {
+        PlatformStream { process, pending: None }
+    }
+
+    /// Builds a homogeneous platform of `p` processors following `law`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn homogeneous<D>(p: usize, law: D, seed: u64) -> Self
+    where
+        D: FailureDistribution + Clone + 'static,
+    {
+        PlatformStream {
+            process: PlatformFailureProcess::homogeneous(p, law, seed)
+                .expect("platform must have at least one processor"),
+            pending: None,
+        }
+    }
+}
+
+impl FailureStream for PlatformStream {
+    fn next_failure_after(&mut self, after: f64) -> Option<f64> {
+        if let Some(pending) = self.pending {
+            if pending > after {
+                return Some(pending);
+            }
+        }
+        let time = self.process.next_failure_after(after).time;
+        self.pending = Some(time);
+        Some(time)
+    }
+}
+
+/// Failure stream backed by a recorded trace; exhausted when the trace ends.
+///
+/// Like [`PlatformStream`], the stream caches the most recent candidate so
+/// that a failure lying beyond the current attempt remains visible to
+/// subsequent attempts.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    replay: TraceReplay,
+    pending: Option<f64>,
+}
+
+impl TraceStream {
+    /// Wraps a trace replay cursor.
+    pub fn new(replay: TraceReplay) -> Self {
+        TraceStream { replay, pending: None }
+    }
+}
+
+impl FailureStream for TraceStream {
+    fn next_failure_after(&mut self, after: f64) -> Option<f64> {
+        if let Some(pending) = self.pending {
+            if pending > after {
+                return Some(pending);
+            }
+        }
+        let next = self.replay.next_after(after).map(|ev| ev.time);
+        self.pending = next;
+        next
+    }
+}
+
+/// A stream that never fails — useful for failure-free baselines in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFailureStream;
+
+impl FailureStream for NoFailureStream {
+    fn next_failure_after(&mut self, _after: f64) -> Option<f64> {
+        None
+    }
+}
+
+/// A scripted stream for unit tests: failures at exactly the given times.
+#[derive(Debug, Clone)]
+pub struct ScriptedStream {
+    times: Vec<f64>,
+}
+
+impl ScriptedStream {
+    /// Creates a stream failing at exactly `times` (must be sorted ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is not sorted in non-decreasing order.
+    pub fn new(times: Vec<f64>) -> Self {
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "scripted failure times must be sorted"
+        );
+        ScriptedStream { times }
+    }
+}
+
+impl FailureStream for ScriptedStream {
+    fn next_failure_after(&mut self, after: f64) -> Option<f64> {
+        self.times.iter().copied().find(|&t| t > after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_failure::{FailureEvent, FailureTrace, ProcessorId, Weibull};
+
+    #[test]
+    fn exponential_stream_is_monotone_and_deterministic() {
+        let mut a = ExponentialStream::new(0.01, 3);
+        let mut b = ExponentialStream::new(0.01, 3);
+        let mut last = 0.0;
+        for _ in 0..100 {
+            let fa = a.next_failure_after(last).unwrap();
+            let fb = b.next_failure_after(last).unwrap();
+            assert_eq!(fa, fb);
+            assert!(fa > last);
+            last = fa;
+        }
+        assert!((a.lambda() - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exponential_stream_skips_failures_during_queries() {
+        let mut s = ExponentialStream::new(0.1, 5);
+        let far = s.next_failure_after(1000.0).unwrap();
+        assert!(far > 1000.0);
+        // Subsequent queries never go backwards.
+        let later = s.next_failure_after(far).unwrap();
+        assert!(later > far);
+    }
+
+    #[test]
+    fn exponential_interarrival_mean_matches_rate() {
+        let mut s = ExponentialStream::new(0.02, 11);
+        let n = 50_000;
+        let mut t = 0.0;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let f = s.next_failure_after(t).unwrap();
+            sum += f - t;
+            t = f;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 1.5, "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn platform_stream_works_with_weibull() {
+        let law = Weibull::with_mean(0.7, 10_000.0).unwrap();
+        let mut s = PlatformStream::homogeneous(16, law, 42);
+        let f1 = s.next_failure_after(0.0).unwrap();
+        let f2 = s.next_failure_after(f1).unwrap();
+        assert!(f2 > f1);
+        assert!(!format!("{s:?}").is_empty());
+    }
+
+    #[test]
+    fn trace_stream_exhausts() {
+        let trace = FailureTrace::new(
+            1,
+            vec![
+                FailureEvent { time: 10.0, processor: ProcessorId(0) },
+                FailureEvent { time: 20.0, processor: ProcessorId(0) },
+            ],
+        )
+        .unwrap();
+        let mut s = TraceStream::new(TraceReplay::new(trace));
+        assert_eq!(s.next_failure_after(0.0), Some(10.0));
+        assert_eq!(s.next_failure_after(15.0), Some(20.0));
+        assert_eq!(s.next_failure_after(20.0), None);
+    }
+
+    #[test]
+    fn no_failure_stream_never_fails() {
+        let mut s = NoFailureStream;
+        assert_eq!(s.next_failure_after(0.0), None);
+        assert_eq!(s.next_failure_after(1e12), None);
+    }
+
+    #[test]
+    fn scripted_stream_returns_exact_times() {
+        let mut s = ScriptedStream::new(vec![5.0, 15.0, 30.0]);
+        assert_eq!(s.next_failure_after(0.0), Some(5.0));
+        assert_eq!(s.next_failure_after(5.0), Some(15.0));
+        assert_eq!(s.next_failure_after(29.0), Some(30.0));
+        assert_eq!(s.next_failure_after(30.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted")]
+    fn scripted_stream_rejects_unsorted_times() {
+        let _ = ScriptedStream::new(vec![5.0, 1.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Independent tasks: the strongly NP-complete setting of Proposition 2.
+//!
+//! A batch of independent simulation runs must be executed on a failure-prone
+//! platform. Choosing the execution order *and* the checkpoint positions to
+//! minimise the expected makespan is NP-complete in the strong sense
+//! (Proposition 2), so this example:
+//!
+//! 1. solves a small batch exactly by exhaustive search,
+//! 2. runs the practical heuristic (LPT order + Young-periodic placement +
+//!    local search) and reports its optimality gap,
+//! 3. builds the paper's 3-PARTITION reduction and shows that a YES instance
+//!    meets the decision bound exactly while a NO instance cannot.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example independent_batch
+//! ```
+
+use ckpt_workflows::core::three_partition::ThreePartitionInstance;
+use ckpt_workflows::core::{brute_force, evaluate, heuristics, ProblemInstance};
+use ckpt_workflows::dag::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- A small batch solved exactly ---------------------------------------
+    let run_durations = [2_400.0, 650.0, 3_100.0, 1_200.0, 1_750.0, 820.0, 2_050.0];
+    let graph = generators::independent(&run_durations)?;
+    let instance = ProblemInstance::builder(graph)
+        .uniform_checkpoint_cost(180.0)
+        .uniform_recovery_cost(240.0)
+        .downtime(60.0)
+        .platform_lambda(1.0 / 4_000.0)
+        .build()?;
+
+    println!("batch of {} independent runs, total work {:.0} s", run_durations.len(), instance.total_weight());
+
+    let exact = brute_force::optimal_schedule(&instance)?;
+    println!(
+        "\nexhaustive optimum ({} candidates evaluated):",
+        exact.candidates_evaluated
+    );
+    println!("  schedule: {}", exact.schedule);
+    println!("  expected makespan: {:.1} s", exact.expected_makespan);
+
+    let heuristic = heuristics::independent_tasks_heuristic(&instance, 200)?;
+    println!("\nLPT + periodic + local-search heuristic:");
+    println!("  schedule: {}", heuristic.schedule);
+    println!("  expected makespan: {:.1} s", heuristic.expected_makespan);
+    println!(
+        "  optimality gap: {:.3}%",
+        100.0 * (heuristic.expected_makespan / exact.expected_makespan - 1.0)
+    );
+
+    // Simple baselines for context.
+    let lpt = heuristics::lpt_order(&instance)?;
+    let everywhere = ckpt_workflows::core::Schedule::checkpoint_everywhere(&instance, lpt)?;
+    println!(
+        "  (checkpoint-after-every-run baseline: {:.1} s)",
+        evaluate::expected_makespan(&instance, &everywhere)?
+    );
+
+    // --- The Proposition 2 reduction ----------------------------------------
+    println!("\n--- 3-PARTITION reduction (Proposition 2) ---");
+    let yes = ThreePartitionInstance::new(vec![30, 35, 35, 26, 33, 41], 100)?;
+    let reduction = yes.reduce()?;
+    println!(
+        "YES instance {:?}, target {}: λ = {:.5}, C = R = {:.2}, bound K = {:.4}",
+        yes.values(),
+        yes.target(),
+        reduction.lambda,
+        reduction.checkpoint_cost,
+        reduction.bound
+    );
+    let partition = yes.solve_exact()?.expect("instance is YES");
+    let schedule = yes.schedule_from_partition(&reduction, &partition)?;
+    let value = evaluate::expected_makespan(&reduction.instance, &schedule)?;
+    println!(
+        "  partition {:?} → schedule expected makespan {:.4} (meets K exactly: {})",
+        partition,
+        value,
+        (value - reduction.bound).abs() / reduction.bound < 1e-9
+    );
+
+    let no = ThreePartitionInstance::new(vec![26, 26, 26, 40, 41, 41], 100)?;
+    let no_reduction = no.reduce()?;
+    let best = brute_force::optimal_schedule(&no_reduction.instance)?;
+    println!(
+        "NO instance {:?}: best achievable expected makespan {:.4} > K = {:.4}",
+        no.values(),
+        best.expected_makespan,
+        no_reduction.bound
+    );
+
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Non-memoryless failures (paper §6, third extension): scheduling a chain on
+//! a platform whose failures follow a Weibull law or a recorded trace.
+//!
+//! Real clusters exhibit "infant mortality": Weibull-distributed inter-arrival
+//! times with shape < 1. The closed form of Proposition 1 no longer applies,
+//! so the example compares, *by simulation against the true platform*:
+//!
+//! * the schedule planned by Algorithm 1 under the exponential-equivalent
+//!   rate (same platform MTBF),
+//! * the work-before-failure greedy schedule that only uses the survival
+//!   function of the true law,
+//! * the two trivial baselines.
+//!
+//! It also replays the same comparison against a synthetic failure trace, the
+//! substitution this reproduction uses in place of the Failure Trace Archive
+//! logs cited by the paper.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example unreliable_cloud
+//! ```
+
+use ckpt_workflows::core::{general_failures, ProblemInstance, Schedule};
+use ckpt_workflows::dag::{generators, properties};
+use ckpt_workflows::failure::{TraceGenerator, TraceReplay, Weibull};
+use ckpt_workflows::simulator::{simulate, TraceStream};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 12-stage chain of one-hour-ish tasks.
+    let durations: Vec<f64> = (0..12).map(|i| 2_400.0 + 600.0 * (i % 4) as f64).collect();
+    let graph = generators::chain(&durations)?;
+
+    let processors = 64usize;
+    let per_processor_mtbf = 400_000.0; // seconds
+    let lambda = processors as f64 / per_processor_mtbf;
+
+    let instance = ProblemInstance::builder(graph)
+        .uniform_checkpoint_cost(120.0)
+        .uniform_recovery_cost(180.0)
+        .downtime(60.0)
+        .platform_lambda(lambda)
+        .build()?;
+
+    // The true platform law: Weibull with shape 0.7 and the same MTBF.
+    let law = Weibull::with_mean(0.7, per_processor_mtbf)?;
+
+    // --- Candidate schedules -------------------------------------------------
+    let exp_equivalent = general_failures::exponential_equivalent_schedule(&instance, &law, processors)?;
+    let greedy = general_failures::work_before_failure_schedule(&instance, &law, processors)?;
+    let order = properties::as_chain(instance.graph()).expect("built as a chain");
+    let everywhere = Schedule::checkpoint_everywhere(&instance, order.clone())?;
+    let final_only = Schedule::checkpoint_final_only(&instance, order)?;
+
+    let candidates: Vec<(&str, &Schedule)> = vec![
+        ("exponential-equivalent DP", &exp_equivalent),
+        ("work-before-failure greedy", &greedy),
+        ("checkpoint every task", &everywhere),
+        ("single final checkpoint", &final_only),
+    ];
+
+    println!("--- Weibull platform (shape 0.7, {processors} processors) ---");
+    println!("{:<28} {:>8} {:>16} {:>14}", "strategy", "#ckpts", "mean makespan", "mean failures");
+    let trials = 3_000;
+    for (name, schedule) in &candidates {
+        let outcome = general_failures::simulate_under_law(
+            &instance,
+            schedule,
+            law.clone(),
+            processors,
+            trials,
+            2_024,
+        )?;
+        println!(
+            "{:<28} {:>8} {:>16.1} {:>14.2}",
+            name,
+            schedule.checkpoint_count(),
+            outcome.makespan.mean,
+            outcome.failures.mean
+        );
+    }
+
+    // --- Replay against a synthetic failure trace ---------------------------
+    println!("\n--- Synthetic failure-trace replay (one long recorded trace) ---");
+    let horizon = 20.0 * instance.total_weight();
+    let trace = TraceGenerator::new(processors, 7)?.generate(law, horizon);
+    println!(
+        "trace: {} failures over {:.0} s (mean platform inter-arrival {:.0} s)",
+        trace.len(),
+        trace.horizon(),
+        trace.mean_interarrival().unwrap_or(f64::NAN)
+    );
+    println!("{:<28} {:>8} {:>16} {:>10}", "strategy", "#ckpts", "makespan", "failures");
+    for (name, schedule) in &candidates {
+        let segments = schedule.to_segments(&instance)?;
+        let mut stream = TraceStream::new(TraceReplay::new(trace.clone()));
+        let record = simulate(&segments, instance.downtime(), &mut stream)?;
+        println!(
+            "{:<28} {:>8} {:>16.1} {:>10}",
+            name,
+            schedule.checkpoint_count(),
+            record.makespan,
+            record.failures
+        );
+    }
+
+    println!(
+        "\nThe exponential-equivalent plan is a solid default, but the greedy \
+         rule that looks at the actual survival function checkpoints earlier \
+         under infant-mortality failures, which pays off when the trace front- \
+         loads its failures."
+    );
+
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! `ckpt-workflows` — checkpoint scheduling for computational workflows under
+//! Exponential failures.
+//!
+//! This is the facade crate of the workspace reproducing INRIA RR-7907 /
+//! DSN 2012, *"On the complexity of scheduling checkpoints for computational
+//! workflows"* (Robert, Vivien, Zaidouni). It re-exports the public API of the
+//! underlying crates so applications can depend on a single crate:
+//!
+//! * [`dag`] — task-graph substrate (DAG container, generators, topological
+//!   orders, linearisation strategies);
+//! * [`failure`] — failure laws (Exponential, Weibull, log-normal), platform
+//!   superposition, synthetic failure traces, deterministic RNG;
+//! * [`expectation`] — Proposition 1 closed form, Young/Daly approximations,
+//!   workload and overhead scaling models;
+//! * [`simulator`] — discrete-event Monte-Carlo simulator of checkpointed
+//!   executions;
+//! * [`core`] — the scheduling layer: problem instances, schedules, the
+//!   Algorithm 1 chain DP, brute-force baselines, heuristics, the
+//!   Proposition 2 NP-hardness reduction, and the §6 extensions.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use ckpt_workflows::core::{chain_dp, evaluate, ProblemInstance, Schedule};
+//! use ckpt_workflows::dag::generators;
+//!
+//! // A 5-task pipeline with a one-hour platform MTBF.
+//! let graph = generators::chain(&[600.0, 1_200.0, 300.0, 1_800.0, 900.0])?;
+//! let instance = ProblemInstance::builder(graph)
+//!     .uniform_checkpoint_cost(30.0)
+//!     .uniform_recovery_cost(45.0)
+//!     .downtime(10.0)
+//!     .platform_lambda(1.0 / 3_600.0)
+//!     .build()?;
+//!
+//! let solution = chain_dp::optimal_chain_schedule(&instance)?;
+//! println!("optimal schedule: {}", solution.schedule);
+//! println!("expected makespan: {:.1} s", solution.expected_makespan);
+//! assert!(solution.expected_makespan > instance.total_weight());
+//!
+//! // The optimum is no worse than checkpointing after every task.
+//! let everywhere =
+//!     Schedule::checkpoint_everywhere(&instance, solution.schedule.order().to_vec())?;
+//! assert!(solution.expected_makespan
+//!     <= evaluate::expected_makespan(&instance, &everywhere)?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ckpt_core as core;
+pub use ckpt_dag as dag;
+pub use ckpt_expectation as expectation;
+pub use ckpt_failure as failure;
+pub use ckpt_simulator as simulator;

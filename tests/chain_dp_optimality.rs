@@ -1,0 +1,122 @@
+//! Cross-crate integration tests for Proposition 3 / Algorithm 1: the chain
+//! dynamic program is optimal, its analytical value is confirmed by
+//! simulation, and it dominates the periodic baselines.
+
+use ckpt_workflows::core::{brute_force, chain_dp, evaluate, heuristics, ProblemInstance, Schedule};
+use ckpt_workflows::dag::{generators, properties};
+use ckpt_workflows::failure::{Pcg64, RandomSource};
+use ckpt_workflows::simulator::SimulationScenario;
+
+fn random_chain_instance(seed: u64, n: usize, lambda: f64) -> ProblemInstance {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n).map(|_| 100.0 + rng.next_f64() * 3_900.0).collect();
+    let checkpoints: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 290.0).collect();
+    let recoveries: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 590.0).collect();
+    let graph = generators::chain(&weights).unwrap();
+    ProblemInstance::builder(graph)
+        .checkpoint_costs(checkpoints)
+        .recovery_costs(recoveries)
+        .downtime(30.0)
+        .initial_recovery(20.0)
+        .platform_lambda(lambda)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn dp_matches_exhaustive_search_on_random_chains() {
+    for seed in 0..10 {
+        let inst = random_chain_instance(seed, 7, 1.0 / 3_000.0);
+        let dp = chain_dp::optimal_chain_schedule(&inst).unwrap();
+        let brute = brute_force::optimal_schedule(&inst).unwrap();
+        assert!(
+            (dp.expected_makespan - brute.expected_makespan).abs() / brute.expected_makespan
+                < 1e-10,
+            "seed {seed}: dp {} vs brute {}",
+            dp.expected_makespan,
+            brute.expected_makespan
+        );
+    }
+}
+
+#[test]
+fn dp_dominates_periodic_and_trivial_baselines() {
+    for seed in 0..5 {
+        for &lambda in &[1e-5, 1e-4, 1e-3] {
+            let inst = random_chain_instance(100 + seed, 30, lambda);
+            let dp = chain_dp::optimal_chain_schedule(&inst).unwrap();
+            let order = properties::as_chain(inst.graph()).unwrap();
+
+            let everywhere = Schedule::checkpoint_everywhere(&inst, order.clone()).unwrap();
+            let final_only = Schedule::checkpoint_final_only(&inst, order.clone()).unwrap();
+            let young = heuristics::young_periodic_schedule(&inst, order.clone()).unwrap();
+            let every3 = heuristics::checkpoint_every_k(&inst, order, 3).unwrap();
+
+            for (name, schedule) in [
+                ("everywhere", &everywhere),
+                ("final-only", &final_only),
+                ("young-periodic", &young),
+                ("every-3", &every3),
+            ] {
+                let value = evaluate::expected_makespan(&inst, schedule).unwrap();
+                assert!(
+                    dp.expected_makespan <= value + 1e-9,
+                    "seed {seed}, lambda {lambda}: DP {} beaten by {name} {value}",
+                    dp.expected_makespan
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dp_value_is_confirmed_by_simulation() {
+    let inst = random_chain_instance(4242, 12, 1.0 / 6_000.0);
+    let dp = chain_dp::optimal_chain_schedule(&inst).unwrap();
+    let segments = dp.schedule.to_segments(&inst).unwrap();
+    let outcome = SimulationScenario::exponential(inst.lambda())
+        .with_downtime(inst.downtime())
+        .with_trials(20_000)
+        .with_seed(9)
+        .run(&segments);
+    let rel = outcome.makespan.relative_error(dp.expected_makespan);
+    assert!(rel < 0.03, "relative error {rel:.4}");
+}
+
+#[test]
+fn simulated_ranking_agrees_with_analytical_ranking() {
+    // The analytical evaluator and the simulator must rank schedules the same
+    // way when the gap is meaningful: the DP optimum must simulate at least as
+    // fast as the single-final-checkpoint baseline under a harsh failure rate.
+    // (Kept small: a no-checkpoint schedule needs e^{λW} attempts on average,
+    // so the total work is chosen to keep that factor moderate.)
+    let inst = random_chain_instance(777, 5, 1.0 / 2_500.0);
+    let order = properties::as_chain(inst.graph()).unwrap();
+    let dp = chain_dp::optimal_chain_schedule(&inst).unwrap();
+    let final_only = Schedule::checkpoint_final_only(&inst, order).unwrap();
+
+    let simulate = |schedule: &Schedule, seed: u64| {
+        let segments = schedule.to_segments(&inst).unwrap();
+        SimulationScenario::exponential(inst.lambda())
+            .with_downtime(inst.downtime())
+            .with_trials(4_000)
+            .with_seed(seed)
+            .run(&segments)
+            .makespan
+            .mean
+    };
+    let sim_dp = simulate(&dp.schedule, 1);
+    let sim_final = simulate(&final_only, 1);
+    assert!(
+        sim_dp < sim_final,
+        "DP simulated at {sim_dp:.1}, final-only at {sim_final:.1}"
+    );
+}
+
+#[test]
+fn memoized_and_bottom_up_formulations_agree_on_large_chains() {
+    let inst = random_chain_instance(31337, 200, 1.0 / 8_000.0);
+    let bottom_up = chain_dp::optimal_chain_schedule(&inst).unwrap().expected_makespan;
+    let memoized = chain_dp::optimal_chain_value_memoized(&inst).unwrap();
+    assert!((bottom_up - memoized).abs() / bottom_up < 1e-12);
+}

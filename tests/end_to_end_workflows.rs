@@ -1,0 +1,169 @@
+//! End-to-end integration tests exercising the full stack the way the
+//! examples do: DAG generators → instances → scheduling → analytical
+//! evaluation → Monte-Carlo simulation, including the §6 extensions.
+
+use ckpt_workflows::core::cost_model::CheckpointCostModel;
+use ckpt_workflows::core::moldable::{plan_moldable_chain, MoldableTask};
+use ckpt_workflows::core::{chain_dp, dag_schedule, evaluate, general_failures, ProblemInstance};
+use ckpt_workflows::dag::{generators, properties, LinearizationStrategy};
+use ckpt_workflows::expectation::overhead::{OverheadModel, ScalingScenario};
+use ckpt_workflows::expectation::workload::WorkloadModel;
+use ckpt_workflows::failure::{TraceGenerator, TraceReplay, Weibull};
+use ckpt_workflows::simulator::{simulate, TraceStream};
+
+#[test]
+fn fork_join_workflow_schedules_and_simulates_end_to_end() {
+    let graph = generators::fork_join(4, &[1_800.0, 2_400.0, 900.0, 3_000.0], 300.0, 600.0).unwrap();
+    let instance = ProblemInstance::builder(graph)
+        .uniform_checkpoint_cost(90.0)
+        .uniform_recovery_cost(120.0)
+        .downtime(45.0)
+        .platform_lambda(1.0 / 4_000.0)
+        .build()
+        .unwrap();
+
+    let solution =
+        dag_schedule::schedule_dag_best_of(&instance, CheckpointCostModel::PerLastTask, 8).unwrap();
+    assert_eq!(solution.schedule.len(), 6);
+
+    // The analytical value is confirmed by simulation.
+    let segments = solution.schedule.to_segments(&instance).unwrap();
+    let outcome = ckpt_workflows::simulator::SimulationScenario::exponential(instance.lambda())
+        .with_downtime(instance.downtime())
+        .with_trials(15_000)
+        .with_seed(3)
+        .run(&segments);
+    assert!(outcome.makespan.relative_error(solution.expected_makespan) < 0.03);
+}
+
+#[test]
+fn live_set_cost_model_changes_schedules_only_on_non_chains() {
+    // Chain: identical schedules under every cost model (§6 remark).
+    let chain = generators::chain(&[500.0, 1_500.0, 800.0, 2_000.0]).unwrap();
+    let chain_inst = ProblemInstance::builder(chain)
+        .checkpoint_costs(vec![50.0, 200.0, 80.0, 20.0])
+        .recovery_costs(vec![75.0, 300.0, 120.0, 30.0])
+        .platform_lambda(1.0 / 3_000.0)
+        .build()
+        .unwrap();
+    let base = dag_schedule::schedule_dag(&chain_inst, LinearizationStrategy::IdOrder, CheckpointCostModel::PerLastTask)
+        .unwrap();
+    let live = dag_schedule::schedule_dag(&chain_inst, LinearizationStrategy::IdOrder, CheckpointCostModel::LiveSetSum)
+        .unwrap();
+    assert_eq!(base.schedule, live.schedule);
+
+    // Fork-join: the live-set model sees bigger checkpoints at wide points, so
+    // its model-value is at least the per-task one.
+    let fj = generators::fork_join(3, &[1_000.0, 1_000.0, 1_000.0], 200.0, 200.0).unwrap();
+    let fj_inst = ProblemInstance::builder(fj)
+        .uniform_checkpoint_cost(100.0)
+        .uniform_recovery_cost(100.0)
+        .platform_lambda(1.0 / 2_000.0)
+        .build()
+        .unwrap();
+    let per_task = dag_schedule::schedule_dag(&fj_inst, LinearizationStrategy::IdOrder, CheckpointCostModel::PerLastTask)
+        .unwrap();
+    let live_sum = dag_schedule::schedule_dag(&fj_inst, LinearizationStrategy::IdOrder, CheckpointCostModel::LiveSetSum)
+        .unwrap();
+    assert!(live_sum.expected_makespan_under_model >= per_task.expected_makespan_under_model - 1e-9);
+}
+
+#[test]
+fn weibull_planning_pipeline_runs_end_to_end() {
+    let graph = generators::uniform_chain(8, 1_500.0).unwrap();
+    let processors = 32;
+    let proc_mtbf = 150_000.0;
+    let instance = ProblemInstance::builder(graph)
+        .uniform_checkpoint_cost(100.0)
+        .uniform_recovery_cost(150.0)
+        .downtime(30.0)
+        .platform_lambda(processors as f64 / proc_mtbf)
+        .build()
+        .unwrap();
+    let law = Weibull::with_mean(0.7, proc_mtbf).unwrap();
+
+    let exp_plan =
+        general_failures::exponential_equivalent_schedule(&instance, &law, processors).unwrap();
+    let greedy = general_failures::work_before_failure_schedule(&instance, &law, processors).unwrap();
+
+    for schedule in [&exp_plan, &greedy] {
+        let outcome = general_failures::simulate_under_law(
+            &instance,
+            schedule,
+            law.clone(),
+            processors,
+            2_000,
+            17,
+        )
+        .unwrap();
+        assert!(outcome.makespan.mean >= schedule.failure_free_makespan(&instance));
+    }
+}
+
+#[test]
+fn trace_replay_of_an_optimal_schedule_completes() {
+    let graph = generators::uniform_chain(6, 2_000.0).unwrap();
+    let instance = ProblemInstance::builder(graph)
+        .uniform_checkpoint_cost(60.0)
+        .uniform_recovery_cost(90.0)
+        .downtime(30.0)
+        .platform_lambda(16.0 / 100_000.0)
+        .build()
+        .unwrap();
+    let solution = chain_dp::optimal_chain_schedule(&instance).unwrap();
+    let segments = solution.schedule.to_segments(&instance).unwrap();
+
+    // Generate a synthetic Weibull trace long enough to cover the execution.
+    let law = Weibull::with_mean(0.6, 100_000.0).unwrap();
+    let trace = TraceGenerator::new(16, 11).unwrap().generate(law, 40.0 * instance.total_weight());
+    let mut stream = TraceStream::new(TraceReplay::new(trace));
+    let record = simulate(&segments, instance.downtime(), &mut stream).unwrap();
+    assert!(record.makespan >= solution.schedule.failure_free_makespan(&instance));
+    assert!((record.breakdown.total() - record.makespan).abs() < 1e-6);
+}
+
+#[test]
+fn moldable_plan_respects_workload_and_overhead_models() {
+    let scenario = ScalingScenario {
+        lambda_proc: 1.0 / (3.0 * 365.0 * 86_400.0),
+        base_checkpoint: 300.0,
+        base_recovery: 300.0,
+        downtime: 30.0,
+        workload: WorkloadModel::amdahl(0.05).unwrap(),
+        overhead: OverheadModel::Constant,
+    };
+    let tasks: Vec<MoldableTask> = [5e5, 2e6, 1e6]
+        .iter()
+        .map(|&w| MoldableTask::new(w).unwrap())
+        .collect();
+    let plan = plan_moldable_chain(&tasks, &scenario, 2_048).unwrap();
+    assert_eq!(plan.allocations.len(), 3);
+    // Every chosen allocation is at least as good as running sequentially.
+    for (task, alloc) in tasks.iter().zip(plan.allocations.iter()) {
+        let sequential =
+            ckpt_workflows::core::moldable::expected_time_on(*task, &scenario, 1).unwrap();
+        assert!(alloc.expected_time <= sequential + 1e-9);
+    }
+}
+
+#[test]
+fn chain_dp_handles_heterogeneous_pipelines_from_the_genomics_example() {
+    // The genomics example's configuration, checked as a regression test:
+    // the optimal placement always checkpoints the expensive-to-recompute
+    // alignment stage once failures are frequent enough.
+    let durations = [1_200.0, 14_400.0, 2_700.0, 10_800.0, 1_800.0, 600.0];
+    let graph = generators::chain(&durations).unwrap();
+    let instance = ProblemInstance::builder(graph)
+        .checkpoint_costs(vec![20.0, 600.0, 450.0, 120.0, 60.0, 10.0])
+        .recovery_costs(vec![30.0, 900.0, 600.0, 180.0, 90.0, 15.0])
+        .downtime(120.0)
+        .platform_lambda(1.0 / 10_000.0)
+        .build()
+        .unwrap();
+    let solution = chain_dp::optimal_chain_schedule(&instance).unwrap();
+    assert!(solution.checkpoint_positions.contains(&1), "alignment stage must be checkpointed");
+    assert!(properties::is_chain(instance.graph()));
+    // And the value is confirmed by the analytical evaluator.
+    let eval = evaluate::expected_makespan(&instance, &solution.schedule).unwrap();
+    assert!((eval - solution.expected_makespan).abs() < 1e-9);
+}

@@ -1,0 +1,82 @@
+//! Cross-crate integration tests for Proposition 2: the 3-PARTITION reduction
+//! behaves exactly as the proof describes — YES instances reach the bound `K`,
+//! NO instances cannot, and the equivalence is constructive in both
+//! directions.
+
+use ckpt_workflows::core::three_partition::ThreePartitionInstance;
+use ckpt_workflows::core::{brute_force, evaluate, heuristics};
+
+#[test]
+fn yes_instances_reach_the_bound_and_no_instances_do_not() {
+    // Certified YES instance (n = 2, T = 100).
+    let yes = ThreePartitionInstance::new(vec![30, 35, 35, 26, 33, 41], 100).unwrap();
+    let red_yes = yes.reduce().unwrap();
+    let best_yes = brute_force::optimal_schedule(&red_yes.instance).unwrap();
+    assert!(
+        (best_yes.expected_makespan - red_yes.bound).abs() / red_yes.bound < 1e-9,
+        "YES optimum {} should equal K {}",
+        best_yes.expected_makespan,
+        red_yes.bound
+    );
+
+    // Certified NO instance (no triple sums to 100).
+    let no = ThreePartitionInstance::new(vec![26, 26, 26, 40, 41, 41], 100).unwrap();
+    assert!(no.solve_exact().unwrap().is_none());
+    let red_no = no.reduce().unwrap();
+    let best_no = brute_force::optimal_schedule(&red_no.instance).unwrap();
+    assert!(
+        best_no.expected_makespan > red_no.bound * (1.0 + 1e-9),
+        "NO optimum {} should exceed K {}",
+        best_no.expected_makespan,
+        red_no.bound
+    );
+}
+
+#[test]
+fn reduction_roundtrip_recovers_a_partition_from_an_optimal_schedule() {
+    for seed in 0..4 {
+        let instance = ThreePartitionInstance::generate_yes(2, 96, seed).unwrap();
+        let reduction = instance.reduce().unwrap();
+        let best = brute_force::optimal_schedule(&reduction.instance).unwrap();
+        // The optimal schedule of a YES instance meets K, so a partition can
+        // be read back from its checkpointed groups.
+        let partition = instance
+            .partition_from_schedule(&reduction, &best.schedule)
+            .unwrap()
+            .expect("YES instance optimum must certify a partition");
+        assert_eq!(partition.len(), instance.subset_count());
+        for group in &partition {
+            let sum: u64 = group.iter().map(|&i| instance.values()[i]).sum();
+            assert_eq!(sum, instance.target());
+        }
+    }
+}
+
+#[test]
+fn partition_and_schedule_directions_are_consistent() {
+    let instance = ThreePartitionInstance::generate_yes(3, 120, 99).unwrap();
+    let reduction = instance.reduce().unwrap();
+    let partition = instance.solve_exact().unwrap().expect("generated YES");
+    // Partition -> schedule meets the bound.
+    let schedule = instance.schedule_from_partition(&reduction, &partition).unwrap();
+    let value = evaluate::expected_makespan(&reduction.instance, &schedule).unwrap();
+    assert!((value - reduction.bound).abs() / reduction.bound < 1e-9);
+    // Schedule -> partition extracts groups of weight exactly T.
+    let recovered = instance
+        .partition_from_schedule(&reduction, &schedule)
+        .unwrap()
+        .expect("bound met, partition must be recoverable");
+    assert_eq!(recovered.len(), 3);
+}
+
+#[test]
+fn heuristic_gets_close_to_the_bound_on_reduced_instances() {
+    // The reduced instances are exactly the hard ones; the practical heuristic
+    // should still land within a few percent of K on small YES instances.
+    let instance = ThreePartitionInstance::generate_yes(3, 200, 7).unwrap();
+    let reduction = instance.reduce().unwrap();
+    let heuristic = heuristics::independent_tasks_heuristic(&reduction.instance, 200).unwrap();
+    let gap = heuristic.expected_makespan / reduction.bound;
+    assert!(gap >= 1.0 - 1e-9, "heuristic cannot beat the bound");
+    assert!(gap < 1.05, "heuristic gap {gap:.4} too large");
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration tests for Proposition 1: the closed-form expected
+//! execution time must agree with the discrete-event simulator across a broad
+//! parameter sweep, and must dominate/beat the related-work formulas exactly
+//! as §3 claims.
+
+use ckpt_workflows::expectation::approximations::{
+    bouguerra_expected_time, first_order_expected_time,
+};
+use ckpt_workflows::expectation::exact::{expected_time, ExecutionParams};
+use ckpt_workflows::failure::Exponential;
+use ckpt_workflows::simulator::{Segment, SimulationScenario};
+
+#[test]
+fn formula_matches_simulation_across_parameter_sweep() {
+    // A coarse version of experiment E1: for each configuration the
+    // Monte-Carlo mean must fall within 3% of the closed form (and within the
+    // 95% CI most of the time — we check the looser bound to keep the test
+    // deterministic and fast).
+    let configs = [
+        // (W, C, D, R, platform MTBF)
+        (3_600.0, 60.0, 0.0, 60.0, 86_400.0),
+        (3_600.0, 600.0, 60.0, 600.0, 21_600.0),
+        (900.0, 120.0, 30.0, 240.0, 7_200.0),
+        (10_000.0, 300.0, 0.0, 300.0, 20_000.0),
+        (500.0, 30.0, 10.0, 45.0, 2_000.0),
+    ];
+    for (i, &(w, c, d, r, mtbf)) in configs.iter().enumerate() {
+        let lambda = 1.0 / mtbf;
+        let exact = expected_time(&ExecutionParams::new(w, c, d, r, lambda).unwrap());
+        let outcome = SimulationScenario::exponential(lambda)
+            .with_downtime(d)
+            .with_trials(30_000)
+            .with_seed(1_000 + i as u64)
+            .run(&[Segment::new(w, c, r).unwrap()]);
+        let rel = outcome.makespan.relative_error(exact);
+        assert!(
+            rel < 0.03,
+            "config {i}: relative error {rel:.4} (simulated {:.1}, exact {exact:.1})",
+            outcome.makespan.mean
+        );
+    }
+}
+
+#[test]
+fn formula_matches_simulation_with_per_processor_streams() {
+    // The same validation with failures generated per processor and
+    // superposed, instead of a single platform-level stream: for Exponential
+    // laws the two must agree (λ = p·λ_proc).
+    let p = 32;
+    let proc_mtbf = 200_000.0;
+    let lambda = p as f64 / proc_mtbf;
+    let (w, c, d, r) = (5_000.0, 250.0, 60.0, 400.0);
+    let exact = expected_time(&ExecutionParams::new(w, c, d, r, lambda).unwrap());
+    let outcome = SimulationScenario::platform(p, Exponential::from_mtbf(proc_mtbf).unwrap())
+        .with_downtime(d)
+        .with_trials(20_000)
+        .with_seed(77)
+        .run(&[Segment::new(w, c, r).unwrap()]);
+    let rel = outcome.makespan.relative_error(exact);
+    assert!(rel < 0.03, "relative error {rel:.4}");
+}
+
+#[test]
+fn bouguerra_formula_is_biased_upward_and_daly_first_order_downward() {
+    // §3's positioning of Proposition 1 against related work: the Bouguerra
+    // et al. value charges an extra recovery and therefore overestimates;
+    // the first-order expansion underestimates once failures are frequent.
+    let params = ExecutionParams::new(7_200.0, 600.0, 60.0, 600.0, 1.0 / 10_000.0).unwrap();
+    let exact = expected_time(&params);
+    assert!(bouguerra_expected_time(&params) > exact);
+    assert!(first_order_expected_time(&params) < exact);
+
+    // And the simulation sides with Proposition 1, not with the comparators.
+    let outcome = SimulationScenario::exponential(params.lambda())
+        .with_downtime(params.downtime())
+        .with_trials(40_000)
+        .with_seed(5)
+        .run(&[Segment::new(params.work(), params.checkpoint(), params.recovery()).unwrap()]);
+    let err_exact = outcome.makespan.relative_error(exact);
+    let err_bouguerra = outcome.makespan.relative_error(bouguerra_expected_time(&params));
+    assert!(
+        err_exact < err_bouguerra,
+        "exact error {err_exact:.4} should beat Bouguerra error {err_bouguerra:.4}"
+    );
+}
+
+#[test]
+fn expectation_is_additive_over_segments() {
+    // Memorylessness makes segment expectations additive; the simulator must
+    // agree when executing several segments back to back.
+    let lambda = 1.0 / 5_000.0;
+    let d = 30.0;
+    let segments = [
+        Segment::new(1_200.0, 90.0, 0.0).unwrap(),
+        Segment::new(2_500.0, 120.0, 60.0).unwrap(),
+        Segment::new(800.0, 45.0, 90.0).unwrap(),
+        Segment::new(3_200.0, 150.0, 30.0).unwrap(),
+    ];
+    let analytical: f64 = segments
+        .iter()
+        .map(|s| {
+            expected_time(&ExecutionParams::new(s.work(), s.checkpoint(), d, s.recovery(), lambda).unwrap())
+        })
+        .sum();
+    let outcome = SimulationScenario::exponential(lambda)
+        .with_downtime(d)
+        .with_trials(30_000)
+        .with_seed(11)
+        .run(&segments);
+    assert!(outcome.makespan.relative_error(analytical) < 0.03);
+}
