@@ -1,7 +1,11 @@
-//! B1 — scaling of the Algorithm 1 chain DP (bottom-up vs memoised recursive).
+//! B1 — scaling of the Algorithm 1 chain DP across its four formulations.
 //!
-//! The ablation called out in DESIGN.md: both formulations are `O(n²)`; the
-//! bottom-up version avoids the recursion and memo-table overhead.
+//! The headline comparison of the fast-path overhaul: the naive `O(n²)` DP
+//! (`reference`, two `exp` calls per cell) against the precomputed-cost
+//! pruned DP (`pruned`, the production path) and the `O(n log n)` Li Chao
+//! divide-and-conquer solver (`divide_conquer`), plus the paper's memoised
+//! recursion. The 4096-task configuration is the acceptance benchmark: the
+//! pruned DP must beat the reference by ≥ 5×.
 
 use ckpt_bench::random_chain_instance;
 use ckpt_core::chain_dp;
@@ -10,16 +14,41 @@ use std::hint::black_box;
 
 fn bench_chain_dp(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_dp");
-    for &n in &[32usize, 128, 512, 1024] {
+    group.sample_size(10);
+    for &n in &[32usize, 128, 512, 1024, 4096] {
         let instance =
             random_chain_instance(7, n, 100.0, 2_000.0, 60.0, 90.0, 30.0, 1.0 / 10_000.0);
-        group.bench_with_input(BenchmarkId::new("bottom_up", n), &instance, |b, inst| {
+        group.bench_with_input(BenchmarkId::new("reference", n), &instance, |b, inst| {
+            b.iter(|| chain_dp::optimal_chain_schedule_reference(black_box(inst)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", n), &instance, |b, inst| {
             b.iter(|| chain_dp::optimal_chain_schedule(black_box(inst)).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("memoized", n), &instance, |b, inst| {
-            b.iter(|| chain_dp::optimal_chain_value_memoized(black_box(inst)).unwrap())
+        group.bench_with_input(BenchmarkId::new("divide_conquer", n), &instance, |b, inst| {
+            b.iter(|| chain_dp::optimal_chain_schedule_divide_conquer(black_box(inst)).unwrap())
         });
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("memoized", n), &instance, |b, inst| {
+                b.iter(|| chain_dp::optimal_chain_value_memoized(black_box(inst)).unwrap())
+            });
+        }
     }
+
+    // A failure-heavy regime: many checkpoints in the optimum, so the pruning
+    // bound truncates the inner loop aggressively.
+    let frequent = random_chain_instance(11, 4096, 100.0, 2_000.0, 60.0, 90.0, 30.0, 1.0 / 1_000.0);
+    group.bench_with_input(
+        BenchmarkId::new("pruned_frequent_failures", 4096),
+        &frequent,
+        |b, inst| b.iter(|| chain_dp::optimal_chain_schedule(black_box(inst)).unwrap()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("divide_conquer_frequent_failures", 4096),
+        &frequent,
+        |b, inst| {
+            b.iter(|| chain_dp::optimal_chain_schedule_divide_conquer(black_box(inst)).unwrap())
+        },
+    );
     group.finish();
 }
 

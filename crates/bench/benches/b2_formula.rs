@@ -10,9 +10,7 @@ use std::hint::black_box;
 
 fn bench_formula(c: &mut Criterion) {
     let params = ExecutionParams::new(3_600.0, 300.0, 60.0, 300.0, 1.0 / 86_400.0).unwrap();
-    c.bench_function("proposition1_closed_form", |b| {
-        b.iter(|| expected_time(black_box(&params)))
-    });
+    c.bench_function("proposition1_closed_form", |b| b.iter(|| expected_time(black_box(&params))));
 
     c.bench_function("optimal_period_golden_section", |b| {
         b.iter(|| optimal_period(black_box(300.0), 60.0, 300.0, 1.0 / 86_400.0).unwrap())

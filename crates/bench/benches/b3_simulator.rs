@@ -1,5 +1,7 @@
 //! B3 — simulator throughput: trials per second for exponential and Weibull
-//! platforms, single- and multi-segment schedules.
+//! platforms, single- and multi-segment schedules, and the thread-scaling of
+//! the parallel Monte-Carlo driver (outcomes are bit-identical at any thread
+//! count, so the speedup is free).
 
 use ckpt_failure::Weibull;
 use ckpt_simulator::{Segment, SimulationScenario};
@@ -8,10 +10,10 @@ use std::hint::black_box;
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
     let single = vec![Segment::new(3_600.0, 120.0, 60.0).unwrap()];
-    let multi: Vec<Segment> = (0..32)
-        .map(|i| Segment::new(500.0 + 50.0 * i as f64, 60.0, 90.0).unwrap())
-        .collect();
+    let multi: Vec<Segment> =
+        (0..32).map(|i| Segment::new(500.0 + 50.0 * i as f64, 60.0, 90.0).unwrap()).collect();
 
     for (name, segments) in [("single_segment", &single), ("32_segments", &multi)] {
         group.bench_with_input(
@@ -23,6 +25,26 @@ fn bench_simulator(c: &mut Criterion) {
                         .with_downtime(30.0)
                         .with_trials(1_000)
                         .with_seed(1)
+                        .run(black_box(segs))
+                })
+            },
+        );
+    }
+
+    // High-trial configuration: the parallel fast path. One thread vs all
+    // cores on the same 100k-trial workload.
+    for &threads in &[1usize, 0] {
+        let label = if threads == 0 { "all_cores" } else { "1_thread" };
+        group.bench_with_input(
+            BenchmarkId::new("exponential_100k_trials", label),
+            &multi,
+            |b, segs| {
+                b.iter(|| {
+                    SimulationScenario::exponential(1.0 / 5_000.0)
+                        .with_downtime(30.0)
+                        .with_trials(100_000)
+                        .with_seed(3)
+                        .with_threads(threads)
                         .run(black_box(segs))
                 })
             },

@@ -10,9 +10,13 @@ fn bench_heuristics(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[50usize, 200, 800] {
         let instance = random_independent_instance(5, n, 200.0, 3_000.0, 150.0, 1.0 / 20_000.0);
-        group.bench_with_input(BenchmarkId::new("lpt_young_local_search", n), &instance, |b, inst| {
-            b.iter(|| heuristics::independent_tasks_heuristic(black_box(inst), 2).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lpt_young_local_search", n),
+            &instance,
+            |b, inst| {
+                b.iter(|| heuristics::independent_tasks_heuristic(black_box(inst), 2).unwrap())
+            },
+        );
         group.bench_with_input(BenchmarkId::new("young_periodic_only", n), &instance, |b, inst| {
             b.iter(|| {
                 let order = heuristics::lpt_order(black_box(inst)).unwrap();

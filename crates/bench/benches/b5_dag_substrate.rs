@@ -26,7 +26,9 @@ fn bench_dag(c: &mut Criterion) {
     };
     let layered = generators::layered_random(&[50, 50, 50, 50], |_, _| 1.0, 0.1, coin).unwrap();
     group.bench_function("linearize_critical_path_200_tasks", |b| {
-        b.iter(|| linearize::linearize(black_box(&layered), LinearizationStrategy::CriticalPathFirst))
+        b.iter(|| {
+            linearize::linearize(black_box(&layered), LinearizationStrategy::CriticalPathFirst)
+        })
     });
     group.bench_function("transitive_closure_200_tasks", |b| {
         b.iter(|| traversal::transitive_closure(black_box(&layered)))

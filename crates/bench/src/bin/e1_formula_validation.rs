@@ -5,6 +5,7 @@
 //!   * the Monte-Carlo estimate from the simulator,
 //!   * the Bouguerra et al. comparator (shown by §3 to be biased),
 //!   * the first-order (Young/Daly-style) approximation,
+//!
 //! and reports the relative error of each analytical value against the
 //! simulation.
 //!
@@ -17,7 +18,9 @@ use ckpt_simulator::{Segment, SimulationScenario};
 
 fn main() {
     let trials = 40_000;
-    println!("E1 — Proposition 1 vs simulation vs related-work formulas ({trials} trials per row)\n");
+    println!(
+        "E1 — Proposition 1 vs simulation vs related-work formulas ({trials} trials per row)\n"
+    );
     print_header(&[
         ("W", 8),
         ("C", 6),

@@ -38,8 +38,7 @@ fn main() {
     println!();
     print_header(&[("n", 6), ("DP time (ms)", 14), ("ckpts", 7), ("E[T] (s)", 14)]);
     for &n in &[64usize, 128, 256, 512, 1_024, 2_048, 4_096] {
-        let inst =
-            random_chain_instance(42, n, 100.0, 2_000.0, 60.0, 90.0, 30.0, 1.0 / 10_000.0);
+        let inst = random_chain_instance(42, n, 100.0, 2_000.0, 60.0, 90.0, 30.0, 1.0 / 10_000.0);
         let start = Instant::now();
         let dp = chain_dp::optimal_chain_schedule(&inst).expect("chain instance");
         let elapsed = start.elapsed().as_secs_f64() * 1_000.0;

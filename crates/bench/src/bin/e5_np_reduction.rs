@@ -24,8 +24,11 @@ fn main() {
     ]);
 
     // YES instances of growing size (kept within brute-force reach: 3n <= 9).
-    for (label, n, target, seed) in [("yes-a", 2usize, 96u64, 1u64), ("yes-b", 2, 120, 5), ("yes-c", 3, 96, 9)] {
-        let inst = ThreePartitionInstance::generate_yes(n, target, seed).expect("valid generator input");
+    for (label, n, target, seed) in
+        [("yes-a", 2usize, 96u64, 1u64), ("yes-b", 2, 120, 5), ("yes-c", 3, 96, 9)]
+    {
+        let inst =
+            ThreePartitionInstance::generate_yes(n, target, seed).expect("valid generator input");
         let red = inst.reduce().expect("reduction");
         let best = brute_force::optimal_schedule(&red.instance).expect("within brute-force reach");
         let ratio = best.expected_makespan / red.bound - 1.0;
@@ -42,7 +45,8 @@ fn main() {
     }
 
     // A certified NO instance.
-    let no = ThreePartitionInstance::new(vec![26, 26, 26, 40, 41, 41], 100).expect("valid instance");
+    let no =
+        ThreePartitionInstance::new(vec![26, 26, 26, 40, 41, 41], 100).expect("valid instance");
     assert!(no.solve_exact().expect("small").is_none());
     let red = no.reduce().expect("reduction");
     let best = brute_force::optimal_schedule(&red.instance).expect("within reach");

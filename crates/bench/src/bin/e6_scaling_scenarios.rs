@@ -18,7 +18,10 @@ fn main() {
     let lambda_proc = 1.0 / (10.0 * 365.0 * 86_400.0); // ten-year per-processor MTBF
     let base_cost = 600.0;
 
-    println!("E6 — platform scaling: workload models x overhead models (total load {:.1e} s)\n", w_total);
+    println!(
+        "E6 — platform scaling: workload models x overhead models (total load {:.1e} s)\n",
+        w_total
+    );
 
     let workloads: [(&str, WorkloadModel); 3] = [
         ("parallel", WorkloadModel::PerfectlyParallel),

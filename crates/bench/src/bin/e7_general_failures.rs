@@ -42,10 +42,12 @@ fn main() {
     ];
 
     for (law_name, law) in &laws {
-        let exp_plan = general_failures::exponential_equivalent_schedule(&inst, law.as_ref(), processors)
-            .expect("chain instance");
-        let greedy = general_failures::work_before_failure_schedule(&inst, law.as_ref(), processors)
-            .expect("chain instance");
+        let exp_plan =
+            general_failures::exponential_equivalent_schedule(&inst, law.as_ref(), processors)
+                .expect("chain instance");
+        let greedy =
+            general_failures::work_before_failure_schedule(&inst, law.as_ref(), processors)
+                .expect("chain instance");
         let everywhere = Schedule::checkpoint_everywhere(&inst, order.clone()).unwrap();
         let final_only = Schedule::checkpoint_final_only(&inst, order.clone()).unwrap();
 
@@ -59,16 +61,36 @@ fn main() {
             // using with_mean keeps every clone identical.
             let outcome = match law_name.as_str() {
                 "weibull k=0.5" => general_failures::simulate_under_law(
-                    &inst, schedule, Weibull::with_mean(0.5, proc_mtbf).unwrap(), processors, trials, 31,
+                    &inst,
+                    schedule,
+                    Weibull::with_mean(0.5, proc_mtbf).unwrap(),
+                    processors,
+                    trials,
+                    31,
                 ),
                 "weibull k=0.7" => general_failures::simulate_under_law(
-                    &inst, schedule, Weibull::with_mean(0.7, proc_mtbf).unwrap(), processors, trials, 31,
+                    &inst,
+                    schedule,
+                    Weibull::with_mean(0.7, proc_mtbf).unwrap(),
+                    processors,
+                    trials,
+                    31,
                 ),
                 "weibull k=1.0" => general_failures::simulate_under_law(
-                    &inst, schedule, Weibull::with_mean(1.0, proc_mtbf).unwrap(), processors, trials, 31,
+                    &inst,
+                    schedule,
+                    Weibull::with_mean(1.0, proc_mtbf).unwrap(),
+                    processors,
+                    trials,
+                    31,
                 ),
                 _ => general_failures::simulate_under_law(
-                    &inst, schedule, LogNormal::with_mean(proc_mtbf, 1.0).unwrap(), processors, trials, 31,
+                    &inst,
+                    schedule,
+                    LogNormal::with_mean(proc_mtbf, 1.0).unwrap(),
+                    processors,
+                    trials,
+                    31,
                 ),
             }
             .expect("simulation");

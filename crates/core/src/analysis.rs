@@ -48,8 +48,15 @@ pub fn lambda_sweep(
     lambda_max: f64,
     points: usize,
 ) -> Result<Vec<LambdaSweepPoint>, ScheduleError> {
-    if !(lambda_min.is_finite() && lambda_min > 0.0) || !(lambda_max.is_finite() && lambda_max > lambda_min) {
-        return Err(ScheduleError::NonPositiveParameter { name: "lambda range", value: lambda_min });
+    if !(lambda_min.is_finite()
+        && lambda_min > 0.0
+        && lambda_max.is_finite()
+        && lambda_max > lambda_min)
+    {
+        return Err(ScheduleError::NonPositiveParameter {
+            name: "lambda range",
+            value: lambda_min,
+        });
     }
     if points < 2 {
         return Err(ScheduleError::NonPositiveParameter { name: "points", value: points as f64 });
@@ -87,13 +94,15 @@ pub fn checkpoint_crossover_lambda(
     lambda_lo: f64,
     lambda_hi: f64,
 ) -> Result<Option<f64>, ScheduleError> {
-    if !(lambda_lo.is_finite() && lambda_lo > 0.0) || !(lambda_hi.is_finite() && lambda_hi > lambda_lo) {
-        return Err(ScheduleError::NonPositiveParameter { name: "lambda bracket", value: lambda_lo });
+    if !(lambda_lo.is_finite() && lambda_lo > 0.0 && lambda_hi.is_finite() && lambda_hi > lambda_lo)
+    {
+        return Err(ScheduleError::NonPositiveParameter {
+            name: "lambda bracket",
+            value: lambda_lo,
+        });
     }
     let count_at = |lambda: f64| -> Result<usize, ScheduleError> {
-        Ok(optimal_chain_schedule(&instance.with_lambda(lambda)?)?
-            .schedule
-            .checkpoint_count())
+        Ok(optimal_chain_schedule(&instance.with_lambda(lambda)?)?.schedule.checkpoint_count())
     };
     if count_at(lambda_hi)? <= checkpoints {
         return Ok(None);
@@ -139,9 +148,7 @@ pub fn deadline_risk(
     trials: usize,
     seed: u64,
 ) -> Result<DeadlineRisk, ScheduleError> {
-    let segments = schedule
-        .to_segments(instance)
-        .map_err(|_| ScheduleError::EmptyInstance)?;
+    let segments = schedule.to_segments(instance).map_err(|_| ScheduleError::EmptyInstance)?;
     let outcome = SimulationScenario::exponential(instance.lambda())
         .with_downtime(instance.downtime())
         .with_trials(trials)

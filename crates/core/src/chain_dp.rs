@@ -1,4 +1,5 @@
-//! Algorithm 1: the `O(n²)` dynamic program for linear chains (Proposition 3).
+//! Algorithm 1: the `O(n²)` dynamic program for linear chains (Proposition 3),
+//! plus two faster formulations.
 //!
 //! For a chain `T1 → T2 → … → Tn`, the execution order is forced and only the
 //! checkpoint positions remain to be chosen. Writing `E(x)` for the optimal
@@ -10,17 +11,39 @@
 //! E(n+1) = 0
 //! ```
 //!
-//! where `T(·)` is the Proposition 1 closed form. Two implementations are
-//! provided: a faithful memoised-recursive transcription of the paper's
-//! `DPMAKESPAN` pseudo-code, and an equivalent bottom-up version (the form a
-//! production scheduler would use). Both are `O(n²)` thanks to prefix sums and
-//! memoisation, and they are cross-checked against each other and against
-//! exhaustive search in the tests.
+//! where `T(·)` is the Proposition 1 closed form. Four implementations are
+//! provided:
+//!
+//! * [`optimal_chain_schedule`] — the production fast path: `O(n²)` bottom-up,
+//!   but every Proposition-1 evaluation goes through a precomputed
+//!   [`SegmentCostTable`] (no `exp` in the inner loop) and the inner loop is
+//!   pruned with the table's monotone segment lower bound, which for uniform
+//!   checkpoint costs cuts the loop the moment the segment term alone exceeds
+//!   the incumbent;
+//! * [`optimal_chain_schedule_divide_conquer`] — an `O(n log n)` solver. For a
+//!   fixed `x` the candidate costs decompose as
+//!   `slope(j)·t_x + E(j+1) − coeff(x)`: each candidate `j` is a **line** in
+//!   the query point `t_x = e^{λR_{x−1}}(1/λ+D)e^{−λ·prefix[x]}`. Minimising
+//!   over candidates is a lower-envelope query, answered by a Li Chao tree —
+//!   a divide-and-conquer structure over the query domain — in `O(log n)` per
+//!   insert/query. This also explains the classical monotonicity of
+//!   `choice[x]`: with uniform costs the slopes are sorted and the query
+//!   points monotone, so the envelope is swept in one direction;
+//! * [`optimal_chain_schedule_reference`] — the naive transcription that calls
+//!   the Proposition 1 closed form (two `exp`s) in every DP cell; kept as the
+//!   correctness reference and benchmark baseline;
+//! * [`optimal_chain_value_memoized`] — a faithful memoised-recursive
+//!   transcription of the paper's `DPMAKESPAN` pseudo-code.
+//!
+//! All formulations are cross-checked against each other and against
+//! exhaustive search in the tests and property tests below.
 
-use ckpt_dag::properties;
+use ckpt_dag::{properties, TaskId};
 use ckpt_expectation::exact::{expected_time, ExecutionParams};
+use ckpt_expectation::segment_cost::SegmentCostTable;
 
 use crate::error::ScheduleError;
+use crate::evaluate::segment_cost_table;
 use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 
@@ -36,8 +59,44 @@ pub struct ChainSolution {
     pub checkpoint_positions: Vec<usize>,
 }
 
+/// Resolves the chain order of `instance` and builds its segment-cost table.
+fn chain_table(
+    instance: &ProblemInstance,
+) -> Result<(Vec<TaskId>, SegmentCostTable), ScheduleError> {
+    let order = properties::as_chain(instance.graph()).ok_or(ScheduleError::NotAChain)?;
+    let table = segment_cost_table(instance, &order)?;
+    Ok((order, table))
+}
+
+/// Turns a `choice[x]` table (first checkpoint position of an optimal
+/// solution for suffix `x..n`) into a [`ChainSolution`].
+fn solution_from_choice(
+    instance: &ProblemInstance,
+    order: Vec<TaskId>,
+    choice: &[usize],
+    expected_makespan: f64,
+) -> Result<ChainSolution, ScheduleError> {
+    let n = order.len();
+    let mut checkpoint_positions = Vec::new();
+    let mut x = 0usize;
+    while x < n {
+        let j = choice[x];
+        checkpoint_positions.push(j);
+        x = j + 1;
+    }
+    let mut checkpoint_after = vec![false; n];
+    for &j in &checkpoint_positions {
+        checkpoint_after[j] = true;
+    }
+    let schedule = Schedule::new(instance, order, checkpoint_after)?;
+    Ok(ChainSolution { schedule, expected_makespan, checkpoint_positions })
+}
+
 /// Computes the optimal checkpoint placement for a linear-chain instance,
-/// bottom-up, in `O(n²)` time and `O(n)` space.
+/// bottom-up, in `O(n²)` time and `O(n)` space — with the per-cell
+/// Proposition-1 evaluation reduced to a few multiplies by a precomputed
+/// [`SegmentCostTable`], and the inner loop pruned with the table's monotone
+/// segment lower bound.
 ///
 /// # Errors
 ///
@@ -45,6 +104,200 @@ pub struct ChainSolution {
 /// * propagated validation errors (cannot occur for instances built through
 ///   [`ProblemInstance::builder`]).
 pub fn optimal_chain_schedule(instance: &ProblemInstance) -> Result<ChainSolution, ScheduleError> {
+    let (order, table) = chain_table(instance)?;
+    let n = order.len();
+
+    // value[x] = optimal expected time for positions x..n ; choice[x] = the
+    // position of the first checkpoint in an optimal solution for x..n.
+    let mut value = vec![0.0f64; n + 1];
+    let mut choice = vec![0usize; n];
+    for x in (0..n).rev() {
+        let mut best = f64::INFINITY;
+        let mut best_j = n - 1;
+        for j in x..n {
+            // The bound is valid for every j′ ≥ j and non-decreasing in j:
+            // once it clears the incumbent, no later split can win.
+            if table.segment_lower_bound(x, j) > best {
+                break;
+            }
+            let cost = table.cost(x, j) + value[j + 1];
+            if cost < best {
+                best = cost;
+                best_j = j;
+            }
+        }
+        value[x] = best;
+        choice[x] = best_j;
+    }
+
+    solution_from_choice(instance, order, &choice, value[0])
+}
+
+/// Computes the optimal checkpoint placement in `O(n log n)` by treating each
+/// candidate "first checkpoint at `j`" as a line `slope(j)·t + E(j+1)` in the
+/// query point `t_x` and sweeping a Li Chao tree (divide and conquer over the
+/// query domain) from the end of the chain to its start.
+///
+/// Returns the same optimum as [`optimal_chain_schedule`] (cross-checked to
+/// `10⁻¹⁰` relative error in the tests); the checkpoint positions may differ
+/// only between exactly cost-equivalent solutions.
+///
+/// On *saturated* instances (`λ·total work` ≳ 650, where the slope/query
+/// decomposition overflows `f64`) this transparently falls back to the pruned
+/// `O(n²)` DP, which remains exact there.
+///
+/// # Errors
+///
+/// Same as [`optimal_chain_schedule`].
+pub fn optimal_chain_schedule_divide_conquer(
+    instance: &ProblemInstance,
+) -> Result<ChainSolution, ScheduleError> {
+    let (order, table) = chain_table(instance)?;
+    if table.is_saturated() {
+        return optimal_chain_schedule(instance);
+    }
+    let n = order.len();
+
+    let points: Vec<f64> = (0..n).map(|x| table.query_point(x)).collect();
+    let mut domain = points.clone();
+    domain.sort_by(f64::total_cmp);
+    domain.dedup();
+    let mut envelope = LiChaoTree::new(domain);
+
+    let mut value = vec![0.0f64; n + 1];
+    let mut choice = vec![0usize; n];
+    for x in (0..n).rev() {
+        // Candidate "first checkpoint at j = x" becomes available exactly
+        // now: its intercept E(x+1) was computed in the previous step.
+        envelope.insert(LiChaoLine { slope: table.slope(x), intercept: value[x + 1], id: x });
+        let (best, id) = envelope.query(points[x]);
+        value[x] = best - table.coefficient(x);
+        choice[x] = id;
+    }
+
+    // Re-sum the reconstructed segments through the table so the reported
+    // value carries the summation order of the other solvers rather than the
+    // envelope's line arithmetic.
+    let mut expected_makespan = 0.0;
+    let mut x = 0usize;
+    while x < n {
+        let j = choice[x];
+        expected_makespan += table.cost(x, j);
+        x = j + 1;
+    }
+    solution_from_choice(instance, order, &choice, expected_makespan)
+}
+
+/// A candidate line of the lower envelope: `eval(t) = slope·t + intercept`,
+/// tagged with the checkpoint position it represents.
+#[derive(Debug, Clone, Copy)]
+struct LiChaoLine {
+    slope: f64,
+    intercept: f64,
+    id: usize,
+}
+
+impl LiChaoLine {
+    fn eval(&self, t: f64) -> f64 {
+        self.slope * t + self.intercept
+    }
+}
+
+/// A Li Chao tree over a fixed, sorted set of query points: divide and
+/// conquer on the query domain, keeping in each node the line that wins at
+/// the node's midpoint. Insert and query are `O(log n)`; the minimum returned
+/// at any stored point is exact (no convexity assumptions on insertion
+/// order).
+#[derive(Debug)]
+struct LiChaoTree {
+    xs: Vec<f64>,
+    nodes: Vec<Option<LiChaoLine>>,
+}
+
+impl LiChaoTree {
+    fn new(xs: Vec<f64>) -> Self {
+        let len = xs.len().max(1);
+        LiChaoTree { xs, nodes: vec![None; 4 * len] }
+    }
+
+    fn insert(&mut self, line: LiChaoLine) {
+        let hi = self.xs.len() - 1;
+        self.insert_in(1, 0, hi, line);
+    }
+
+    fn insert_in(&mut self, node: usize, lo: usize, hi: usize, mut line: LiChaoLine) {
+        let mid = (lo + hi) / 2;
+        let mid_x = self.xs[mid];
+        match &mut self.nodes[node] {
+            slot @ None => {
+                *slot = Some(line);
+            }
+            Some(current) => {
+                if line.eval(mid_x) < current.eval(mid_x) {
+                    std::mem::swap(current, &mut line);
+                }
+                if lo == hi {
+                    return;
+                }
+                // `line` lost at the midpoint; two lines cross at most once,
+                // so it can only win on the side where it beats the winner at
+                // the boundary.
+                let lo_x = self.xs[lo];
+                if line.eval(lo_x) < current.eval(lo_x) {
+                    self.insert_in(2 * node, lo, mid, line);
+                } else {
+                    self.insert_in(2 * node + 1, mid + 1, hi, line);
+                }
+            }
+        }
+    }
+
+    /// The minimum over all inserted lines at query point `t` (which must be
+    /// one of the stored points), with the id of a minimising line.
+    fn query(&self, t: f64) -> (f64, usize) {
+        let index = self
+            .xs
+            .binary_search_by(|x| x.total_cmp(&t))
+            .expect("query points are part of the tree domain");
+        let (mut lo, mut hi, mut node) = (0usize, self.xs.len() - 1, 1usize);
+        let mut best: Option<(f64, usize)> = None;
+        loop {
+            if let Some(line) = &self.nodes[node] {
+                let candidate = line.eval(t);
+                if best.is_none_or(|(value, _)| candidate < value) {
+                    best = Some((candidate, line.id));
+                }
+            }
+            if lo == hi {
+                break;
+            }
+            let mid = (lo + hi) / 2;
+            if index <= mid {
+                hi = mid;
+                node *= 2;
+            } else {
+                lo = mid + 1;
+                node = 2 * node + 1;
+            }
+        }
+        best.expect("query on an empty envelope")
+    }
+}
+
+/// The naive `O(n²)` bottom-up DP calling the Proposition 1 closed form (two
+/// `exp` evaluations) in every cell — the formulation a direct transcription
+/// of the paper produces.
+///
+/// Kept as the correctness reference for [`optimal_chain_schedule`] and as
+/// the baseline of the `b1_chain_dp` bench; production code should use the
+/// precomputed-cost fast path instead.
+///
+/// # Errors
+///
+/// Same as [`optimal_chain_schedule`].
+pub fn optimal_chain_schedule_reference(
+    instance: &ProblemInstance,
+) -> Result<ChainSolution, ScheduleError> {
     let order = properties::as_chain(instance.graph()).ok_or(ScheduleError::NotAChain)?;
     let n = order.len();
     let lambda = instance.lambda();
@@ -64,8 +317,6 @@ pub fn optimal_chain_schedule(instance: &ProblemInstance) -> Result<ChainSolutio
         }
     };
 
-    // value[x] = optimal expected time for positions x..n ; choice[x] = the
-    // position of the first checkpoint in an optimal solution for x..n.
     let mut value = vec![0.0f64; n + 1];
     let mut choice = vec![0usize; n];
     for x in (0..n).rev() {
@@ -92,26 +343,13 @@ pub fn optimal_chain_schedule(instance: &ProblemInstance) -> Result<ChainSolutio
         choice[x] = best_j;
     }
 
-    // Reconstruct the checkpoint positions.
-    let mut checkpoint_positions = Vec::new();
-    let mut x = 0usize;
-    while x < n {
-        let j = choice[x];
-        checkpoint_positions.push(j);
-        x = j + 1;
-    }
-    let mut checkpoint_after = vec![false; n];
-    for &j in &checkpoint_positions {
-        checkpoint_after[j] = true;
-    }
-    let schedule = Schedule::new(instance, order, checkpoint_after)?;
-    Ok(ChainSolution { schedule, expected_makespan: value[0], checkpoint_positions })
+    solution_from_choice(instance, order, &choice, value[0])
 }
 
 /// Faithful transcription of the paper's recursive `DPMAKESPAN(x, n)`
 /// (Algorithm 1), with memoisation. Returns the same optimum as
 /// [`optimal_chain_schedule`]; exposed separately so tests and benches can
-/// compare the two formulations.
+/// compare the formulations.
 ///
 /// # Errors
 ///
@@ -199,6 +437,25 @@ mod tests {
             .unwrap()
     }
 
+    /// A chain with deterministic pseudo-random heterogeneous weights and
+    /// costs — exercises the pruning bound and the Li Chao sweep away from
+    /// the uniform-cost special case.
+    fn random_heterogeneous_chain(seed: u64, n: usize, lambda: f64) -> ProblemInstance {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 1_990.0).collect();
+        let ckpt: Vec<f64> = (0..n).map(|_| rng.next_f64() * 250.0).collect();
+        let rec: Vec<f64> = (0..n).map(|_| rng.next_f64() * 250.0).collect();
+        let graph = generators::chain(&weights).unwrap();
+        ProblemInstance::builder(graph)
+            .checkpoint_costs(ckpt)
+            .recovery_costs(rec)
+            .initial_recovery(rng.next_f64() * 100.0)
+            .downtime(rng.next_f64() * 60.0)
+            .platform_lambda(lambda)
+            .build()
+            .unwrap()
+    }
+
     /// Exhaustive optimum over all checkpoint subsets (final forced) — the
     /// reference the DP is checked against.
     fn exhaustive_optimum(instance: &ProblemInstance) -> f64 {
@@ -226,6 +483,11 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(optimal_chain_schedule(&inst), Err(ScheduleError::NotAChain)));
+        assert!(matches!(optimal_chain_schedule_reference(&inst), Err(ScheduleError::NotAChain)));
+        assert!(matches!(
+            optimal_chain_schedule_divide_conquer(&inst),
+            Err(ScheduleError::NotAChain)
+        ));
         assert!(matches!(optimal_chain_value_memoized(&inst), Err(ScheduleError::NotAChain)));
     }
 
@@ -234,15 +496,14 @@ mod tests {
         let inst = chain_instance(&[500.0], 10.0, 20.0, 5.0, 1e-3);
         let sol = optimal_chain_schedule(&inst).unwrap();
         assert_eq!(sol.checkpoint_positions, vec![0]);
-        let expected = expected_time(
-            &ExecutionParams::new(500.0, 10.0, 5.0, 0.0, 1e-3).unwrap(),
-        );
+        let expected = expected_time(&ExecutionParams::new(500.0, 10.0, 5.0, 0.0, 1e-3).unwrap());
         assert!((sol.expected_makespan - expected).abs() < 1e-9);
     }
 
     #[test]
     fn dp_value_matches_schedule_evaluation() {
-        let inst = chain_instance(&[400.0, 100.0, 900.0, 250.0, 650.0, 300.0], 60.0, 60.0, 30.0, 1e-4);
+        let inst =
+            chain_instance(&[400.0, 100.0, 900.0, 250.0, 650.0, 300.0], 60.0, 60.0, 30.0, 1e-4);
         let sol = optimal_chain_schedule(&inst).unwrap();
         let eval = expected_makespan(&inst, &sol.schedule).unwrap();
         assert!((sol.expected_makespan - eval).abs() < 1e-9);
@@ -259,14 +520,67 @@ mod tests {
             chain_instance(&[50.0, 50.0], 1.0, 1.0, 0.0, 1e-1),
         ];
         for inst in cases {
-            let sol = optimal_chain_schedule(&inst).unwrap();
             let brute = exhaustive_optimum(&inst);
-            assert!(
-                (sol.expected_makespan - brute).abs() / brute < 1e-10,
-                "DP {} vs exhaustive {brute}",
-                sol.expected_makespan
-            );
+            for (name, value) in [
+                ("pruned", optimal_chain_schedule(&inst).unwrap().expected_makespan),
+                ("reference", optimal_chain_schedule_reference(&inst).unwrap().expected_makespan),
+                (
+                    "divide_conquer",
+                    optimal_chain_schedule_divide_conquer(&inst).unwrap().expected_makespan,
+                ),
+            ] {
+                assert!(
+                    (value - brute).abs() / brute < 1e-10,
+                    "{name} {value} vs exhaustive {brute}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_heterogeneous_chains() {
+        for seed in 0..12u64 {
+            for lambda in [1e-6, 1e-4, 1e-3] {
+                let inst = random_heterogeneous_chain(seed, 40, lambda);
+                let fast = optimal_chain_schedule(&inst).unwrap();
+                let reference = optimal_chain_schedule_reference(&inst).unwrap();
+                let gap = (fast.expected_makespan - reference.expected_makespan).abs()
+                    / reference.expected_makespan;
+                assert!(gap < 1e-10, "seed {seed} λ {lambda}: gap {gap}");
+                assert_eq!(fast.checkpoint_positions, reference.checkpoint_positions);
+            }
+        }
+    }
+
+    #[test]
+    fn divide_conquer_matches_reference_on_heterogeneous_chains() {
+        for seed in 0..12u64 {
+            for lambda in [1e-6, 1e-4, 1e-3] {
+                let inst = random_heterogeneous_chain(seed, 60, lambda);
+                let dc = optimal_chain_schedule_divide_conquer(&inst).unwrap();
+                let reference = optimal_chain_schedule_reference(&inst).unwrap();
+                let gap = (dc.expected_makespan - reference.expected_makespan).abs()
+                    / reference.expected_makespan;
+                assert!(gap < 1e-10, "seed {seed} λ {lambda}: gap {gap}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_instances_solve_through_the_fallback() {
+        // λ·total work ≈ 2000 ≫ 650: precomputed exponentials would overflow;
+        // every formulation must still agree. Costs are cheap and failures
+        // constant, so the optimum checkpoints after every task.
+        let inst = chain_instance(&[100.0; 200], 0.1, 0.1, 0.0, 0.1);
+        let fast = optimal_chain_schedule(&inst).unwrap();
+        let dc = optimal_chain_schedule_divide_conquer(&inst).unwrap();
+        let reference = optimal_chain_schedule_reference(&inst).unwrap();
+        assert!(fast.expected_makespan.is_finite());
+        let gap = (fast.expected_makespan - reference.expected_makespan).abs()
+            / reference.expected_makespan;
+        assert!(gap < 1e-10, "gap {gap}");
+        assert_eq!(fast.checkpoint_positions.len(), 200);
+        assert_eq!(dc.checkpoint_positions, fast.checkpoint_positions);
     }
 
     #[test]
@@ -280,7 +594,7 @@ mod tests {
         );
         let bottom_up = optimal_chain_schedule(&inst).unwrap().expected_makespan;
         let memoized = optimal_chain_value_memoized(&inst).unwrap();
-        assert!((bottom_up - memoized).abs() / bottom_up < 1e-12);
+        assert!((bottom_up - memoized).abs() / bottom_up < 1e-10);
     }
 
     #[test]
@@ -342,6 +656,10 @@ mod tests {
         let sol = optimal_chain_schedule(&inst).unwrap();
         assert_eq!(sol.schedule.len(), 1000);
         assert!(sol.expected_makespan > inst.total_weight());
+        // The O(n log n) solver agrees at this scale too.
+        let dc = optimal_chain_schedule_divide_conquer(&inst).unwrap();
+        let gap = (dc.expected_makespan - sol.expected_makespan).abs() / sol.expected_makespan;
+        assert!(gap < 1e-10, "gap {gap}");
     }
 
     proptest! {
@@ -367,6 +685,41 @@ mod tests {
                 let value = expected_makespan(&inst, &schedule).unwrap();
                 prop_assert!(sol.expected_makespan <= value + 1e-9);
             }
+        }
+
+        #[test]
+        fn prop_all_formulations_agree(
+            seed in any::<u64>(),
+            n in 2usize..48,
+            lambda_exp in -6.0f64..-2.0,
+        ) {
+            let lambda = 10f64.powf(lambda_exp);
+            let inst = random_heterogeneous_chain(seed, n, lambda);
+            let fast = optimal_chain_schedule(&inst).unwrap();
+            let reference = optimal_chain_schedule_reference(&inst).unwrap();
+            let dc = optimal_chain_schedule_divide_conquer(&inst).unwrap();
+            let memoized = optimal_chain_value_memoized(&inst).unwrap();
+            let base = reference.expected_makespan;
+            prop_assert!((fast.expected_makespan - base).abs() / base < 1e-10,
+                "pruned {} vs reference {base}", fast.expected_makespan);
+            prop_assert!((dc.expected_makespan - base).abs() / base < 1e-10,
+                "divide-conquer {} vs reference {base}", dc.expected_makespan);
+            prop_assert!((memoized - base).abs() / base < 1e-10,
+                "memoized {memoized} vs reference {base}");
+        }
+
+        #[test]
+        fn prop_divide_conquer_matches_exhaustive_on_small_chains(
+            seed in any::<u64>(),
+            n in 2usize..9,
+            lambda_exp in -5.0f64..-2.0,
+        ) {
+            let lambda = 10f64.powf(lambda_exp);
+            let inst = random_heterogeneous_chain(seed, n, lambda);
+            let dc = optimal_chain_schedule_divide_conquer(&inst).unwrap();
+            let brute = exhaustive_optimum(&inst);
+            prop_assert!((dc.expected_makespan - brute).abs() / brute < 1e-10,
+                "divide-conquer {} vs exhaustive {brute}", dc.expected_makespan);
         }
     }
 }

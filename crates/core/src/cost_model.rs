@@ -74,10 +74,7 @@ impl CheckpointCostModel {
                 }
                 match self {
                     CheckpointCostModel::LiveSetSum => live.iter().map(|&t| per_task(t)).sum(),
-                    _ => live
-                        .iter()
-                        .map(|&t| per_task(t))
-                        .fold(0.0f64, f64::max),
+                    _ => live.iter().map(|&t| per_task(t)).fold(0.0f64, f64::max),
                 }
             }
         }

@@ -155,9 +155,9 @@ pub fn schedule_dag_best_of(
     let mut best: Option<DagSolution> = None;
     for strategy in strategies {
         let candidate = schedule_dag(instance, strategy, model)?;
-        let better = best
-            .as_ref()
-            .is_none_or(|b| candidate.expected_makespan_under_model < b.expected_makespan_under_model);
+        let better = best.as_ref().is_none_or(|b| {
+            candidate.expected_makespan_under_model < b.expected_makespan_under_model
+        });
         if better {
             best = Some(candidate);
         }
@@ -197,8 +197,9 @@ mod tests {
     #[test]
     fn reduces_to_chain_dp_on_chains() {
         let inst = chain_instance();
-        let dag = schedule_dag(&inst, LinearizationStrategy::IdOrder, CheckpointCostModel::PerLastTask)
-            .unwrap();
+        let dag =
+            schedule_dag(&inst, LinearizationStrategy::IdOrder, CheckpointCostModel::PerLastTask)
+                .unwrap();
         let chain = chain_dp::optimal_chain_schedule(&inst).unwrap();
         assert!((dag.expected_makespan - chain.expected_makespan).abs() < 1e-9);
         assert_eq!(dag.schedule, chain.schedule);
@@ -246,7 +247,9 @@ mod tests {
             LinearizationStrategy::CriticalPathFirst,
         ] {
             let single = schedule_dag(&inst, strategy, CheckpointCostModel::PerLastTask).unwrap();
-            assert!(best.expected_makespan_under_model <= single.expected_makespan_under_model + 1e-9);
+            assert!(
+                best.expected_makespan_under_model <= single.expected_makespan_under_model + 1e-9
+            );
         }
     }
 
@@ -279,16 +282,19 @@ mod tests {
             schedule_dag(&inst, LinearizationStrategy::IdOrder, CheckpointCostModel::LiveSetSum)
                 .unwrap();
         assert!(
-            live_sum.expected_makespan_under_model
-                >= per_task.expected_makespan_under_model - 1e-9
+            live_sum.expected_makespan_under_model >= per_task.expected_makespan_under_model - 1e-9
         );
     }
 
     #[test]
     fn solution_reports_its_strategy() {
         let inst = chain_instance();
-        let sol = schedule_dag(&inst, LinearizationStrategy::HeaviestFirst, CheckpointCostModel::PerLastTask)
-            .unwrap();
+        let sol = schedule_dag(
+            &inst,
+            LinearizationStrategy::HeaviestFirst,
+            CheckpointCostModel::PerLastTask,
+        )
+        .unwrap();
         assert_eq!(sol.strategy, LinearizationStrategy::HeaviestFirst);
     }
 }

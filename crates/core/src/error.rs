@@ -84,12 +84,17 @@ impl fmt::Display for ScheduleError {
                 write!(f, "the schedule order is not a topological order of the task graph")
             }
             ScheduleError::CheckpointVectorLength { expected, actual } => {
-                write!(f, "checkpoint decisions must have one entry per task ({expected}), got {actual}")
+                write!(
+                    f,
+                    "checkpoint decisions must have one entry per task ({expected}), got {actual}"
+                )
             }
             ScheduleError::MissingFinalCheckpoint => {
                 write!(f, "the model requires a checkpoint after the last executed task")
             }
-            ScheduleError::NotAChain => write!(f, "this algorithm requires a linear-chain task graph"),
+            ScheduleError::NotAChain => {
+                write!(f, "this algorithm requires a linear-chain task graph")
+            }
             ScheduleError::NotIndependent => {
                 write!(f, "this algorithm requires independent tasks (no dependences)")
             }
@@ -131,7 +136,8 @@ mod tests {
         assert!(ScheduleError::EmptyInstance.to_string().contains("no tasks"));
         assert!(ScheduleError::NotAChain.to_string().contains("chain"));
         assert!(ScheduleError::MissingFinalCheckpoint.to_string().contains("last"));
-        let err = ScheduleError::CostVectorLength { what: "checkpoint costs", expected: 3, actual: 2 };
+        let err =
+            ScheduleError::CostVectorLength { what: "checkpoint costs", expected: 3, actual: 2 };
         assert!(err.to_string().contains('3'));
         assert!(err.to_string().contains('2'));
         let err = ScheduleError::UnknownTask { task: TaskId(4) };

@@ -5,7 +5,10 @@
 //! checkpoint-delimited segments** — this is exactly how the proof of
 //! Proposition 2 and the recurrence of Algorithm 1 compose segment costs.
 
+use ckpt_dag::{topo, TaskId};
 use ckpt_expectation::exact::{expected_time, ExecutionParams};
+use ckpt_expectation::segment_cost::SegmentCostTable;
+use ckpt_expectation::ExpectationError;
 
 use crate::error::ScheduleError;
 use crate::instance::ProblemInstance;
@@ -24,12 +27,8 @@ pub fn expected_makespan(
 ) -> Result<f64, ScheduleError> {
     let mut total = 0.0;
     for segment in schedule.segments(instance) {
-        total += segment_expected_time(
-            instance,
-            segment.work,
-            segment.checkpoint,
-            segment.recovery,
-        )?;
+        total +=
+            segment_expected_time(instance, segment.work, segment.checkpoint, segment.recovery)?;
     }
     Ok(total)
 }
@@ -46,15 +45,67 @@ pub fn segment_expected_time(
     checkpoint: f64,
     recovery: f64,
 ) -> Result<f64, ScheduleError> {
-    let params = ExecutionParams::new(
-        work,
-        checkpoint,
-        instance.downtime(),
-        recovery,
-        instance.lambda(),
-    )
-    .map_err(|_| ScheduleError::NonPositiveParameter { name: "segment work", value: work })?;
+    let params =
+        ExecutionParams::new(work, checkpoint, instance.downtime(), recovery, instance.lambda())
+            .map_err(|_| ScheduleError::NonPositiveParameter {
+                name: "segment work",
+                value: work,
+            })?;
     Ok(expected_time(&params))
+}
+
+/// Builds a [`SegmentCostTable`] for `instance` along `order`: the
+/// precomputed-cost API every solver that evaluates many segments of one
+/// fixed order shares (the chain DP, exhaustive search, local search).
+///
+/// Position `x` of the table is protected by the initial recovery `R₀` when
+/// `x = 0` and by the recovery cost of the task at position `x − 1`
+/// otherwise, matching [`Schedule::segments`].
+///
+/// # Errors
+///
+/// * [`ScheduleError::EmptyInstance`] if `order` is empty;
+/// * [`ScheduleError::InvalidOrder`] if `order` is not a topological order of
+///   the instance graph;
+/// * propagated validation errors (cannot occur for instances built through
+///   [`ProblemInstance::builder`]).
+pub fn segment_cost_table(
+    instance: &ProblemInstance,
+    order: &[TaskId],
+) -> Result<SegmentCostTable, ScheduleError> {
+    if order.is_empty() {
+        return Err(ScheduleError::EmptyInstance);
+    }
+    if !topo::is_topological_order(instance.graph(), order) {
+        return Err(ScheduleError::InvalidOrder);
+    }
+    let weights: Vec<f64> = order.iter().map(|&t| instance.weight(t)).collect();
+    let checkpoints: Vec<f64> = order.iter().map(|&t| instance.checkpoint_cost(t)).collect();
+    let mut recoveries = Vec::with_capacity(order.len());
+    recoveries.push(instance.initial_recovery());
+    for &task in &order[..order.len() - 1] {
+        recoveries.push(instance.recovery_cost(task));
+    }
+    SegmentCostTable::new(
+        instance.lambda(),
+        instance.downtime(),
+        &weights,
+        &checkpoints,
+        &recoveries,
+    )
+    .map_err(|err| match err {
+        ExpectationError::NegativeParameter { name, value } => {
+            ScheduleError::NegativeParameter { name, value }
+        }
+        ExpectationError::NonPositiveParameter { name, value }
+        | ExpectationError::NonFiniteParameter { name, value }
+        | ExpectationError::FractionOutOfRange { name, value } => {
+            ScheduleError::NonPositiveParameter { name, value }
+        }
+        ExpectationError::ZeroProcessors => {
+            ScheduleError::NonPositiveParameter { name: "processors", value: 0.0 }
+        }
+    })
 }
 
 /// The slowdown of a schedule: expected makespan divided by the total task
@@ -91,12 +142,10 @@ mod tests {
     #[test]
     fn expected_makespan_sums_segment_formulas() {
         let inst = chain_instance(1e-4);
-        let schedule =
-            Schedule::new(&inst, ids(&[0, 1, 2]), vec![true, false, true]).unwrap();
+        let schedule = Schedule::new(&inst, ids(&[0, 1, 2]), vec![true, false, true]).unwrap();
         // Two segments: (100, C=10, R=5) and (500, C=10, R=20).
-        let manual = expected_time(
-            &ExecutionParams::new(100.0, 10.0, 2.0, 5.0, 1e-4).unwrap(),
-        ) + expected_time(&ExecutionParams::new(500.0, 10.0, 2.0, 20.0, 1e-4).unwrap());
+        let manual = expected_time(&ExecutionParams::new(100.0, 10.0, 2.0, 5.0, 1e-4).unwrap())
+            + expected_time(&ExecutionParams::new(500.0, 10.0, 2.0, 20.0, 1e-4).unwrap());
         let computed = expected_makespan(&inst, &schedule).unwrap();
         assert!((computed - manual).abs() < 1e-9);
     }
@@ -127,9 +176,7 @@ mod tests {
         let inst = chain_instance(1.0 / 300.0);
         let all = Schedule::checkpoint_everywhere(&inst, ids(&[0, 1, 2])).unwrap();
         let last = Schedule::checkpoint_final_only(&inst, ids(&[0, 1, 2])).unwrap();
-        assert!(
-            expected_makespan(&inst, &all).unwrap() < expected_makespan(&inst, &last).unwrap()
-        );
+        assert!(expected_makespan(&inst, &all).unwrap() < expected_makespan(&inst, &last).unwrap());
     }
 
     #[test]
@@ -138,9 +185,7 @@ mod tests {
         let inst = chain_instance(1e-9);
         let all = Schedule::checkpoint_everywhere(&inst, ids(&[0, 1, 2])).unwrap();
         let last = Schedule::checkpoint_final_only(&inst, ids(&[0, 1, 2])).unwrap();
-        assert!(
-            expected_makespan(&inst, &all).unwrap() > expected_makespan(&inst, &last).unwrap()
-        );
+        assert!(expected_makespan(&inst, &all).unwrap() > expected_makespan(&inst, &last).unwrap());
     }
 
     #[test]
@@ -161,12 +206,7 @@ mod tests {
         // Cross-validation of the analytical evaluator against the
         // Monte-Carlo simulator (experiment E1 in miniature, at schedule level).
         let inst = chain_instance(1.0 / 2_000.0);
-        let schedule = Schedule::new(
-            &inst,
-            ids(&[0, 1, 2]),
-            vec![false, true, true],
-        )
-        .unwrap();
+        let schedule = Schedule::new(&inst, ids(&[0, 1, 2]), vec![false, true, true]).unwrap();
         let analytical = expected_makespan(&inst, &schedule).unwrap();
         let segments = schedule.to_segments(&inst).unwrap();
         let outcome = ckpt_simulator::SimulationScenario::exponential(inst.lambda())

@@ -111,9 +111,7 @@ pub fn simulate_under_law<D>(
 where
     D: FailureDistribution + 'static,
 {
-    let segments = schedule
-        .to_segments(instance)
-        .map_err(|_| ScheduleError::EmptyInstance)?;
+    let segments = schedule.to_segments(instance).map_err(|_| ScheduleError::EmptyInstance)?;
     Ok(SimulationScenario::platform(processors, law)
         .with_downtime(instance.downtime())
         .with_trials(trials)
@@ -198,11 +196,9 @@ mod tests {
     #[test]
     fn simulate_under_law_produces_consistent_outcome() {
         let inst = chain_instance(5, 400.0, 40.0, 1e-4);
-        let schedule = Schedule::checkpoint_everywhere(
-            &inst,
-            properties::as_chain(inst.graph()).unwrap(),
-        )
-        .unwrap();
+        let schedule =
+            Schedule::checkpoint_everywhere(&inst, properties::as_chain(inst.graph()).unwrap())
+                .unwrap();
         let law = Weibull::with_mean(0.7, 20_000.0).unwrap();
         let outcome = simulate_under_law(&inst, &schedule, law, 8, 2_000, 42).unwrap();
         assert!(outcome.makespan.mean >= schedule.failure_free_makespan(&inst));
@@ -222,7 +218,7 @@ mod tests {
         let exp_equiv = exponential_equivalent_schedule(&inst, &law, p).unwrap();
         let greedy = work_before_failure_schedule(&inst, &law, p).unwrap();
         let sim_exp =
-            simulate_under_law(&inst, &exp_equiv, law.clone(), p, 3_000, 7).unwrap().makespan.mean;
+            simulate_under_law(&inst, &exp_equiv, law, p, 3_000, 7).unwrap().makespan.mean;
         let sim_greedy =
             simulate_under_law(&inst, &greedy, law, p, 3_000, 7).unwrap().makespan.mean;
         assert!(sim_exp > 0.0 && sim_greedy > 0.0);

@@ -15,9 +15,10 @@
 
 use ckpt_dag::{linearize, topo, LinearizationStrategy, TaskId};
 use ckpt_expectation::approximations::young_period;
+use ckpt_expectation::segment_cost::SegmentCostTable;
 
 use crate::error::ScheduleError;
-use crate::evaluate::expected_makespan;
+use crate::evaluate::{expected_makespan, segment_cost_table};
 use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 
@@ -37,9 +38,9 @@ pub fn checkpoint_every_k(
     }
     let n = order.len();
     let mut checkpoints = vec![false; n];
-    for pos in 0..n {
-        if (pos + 1) % k == 0 {
-            checkpoints[pos] = true;
+    for (pos, decision) in checkpoints.iter_mut().enumerate() {
+        if (pos + 1).is_multiple_of(k) {
+            *decision = true;
         }
     }
     if let Some(last) = checkpoints.last_mut() {
@@ -94,8 +95,9 @@ pub fn young_periodic_schedule(
 ) -> Result<Schedule, ScheduleError> {
     let n = instance.task_count() as f64;
     let mean_c = instance.checkpoint_costs().iter().sum::<f64>() / n;
-    let period = young_period(mean_c, instance.lambda())
-        .map_err(|_| ScheduleError::NonPositiveParameter { name: "mean checkpoint cost", value: mean_c })?;
+    let period = young_period(mean_c, instance.lambda()).map_err(|_| {
+        ScheduleError::NonPositiveParameter { name: "mean checkpoint cost", value: mean_c }
+    })?;
     checkpoint_by_period(instance, order, period)
 }
 
@@ -134,14 +136,36 @@ pub struct LocalSearchResult {
     pub improvements: u64,
 }
 
+/// The makespan change from toggling the checkpoint decision at `pos`: only
+/// the segments adjacent to `pos` are re-evaluated (three exp-free table
+/// costs), not the whole schedule.
+fn toggle_delta(table: &SegmentCostTable, checkpoints: &[bool], pos: usize) -> f64 {
+    let start = checkpoints[..pos].iter().rposition(|&c| c).map_or(0, |q| q + 1);
+    let next = pos
+        + 1
+        + checkpoints[pos + 1..]
+            .iter()
+            .position(|&c| c)
+            .expect("the final checkpoint is mandatory");
+    if checkpoints[pos] {
+        // Removing the checkpoint merges the two segments around pos.
+        -table.split_delta(start, pos, next)
+    } else {
+        // Adding one splits the segment containing pos.
+        table.split_delta(start, pos, next)
+    }
+}
+
 /// First-improvement local search over a schedule.
 ///
 /// Two move families are explored repeatedly until a full pass yields no
 /// improvement (or `max_passes` passes have been made):
 ///
-/// 1. toggling the checkpoint decision at any non-final position;
+/// 1. toggling the checkpoint decision at any non-final position — evaluated
+///    incrementally through the order's [`SegmentCostTable`], so a toggle
+///    costs three exp-free segment costs instead of a full re-evaluation;
 /// 2. swapping two adjacent tasks in the order, when the swap keeps the order
-///    topologically valid.
+///    topologically valid (an order change rebuilds the table once).
 ///
 /// The search is deterministic; it never degrades the starting schedule.
 ///
@@ -155,7 +179,8 @@ pub fn local_search(
 ) -> Result<LocalSearchResult, ScheduleError> {
     let mut order: Vec<TaskId> = start.order().to_vec();
     let mut checkpoints: Vec<bool> = start.checkpoint_after().to_vec();
-    let mut best_value = expected_makespan(instance, &start)?;
+    let mut table = segment_cost_table(instance, &order)?;
+    let mut best_value = table.total_cost(&checkpoints);
     let mut improvements = 0u64;
     let n = order.len();
 
@@ -164,15 +189,12 @@ pub fn local_search(
 
         // Move family 1: toggle checkpoint decisions (the final one is fixed).
         for pos in 0..n.saturating_sub(1) {
-            checkpoints[pos] = !checkpoints[pos];
-            let candidate = Schedule::new(instance, order.clone(), checkpoints.clone())?;
-            let value = expected_makespan(instance, &candidate)?;
-            if value + 1e-12 < best_value {
-                best_value = value;
+            let delta = toggle_delta(&table, &checkpoints, pos);
+            if delta < -1e-12 {
+                checkpoints[pos] = !checkpoints[pos];
+                best_value += delta;
                 improvements += 1;
                 improved = true;
-            } else {
-                checkpoints[pos] = !checkpoints[pos];
             }
         }
 
@@ -180,10 +202,11 @@ pub fn local_search(
         for pos in 0..n.saturating_sub(1) {
             order.swap(pos, pos + 1);
             if topo::is_topological_order(instance.graph(), &order) {
-                let candidate = Schedule::new(instance, order.clone(), checkpoints.clone())?;
-                let value = expected_makespan(instance, &candidate)?;
+                let candidate_table = segment_cost_table(instance, &order)?;
+                let value = candidate_table.total_cost(&checkpoints);
                 if value + 1e-12 < best_value {
                     best_value = value;
+                    table = candidate_table;
                     improvements += 1;
                     improved = true;
                     continue;
@@ -198,7 +221,10 @@ pub fn local_search(
     }
 
     let schedule = Schedule::new(instance, order, checkpoints)?;
-    Ok(LocalSearchResult { schedule, expected_makespan: best_value, improvements })
+    // Report the exact analytical value of the final schedule rather than the
+    // incrementally tracked one (they agree to ~1e-12 relative error).
+    let expected_makespan = expected_makespan(instance, &schedule)?;
+    Ok(LocalSearchResult { schedule, expected_makespan, improvements })
 }
 
 /// End-to-end heuristic for independent tasks (the Proposition 2 setting):
@@ -242,10 +268,7 @@ mod tests {
         let inst = independent_instance(&[10.0; 7], 1.0, 1e-3);
         let s = checkpoint_every_k(&inst, id_order(7), 3).unwrap();
         // Positions 2, 5 and the final 6.
-        assert_eq!(
-            s.checkpoint_after(),
-            &[false, false, true, false, false, true, true]
-        );
+        assert_eq!(s.checkpoint_after(), &[false, false, true, false, false, true, true]);
         assert!(checkpoint_every_k(&inst, id_order(7), 0).is_err());
     }
 
@@ -278,7 +301,11 @@ mod tests {
         let inst = independent_instance(&[600.0; 20], 60.0, 1.0 / 10_000.0);
         let s = young_periodic_schedule(&inst, id_order(20)).unwrap();
         // Young period = sqrt(2*60*10000) ≈ 1095 s → groups of 2 tasks.
-        assert!(s.checkpoint_count() >= 9 && s.checkpoint_count() <= 11, "{}", s.checkpoint_count());
+        assert!(
+            s.checkpoint_count() >= 9 && s.checkpoint_count() <= 11,
+            "{}",
+            s.checkpoint_count()
+        );
     }
 
     #[test]
@@ -322,7 +349,8 @@ mod tests {
 
     #[test]
     fn heuristic_is_close_to_brute_force_on_small_instances() {
-        let inst = independent_instance(&[320.0, 75.0, 410.0, 150.0, 260.0, 90.0], 30.0, 1.0 / 1_500.0);
+        let inst =
+            independent_instance(&[320.0, 75.0, 410.0, 150.0, 260.0, 90.0], 30.0, 1.0 / 1_500.0);
         let heuristic = independent_tasks_heuristic(&inst, 100).unwrap();
         let brute = brute_force::optimal_schedule(&inst).unwrap();
         let gap = heuristic.expected_makespan / brute.expected_makespan;

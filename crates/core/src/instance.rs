@@ -319,9 +319,7 @@ mod tests {
     #[test]
     fn builder_validates_lengths_and_values() {
         assert!(matches!(
-            ProblemInstance::builder(chain3())
-                .checkpoint_costs(vec![1.0, 2.0])
-                .build(),
+            ProblemInstance::builder(chain3()).checkpoint_costs(vec![1.0, 2.0]).build(),
             Err(ScheduleError::CostVectorLength { .. })
         ));
         assert!(matches!(
@@ -332,10 +330,7 @@ mod tests {
             Err(ScheduleError::CostVectorLength { .. })
         ));
         assert!(ProblemInstance::builder(chain3()).build().is_err()); // no costs given
-        assert!(ProblemInstance::builder(chain3())
-            .uniform_checkpoint_cost(-1.0)
-            .build()
-            .is_err());
+        assert!(ProblemInstance::builder(chain3()).uniform_checkpoint_cost(-1.0).build().is_err());
         assert!(ProblemInstance::builder(chain3())
             .uniform_checkpoint_cost(1.0)
             .downtime(-1.0)

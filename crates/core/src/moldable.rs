@@ -55,9 +55,9 @@ pub fn expected_time_on(
     scenario: &ScalingScenario,
     p: u32,
 ) -> Result<f64, ScheduleError> {
-    let params: ExecutionParams = scenario
-        .instantiate(task.sequential_work, p)
-        .map_err(|_| ScheduleError::NonPositiveParameter { name: "processors", value: f64::from(p) })?;
+    let params: ExecutionParams = scenario.instantiate(task.sequential_work, p).map_err(|_| {
+        ScheduleError::NonPositiveParameter { name: "processors", value: f64::from(p) }
+    })?;
     Ok(expected_time(&params))
 }
 

@@ -174,10 +174,7 @@ impl Schedule {
     /// The failure-free makespan of the schedule: all work plus the cost of
     /// every checkpoint taken.
     pub fn failure_free_makespan(&self, instance: &ProblemInstance) -> f64 {
-        self.segments(instance)
-            .iter()
-            .map(|s| s.work + s.checkpoint)
-            .sum()
+        self.segments(instance).iter().map(|s| s.work + s.checkpoint).sum()
     }
 }
 

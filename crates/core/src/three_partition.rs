@@ -53,7 +53,7 @@ impl ThreePartitionInstance {
     /// not a positive multiple of 3, the values do not sum to `n·target`, or
     /// some value lies outside `(target/4, target/2)`.
     pub fn new(values: Vec<u64>, target: u64) -> Result<Self, ScheduleError> {
-        if values.is_empty() || values.len() % 3 != 0 {
+        if values.is_empty() || !values.len().is_multiple_of(3) {
             return Err(ScheduleError::InvalidThreePartition {
                 reason: "the number of values must be a positive multiple of 3",
             });
@@ -99,7 +99,7 @@ impl ThreePartitionInstance {
     /// Returns [`ScheduleError::InvalidThreePartition`] if `n == 0` or `target`
     /// is too small or not a multiple of 4.
     pub fn generate_yes(n: usize, target: u64, seed: u64) -> Result<Self, ScheduleError> {
-        if n == 0 || target < 8 || target % 4 != 0 {
+        if n == 0 || target < 8 || !target.is_multiple_of(4) {
             return Err(ScheduleError::InvalidThreePartition {
                 reason: "need n >= 1 and a target that is a multiple of 4 and at least 8",
             });
@@ -212,8 +212,7 @@ impl ThreePartitionInstance {
         let lambda = 1.0 / (2.0 * t);
         let c = (std::f64::consts::LN_2 - 0.5) / lambda;
         let weights: Vec<f64> = self.values.iter().map(|&v| v as f64).collect();
-        let graph = generators::independent(&weights)
-            .map_err(|_| ScheduleError::EmptyInstance)?;
+        let graph = generators::independent(&weights).map_err(|_| ScheduleError::EmptyInstance)?;
         // All checkpoint *and* recovery costs equal C, including the recovery
         // of the initial state: this way every segment of total work W costs
         // exactly e^{λC}(e^{λ(W+C)} − 1)/λ, the quantity the proof of
@@ -436,9 +435,7 @@ mod tests {
         let inst = yes_instance();
         let red = inst.reduce().unwrap();
         // Group sums wrong (91 and 109 instead of 100 and 100).
-        assert!(inst
-            .schedule_from_partition(&red, &[vec![0, 1, 3], vec![2, 4, 5]])
-            .is_err());
+        assert!(inst.schedule_from_partition(&red, &[vec![0, 1, 3], vec![2, 4, 5]]).is_err());
         // Missing values.
         let partition = inst.solve_exact().unwrap().unwrap();
         assert!(inst.schedule_from_partition(&red, &partition[..1]).is_err());

@@ -47,7 +47,9 @@ impl fmt::Display for GraphError {
             GraphError::CycleDetected { from, to } => {
                 write!(f, "adding edge {from} -> {to} would create a cycle")
             }
-            GraphError::UnknownTask { task } => write!(f, "task {task} does not belong to this graph"),
+            GraphError::UnknownTask { task } => {
+                write!(f, "task {task} does not belong to this graph")
+            }
             GraphError::DuplicateEdge { from, to } => {
                 write!(f, "edge {from} -> {to} already exists")
             }

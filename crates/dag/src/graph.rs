@@ -229,9 +229,7 @@ impl TaskGraph {
 
     /// Whether the edge `from → to` exists.
     pub fn has_edge(&self, from: TaskId, to: TaskId) -> bool {
-        self.successors
-            .get(from.0)
-            .is_some_and(|succ| succ.contains(&to))
+        self.successors.get(from.0).is_some_and(|succ| succ.contains(&to))
     }
 
     /// Whether `to` is reachable from `from` following dependence edges
@@ -344,10 +342,7 @@ mod tests {
     #[test]
     fn cycle_is_rejected() {
         let (mut g, a, _b, c) = three_chain();
-        assert!(matches!(
-            g.add_dependency(c, a),
-            Err(GraphError::CycleDetected { .. })
-        ));
+        assert!(matches!(g.add_dependency(c, a), Err(GraphError::CycleDetected { .. })));
         // Graph unchanged.
         assert_eq!(g.edge_count(), 2);
     }
@@ -356,19 +351,13 @@ mod tests {
     fn self_loop_and_duplicate_rejected() {
         let (mut g, a, b, _c) = three_chain();
         assert!(matches!(g.add_dependency(a, a), Err(GraphError::SelfLoop { .. })));
-        assert!(matches!(
-            g.add_dependency(a, b),
-            Err(GraphError::DuplicateEdge { .. })
-        ));
+        assert!(matches!(g.add_dependency(a, b), Err(GraphError::DuplicateEdge { .. })));
     }
 
     #[test]
     fn unknown_task_rejected() {
         let (mut g, a, _b, _c) = three_chain();
-        assert!(matches!(
-            g.add_dependency(a, TaskId(99)),
-            Err(GraphError::UnknownTask { .. })
-        ));
+        assert!(matches!(g.add_dependency(a, TaskId(99)), Err(GraphError::UnknownTask { .. })));
         assert!(g.get_task(TaskId(99)).is_none());
     }
 

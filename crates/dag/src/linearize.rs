@@ -14,9 +14,11 @@ use crate::topo::{is_topological_order, random_topological_order};
 /// How to turn a DAG into a sequential execution order.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
 pub enum LinearizationStrategy {
     /// Kahn's algorithm with smallest-id tie-breaking (deterministic,
     /// insertion order for independent tasks).
+    #[default]
     IdOrder,
     /// Among ready tasks, execute the heaviest first (Longest Processing
     /// Time first restricted to ready tasks).
@@ -28,12 +30,6 @@ pub enum LinearizationStrategy {
     CriticalPathFirst,
     /// Random topological order driven by the given seed (reproducible).
     Random(u64),
-}
-
-impl Default for LinearizationStrategy {
-    fn default() -> Self {
-        LinearizationStrategy::IdOrder
-    }
 }
 
 impl std::fmt::Display for LinearizationStrategy {
@@ -62,9 +58,7 @@ pub fn linearize(graph: &TaskGraph, strategy: LinearizationStrategy) -> Vec<Task
         }
         LinearizationStrategy::CriticalPathFirst => {
             let downstream = downstream_weight(graph);
-            priority_order(graph, move |g, id| {
-                float_priority(downstream[id.0] + g.weight(id))
-            })
+            priority_order(graph, move |g, id| float_priority(downstream[id.0] + g.weight(id)))
         }
         LinearizationStrategy::Random(seed) => {
             // A tiny SplitMix64 step, local to this module, keeps the crate
@@ -90,11 +84,8 @@ fn downstream_weight(graph: &TaskGraph) -> Vec<f64> {
     for &task in order.iter().rev() {
         // Sum over direct successors of (their weight + their downstream).
         // This over-counts shared descendants, which is fine for a priority.
-        downstream[task.0] = graph
-            .successors(task)
-            .iter()
-            .map(|&s| graph.weight(s) + downstream[s.0])
-            .sum();
+        downstream[task.0] =
+            graph.successors(task).iter().map(|&s| graph.weight(s) + downstream[s.0]).sum();
     }
     downstream
 }
@@ -114,10 +105,7 @@ where
 {
     let n = graph.task_count();
     let mut in_degree: Vec<usize> = (0..n).map(|i| graph.in_degree(TaskId(i))).collect();
-    let mut ready: Vec<TaskId> = (0..n)
-        .map(TaskId)
-        .filter(|&t| in_degree[t.0] == 0)
-        .collect();
+    let mut ready: Vec<TaskId> = (0..n).map(TaskId).filter(|&t| in_degree[t.0] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while !ready.is_empty() {
         let (pos, _) = ready
@@ -220,7 +208,7 @@ mod tests {
 
     #[test]
     fn random_orders_differ_across_seeds_but_not_within() {
-        let g = generators::independent(&vec![1.0; 8]).unwrap();
+        let g = generators::independent(&[1.0; 8]).unwrap();
         let a = linearize(&g, LinearizationStrategy::Random(1));
         let b = linearize(&g, LinearizationStrategy::Random(1));
         let c = linearize(&g, LinearizationStrategy::Random(2));

@@ -24,10 +24,7 @@ pub fn as_chain(graph: &TaskGraph) -> Option<Vec<TaskId>> {
     if graph.edge_count() != n - 1 {
         return None;
     }
-    if graph
-        .task_ids()
-        .any(|t| graph.in_degree(t) > 1 || graph.out_degree(t) > 1)
-    {
+    if graph.task_ids().any(|t| graph.in_degree(t) > 1 || graph.out_degree(t) > 1) {
         return None;
     }
     let sources = graph.sources();

@@ -57,10 +57,7 @@ pub fn is_topological_order(graph: &TaskGraph, order: &[TaskId]) -> bool {
         }
         position[task.0] = pos;
     }
-    graph
-        .edges()
-        .into_iter()
-        .all(|(from, to)| position[from.0] < position[to.0])
+    graph.edges().into_iter().all(|(from, to)| position[from.0] < position[to.0])
 }
 
 /// Computes a random topological order, using the provided uniform variates.
@@ -162,12 +159,7 @@ pub fn levels(graph: &TaskGraph) -> Vec<Vec<TaskId>> {
     let mut level = vec![0usize; graph.task_count()];
     let mut max_level = 0;
     for &task in &order {
-        let lvl = graph
-            .predecessors(task)
-            .iter()
-            .map(|p| level[p.0] + 1)
-            .max()
-            .unwrap_or(0);
+        let lvl = graph.predecessors(task).iter().map(|p| level[p.0] + 1).max().unwrap_or(0);
         level[task.0] = lvl;
         max_level = max_level.max(lvl);
     }
@@ -223,15 +215,9 @@ mod tests {
         // Duplicate.
         assert!(!is_topological_order(&g, &[TaskId(0), TaskId(0), TaskId(1), TaskId(2)]));
         // Edge violated (d before b).
-        assert!(!is_topological_order(
-            &g,
-            &[TaskId(0), TaskId(2), TaskId(3), TaskId(1)]
-        ));
+        assert!(!is_topological_order(&g, &[TaskId(0), TaskId(2), TaskId(3), TaskId(1)]));
         // Unknown id.
-        assert!(!is_topological_order(
-            &g,
-            &[TaskId(0), TaskId(1), TaskId(2), TaskId(9)]
-        ));
+        assert!(!is_topological_order(&g, &[TaskId(0), TaskId(1), TaskId(2), TaskId(9)]));
     }
 
     #[test]
@@ -268,7 +254,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "refusing to enumerate")]
     fn all_orders_guards_against_large_graphs() {
-        let g = generators::independent(&vec![1.0; 13]).unwrap();
+        let g = generators::independent(&[1.0; 13]).unwrap();
         let _ = all_topological_orders(&g);
     }
 

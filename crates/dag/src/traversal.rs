@@ -28,10 +28,7 @@ pub fn ancestors(graph: &TaskGraph, task: TaskId) -> Vec<TaskId> {
             }
         }
     }
-    seen.iter()
-        .enumerate()
-        .filter_map(|(i, &s)| if s { Some(TaskId(i)) } else { None })
-        .collect()
+    seen.iter().enumerate().filter_map(|(i, &s)| if s { Some(TaskId(i)) } else { None }).collect()
 }
 
 /// The set of proper descendants of `task` (tasks reachable from `task`,
@@ -52,10 +49,7 @@ pub fn descendants(graph: &TaskGraph, task: TaskId) -> Vec<TaskId> {
             }
         }
     }
-    seen.iter()
-        .enumerate()
-        .filter_map(|(i, &s)| if s { Some(TaskId(i)) } else { None })
-        .collect()
+    seen.iter().enumerate().filter_map(|(i, &s)| if s { Some(TaskId(i)) } else { None }).collect()
 }
 
 /// The full transitive closure as a boolean reachability matrix:
@@ -97,10 +91,7 @@ pub fn transitive_reduction(graph: &TaskGraph) -> Vec<(TaskId, TaskId)> {
     for (from, to) in graph.edges() {
         // The edge from->to is redundant if some other successor s of `from`
         // reaches `to`.
-        let redundant = graph
-            .successors(from)
-            .iter()
-            .any(|&s| s != to && closure[s.0][to.0]);
+        let redundant = graph.successors(from).iter().any(|&s| s != to && closure[s.0][to.0]);
         if !redundant {
             reduced.push((from, to));
         }
@@ -120,12 +111,7 @@ pub fn live_tasks(graph: &TaskGraph, completed: &BTreeSet<TaskId>) -> Vec<TaskId
     completed
         .iter()
         .copied()
-        .filter(|&t| {
-            graph
-                .successors(t)
-                .iter()
-                .any(|succ| !completed.contains(succ))
-        })
+        .filter(|&t| graph.successors(t).iter().any(|succ| !completed.contains(succ)))
         .collect()
 }
 
@@ -169,10 +155,10 @@ mod tests {
     fn closure_matches_reachability() {
         let g = diamond();
         let closure = transitive_closure(&g);
-        for i in 0..4 {
-            for j in 0..4 {
+        for (i, row) in closure.iter().enumerate() {
+            for (j, &reachable) in row.iter().enumerate() {
                 assert_eq!(
-                    closure[i][j],
+                    reachable,
                     g.is_reachable(TaskId(i), TaskId(j)),
                     "mismatch at ({i},{j})"
                 );
@@ -184,9 +170,9 @@ mod tests {
     fn closure_of_chain_is_upper_triangular() {
         let g = generators::chain(&[1.0; 5]).unwrap();
         let closure = transitive_closure(&g);
-        for i in 0..5 {
-            for j in 0..5 {
-                assert_eq!(closure[i][j], j >= i);
+        for (i, row) in closure.iter().enumerate() {
+            for (j, &reachable) in row.iter().enumerate() {
+                assert_eq!(reachable, j >= i);
             }
         }
     }

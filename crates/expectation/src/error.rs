@@ -54,7 +54,9 @@ impl fmt::Display for ExpectationError {
             ExpectationError::FractionOutOfRange { name, value } => {
                 write!(f, "parameter `{name}` must lie in [0, 1], got {value}")
             }
-            ExpectationError::ZeroProcessors => write!(f, "the platform needs at least one processor"),
+            ExpectationError::ZeroProcessors => {
+                write!(f, "the platform needs at least one processor")
+            }
         }
     }
 }

@@ -26,6 +26,11 @@
 //!   checkpoint-overhead models `C(p)` ([`overhead`]);
 //! * small, dependency-free numerical utilities ([`numeric`]).
 //!
+//! For solvers that evaluate Proposition 1 over many segments of one fixed
+//! execution order, [`segment_cost::SegmentCostTable`] precomputes the
+//! exponentials once and answers each segment-cost query with a handful of
+//! multiplies instead of two `exp` calls.
+//!
 //! # Example
 //!
 //! ```rust
@@ -48,6 +53,7 @@ pub mod exact;
 pub mod numeric;
 pub mod optimal_period;
 pub mod overhead;
+pub mod segment_cost;
 pub mod waste;
 pub mod workload;
 

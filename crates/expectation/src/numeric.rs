@@ -108,9 +108,7 @@ where
     assert!(samples >= 3, "need at least three samples");
     let step = (hi - lo) / (samples - 1) as f64;
     let values: Vec<f64> = (0..samples).map(|i| f(lo + step * i as f64)).collect();
-    values
-        .windows(3)
-        .all(|w| w[1] <= 0.5 * (w[0] + w[2]) + tol)
+    values.windows(3).all(|w| w[1] <= 0.5 * (w[0] + w[2]) + tol)
 }
 
 /// Summary statistics of a sample: mean, variance (unbiased), standard

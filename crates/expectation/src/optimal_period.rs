@@ -118,7 +118,12 @@ pub fn compare_periods(
         young,
         daly,
         makespan_optimal: periodic_divisible_makespan(
-            w_total, optimal.period, checkpoint, downtime, recovery, lambda,
+            w_total,
+            optimal.period,
+            checkpoint,
+            downtime,
+            recovery,
+            lambda,
         )?,
         makespan_young: periodic_divisible_makespan(
             w_total, young, checkpoint, downtime, recovery, lambda,

@@ -16,10 +16,12 @@ use crate::error::{ensure_positive, ExpectationError};
 /// How checkpoint (and recovery) cost scales with the processor count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
 pub enum OverheadModel {
     /// `C(p) = C_base / p`: per-processor link is the bottleneck.
     Proportional,
     /// `C(p) = C_base`: shared stable storage is the bottleneck.
+    #[default]
     Constant,
 }
 
@@ -39,12 +41,6 @@ impl OverheadModel {
             OverheadModel::Proportional => base / f64::from(p),
             OverheadModel::Constant => base,
         })
-    }
-}
-
-impl Default for OverheadModel {
-    fn default() -> Self {
-        OverheadModel::Constant
     }
 }
 

@@ -88,7 +88,10 @@ pub fn mtbf_for_target_waste(
     ensure_non_negative("downtime", downtime)?;
     ensure_non_negative("recovery", recovery)?;
     if !(0.0..1.0).contains(&target_waste) || target_waste == 0.0 {
-        return Err(ExpectationError::FractionOutOfRange { name: "target_waste", value: target_waste });
+        return Err(ExpectationError::FractionOutOfRange {
+            name: "target_waste",
+            value: target_waste,
+        });
     }
     let waste_at = |lambda: f64| -> f64 {
         let opt = crate::optimal_period::optimal_period(c, downtime, recovery, lambda)

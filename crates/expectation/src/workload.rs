@@ -16,8 +16,10 @@ use crate::error::{ensure_fraction, ensure_non_negative, ensure_positive, Expect
 /// How a task's execution time scales with the processor count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
 pub enum WorkloadModel {
     /// `W(p) = W_total / p`: embarrassingly parallel work.
+    #[default]
     PerfectlyParallel,
     /// `W(p) = (1 − γ)·W_total/p + γ·W_total`: Amdahl's law with sequential
     /// fraction `γ ∈ [0, 1]`.
@@ -93,18 +95,14 @@ impl WorkloadModel {
     }
 }
 
-impl Default for WorkloadModel {
-    fn default() -> Self {
-        WorkloadModel::PerfectlyParallel
-    }
-}
-
 impl std::fmt::Display for WorkloadModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WorkloadModel::PerfectlyParallel => write!(f, "perfectly-parallel"),
             WorkloadModel::Amdahl { gamma } => write!(f, "amdahl(gamma={gamma})"),
-            WorkloadModel::NumericalKernel { gamma } => write!(f, "numerical-kernel(gamma={gamma})"),
+            WorkloadModel::NumericalKernel { gamma } => {
+                write!(f, "numerical-kernel(gamma={gamma})")
+            }
         }
     }
 }

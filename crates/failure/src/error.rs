@@ -74,7 +74,10 @@ impl fmt::Display for FailureModelError {
                 write!(f, "mixture weights must be non-negative and sum to a positive value")
             }
             FailureModelError::NonMonotoneTrace { index } => {
-                write!(f, "failure trace timestamps must be non-decreasing (violated at index {index})")
+                write!(
+                    f,
+                    "failure trace timestamps must be non-decreasing (violated at index {index})"
+                )
             }
             FailureModelError::UnknownProcessor { processor, platform_size } => {
                 write!(
@@ -100,7 +103,10 @@ pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<f64, Fai
 }
 
 /// Validates that `value` is finite and non-negative.
-pub(crate) fn ensure_non_negative(name: &'static str, value: f64) -> Result<f64, FailureModelError> {
+pub(crate) fn ensure_non_negative(
+    name: &'static str,
+    value: f64,
+) -> Result<f64, FailureModelError> {
     if !value.is_finite() {
         return Err(FailureModelError::NonFiniteParameter { name, value });
     }

@@ -18,11 +18,7 @@ use crate::weibull::Weibull;
 ///
 /// Returns an empty vector for traces with fewer than two events.
 pub fn platform_interarrivals(trace: &FailureTrace) -> Vec<f64> {
-    trace
-        .events()
-        .windows(2)
-        .map(|w| w[1].time - w[0].time)
-        .collect()
+    trace.events().windows(2).map(|w| w[1].time - w[0].time).collect()
 }
 
 /// Maximum-likelihood Exponential fit: `λ = 1 / mean`.
@@ -54,9 +50,13 @@ pub fn fit_weibull(samples: &[f64]) -> Result<Weibull, FailureModelError> {
         });
     }
     let mean = positive_mean(samples)?;
-    let variance = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
+    let variance =
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
     if variance <= 0.0 {
-        return Err(FailureModelError::NonPositiveParameter { name: "sample variance", value: variance });
+        return Err(FailureModelError::NonPositiveParameter {
+            name: "sample variance",
+            value: variance,
+        });
     }
     let target_cv = variance.sqrt() / mean;
 
@@ -165,11 +165,7 @@ mod tests {
             let law = Weibull::with_mean(shape, 5_000.0).unwrap();
             let samples = samples_from(&law, 80_000, 7);
             let fit = fit_weibull(&samples).unwrap();
-            assert!(
-                (fit.shape() - shape).abs() < 0.1,
-                "shape {shape}: fitted {}",
-                fit.shape()
-            );
+            assert!((fit.shape() - shape).abs() < 0.1, "shape {shape}: fitted {}", fit.shape());
             assert!((fit.mean() - 5_000.0).abs() / 5_000.0 < 0.05);
         }
     }

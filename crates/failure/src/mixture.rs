@@ -88,18 +88,20 @@ impl Mixture {
     /// Returns [`FailureModelError::EmptyMixture`] if no components are given,
     /// and [`FailureModelError::InvalidMixtureWeights`] if any weight is
     /// negative, non-finite, or all weights are zero.
-    pub fn new(components: Vec<(f64, Box<dyn FailureDistribution>)>) -> Result<Self, FailureModelError> {
+    pub fn new(
+        components: Vec<(f64, Box<dyn FailureDistribution>)>,
+    ) -> Result<Self, FailureModelError> {
         if components.is_empty() {
             return Err(FailureModelError::EmptyMixture);
         }
         let total: f64 = components.iter().map(|(w, _)| *w).sum();
-        if !total.is_finite() || total <= 0.0 || components.iter().any(|(w, _)| *w < 0.0 || !w.is_finite()) {
+        if !total.is_finite()
+            || total <= 0.0
+            || components.iter().any(|(w, _)| *w < 0.0 || !w.is_finite())
+        {
             return Err(FailureModelError::InvalidMixtureWeights);
         }
-        let normalised = components
-            .into_iter()
-            .map(|(w, d)| (w / total, d))
-            .collect();
+        let normalised = components.into_iter().map(|(w, d)| (w / total, d)).collect();
         Ok(Mixture { components: normalised })
     }
 
@@ -135,11 +137,7 @@ impl FailureDistribution for Mixture {
             }
         }
         // Floating-point slack: fall through to the last component.
-        self.components
-            .last()
-            .expect("mixture is never empty")
-            .1
-            .sample(rng)
+        self.components.last().expect("mixture is never empty").1.sample(rng)
     }
 
     fn pdf(&self, x: f64) -> f64 {
@@ -158,13 +156,9 @@ impl FailureDistribution for Mixture {
         assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
         // Bisection on the mixture CDF (monotone).
         let mut lo = 0.0;
-        let mut hi = self
-            .components
-            .iter()
-            .map(|(_, d)| d.quantile(p.max(0.5)))
-            .fold(1.0, f64::max)
-            * 4.0
-            + 1.0;
+        let mut hi =
+            self.components.iter().map(|(_, d)| d.quantile(p.max(0.5))).fold(1.0, f64::max) * 4.0
+                + 1.0;
         // Grow `hi` until it brackets the quantile.
         while self.cdf(hi) < p {
             hi *= 2.0;

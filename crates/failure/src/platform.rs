@@ -123,11 +123,8 @@ impl PlatformFailureProcess {
         }
         let root = Pcg64::seed_from_u64(seed);
         let mut rngs: Vec<Pcg64> = (0..laws.len()).map(|i| root.derive(i as u64)).collect();
-        let next: Vec<f64> = laws
-            .iter()
-            .zip(rngs.iter_mut())
-            .map(|(law, rng)| law.sample(rng))
-            .collect();
+        let next: Vec<f64> =
+            laws.iter().zip(rngs.iter_mut()).map(|(law, rng)| law.sample(rng)).collect();
         Ok(PlatformFailureProcess {
             birth: vec![0.0; laws.len()],
             laws,

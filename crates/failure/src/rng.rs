@@ -160,7 +160,9 @@ impl Pcg64 {
     /// each other and of the parent.
     pub fn derive(&self, index: u64) -> Pcg64 {
         let mut sm = SplitMix64::seed_from_u64(
-            (self.state as u64) ^ ((self.state >> 64) as u64).rotate_left(17) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            (self.state as u64)
+                ^ ((self.state >> 64) as u64).rotate_left(17)
+                ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let a = sm.next_u64() as u128;
         let b = sm.next_u64() as u128;
@@ -170,10 +172,7 @@ impl Pcg64 {
     }
 
     fn step(&mut self) {
-        self.state = self
-            .state
-            .wrapping_mul(PCG_MULTIPLIER)
-            .wrapping_add(self.increment);
+        self.state = self.state.wrapping_mul(PCG_MULTIPLIER).wrapping_add(self.increment);
     }
 }
 

@@ -144,12 +144,7 @@ impl FailureTrace {
 
     /// Restricts the trace to events in `[0, horizon]`.
     pub fn truncated(&self, horizon: f64) -> FailureTrace {
-        let events = self
-            .events
-            .iter()
-            .copied()
-            .take_while(|e| e.time <= horizon)
-            .collect();
+        let events = self.events.iter().copied().take_while(|e| e.time <= horizon).collect();
         FailureTrace { processors: self.processors, events }
     }
 }
@@ -206,11 +201,7 @@ impl TraceGenerator {
         laws: Vec<Box<dyn FailureDistribution>>,
         horizon: f64,
     ) -> FailureTrace {
-        assert_eq!(
-            laws.len(),
-            self.processors,
-            "need exactly one law per processor"
-        );
+        assert_eq!(laws.len(), self.processors, "need exactly one law per processor");
         let mut platform = PlatformFailureProcess::heterogeneous(laws, self.seed)
             .expect("processors > 0 was validated at construction");
         let mut events = Vec::new();

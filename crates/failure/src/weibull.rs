@@ -211,9 +211,8 @@ mod tests {
         let elapsed = 2000.0;
         let n = 50_000;
         let threshold = 500.0;
-        let survived = (0..n)
-            .filter(|_| w.sample_remaining(elapsed, &mut rng) > threshold)
-            .count() as f64
+        let survived = (0..n).filter(|_| w.sample_remaining(elapsed, &mut rng) > threshold).count()
+            as f64
             / n as f64;
         let expected = w.conditional_survival(elapsed, threshold);
         assert!((survived - expected).abs() < 0.01, "empirical {survived} vs {expected}");

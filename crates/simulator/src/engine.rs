@@ -160,10 +160,7 @@ mod tests {
     #[test]
     fn empty_schedule_is_rejected() {
         let mut stream = NoFailureStream;
-        assert!(matches!(
-            simulate(&[], 0.0, &mut stream),
-            Err(SimulationError::EmptySchedule)
-        ));
+        assert!(matches!(simulate(&[], 0.0, &mut stream), Err(SimulationError::EmptySchedule)));
     }
 
     #[test]

@@ -207,7 +207,7 @@ mod tests {
         assert_eq!(log.attempts_for_segment(0), 1);
         assert_eq!(log.attempts_for_segment(1), 1);
         assert_eq!(log.events.len(), 4); // 2 starts + 2 completions
-        // Events are chronologically ordered.
+                                         // Events are chronologically ordered.
         assert!(log.events.windows(2).all(|w| w[0].time() <= w[1].time()));
     }
 
@@ -256,11 +256,9 @@ mod tests {
     fn failure_count_matches_failure_events() {
         let mut stream = ScriptedStream::new(vec![20.0, 60.0, 400.0]);
         let log = simulate_with_log(&[seg(100.0, 0.0, 50.0)], 10.0, &mut stream).unwrap();
-        let failure_events = log
-            .events
-            .iter()
-            .filter(|e| matches!(e, ExecutionEvent::Failure { .. }))
-            .count() as u64;
+        let failure_events =
+            log.events.iter().filter(|e| matches!(e, ExecutionEvent::Failure { .. })).count()
+                as u64;
         assert_eq!(log.failures, failure_events);
     }
 }

@@ -1,9 +1,15 @@
 //! Monte-Carlo driver: repeat an execution many times and summarise.
+//!
+//! Trials are embarrassingly parallel and run across threads
+//! ([`SimulationScenario::with_threads`]); every trial derives its own RNG
+//! stream from the master seed and the trial index, and the aggregation pass
+//! walks trials in index order, so outcomes are **bit-identical for any
+//! thread count** at the same seed.
 
 use ckpt_expectation::numeric::SampleStats;
 use ckpt_failure::{FailureDistribution, Pcg64, PlatformFailureProcess, RandomSource};
 
-use crate::engine::{simulate, TimeBreakdown};
+use crate::engine::{simulate, ExecutionRecord, TimeBreakdown};
 use crate::error::SimulationError;
 use crate::segment::Segment;
 use crate::stream::{ExponentialStream, FailureStream, PlatformStream};
@@ -14,10 +20,7 @@ enum FailureModel {
     /// Platform-level Exponential process with the given rate.
     Exponential { lambda: f64 },
     /// Superposition of `p` per-processor processes drawn from a prototype law.
-    Platform {
-        processors: usize,
-        law: std::sync::Arc<dyn FailureDistribution>,
-    },
+    Platform { processors: usize, law: std::sync::Arc<dyn FailureDistribution + Send + Sync> },
 }
 
 /// A reusable Monte-Carlo simulation configuration.
@@ -31,6 +34,8 @@ pub struct SimulationScenario {
     downtime: f64,
     trials: usize,
     seed: u64,
+    /// Worker threads; `0` means one per available core.
+    threads: usize,
 }
 
 /// Aggregated outcome of a Monte-Carlo run.
@@ -63,10 +68,14 @@ impl MonteCarloOutcome {
     pub fn makespan_quantile(&self, q: f64) -> f64 {
         assert!(q > 0.0 && q < 1.0, "quantile requires q in (0, 1)");
         assert!(!self.samples.is_empty(), "no samples collected");
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("makespans are finite"));
-        let idx = ((sorted.len() as f64) * q).floor() as usize;
-        sorted[idx.min(sorted.len() - 1)]
+        // `select_nth_unstable_by` partitions in O(n) instead of the
+        // O(n log n) full sort; `samples` stays in trial order, so the
+        // selection works on a scratch copy.
+        let mut scratch = self.samples.clone();
+        let idx = (((scratch.len() as f64) * q).floor() as usize).min(scratch.len() - 1);
+        let (_, nth, _) = scratch
+            .select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("makespans are finite"));
+        *nth
     }
 }
 
@@ -79,6 +88,7 @@ impl SimulationScenario {
             downtime: 0.0,
             trials: 1000,
             seed: 0x5EED,
+            threads: 0,
         }
     }
 
@@ -86,13 +96,14 @@ impl SimulationScenario {
     /// (the §6 general-distribution extension).
     pub fn platform<D>(processors: usize, law: D) -> Self
     where
-        D: FailureDistribution + 'static,
+        D: FailureDistribution + Send + Sync + 'static,
     {
         SimulationScenario {
             model: FailureModel::Platform { processors, law: std::sync::Arc::new(law) },
             downtime: 0.0,
             trials: 1000,
             seed: 0x5EED,
+            threads: 0,
         }
     }
 
@@ -116,9 +127,57 @@ impl SimulationScenario {
         self
     }
 
+    /// Sets the number of worker threads trials are spread across (builder
+    /// style). `0` (the default) uses one worker per available core.
+    ///
+    /// The outcome is **bit-identical for every thread count**: each trial
+    /// derives its own RNG stream from the master seed and its index, and the
+    /// aggregation walks trials in index order regardless of which worker ran
+    /// them.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The configured number of trials.
     pub fn trials(&self) -> usize {
         self.trials
+    }
+
+    /// The number of worker threads a run will actually use.
+    fn effective_threads(&self) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        requested.min(self.trials).max(1)
+    }
+
+    /// Runs one trial: derives the trial's RNG stream deterministically from
+    /// the root generator and the trial index (`hash(seed, trial)`), builds
+    /// the failure stream and simulates the segments once.
+    fn run_trial(
+        &self,
+        trial: usize,
+        segments: &[Segment],
+        root: &Pcg64,
+    ) -> Result<ExecutionRecord, SimulationError> {
+        let mut trial_rng = root.derive(trial as u64);
+        let trial_seed = trial_rng.next_u64();
+        match &self.model {
+            FailureModel::Exponential { lambda } => {
+                let mut stream = ExponentialStream::new(*lambda, trial_seed);
+                simulate(segments, self.downtime, &mut stream)
+            }
+            FailureModel::Platform { processors, law } => {
+                let proto = SharedLaw(std::sync::Arc::clone(law));
+                let process = PlatformFailureProcess::homogeneous(*processors, proto, trial_seed)
+                    .expect("scenario constructors require at least one processor");
+                let mut stream = PlatformStream::new(process);
+                simulate(segments, self.downtime, &mut stream)
+            }
+        }
     }
 
     /// Runs the scenario on the given segment sequence.
@@ -148,31 +207,46 @@ impl SimulationScenario {
         }
         if let FailureModel::Exponential { lambda } = self.model {
             if !lambda.is_finite() || lambda <= 0.0 {
-                return Err(SimulationError::NonPositiveParameter { name: "lambda", value: lambda });
+                return Err(SimulationError::NonPositiveParameter {
+                    name: "lambda",
+                    value: lambda,
+                });
             }
         }
 
         let root = Pcg64::seed_from_u64(self.seed);
+        let workers = self.effective_threads();
+        let mut records: Vec<Option<Result<ExecutionRecord, SimulationError>>> =
+            (0..self.trials).map(|_| None).collect();
+
+        if workers <= 1 {
+            for (trial, slot) in records.iter_mut().enumerate() {
+                *slot = Some(self.run_trial(trial, segments, &root));
+            }
+        } else {
+            // Contiguous chunks, one per worker; each worker writes only its
+            // own slice, so trial `i`'s record always lands in slot `i`.
+            let chunk = self.trials.div_ceil(workers);
+            let root_ref = &root;
+            std::thread::scope(|scope| {
+                for (index, slice) in records.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        let base = index * chunk;
+                        for (offset, slot) in slice.iter_mut().enumerate() {
+                            *slot = Some(self.run_trial(base + offset, segments, root_ref));
+                        }
+                    });
+                }
+            });
+        }
+
+        // Aggregate strictly in trial order: the summation order (and hence
+        // every floating-point result) is independent of the thread count.
         let mut makespans = Vec::with_capacity(self.trials);
         let mut failures = Vec::with_capacity(self.trials);
         let mut breakdown_sum = TimeBreakdown::default();
-
-        for trial in 0..self.trials {
-            let mut trial_rng = root.derive(trial as u64);
-            let trial_seed = trial_rng.next_u64();
-            let record = match &self.model {
-                FailureModel::Exponential { lambda } => {
-                    let mut stream = ExponentialStream::new(*lambda, trial_seed);
-                    simulate(segments, self.downtime, &mut stream)?
-                }
-                FailureModel::Platform { processors, law } => {
-                    let proto = SharedLaw(std::sync::Arc::clone(law));
-                    let process = PlatformFailureProcess::homogeneous(*processors, proto, trial_seed)
-                        .expect("scenario constructors require at least one processor");
-                    let mut stream = PlatformStream::new(process);
-                    simulate(segments, self.downtime, &mut stream)?
-                }
-            };
+        for slot in records {
+            let record = slot.expect("every trial slot is filled")?;
             makespans.push(record.makespan);
             failures.push(record.failures as f64);
             breakdown_sum.useful += record.breakdown.useful;
@@ -199,6 +273,8 @@ impl SimulationScenario {
     /// replay recorded traces or scripted failures across trials.
     ///
     /// The factory receives the trial index and must return a fresh stream.
+    /// Runs sequentially regardless of [`SimulationScenario::with_threads`]
+    /// (the `FnMut` factory may carry state across trials).
     ///
     /// # Errors
     ///
@@ -252,7 +328,7 @@ impl SimulationScenario {
 /// hand one copy to every processor; scenarios store the prototype behind an
 /// `Arc`, and this adaptor forwards every trait method to it.
 #[derive(Debug, Clone)]
-struct SharedLaw(std::sync::Arc<dyn FailureDistribution>);
+struct SharedLaw(std::sync::Arc<dyn FailureDistribution + Send + Sync>);
 
 impl FailureDistribution for SharedLaw {
     fn kind(&self) -> ckpt_failure::DistributionKind {
@@ -303,12 +379,53 @@ mod tests {
         let scenario = SimulationScenario::exponential(0.001);
         assert!(matches!(scenario.try_run(&[]), Err(SimulationError::EmptySchedule)));
         let zero = SimulationScenario::exponential(0.001).with_trials(0);
-        assert!(matches!(
-            zero.try_run(&[seg(1.0, 0.0, 0.0)]),
-            Err(SimulationError::ZeroTrials)
-        ));
+        assert!(matches!(zero.try_run(&[seg(1.0, 0.0, 0.0)]), Err(SimulationError::ZeroTrials)));
         let bad = SimulationScenario::exponential(0.0);
         assert!(bad.try_run(&[seg(1.0, 0.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn outcomes_are_bit_identical_across_thread_counts() {
+        // The tentpole determinism guarantee: same seed, any worker count,
+        // byte-for-byte identical outcome (samples, stats and breakdown).
+        let segments =
+            vec![seg(1_500.0, 80.0, 40.0), seg(700.0, 20.0, 60.0), seg(2_400.0, 120.0, 30.0)];
+        let scenario = || {
+            SimulationScenario::exponential(1.0 / 2_000.0)
+                .with_downtime(25.0)
+                .with_trials(4_001)
+                .with_seed(0xDEADBEEF)
+        };
+        let single = scenario().with_threads(1).run(&segments);
+        for threads in [2usize, 3, 8, 64] {
+            let multi = scenario().with_threads(threads).run(&segments);
+            assert_eq!(single, multi, "outcome differs at {threads} threads");
+        }
+        let auto = scenario().run(&segments);
+        assert_eq!(single, auto, "outcome differs with automatic thread count");
+    }
+
+    #[test]
+    fn platform_outcomes_are_bit_identical_across_thread_counts() {
+        let segments = vec![seg(3_000.0, 150.0, 90.0)];
+        let scenario = || {
+            SimulationScenario::platform(8, Weibull::with_mean(0.7, 50_000.0).unwrap())
+                .with_downtime(30.0)
+                .with_trials(801)
+                .with_seed(99)
+        };
+        let single = scenario().with_threads(1).run(&segments);
+        let multi = scenario().with_threads(7).run(&segments);
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let outcome = SimulationScenario::exponential(1e-3)
+            .with_trials(3)
+            .with_threads(16)
+            .run(&[seg(10.0, 1.0, 0.0)]);
+        assert_eq!(outcome.samples.len(), 3);
     }
 
     #[test]
@@ -352,7 +469,8 @@ mod tests {
             .iter()
             .map(|s| {
                 expected_time(
-                    &ExecutionParams::new(s.work(), s.checkpoint(), d, s.recovery(), lambda).unwrap(),
+                    &ExecutionParams::new(s.work(), s.checkpoint(), d, s.recovery(), lambda)
+                        .unwrap(),
                 )
             })
             .sum();
@@ -362,10 +480,8 @@ mod tests {
 
     #[test]
     fn breakdown_mean_partitions_mean_makespan() {
-        let scenario = SimulationScenario::exponential(1e-3)
-            .with_downtime(20.0)
-            .with_trials(500)
-            .with_seed(3);
+        let scenario =
+            SimulationScenario::exponential(1e-3).with_downtime(20.0).with_trials(500).with_seed(3);
         let outcome = scenario.run(&[seg(1000.0, 100.0, 50.0)]);
         assert!((outcome.mean_breakdown.total() - outcome.makespan.mean).abs() < 1e-6);
     }

@@ -90,10 +90,8 @@ mod tests {
 
     #[test]
     fn failure_free_makespan_sums_segments() {
-        let segs = vec![
-            Segment::new(100.0, 10.0, 0.0).unwrap(),
-            Segment::new(200.0, 20.0, 10.0).unwrap(),
-        ];
+        let segs =
+            vec![Segment::new(100.0, 10.0, 0.0).unwrap(), Segment::new(200.0, 20.0, 10.0).unwrap()];
         assert_eq!(failure_free_makespan(&segs), 330.0);
         assert_eq!(failure_free_makespan(&[]), 0.0);
     }

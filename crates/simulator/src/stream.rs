@@ -9,9 +9,7 @@
 //!   law (Weibull, log-normal, mixtures), for the §6 extension;
 //! * [`TraceStream`] — replay of a recorded or synthetic failure trace.
 
-use ckpt_failure::{
-    Exponential, FailureDistribution, Pcg64, PlatformFailureProcess, TraceReplay,
-};
+use ckpt_failure::{Exponential, FailureDistribution, Pcg64, PlatformFailureProcess, TraceReplay};
 
 /// A source of platform-level failure instants.
 ///
@@ -178,10 +176,7 @@ impl ScriptedStream {
     ///
     /// Panics if `times` is not sorted in non-decreasing order.
     pub fn new(times: Vec<f64>) -> Self {
-        assert!(
-            times.windows(2).all(|w| w[0] <= w[1]),
-            "scripted failure times must be sorted"
-        );
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "scripted failure times must be sorted");
         ScriptedStream { times }
     }
 }

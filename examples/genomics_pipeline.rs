@@ -38,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let durations: Vec<f64> = stages.iter().map(|s| s.duration).collect();
     let graph = generators::chain(&durations)?;
 
-    println!(
-        "{:<18} {:>10} {:>10} {:>10}",
-        "stage", "duration", "ckpt cost", "recovery"
-    );
+    println!("{:<18} {:>10} {:>10} {:>10}", "stage", "duration", "ckpt cost", "recovery");
     for s in &stages {
         println!("{:<18} {:>10.0} {:>10.0} {:>10.0}", s.name, s.duration, s.checkpoint, s.recovery);
     }
@@ -51,7 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sweep the platform MTBF from "very reliable" to "fails every hour".
     println!(
         "{:>14} {:>12} {:>14} {:>14} {:>14} {:>24}",
-        "platform MTBF", "#ckpts", "optimal E[T]", "all-ckpt E[T]", "final-only", "checkpointed stages"
+        "platform MTBF",
+        "#ckpts",
+        "optimal E[T]",
+        "all-ckpt E[T]",
+        "final-only",
+        "checkpointed stages"
     );
     for &mtbf in &[1_000_000.0, 100_000.0, 30_000.0, 10_000.0, 3_600.0] {
         let instance = ProblemInstance::builder(graph.clone())
@@ -66,11 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let everywhere = Schedule::checkpoint_everywhere(&instance, order.clone())?;
         let final_only = Schedule::checkpoint_final_only(&instance, order)?;
 
-        let picked: Vec<&str> = optimal
-            .checkpoint_positions
-            .iter()
-            .map(|&pos| stages[pos].name)
-            .collect();
+        let picked: Vec<&str> =
+            optimal.checkpoint_positions.iter().map(|&pos| stages[pos].name).collect();
 
         println!(
             "{:>14.0} {:>12} {:>14.0} {:>14.0} {:>14.0} {:>24}",

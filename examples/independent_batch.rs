@@ -32,13 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .platform_lambda(1.0 / 4_000.0)
         .build()?;
 
-    println!("batch of {} independent runs, total work {:.0} s", run_durations.len(), instance.total_weight());
+    println!(
+        "batch of {} independent runs, total work {:.0} s",
+        run_durations.len(),
+        instance.total_weight()
+    );
 
     let exact = brute_force::optimal_schedule(&instance)?;
-    println!(
-        "\nexhaustive optimum ({} candidates evaluated):",
-        exact.candidates_evaluated
-    );
+    println!("\nexhaustive optimum ({} candidates evaluated):", exact.candidates_evaluated);
     println!("  schedule: {}", exact.schedule);
     println!("  expected makespan: {:.1} s", exact.expected_makespan);
 

@@ -27,12 +27,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("amdahl gamma=0.10", WorkloadModel::amdahl(0.10)?),
         ("numerical kernel", WorkloadModel::numerical_kernel(0.1)?),
     ];
-    let overheads = [("proportional C(p)=C/p", OverheadModel::Proportional), ("constant C(p)=C", OverheadModel::Constant)];
+    let overheads = [
+        ("proportional C(p)=C/p", OverheadModel::Proportional),
+        ("constant C(p)=C", OverheadModel::Constant),
+    ];
 
     // --- Best allocation for a single large task -----------------------------
     let task = MoldableTask::new(5.0e6)?; // ~58 days of sequential work
-    println!("single moldable task of {:.1e} s sequential work, p_max = 65 536\n", task.sequential_work);
-    println!("{:<22} {:<24} {:>10} {:>16}", "workload model", "overhead model", "best p", "expected time");
+    println!(
+        "single moldable task of {:.1e} s sequential work, p_max = 65 536\n",
+        task.sequential_work
+    );
+    println!(
+        "{:<22} {:<24} {:>10} {:>16}",
+        "workload model", "overhead model", "best p", "expected time"
+    );
     for (wname, workload) in &workloads {
         for (oname, overhead) in &overheads {
             let scenario = ScalingScenario {

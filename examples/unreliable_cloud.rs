@@ -46,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let law = Weibull::with_mean(0.7, per_processor_mtbf)?;
 
     // --- Candidate schedules -------------------------------------------------
-    let exp_equivalent = general_failures::exponential_equivalent_schedule(&instance, &law, processors)?;
+    let exp_equivalent =
+        general_failures::exponential_equivalent_schedule(&instance, &law, processors)?;
     let greedy = general_failures::work_before_failure_schedule(&instance, &law, processors)?;
     let order = properties::as_chain(instance.graph()).expect("built as a chain");
     let everywhere = Schedule::checkpoint_everywhere(&instance, order.clone())?;
@@ -64,12 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trials = 3_000;
     for (name, schedule) in &candidates {
         let outcome = general_failures::simulate_under_law(
-            &instance,
-            schedule,
-            law.clone(),
-            processors,
-            trials,
-            2_024,
+            &instance, schedule, law, processors, trials, 2_024,
         )?;
         println!(
             "{:<28} {:>8} {:>16.1} {:>14.2}",

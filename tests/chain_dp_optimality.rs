@@ -2,7 +2,9 @@
 //! dynamic program is optimal, its analytical value is confirmed by
 //! simulation, and it dominates the periodic baselines.
 
-use ckpt_workflows::core::{brute_force, chain_dp, evaluate, heuristics, ProblemInstance, Schedule};
+use ckpt_workflows::core::{
+    brute_force, chain_dp, evaluate, heuristics, ProblemInstance, Schedule,
+};
 use ckpt_workflows::dag::{generators, properties};
 use ckpt_workflows::failure::{Pcg64, RandomSource};
 use ckpt_workflows::simulator::SimulationScenario;
@@ -107,10 +109,7 @@ fn simulated_ranking_agrees_with_analytical_ranking() {
     };
     let sim_dp = simulate(&dp.schedule, 1);
     let sim_final = simulate(&final_only, 1);
-    assert!(
-        sim_dp < sim_final,
-        "DP simulated at {sim_dp:.1}, final-only at {sim_final:.1}"
-    );
+    assert!(sim_dp < sim_final, "DP simulated at {sim_dp:.1}, final-only at {sim_final:.1}");
 }
 
 #[test]

@@ -13,7 +13,8 @@ use ckpt_workflows::simulator::{simulate, TraceStream};
 
 #[test]
 fn fork_join_workflow_schedules_and_simulates_end_to_end() {
-    let graph = generators::fork_join(4, &[1_800.0, 2_400.0, 900.0, 3_000.0], 300.0, 600.0).unwrap();
+    let graph =
+        generators::fork_join(4, &[1_800.0, 2_400.0, 900.0, 3_000.0], 300.0, 600.0).unwrap();
     let instance = ProblemInstance::builder(graph)
         .uniform_checkpoint_cost(90.0)
         .uniform_recovery_cost(120.0)
@@ -46,10 +47,18 @@ fn live_set_cost_model_changes_schedules_only_on_non_chains() {
         .platform_lambda(1.0 / 3_000.0)
         .build()
         .unwrap();
-    let base = dag_schedule::schedule_dag(&chain_inst, LinearizationStrategy::IdOrder, CheckpointCostModel::PerLastTask)
-        .unwrap();
-    let live = dag_schedule::schedule_dag(&chain_inst, LinearizationStrategy::IdOrder, CheckpointCostModel::LiveSetSum)
-        .unwrap();
+    let base = dag_schedule::schedule_dag(
+        &chain_inst,
+        LinearizationStrategy::IdOrder,
+        CheckpointCostModel::PerLastTask,
+    )
+    .unwrap();
+    let live = dag_schedule::schedule_dag(
+        &chain_inst,
+        LinearizationStrategy::IdOrder,
+        CheckpointCostModel::LiveSetSum,
+    )
+    .unwrap();
     assert_eq!(base.schedule, live.schedule);
 
     // Fork-join: the live-set model sees bigger checkpoints at wide points, so
@@ -61,11 +70,21 @@ fn live_set_cost_model_changes_schedules_only_on_non_chains() {
         .platform_lambda(1.0 / 2_000.0)
         .build()
         .unwrap();
-    let per_task = dag_schedule::schedule_dag(&fj_inst, LinearizationStrategy::IdOrder, CheckpointCostModel::PerLastTask)
-        .unwrap();
-    let live_sum = dag_schedule::schedule_dag(&fj_inst, LinearizationStrategy::IdOrder, CheckpointCostModel::LiveSetSum)
-        .unwrap();
-    assert!(live_sum.expected_makespan_under_model >= per_task.expected_makespan_under_model - 1e-9);
+    let per_task = dag_schedule::schedule_dag(
+        &fj_inst,
+        LinearizationStrategy::IdOrder,
+        CheckpointCostModel::PerLastTask,
+    )
+    .unwrap();
+    let live_sum = dag_schedule::schedule_dag(
+        &fj_inst,
+        LinearizationStrategy::IdOrder,
+        CheckpointCostModel::LiveSetSum,
+    )
+    .unwrap();
+    assert!(
+        live_sum.expected_makespan_under_model >= per_task.expected_makespan_under_model - 1e-9
+    );
 }
 
 #[test]
@@ -84,18 +103,13 @@ fn weibull_planning_pipeline_runs_end_to_end() {
 
     let exp_plan =
         general_failures::exponential_equivalent_schedule(&instance, &law, processors).unwrap();
-    let greedy = general_failures::work_before_failure_schedule(&instance, &law, processors).unwrap();
+    let greedy =
+        general_failures::work_before_failure_schedule(&instance, &law, processors).unwrap();
 
     for schedule in [&exp_plan, &greedy] {
-        let outcome = general_failures::simulate_under_law(
-            &instance,
-            schedule,
-            law.clone(),
-            processors,
-            2_000,
-            17,
-        )
-        .unwrap();
+        let outcome =
+            general_failures::simulate_under_law(&instance, schedule, law, processors, 2_000, 17)
+                .unwrap();
         assert!(outcome.makespan.mean >= schedule.failure_free_makespan(&instance));
     }
 }
@@ -132,10 +146,8 @@ fn moldable_plan_respects_workload_and_overhead_models() {
         workload: WorkloadModel::amdahl(0.05).unwrap(),
         overhead: OverheadModel::Constant,
     };
-    let tasks: Vec<MoldableTask> = [5e5, 2e6, 1e6]
-        .iter()
-        .map(|&w| MoldableTask::new(w).unwrap())
-        .collect();
+    let tasks: Vec<MoldableTask> =
+        [5e5, 2e6, 1e6].iter().map(|&w| MoldableTask::new(w).unwrap()).collect();
     let plan = plan_moldable_chain(&tasks, &scenario, 2_048).unwrap();
     assert_eq!(plan.allocations.len(), 3);
     // Every chosen allocation is at least as good as running sequentially.

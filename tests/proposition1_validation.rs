@@ -99,7 +99,9 @@ fn expectation_is_additive_over_segments() {
     let analytical: f64 = segments
         .iter()
         .map(|s| {
-            expected_time(&ExecutionParams::new(s.work(), s.checkpoint(), d, s.recovery(), lambda).unwrap())
+            expected_time(
+                &ExecutionParams::new(s.work(), s.checkpoint(), d, s.recovery(), lambda).unwrap(),
+            )
         })
         .sum();
     let outcome = SimulationScenario::exponential(lambda)

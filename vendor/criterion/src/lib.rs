@@ -1,0 +1,263 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment of this workspace has no access to crates.io, so the
+//! `benches/b*.rs` targets vendor this minimal shim providing the subset of
+//! the criterion API they use: [`Criterion`], [`criterion_group!`],
+//! [`criterion_main!`], [`BenchmarkId`], benchmark groups with
+//! `bench_with_input` / `bench_function` / `sample_size`, and
+//! [`Bencher::iter`].
+//!
+//! Measurement model: each benchmark warms up once, sizes an iteration batch
+//! to a fixed time budget, then runs `sample_size` batches and reports the
+//! best and mean wall-clock time per iteration. Under `cargo test` (i.e. when
+//! the binary is executed without the `--bench` flag cargo passes during
+//! `cargo bench`) every benchmark body runs exactly once as a smoke test, so
+//! bench targets stay cheap in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time budget a full (non-smoke) benchmark spreads across its
+/// samples.
+const TARGET_TOTAL_TIME: Duration = Duration::from_millis(1_500);
+
+/// An identifier `function/parameter` for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(text: &str) -> Self {
+        BenchmarkId { text: text.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+/// Runs one benchmark body; obtained inside closures passed to
+/// `bench_function` / `bench_with_input`.
+#[derive(Debug)]
+pub struct Bencher {
+    smoke: bool,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    best_ns_per_iter: f64,
+    mean_ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures the closure, running it in timed batches (or exactly once in
+    /// smoke mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            std::hint::black_box(f());
+            self.report = Some(Report { best_ns_per_iter: 0.0, mean_ns_per_iter: 0.0, iters: 1 });
+            return;
+        }
+        // Warm-up and batch sizing: aim for `sample_size` batches within the
+        // total time budget.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(30));
+        let samples = self.sample_size.max(2) as u64;
+        let budget_per_sample = TARGET_TOTAL_TIME.as_secs_f64() / samples as f64;
+        let batch = ((budget_per_sample / once.as_secs_f64()).floor() as u64).clamp(1, 10_000_000);
+
+        let mut best = f64::INFINITY;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            total += elapsed;
+            iters += batch;
+            best = best.min(elapsed.as_nanos() as f64 / batch as f64);
+            if total > TARGET_TOTAL_TIME * 4 {
+                break;
+            }
+        }
+        self.report = Some(Report {
+            best_ns_per_iter: best,
+            mean_ns_per_iter: total.as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.4} s ", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, smoke: bool, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { smoke, sample_size, report: None };
+    f(&mut bencher);
+    match bencher.report {
+        Some(report) if !smoke => {
+            println!(
+                "{name:<58} best {} | mean {} | {} iters",
+                format_time(report.best_ns_per_iter),
+                format_time(report.mean_ns_per_iter),
+                report.iters
+            );
+        }
+        Some(_) => println!("{name:<58} smoke ok"),
+        None => println!("{name:<58} (no Bencher::iter call)"),
+    }
+}
+
+/// Entry point of the shimmed harness; one per bench binary.
+#[derive(Debug)]
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    /// Full measurement under `cargo bench` (which passes `--bench`), smoke
+    /// mode otherwise.
+    fn default() -> Self {
+        let smoke = !std::env::args().any(|arg| arg == "--bench");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 12 }
+    }
+
+    /// Benchmarks a single closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.smoke, 12, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark in the group runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Benchmarks `f` with the given input, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.text);
+        run_one(&name, self.criterion.smoke, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into().text);
+        run_one(&name, self.criterion.smoke, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; groups need no
+    /// teardown in the shim).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a group callable from
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+/// Re-export matching criterion's historical `black_box` location.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dp", 4096).text, "dp/4096");
+        assert_eq!(BenchmarkId::from("plain").text, "plain");
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut count = 0u32;
+        let mut bencher = Bencher { smoke: true, sample_size: 12, report: None };
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(bencher.report.is_some());
+    }
+
+    #[test]
+    fn full_mode_measures() {
+        let mut bencher = Bencher { smoke: false, sample_size: 3, report: None };
+        bencher.iter(|| std::hint::black_box(3u64.wrapping_mul(5)));
+        let report = bencher.report.expect("measured");
+        assert!(report.iters >= 3);
+        assert!(report.best_ns_per_iter >= 0.0);
+        assert!(report.mean_ns_per_iter >= report.best_ns_per_iter * 0.5);
+    }
+}

@@ -1,0 +1,353 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment of this workspace has no access to crates.io, so the
+//! test suite vendors this minimal, dependency-free shim providing the subset
+//! of the proptest API the workspace actually uses:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   inner attribute) expanding each `fn name(arg in strategy, ..) { .. }`
+//!   item into a `#[test]` that runs the body over many sampled inputs;
+//! * [`prop_assert!`] / [`prop_assert_eq!`], which fail the current case with
+//!   a message instead of panicking mid-sample;
+//! * range strategies (`0.0f64..1.0`, `2usize..9`, ...) and [`any`] for
+//!   primitive types;
+//! * [`ProptestConfig::with_cases`] to control the number of cases.
+//!
+//! Differences from real proptest: sampling is a fixed deterministic
+//! SplitMix64 stream per case index (no persisted failure file), and there is
+//! **no shrinking** — a failing case reports its sampled inputs verbatim.
+//! Swap this shim for the real crate when building with network access; no
+//! call site needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic per-case random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator used for the `case`-th sample of a property.
+    ///
+    /// Each case gets an independent, fixed stream so failures are exactly
+    /// reproducible from the printed case number.
+    pub fn for_case(case: u32) -> Self {
+        TestRng {
+            state: 0x243F_6A88_85A3_08D3u64
+                .wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How a property is executed: currently just the number of sampled cases.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error value produced by [`prop_assert!`] when a case fails.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A source of sampled values, implemented for ranges and [`any`].
+pub trait Strategy {
+    /// The type of value this strategy samples.
+    type Value: fmt::Debug;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let span = self.end.wrapping_sub(self.start) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                self.start.wrapping_add((rng.next_u64() % span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(isize, i64, i32, i16, i8);
+
+/// Types for which [`any`] can sample an unconstrained value.
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy sampling an unconstrained value of `T` (e.g. `any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Fails the current property case unless the condition holds.
+///
+/// Expands to an early `Err` return inside the case closure, so the runner
+/// can report the sampled inputs alongside the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current property case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "assertion failed: `{:?}` == `{:?}`", left, right);
+    }};
+}
+
+/// Declares property tests.
+///
+/// Mirrors proptest's macro for the supported grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, n in 1usize..10) {
+///         prop_assert!(x < n as f64 + 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::TestRng::for_case(case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)*
+                    let mut __proptest_inputs = ::std::string::String::new();
+                    $(
+                        __proptest_inputs.push_str(&format!(
+                            "{} = {:?}; ",
+                            stringify!($arg),
+                            &$arg
+                        ));
+                    )*
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = result {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            err,
+                            __proptest_inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(-5.0f64..-2.0), &mut rng);
+            assert!((-5.0..-2.0).contains(&x));
+            let n = Strategy::sample(&(2usize..9), &mut rng);
+            assert!((2..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case(7);
+        let mut b = TestRng::for_case(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.next_f64(), b.next_f64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_samples_and_asserts(
+            x in 0.0f64..1.0,
+            n in 1usize..10,
+            seed in any::<u64>(),
+        ) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert_eq!(seed, seed);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x > 2.0, "x = {x} is not > 2");
+            }
+        }
+        always_fails();
+    }
+}
