@@ -1,11 +1,18 @@
-//! B1 — scaling of the Algorithm 1 chain DP across its four formulations.
+//! B1 — scaling of the Algorithm 1 chain DP across its five formulations.
 //!
 //! The headline comparison of the fast-path overhaul: the naive `O(n²)` DP
 //! (`reference`, two `exp` calls per cell) against the precomputed-cost
-//! pruned DP (`pruned`, the production path) and the `O(n log n)` Li Chao
-//! divide-and-conquer solver (`divide_conquer`), plus the paper's memoised
+//! pruned DP (`pruned`, the production path), the `O(n log n)` Li Chao
+//! divide-and-conquer solver (`divide_conquer`) and the blocked
+//! index-space divide and conquer (`blocked`), plus the paper's memoised
 //! recursion. The 4096-task configuration is the acceptance benchmark: the
 //! pruned DP must beat the reference by ≥ 5×.
+//!
+//! The `chain_dp_large` group is the `n ≫ 10⁵` scaling acceptance of the
+//! blocked solver: only the two envelope formulations run there (the
+//! quadratic ones would take hours at `n = 10⁶`), on a λ chosen so the
+//! table stays out of its saturated fallback (`λ·total work ≈ 10` at
+//! `n = 10⁵`, `≈ 105` at `n = 10⁶`).
 
 use ckpt_bench::random_chain_instance;
 use ckpt_core::chain_dp;
@@ -26,6 +33,9 @@ fn bench_chain_dp(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("divide_conquer", n), &instance, |b, inst| {
             b.iter(|| chain_dp::optimal_chain_schedule_divide_conquer(black_box(inst)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &instance, |b, inst| {
+            b.iter(|| chain_dp::optimal_chain_schedule_blocked(black_box(inst)).unwrap())
         });
         if n <= 1024 {
             group.bench_with_input(BenchmarkId::new("memoized", n), &instance, |b, inst| {
@@ -49,8 +59,31 @@ fn bench_chain_dp(c: &mut Criterion) {
             b.iter(|| chain_dp::optimal_chain_schedule_divide_conquer(black_box(inst)).unwrap())
         },
     );
+    group.bench_with_input(
+        BenchmarkId::new("blocked_frequent_failures", 4096),
+        &frequent,
+        |b, inst| b.iter(|| chain_dp::optimal_chain_schedule_blocked(black_box(inst)).unwrap()),
+    );
     group.finish();
 }
 
-criterion_group!(benches, bench_chain_dp);
+fn bench_chain_dp_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_dp_large");
+    group.sample_size(3);
+    // λ = 1e-7 keeps λ·total work ≈ 10 (n = 10⁵) / 105 (n = 10⁶): far from
+    // the table's saturated fallback, with a non-trivial optimum (the
+    // optimal placement checkpoints every few dozen tasks).
+    for &n in &[100_000usize, 1_000_000] {
+        let instance = random_chain_instance(7, n, 100.0, 2_000.0, 60.0, 90.0, 30.0, 1e-7);
+        group.bench_with_input(BenchmarkId::new("divide_conquer", n), &instance, |b, inst| {
+            b.iter(|| chain_dp::optimal_chain_schedule_divide_conquer(black_box(inst)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &instance, |b, inst| {
+            b.iter(|| chain_dp::optimal_chain_schedule_blocked(black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_dp, bench_chain_dp_large);
 criterion_main!(benches);

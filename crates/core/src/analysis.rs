@@ -6,17 +6,29 @@
 //! under the optimal policy?* This module answers both:
 //!
 //! * [`lambda_sweep`] re-solves the chain DP across a λ grid and reports the
-//!   optimal checkpoint count and expected makespan at each point;
+//!   optimal checkpoint count and expected makespan at each point. The sweep
+//!   is batched through
+//!   [`LambdaSweep`](ckpt_expectation::sweep::LambdaSweep): the chain's
+//!   order validation, prefix
+//!   sums and cost vectors are materialised once and only the per-rate
+//!   exponentials and the DP itself are redone per grid point — no surrogate
+//!   instance is cloned per rate;
+//! * [`schedule_lambda_sweep`] evaluates one **fixed** schedule across a λ
+//!   vector through the same shared precomputation (the sensitivity curve of
+//!   a deployed policy, as opposed to the re-optimised curve above);
 //! * [`checkpoint_crossover_lambda`] finds, by bisection, the failure rate at
 //!   which the optimal policy starts taking more than a given number of
 //!   checkpoints — the "crossover" points the experiment harness plots;
 //! * [`deadline_risk`] estimates, by simulation, the probability that a
 //!   schedule exceeds a deadline.
 
+use ckpt_dag::properties;
+use ckpt_expectation::sweep::log_lambda_grid;
 use ckpt_simulator::SimulationScenario;
 
-use crate::chain_dp::optimal_chain_schedule;
+use crate::chain_dp::{optimal_chain_schedule, scalable_placement_on_table};
 use crate::error::ScheduleError;
+use crate::evaluate::lambda_sweep_for_order;
 use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 
@@ -35,7 +47,9 @@ pub struct LambdaSweepPoint {
 }
 
 /// Re-solves the chain DP on a logarithmic grid of `points` failure rates
-/// between `lambda_min` and `lambda_max` (inclusive).
+/// between `lambda_min` and `lambda_max` (inclusive), batching the
+/// λ-independent work through one
+/// [`LambdaSweep`](ckpt_expectation::sweep::LambdaSweep).
 ///
 /// # Errors
 ///
@@ -48,34 +62,42 @@ pub fn lambda_sweep(
     lambda_max: f64,
     points: usize,
 ) -> Result<Vec<LambdaSweepPoint>, ScheduleError> {
-    if !(lambda_min.is_finite()
-        && lambda_min > 0.0
-        && lambda_max.is_finite()
-        && lambda_max > lambda_min)
-    {
-        return Err(ScheduleError::NonPositiveParameter {
-            name: "lambda range",
-            value: lambda_min,
-        });
-    }
-    if points < 2 {
-        return Err(ScheduleError::NonPositiveParameter { name: "points", value: points as f64 });
-    }
-    let ratio = (lambda_max / lambda_min).powf(1.0 / (points - 1) as f64);
-    let mut out = Vec::with_capacity(points);
-    let mut lambda = lambda_min;
-    for _ in 0..points {
-        let swept = instance.with_lambda(lambda)?;
-        let solution = optimal_chain_schedule(&swept)?;
-        out.push(LambdaSweepPoint {
-            lambda,
-            checkpoints: solution.schedule.checkpoint_count(),
-            expected_makespan: solution.expected_makespan,
-            slowdown: solution.expected_makespan / instance.total_weight(),
-        });
-        lambda *= ratio;
-    }
-    Ok(out)
+    let grid =
+        log_lambda_grid(lambda_min, lambda_max, points).map_err(ScheduleError::from_expectation)?;
+    let order = properties::as_chain(instance.graph()).ok_or(ScheduleError::NotAChain)?;
+    let sweep = lambda_sweep_for_order(instance, &order)?;
+    let total_work = instance.total_weight();
+    grid.into_iter()
+        .map(|lambda| {
+            let table = sweep.table_for(lambda).map_err(ScheduleError::from_expectation)?;
+            let placement = scalable_placement_on_table(&table);
+            Ok(LambdaSweepPoint {
+                lambda,
+                checkpoints: placement.checkpoint_count(),
+                expected_makespan: placement.expected_makespan,
+                slowdown: placement.expected_makespan / total_work,
+            })
+        })
+        .collect()
+}
+
+/// Evaluates one **fixed** schedule across the failure rates of `lambdas`,
+/// returning its expected makespan at each rate — the degradation curve of a
+/// policy that is *not* re-optimised as the platform degrades, the comparison
+/// baseline for [`lambda_sweep`]'s re-optimised curve.
+///
+/// # Errors
+///
+/// * [`ScheduleError::InvalidOrder`] if `schedule`'s order does not fit
+///   `instance`;
+/// * [`ScheduleError::NonPositiveParameter`] for a non-positive rate.
+pub fn schedule_lambda_sweep(
+    instance: &ProblemInstance,
+    schedule: &Schedule,
+    lambdas: &[f64],
+) -> Result<Vec<f64>, ScheduleError> {
+    let sweep = lambda_sweep_for_order(instance, schedule.order())?;
+    sweep.total_costs(schedule.checkpoint_after(), lambdas).map_err(ScheduleError::from_expectation)
 }
 
 /// Finds the smallest failure rate at which the optimal policy takes **more
@@ -188,6 +210,34 @@ mod tests {
         assert_eq!(sweep.first().unwrap().checkpoints, 1);
         assert_eq!(sweep.last().unwrap().checkpoints, 12);
         assert!(sweep.iter().all(|p| p.slowdown >= 1.0));
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_rate_resolves() {
+        let inst = chain_instance(1e-4);
+        let sweep = lambda_sweep(&inst, 1e-6, 1e-3, 7).unwrap();
+        for point in &sweep {
+            let solo = optimal_chain_schedule(&inst.with_lambda(point.lambda).unwrap()).unwrap();
+            let gap =
+                (point.expected_makespan - solo.expected_makespan).abs() / solo.expected_makespan;
+            assert!(gap < 1e-12, "λ {}: gap {gap}", point.lambda);
+            assert_eq!(point.checkpoints, solo.schedule.checkpoint_count());
+        }
+    }
+
+    #[test]
+    fn fixed_schedule_sweep_is_dominated_by_reoptimised_sweep() {
+        let inst = chain_instance(1e-4);
+        let solution = optimal_chain_schedule(&inst).unwrap();
+        let lambdas = [1e-6, 1e-5, 1e-4, 1e-3];
+        let fixed = schedule_lambda_sweep(&inst, &solution.schedule, &lambdas).unwrap();
+        for (i, &lambda) in lambdas.iter().enumerate() {
+            let reopt = optimal_chain_schedule(&inst.with_lambda(lambda).unwrap()).unwrap();
+            assert!(fixed[i] >= reopt.expected_makespan - 1e-9, "λ {lambda}");
+        }
+        // At the rate it was optimised for, the fixed schedule is optimal.
+        let gap = (fixed[2] - solution.expected_makespan).abs() / solution.expected_makespan;
+        assert!(gap < 1e-12, "gap {gap}");
     }
 
     #[test]

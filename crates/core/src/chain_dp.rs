@@ -11,7 +11,7 @@
 //! E(n+1) = 0
 //! ```
 //!
-//! where `T(·)` is the Proposition 1 closed form. Four implementations are
+//! where `T(·)` is the Proposition 1 closed form. Five implementations are
 //! provided:
 //!
 //! * [`optimal_chain_schedule`] — the production fast path: `O(n²)` bottom-up,
@@ -29,11 +29,30 @@
 //!   insert/query. This also explains the classical monotonicity of
 //!   `choice[x]`: with uniform costs the slopes are sorted and the query
 //!   points monotone, so the envelope is swept in one direction;
+//! * [`optimal_chain_schedule_blocked`] — the `n ≫ 10⁵` scaling path: the
+//!   same line decomposition, but organised as a blocked divide and conquer
+//!   over **index space**. Cache-sized trailing blocks are solved with a
+//!   block-local Li Chao sweep (the tree spans one block's query points, not
+//!   all `n`); cross-block candidates are batched, each solved suffix range
+//!   contributing its lines to the whole prefix range's queries through one
+//!   sequential sorted-lines/sorted-queries envelope sweep. Every structure
+//!   therefore spans one contiguous range of the order at a time (bounded
+//!   working set, streaming-friendly access to the table's arrays) instead of
+//!   one global tree over all `n` query points;
 //! * [`optimal_chain_schedule_reference`] — the naive transcription that calls
 //!   the Proposition 1 closed form (two `exp`s) in every DP cell; kept as the
 //!   correctness reference and benchmark baseline;
 //! * [`optimal_chain_value_memoized`] — a faithful memoised-recursive
 //!   transcription of the paper's `DPMAKESPAN` pseudo-code.
+//!
+//! The recurrence itself is order-agnostic: it only needs the segment costs
+//! of *some* fixed execution order. [`optimal_placement_on_table`] (the
+//! pruned quadratic core) and [`scalable_placement_on_table`] (which
+//! dispatches to the blocked envelope core above a size threshold) expose
+//! that table level directly, and are what `dag_schedule` (per
+//! linearisation, general §6 cost models), `general_failures` (surrogate-rate
+//! planning) and `analysis` (λ sweeps) run after building their own
+//! [`SegmentCostTable`]s.
 //!
 //! All formulations are cross-checked against each other and against
 //! exhaustive search in the tests and property tests below.
@@ -68,23 +87,64 @@ fn chain_table(
     Ok((order, table))
 }
 
-/// Turns a `choice[x]` table (first checkpoint position of an optimal
-/// solution for suffix `x..n`) into a [`ChainSolution`].
-fn solution_from_choice(
-    instance: &ProblemInstance,
-    order: Vec<TaskId>,
-    choice: &[usize],
-    expected_makespan: f64,
-) -> Result<ChainSolution, ScheduleError> {
-    let n = order.len();
-    let mut checkpoint_positions = Vec::new();
+/// A checkpoint placement computed directly on a [`SegmentCostTable`],
+/// without reference to the instance the table came from.
+///
+/// This is what the table-level solvers ([`optimal_placement_on_table`])
+/// return: callers that own the execution order (a chain, a DAG
+/// linearisation, a λ-swept surrogate) turn it into a [`Schedule`]
+/// themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TablePlacement {
+    /// The optimal expected makespan over the table's order (the DP value).
+    pub expected_makespan: f64,
+    /// The positions after which a checkpoint is taken, in increasing order.
+    /// Always ends with the table's last position (the mandatory final
+    /// checkpoint).
+    pub checkpoint_positions: Vec<usize>,
+}
+
+impl TablePlacement {
+    /// The placement as per-position booleans (`result[j]` is `true` iff a
+    /// checkpoint is taken right after position `j`), the form
+    /// [`Schedule::new`] and [`SegmentCostTable::total_cost`] consume.
+    pub fn checkpoint_after(&self) -> Vec<bool> {
+        let n = self.checkpoint_positions.last().map_or(0, |&last| last + 1);
+        let mut flags = vec![false; n];
+        for &j in &self.checkpoint_positions {
+            flags[j] = true;
+        }
+        flags
+    }
+
+    /// The number of checkpoints taken (the final mandatory one included).
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoint_positions.len()
+    }
+}
+
+/// Walks a `choice[x]` table (first checkpoint position of an optimal
+/// solution for suffix `x..n`) into the increasing checkpoint positions.
+fn positions_from_choice(choice: &[usize]) -> Vec<usize> {
+    let n = choice.len();
+    let mut positions = Vec::new();
     let mut x = 0usize;
     while x < n {
         let j = choice[x];
-        checkpoint_positions.push(j);
+        positions.push(j);
         x = j + 1;
     }
-    let mut checkpoint_after = vec![false; n];
+    positions
+}
+
+/// Turns checkpoint positions into a [`ChainSolution`] over `order`.
+fn solution_from_positions(
+    instance: &ProblemInstance,
+    order: Vec<TaskId>,
+    checkpoint_positions: Vec<usize>,
+    expected_makespan: f64,
+) -> Result<ChainSolution, ScheduleError> {
+    let mut checkpoint_after = vec![false; order.len()];
     for &j in &checkpoint_positions {
         checkpoint_after[j] = true;
     }
@@ -92,23 +152,11 @@ fn solution_from_choice(
     Ok(ChainSolution { schedule, expected_makespan, checkpoint_positions })
 }
 
-/// Computes the optimal checkpoint placement for a linear-chain instance,
-/// bottom-up, in `O(n²)` time and `O(n)` space — with the per-cell
-/// Proposition-1 evaluation reduced to a few multiplies by a precomputed
-/// [`SegmentCostTable`], and the inner loop pruned with the table's monotone
-/// segment lower bound.
-///
-/// # Errors
-///
-/// * [`ScheduleError::NotAChain`] if the instance graph is not a linear chain;
-/// * propagated validation errors (cannot occur for instances built through
-///   [`ProblemInstance::builder`]).
-pub fn optimal_chain_schedule(instance: &ProblemInstance) -> Result<ChainSolution, ScheduleError> {
-    let (order, table) = chain_table(instance)?;
-    let n = order.len();
-
-    // value[x] = optimal expected time for positions x..n ; choice[x] = the
-    // position of the first checkpoint in an optimal solution for x..n.
+/// The pruned bottom-up Algorithm 1 recurrence, on a prebuilt table:
+/// `value[x]` is the optimal expected time for positions `x..n`, `choice[x]`
+/// the first checkpoint position of an optimal solution for that suffix.
+fn pruned_dp(table: &SegmentCostTable) -> (Vec<f64>, Vec<usize>) {
+    let n = table.len();
     let mut value = vec![0.0f64; n + 1];
     let mut choice = vec![0usize; n];
     for x in (0..n).rev() {
@@ -129,8 +177,69 @@ pub fn optimal_chain_schedule(instance: &ProblemInstance) -> Result<ChainSolutio
         value[x] = best;
         choice[x] = best_j;
     }
+    (value, choice)
+}
 
-    solution_from_choice(instance, order, &choice, value[0])
+/// Runs Algorithm 1's recurrence directly on a prebuilt [`SegmentCostTable`]
+/// — the order-agnostic core shared by every solver of the workspace that
+/// owns a fixed execution order: the chain solvers here,
+/// [`crate::dag_schedule`]'s per-linearisation placement (under any §6 cost
+/// model), [`crate::general_failures`]' exponential-equivalent planner and
+/// [`crate::analysis`]'s λ sweeps.
+///
+/// `O(n²)` worst case with the table's monotone lower-bound pruning, `O(n)`
+/// space, no `exp` in the inner loop.
+pub fn optimal_placement_on_table(table: &SegmentCostTable) -> TablePlacement {
+    let (value, choice) = pruned_dp(table);
+    TablePlacement {
+        expected_makespan: value[0],
+        checkpoint_positions: positions_from_choice(&choice),
+    }
+}
+
+/// Computes the optimal checkpoint placement for a linear-chain instance,
+/// bottom-up, in `O(n²)` time and `O(n)` space — with the per-cell
+/// Proposition-1 evaluation reduced to a few multiplies by a precomputed
+/// [`SegmentCostTable`], and the inner loop pruned with the table's monotone
+/// segment lower bound.
+///
+/// # Example
+///
+/// ```
+/// use ckpt_core::{chain_dp, ProblemInstance};
+/// use ckpt_dag::generators;
+///
+/// // A four-task chain on a platform failing every 2 000 s on average.
+/// let graph = generators::chain(&[500.0, 1_500.0, 250.0, 750.0])?;
+/// let instance = ProblemInstance::builder(graph)
+///     .uniform_checkpoint_cost(25.0)
+///     .uniform_recovery_cost(40.0)
+///     .platform_lambda(1.0 / 2_000.0)
+///     .build()?;
+///
+/// let solution = chain_dp::optimal_chain_schedule(&instance)?;
+/// // The final checkpoint is mandatory, so it closes the placement…
+/// assert_eq!(*solution.checkpoint_positions.last().unwrap(), 3);
+/// // …and the DP value matches the analytical evaluation of its schedule.
+/// let eval = ckpt_core::evaluate::expected_makespan(&instance, &solution.schedule)?;
+/// assert!((solution.expected_makespan - eval).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// * [`ScheduleError::NotAChain`] if the instance graph is not a linear chain;
+/// * propagated validation errors (cannot occur for instances built through
+///   [`ProblemInstance::builder`]).
+pub fn optimal_chain_schedule(instance: &ProblemInstance) -> Result<ChainSolution, ScheduleError> {
+    let (order, table) = chain_table(instance)?;
+    let placement = optimal_placement_on_table(&table);
+    solution_from_positions(
+        instance,
+        order,
+        placement.checkpoint_positions,
+        placement.expected_makespan,
+    )
 }
 
 /// Computes the optimal checkpoint placement in `O(n log n)` by treating each
@@ -154,7 +263,7 @@ pub fn optimal_chain_schedule_divide_conquer(
 ) -> Result<ChainSolution, ScheduleError> {
     let (order, table) = chain_table(instance)?;
     if table.is_saturated() {
-        return optimal_chain_schedule(instance);
+        return saturated_fallback(instance, order, &table);
     }
     let n = order.len();
 
@@ -178,14 +287,267 @@ pub fn optimal_chain_schedule_divide_conquer(
     // Re-sum the reconstructed segments through the table so the reported
     // value carries the summation order of the other solvers rather than the
     // envelope's line arithmetic.
-    let mut expected_makespan = 0.0;
-    let mut x = 0usize;
-    while x < n {
-        let j = choice[x];
-        expected_makespan += table.cost(x, j);
-        x = j + 1;
+    let positions = positions_from_choice(&choice);
+    let expected_makespan = resummed_value(&table, &positions);
+    solution_from_positions(instance, order, positions, expected_makespan)
+}
+
+/// Sums the table costs of the checkpoint-delimited segments of `positions` —
+/// used by the envelope-based solvers to report a value with the same
+/// summation order as the direct DPs instead of their line arithmetic.
+fn resummed_value(table: &SegmentCostTable, positions: &[usize]) -> f64 {
+    let mut total = 0.0;
+    let mut start = 0usize;
+    for &j in positions {
+        total += table.cost(start, j);
+        start = j + 1;
     }
-    solution_from_choice(instance, order, &choice, expected_makespan)
+    total
+}
+
+/// Positions per cache-sized block of the blocked solver. 1 024 positions
+/// keep a block's slice of every table array (prefix, slopes, query points,
+/// DP state) near 64 KiB together — L1/L2 resident on current hardware.
+const DP_BLOCK: usize = 1024;
+
+/// Computes the optimal checkpoint placement with the same line
+/// decomposition as [`optimal_chain_schedule_divide_conquer`], organised as
+/// a **blocked divide and conquer over index space** so chains of
+/// `10⁵`–`10⁶` tasks stream through cache-sized working sets. Worst case
+/// `O(n log² n)` (each of the `log(n / DP_BLOCK)` cross-range levels
+/// comparison-sorts its lines and queries); effectively `O(n log n)` when
+/// slopes and query points are near-monotone in position — uniform
+/// checkpoint/recovery costs, the common case — because the sorts are
+/// adaptive. Measured faster than the global Li Chao solver from `≈ 10⁵`
+/// tasks up (see `EXPERIMENTS.md`):
+///
+/// * trailing blocks of `DP_BLOCK` (1 024) positions are solved with a
+///   block-local Li Chao sweep whose tree spans only the block's query
+///   points (L2-resident, unlike the divide-and-conquer solver's global
+///   tree over all `n` points);
+/// * once a suffix range is solved, its candidate lines are batched into a
+///   monotone lower envelope (lines sorted by slope, queries by point, one
+///   forward sweep over each — purely sequential scans) over just the
+///   matching prefix range, and each prefix position folds the envelope
+///   minimum into its best-cross-range candidate. Each position therefore
+///   meets `O(log(n / DP_BLOCK))` envelopes, every one spanning a single
+///   contiguous range — no global `O(n)`-domain structure is ever built, and
+///   no quadratic state is materialised.
+///
+/// Returns the same optimum as [`optimal_chain_schedule`] (cross-checked to
+/// `10⁻¹⁰` relative error in the tests); checkpoint positions may differ only
+/// between exactly cost-equivalent solutions. On *saturated* instances
+/// (`λ·total work` ≳ 650) this transparently falls back to the pruned `O(n²)`
+/// DP, exactly like the divide-and-conquer solver.
+///
+/// # Errors
+///
+/// Same as [`optimal_chain_schedule`].
+pub fn optimal_chain_schedule_blocked(
+    instance: &ProblemInstance,
+) -> Result<ChainSolution, ScheduleError> {
+    let (order, table) = chain_table(instance)?;
+    if table.is_saturated() {
+        return saturated_fallback(instance, order, &table);
+    }
+    let placement = blocked_placement_on_table(&table);
+    solution_from_positions(
+        instance,
+        order,
+        placement.checkpoint_positions,
+        placement.expected_makespan,
+    )
+}
+
+/// The shared saturated-instance fallback of the two envelope solvers: the
+/// slope/query-point decomposition overflows there, so run the pruned DP on
+/// the **already-built** table instead of rebuilding anything.
+fn saturated_fallback(
+    instance: &ProblemInstance,
+    order: Vec<TaskId>,
+    table: &SegmentCostTable,
+) -> Result<ChainSolution, ScheduleError> {
+    let placement = optimal_placement_on_table(table);
+    solution_from_positions(
+        instance,
+        order,
+        placement.checkpoint_positions,
+        placement.expected_makespan,
+    )
+}
+
+/// The blocked solver's table-level core (the table must not be saturated).
+fn blocked_placement_on_table(table: &SegmentCostTable) -> TablePlacement {
+    blocked_placement_with_block(table, DP_BLOCK)
+}
+
+/// Tables at least this long run the blocked core in
+/// [`scalable_placement_on_table`]; below it the pruned quadratic DP is
+/// comparable or faster (and in dense-checkpoint regimes its lower-bound
+/// pruning wins outright).
+const SCALABLE_THRESHOLD: usize = 1024;
+
+/// Runs the Algorithm 1 recurrence on `table` with the formulation suited to
+/// its size: the blocked envelope core for large non-saturated tables
+/// (`10⁵`–`10⁶` positions would take the quadratic DP hours in rare-failure
+/// regimes), the pruned quadratic DP for small or saturated ones. This is
+/// the entry point batch consumers ([`crate::analysis::lambda_sweep`], the
+/// [`crate::general_failures`] batch planner) use so sweeps over large
+/// chains scale like the chain solvers themselves.
+///
+/// Returns the same optimum as [`optimal_placement_on_table`] (the two cores
+/// are cross-checked to `10⁻¹⁰` relative error in the tests); checkpoint
+/// positions may differ only between exactly cost-equivalent solutions.
+pub fn scalable_placement_on_table(table: &SegmentCostTable) -> TablePlacement {
+    if table.len() >= SCALABLE_THRESHOLD && !table.is_saturated() {
+        blocked_placement_on_table(table)
+    } else {
+        optimal_placement_on_table(table)
+    }
+}
+
+/// The blocked core with an explicit block size, so tests can force deep
+/// recursion on small chains.
+fn blocked_placement_with_block(table: &SegmentCostTable, block: usize) -> TablePlacement {
+    debug_assert!(!table.is_saturated(), "blocked solver needs slopes/query points");
+    assert!(block > 0, "block size must be positive");
+    let n = table.len();
+    let points: Vec<f64> = (0..n).map(|x| table.query_point(x)).collect();
+    let slopes: Vec<f64> = (0..n).map(|j| table.slope(j)).collect();
+
+    struct BlockedDp<'a> {
+        table: &'a SegmentCostTable,
+        points: &'a [f64],
+        slopes: &'a [f64],
+        block: usize,
+        /// `value[x]` = optimal expected time for positions `x..n`.
+        value: Vec<f64>,
+        choice: Vec<usize>,
+        /// Best cross-range candidate of `x` in **line form**
+        /// (`slope(j)·t_x + value[j+1]`, before subtracting `coeff(x)`),
+        /// accumulated over the envelopes of all solved suffix ranges.
+        cross_val: Vec<f64>,
+        cross_id: Vec<usize>,
+    }
+
+    impl BlockedDp<'_> {
+        /// Solves positions `lo..hi`, assuming `value[hi..]` is final and
+        /// `cross_*[lo..hi]` already accounts for every candidate `j ≥ hi`.
+        fn solve(&mut self, lo: usize, hi: usize) {
+            if hi - lo <= self.block {
+                self.solve_block(lo, hi);
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            self.solve(mid, hi);
+            self.apply_cross(lo, mid, hi);
+            self.solve(lo, mid);
+        }
+
+        /// One cache-sized block, solved with the Li Chao sweep of the
+        /// divide-and-conquer formulation restricted to the block: the tree
+        /// spans only the block's query points (L2-resident at [`DP_BLOCK`]),
+        /// and candidates from outside the block enter through the
+        /// accumulated cross-range minima.
+        fn solve_block(&mut self, lo: usize, hi: usize) {
+            let mut domain = self.points[lo..hi].to_vec();
+            domain.sort_by(f64::total_cmp);
+            domain.dedup();
+            let mut envelope = LiChaoTree::new(domain);
+            for x in (lo..hi).rev() {
+                // Candidate "first checkpoint at j = x" becomes available
+                // exactly now: its intercept E(x+1) is final.
+                envelope.insert(LiChaoLine {
+                    slope: self.slopes[x],
+                    intercept: self.value[x + 1],
+                    id: x,
+                });
+                let (in_block, in_block_id) = envelope.query(self.points[x]);
+                let (mut best, mut best_j) = (in_block, in_block_id);
+                if self.cross_id[x] != usize::MAX && self.cross_val[x] < best {
+                    best = self.cross_val[x];
+                    best_j = self.cross_id[x];
+                }
+                self.value[x] = best - self.table.coefficient(x);
+                self.choice[x] = best_j;
+            }
+        }
+
+        /// Batches the lines of the solved range `mid..hi` into a monotone
+        /// lower envelope (convex-hull trick: lines sorted by slope, queries
+        /// sorted by point, one forward sweep over each) and folds the
+        /// per-point minima into the cross-range candidates of `lo..mid`.
+        /// Everything is a sequential scan over contiguous arrays — no
+        /// tree, no random access.
+        fn apply_cross(&mut self, lo: usize, mid: usize, hi: usize) {
+            // Envelope construction, slope-descending (the minimum's winner
+            // as the query point grows moves towards smaller slopes).
+            let mut lines: Vec<(f64, f64, usize)> =
+                (mid..hi).map(|j| (self.slopes[j], self.value[j + 1], j)).collect();
+            lines.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.total_cmp(&b.1)));
+            let mut hull: Vec<(f64, f64, usize)> = Vec::with_capacity(lines.len());
+            for line in lines {
+                if let Some(&(last_slope, ..)) = hull.last() {
+                    // Equal slopes: the sort put the lowest intercept first.
+                    if last_slope == line.0 {
+                        continue;
+                    }
+                }
+                while hull.len() >= 2 {
+                    let a = hull[hull.len() - 2];
+                    let b = hull[hull.len() - 1];
+                    // `b` never strictly wins if the a/line crossover is not
+                    // to the right of the a/b crossover (slopes strictly
+                    // decrease along the hull, so both denominators are
+                    // positive).
+                    let x_ab = (b.1 - a.1) / (a.0 - b.0);
+                    let x_al = (line.1 - a.1) / (a.0 - line.0);
+                    if x_al <= x_ab {
+                        hull.pop();
+                    } else {
+                        break;
+                    }
+                }
+                hull.push(line);
+            }
+
+            // Queries in ascending point order: the winning hull index only
+            // moves forward, so the whole batch costs one merge-like sweep.
+            let mut by_point: Vec<usize> = (lo..mid).collect();
+            by_point.sort_by(|&a, &b| self.points[a].total_cmp(&self.points[b]));
+            let mut k = 0usize;
+            for x in by_point {
+                let t = self.points[x];
+                while k + 1 < hull.len()
+                    && hull[k + 1].0 * t + hull[k + 1].1 <= hull[k].0 * t + hull[k].1
+                {
+                    k += 1;
+                }
+                let candidate = hull[k].0 * t + hull[k].1;
+                if self.cross_id[x] == usize::MAX || candidate < self.cross_val[x] {
+                    self.cross_val[x] = candidate;
+                    self.cross_id[x] = hull[k].2;
+                }
+            }
+        }
+    }
+
+    let mut dp = BlockedDp {
+        table,
+        points: &points,
+        slopes: &slopes,
+        block,
+        value: vec![0.0f64; n + 1],
+        choice: vec![0usize; n],
+        cross_val: vec![f64::INFINITY; n],
+        cross_id: vec![usize::MAX; n],
+    };
+    dp.solve(0, n);
+
+    // Re-sum through the table, as the divide-and-conquer solver does.
+    let positions = positions_from_choice(&dp.choice);
+    let expected_makespan = resummed_value(table, &positions);
+    TablePlacement { expected_makespan, checkpoint_positions: positions }
 }
 
 /// A candidate line of the lower envelope: `eval(t) = slope·t + intercept`,
@@ -343,7 +705,7 @@ pub fn optimal_chain_schedule_reference(
         choice[x] = best_j;
     }
 
-    solution_from_choice(instance, order, &choice, value[0])
+    solution_from_positions(instance, order, positions_from_choice(&choice), value[0])
 }
 
 /// Faithful transcription of the paper's recursive `DPMAKESPAN(x, n)`
@@ -488,6 +850,7 @@ mod tests {
             optimal_chain_schedule_divide_conquer(&inst),
             Err(ScheduleError::NotAChain)
         ));
+        assert!(matches!(optimal_chain_schedule_blocked(&inst), Err(ScheduleError::NotAChain)));
         assert!(matches!(optimal_chain_value_memoized(&inst), Err(ScheduleError::NotAChain)));
     }
 
@@ -528,6 +891,7 @@ mod tests {
                     "divide_conquer",
                     optimal_chain_schedule_divide_conquer(&inst).unwrap().expected_makespan,
                 ),
+                ("blocked", optimal_chain_schedule_blocked(&inst).unwrap().expected_makespan),
             ] {
                 assert!(
                     (value - brute).abs() / brute < 1e-10,
@@ -574,6 +938,7 @@ mod tests {
         let inst = chain_instance(&[100.0; 200], 0.1, 0.1, 0.0, 0.1);
         let fast = optimal_chain_schedule(&inst).unwrap();
         let dc = optimal_chain_schedule_divide_conquer(&inst).unwrap();
+        let blocked = optimal_chain_schedule_blocked(&inst).unwrap();
         let reference = optimal_chain_schedule_reference(&inst).unwrap();
         assert!(fast.expected_makespan.is_finite());
         let gap = (fast.expected_makespan - reference.expected_makespan).abs()
@@ -581,6 +946,7 @@ mod tests {
         assert!(gap < 1e-10, "gap {gap}");
         assert_eq!(fast.checkpoint_positions.len(), 200);
         assert_eq!(dc.checkpoint_positions, fast.checkpoint_positions);
+        assert_eq!(blocked.checkpoint_positions, fast.checkpoint_positions);
     }
 
     #[test]
@@ -656,10 +1022,73 @@ mod tests {
         let sol = optimal_chain_schedule(&inst).unwrap();
         assert_eq!(sol.schedule.len(), 1000);
         assert!(sol.expected_makespan > inst.total_weight());
-        // The O(n log n) solver agrees at this scale too.
+        // The O(n log n) solvers agree at this scale too.
         let dc = optimal_chain_schedule_divide_conquer(&inst).unwrap();
         let gap = (dc.expected_makespan - sol.expected_makespan).abs() / sol.expected_makespan;
         assert!(gap < 1e-10, "gap {gap}");
+        let blocked = optimal_chain_schedule_blocked(&inst).unwrap();
+        let gap = (blocked.expected_makespan - sol.expected_makespan).abs() / sol.expected_makespan;
+        assert!(gap < 1e-10, "gap {gap}");
+    }
+
+    #[test]
+    fn blocked_solver_crosses_real_block_boundaries() {
+        // 3 000 tasks: three DP_BLOCK-sized base blocks plus cross-range
+        // envelope applications at production block size, for several failure
+        // regimes (few, some, many checkpoints in the optimum).
+        for lambda in [1e-7, 1e-5, 1e-4] {
+            let inst = random_heterogeneous_chain(5, 3_000, lambda);
+            let blocked = optimal_chain_schedule_blocked(&inst).unwrap();
+            let dc = optimal_chain_schedule_divide_conquer(&inst).unwrap();
+            let gap =
+                (blocked.expected_makespan - dc.expected_makespan).abs() / dc.expected_makespan;
+            assert!(gap < 1e-10, "λ {lambda}: gap {gap}");
+            // The reported value matches the analytical evaluation of the
+            // schedule the solver actually returned.
+            let eval = expected_makespan(&inst, &blocked.schedule).unwrap();
+            let eval_gap = (blocked.expected_makespan - eval).abs() / eval;
+            assert!(eval_gap < 1e-10, "λ {lambda}: eval gap {eval_gap}");
+            // Above the size threshold the scalable dispatcher picks the
+            // blocked core.
+            let order = properties::as_chain(inst.graph()).unwrap();
+            let table = crate::evaluate::segment_cost_table(&inst, &order).unwrap();
+            assert_eq!(
+                scalable_placement_on_table(&table).checkpoint_positions,
+                blocked.checkpoint_positions
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_solver_with_tiny_blocks_matches_reference() {
+        // Block size 3 forces the deepest recursion and many cross-range
+        // envelopes even on small heterogeneous chains.
+        for seed in 0..8u64 {
+            let inst = random_heterogeneous_chain(seed, 37, 1e-4);
+            let order = properties::as_chain(inst.graph()).unwrap();
+            let table = crate::evaluate::segment_cost_table(&inst, &order).unwrap();
+            let tiny = blocked_placement_with_block(&table, 3);
+            let reference = optimal_chain_schedule_reference(&inst).unwrap();
+            let gap = (tiny.expected_makespan - reference.expected_makespan).abs()
+                / reference.expected_makespan;
+            assert!(gap < 1e-10, "seed {seed}: gap {gap}");
+            assert_eq!(table.total_cost(&tiny.checkpoint_after()), tiny.expected_makespan);
+        }
+    }
+
+    #[test]
+    fn table_placement_exposes_flags_and_counts() {
+        let inst = chain_instance(&[400.0, 100.0, 900.0, 250.0], 60.0, 60.0, 30.0, 1e-4);
+        let order = properties::as_chain(inst.graph()).unwrap();
+        let table = crate::evaluate::segment_cost_table(&inst, &order).unwrap();
+        let placement = optimal_placement_on_table(&table);
+        let flags = placement.checkpoint_after();
+        assert_eq!(flags.len(), 4);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), placement.checkpoint_count());
+        assert_eq!(flags.last(), Some(&true));
+        let solution = optimal_chain_schedule(&inst).unwrap();
+        assert_eq!(placement.checkpoint_positions, solution.checkpoint_positions);
+        assert_eq!(placement.expected_makespan, solution.expected_makespan);
     }
 
     proptest! {
@@ -706,6 +1135,16 @@ mod tests {
                 "divide-conquer {} vs reference {base}", dc.expected_makespan);
             prop_assert!((memoized - base).abs() / base < 1e-10,
                 "memoized {memoized} vs reference {base}");
+            // The blocked solver, at production block size and with a tiny
+            // block size that forces deep recursion on these chain lengths.
+            let blocked = optimal_chain_schedule_blocked(&inst).unwrap();
+            prop_assert!((blocked.expected_makespan - base).abs() / base < 1e-10,
+                "blocked {} vs reference {base}", blocked.expected_makespan);
+            let order = properties::as_chain(inst.graph()).unwrap();
+            let table = crate::evaluate::segment_cost_table(&inst, &order).unwrap();
+            let tiny = blocked_placement_with_block(&table, 4);
+            prop_assert!((tiny.expected_makespan - base).abs() / base < 1e-10,
+                "blocked(4) {} vs reference {base}", tiny.expected_makespan);
         }
 
         #[test]

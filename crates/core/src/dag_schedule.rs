@@ -8,18 +8,30 @@
 //! 1. pick a linearisation of the DAG with one of the
 //!    [`LinearizationStrategy`] heuristics (§2's full-parallelism assumption
 //!    makes any topological order feasible);
-//! 2. place checkpoints optimally **for that order** with the same dynamic
-//!    program as Algorithm 1, generalised to use a [`CheckpointCostModel`]
-//!    when evaluating the cost of a checkpoint after a prefix (the §6
-//!    general-cost extension).
+//! 2. materialise the order's per-position checkpoint and recovery costs
+//!    under a [`CheckpointCostModel`] (the §6 general-cost extension), build
+//!    **one** [`SegmentCostTable`] for the order from them, and place
+//!    checkpoints optimally for that order with the Algorithm 1 recurrence
+//!    run directly on the table
+//!    ([`chain_dp::scalable_placement_on_table`](crate::chain_dp::scalable_placement_on_table)).
+//!
+//! The cost model is consulted `O(n)` times per linearisation — once per
+//! position, while building the table — and the DP's inner loop then runs
+//! exp-free on precomputed costs with the table's monotone pruning bound,
+//! exactly like the chain fast path. The table is rebuilt only when the
+//! execution order changes (one table per strategy tried by
+//! [`schedule_dag_best_of`]), never per candidate segment.
 //!
 //! For linear chains step 2 is exactly Algorithm 1 and the result is globally
 //! optimal; for other DAGs the result is a heuristic whose quality experiment
 //! E4 measures against brute force.
+//!
+//! [`SegmentCostTable`]: ckpt_expectation::segment_cost::SegmentCostTable
 
 use ckpt_dag::{linearize, LinearizationStrategy, TaskId};
-use ckpt_expectation::exact::{expected_time, ExecutionParams};
+use ckpt_expectation::segment_cost::SegmentCostTable;
 
+use crate::chain_dp::scalable_placement_on_table;
 use crate::cost_model::CheckpointCostModel;
 use crate::error::ScheduleError;
 use crate::instance::ProblemInstance;
@@ -40,8 +52,45 @@ pub struct DagSolution {
     pub strategy: LinearizationStrategy,
 }
 
+/// Builds the [`SegmentCostTable`] of `order` with per-position checkpoint
+/// and recovery costs drawn from `model` — the §6 generalisation of
+/// [`crate::evaluate::segment_cost_table`] (which this reduces to under
+/// [`CheckpointCostModel::PerLastTask`]).
+///
+/// The model is consulted once per position; live-set models walk the DAG
+/// here, and the DP afterwards never re-derives a cost.
+///
+/// # Errors
+///
+/// * [`ScheduleError::EmptyInstance`] if `order` is empty;
+/// * [`ScheduleError::InvalidOrder`] if `order` is not a topological order;
+/// * propagated validation errors (cannot occur for instances built through
+///   [`ProblemInstance::builder`]).
+pub fn model_cost_table(
+    instance: &ProblemInstance,
+    order: &[TaskId],
+    model: CheckpointCostModel,
+) -> Result<SegmentCostTable, ScheduleError> {
+    let (weights, checkpoints, recoveries) = crate::evaluate::order_cost_vectors_with(
+        instance,
+        order,
+        |j| model.checkpoint_cost(instance, order, j),
+        |p| model.recovery_cost(instance, order, p),
+    )?;
+    SegmentCostTable::new(
+        instance.lambda(),
+        instance.downtime(),
+        &weights,
+        &checkpoints,
+        &recoveries,
+    )
+    .map_err(ScheduleError::from_expectation)
+}
+
 /// Places checkpoints optimally along a **fixed** order, generalising the
-/// Algorithm 1 recurrence to an arbitrary [`CheckpointCostModel`].
+/// Algorithm 1 recurrence to an arbitrary [`CheckpointCostModel`]: one
+/// [`SegmentCostTable`] is built for the order under the model
+/// ([`model_cost_table`]) and the recurrence runs exp-free on it.
 ///
 /// Returns the schedule and its expected makespan *under the given model*.
 ///
@@ -54,58 +103,10 @@ pub fn optimal_checkpoints_for_order(
     order: Vec<TaskId>,
     model: CheckpointCostModel,
 ) -> Result<(Schedule, f64), ScheduleError> {
-    if !ckpt_dag::topo::is_topological_order(instance.graph(), &order) {
-        return Err(ScheduleError::InvalidOrder);
-    }
-    let n = order.len();
-    let lambda = instance.lambda();
-    let downtime = instance.downtime();
-
-    let mut prefix = vec![0.0f64; n + 1];
-    for (k, &task) in order.iter().enumerate() {
-        prefix[k + 1] = prefix[k] + instance.weight(task);
-    }
-    // Cost of a checkpoint taken after position j, and of the recovery
-    // protecting a segment that starts at position x (i.e. the recovery of the
-    // checkpoint taken after position x-1).
-    let checkpoint_cost = |j: usize| model.checkpoint_cost(instance, &order, j);
-    let recovery_before = |x: usize| -> f64 {
-        if x == 0 {
-            instance.initial_recovery()
-        } else {
-            model.recovery_cost(instance, &order, x - 1)
-        }
-    };
-
-    let mut value = vec![0.0f64; n + 1];
-    let mut choice = vec![0usize; n];
-    for x in (0..n).rev() {
-        let recovery = recovery_before(x);
-        let mut best = f64::INFINITY;
-        let mut best_j = n - 1;
-        for j in x..n {
-            let work = prefix[j + 1] - prefix[x];
-            let params = ExecutionParams::new(work, checkpoint_cost(j), downtime, recovery, lambda)
-                .expect("instance parameters were validated at construction");
-            let cost = expected_time(&params) + value[j + 1];
-            if cost < best {
-                best = cost;
-                best_j = j;
-            }
-        }
-        value[x] = best;
-        choice[x] = best_j;
-    }
-
-    let mut checkpoint_after = vec![false; n];
-    let mut x = 0usize;
-    while x < n {
-        let j = choice[x];
-        checkpoint_after[j] = true;
-        x = j + 1;
-    }
-    let schedule = Schedule::new(instance, order, checkpoint_after)?;
-    Ok((schedule, value[0]))
+    let table = model_cost_table(instance, &order, model)?;
+    let placement = scalable_placement_on_table(&table);
+    let schedule = Schedule::new(instance, order, placement.checkpoint_after())?;
+    Ok((schedule, placement.expected_makespan))
 }
 
 /// Schedules a DAG instance: linearises it with `strategy`, then places

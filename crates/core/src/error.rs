@@ -1,4 +1,8 @@
-//! Error type for scheduling operations.
+//! Error type for scheduling operations — each variant is the violation of
+//! one §2 model assumption (positive parameters, topological orders, the
+//! mandatory final checkpoint) or of a solver's applicability condition
+//! (chains for Algorithm 1, independent tasks for the Proposition 2
+//! heuristics).
 
 use std::error::Error;
 use std::fmt;
@@ -112,6 +116,30 @@ impl fmt::Display for ScheduleError {
 }
 
 impl Error for ScheduleError {}
+
+impl ScheduleError {
+    /// Maps a validation error from the analytical layer (`ckpt-expectation`)
+    /// onto the scheduling error vocabulary — shared by every call site that
+    /// builds a [`SegmentCostTable`](ckpt_expectation::segment_cost::SegmentCostTable)
+    /// or [`LambdaSweep`](ckpt_expectation::sweep::LambdaSweep) from instance
+    /// data.
+    pub fn from_expectation(err: ckpt_expectation::ExpectationError) -> Self {
+        use ckpt_expectation::ExpectationError;
+        match err {
+            ExpectationError::NegativeParameter { name, value } => {
+                ScheduleError::NegativeParameter { name, value }
+            }
+            ExpectationError::NonPositiveParameter { name, value }
+            | ExpectationError::NonFiniteParameter { name, value }
+            | ExpectationError::FractionOutOfRange { name, value } => {
+                ScheduleError::NonPositiveParameter { name, value }
+            }
+            ExpectationError::ZeroProcessors => {
+                ScheduleError::NonPositiveParameter { name: "processors", value: 0.0 }
+            }
+        }
+    }
+}
 
 pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<f64, ScheduleError> {
     if !value.is_finite() || value <= 0.0 {

@@ -8,7 +8,7 @@
 use ckpt_dag::{topo, TaskId};
 use ckpt_expectation::exact::{expected_time, ExecutionParams};
 use ckpt_expectation::segment_cost::SegmentCostTable;
-use ckpt_expectation::ExpectationError;
+use ckpt_expectation::sweep::LambdaSweep;
 
 use crate::error::ScheduleError;
 use crate::instance::ProblemInstance;
@@ -73,19 +73,7 @@ pub fn segment_cost_table(
     instance: &ProblemInstance,
     order: &[TaskId],
 ) -> Result<SegmentCostTable, ScheduleError> {
-    if order.is_empty() {
-        return Err(ScheduleError::EmptyInstance);
-    }
-    if !topo::is_topological_order(instance.graph(), order) {
-        return Err(ScheduleError::InvalidOrder);
-    }
-    let weights: Vec<f64> = order.iter().map(|&t| instance.weight(t)).collect();
-    let checkpoints: Vec<f64> = order.iter().map(|&t| instance.checkpoint_cost(t)).collect();
-    let mut recoveries = Vec::with_capacity(order.len());
-    recoveries.push(instance.initial_recovery());
-    for &task in &order[..order.len() - 1] {
-        recoveries.push(instance.recovery_cost(task));
-    }
+    let (weights, checkpoints, recoveries) = order_cost_vectors(instance, order)?;
     SegmentCostTable::new(
         instance.lambda(),
         instance.downtime(),
@@ -93,19 +81,70 @@ pub fn segment_cost_table(
         &checkpoints,
         &recoveries,
     )
-    .map_err(|err| match err {
-        ExpectationError::NegativeParameter { name, value } => {
-            ScheduleError::NegativeParameter { name, value }
-        }
-        ExpectationError::NonPositiveParameter { name, value }
-        | ExpectationError::NonFiniteParameter { name, value }
-        | ExpectationError::FractionOutOfRange { name, value } => {
-            ScheduleError::NonPositiveParameter { name, value }
-        }
-        ExpectationError::ZeroProcessors => {
-            ScheduleError::NonPositiveParameter { name: "processors", value: 0.0 }
-        }
-    })
+    .map_err(ScheduleError::from_expectation)
+}
+
+/// Builds a [`LambdaSweep`] for `instance` along `order`: the λ-independent
+/// half of [`segment_cost_table`], shared across every failure rate a sweep
+/// evaluates (see [`crate::analysis::lambda_sweep`]).
+///
+/// # Errors
+///
+/// Same as [`segment_cost_table`].
+pub fn lambda_sweep_for_order(
+    instance: &ProblemInstance,
+    order: &[TaskId],
+) -> Result<LambdaSweep, ScheduleError> {
+    let (weights, checkpoints, recoveries) = order_cost_vectors(instance, order)?;
+    LambdaSweep::new(instance.downtime(), &weights, &checkpoints, &recoveries)
+        .map_err(ScheduleError::from_expectation)
+}
+
+/// Validates `order` and materialises its positional weight, checkpoint-cost
+/// and protecting-recovery vectors (the paper's per-last-task cost model).
+#[allow(clippy::type_complexity)] // three parallel positional vectors
+fn order_cost_vectors(
+    instance: &ProblemInstance,
+    order: &[TaskId],
+) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>), ScheduleError> {
+    order_cost_vectors_with(
+        instance,
+        order,
+        |j| instance.checkpoint_cost(order[j]),
+        |p| instance.recovery_cost(order[p]),
+    )
+}
+
+/// Validates `order` and materialises its positional cost vectors from
+/// arbitrary per-position accessors: `checkpoint_at(j)` is the cost of a
+/// checkpoint taken after position `j`, `recovery_at(p)` the recovery cost
+/// of that checkpoint. The protecting-recovery convention lives **only**
+/// here: position `x > 0` is protected by `recovery_at(x − 1)`, position `0`
+/// by the instance's initial recovery `R₀` — shared by the per-last-task
+/// vectors above and `dag_schedule`'s §6 cost-model tables so the two can
+/// never diverge.
+#[allow(clippy::type_complexity)] // three parallel positional vectors
+pub(crate) fn order_cost_vectors_with(
+    instance: &ProblemInstance,
+    order: &[TaskId],
+    checkpoint_at: impl Fn(usize) -> f64,
+    recovery_at: impl Fn(usize) -> f64,
+) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>), ScheduleError> {
+    if order.is_empty() {
+        return Err(ScheduleError::EmptyInstance);
+    }
+    if !topo::is_topological_order(instance.graph(), order) {
+        return Err(ScheduleError::InvalidOrder);
+    }
+    let n = order.len();
+    let weights: Vec<f64> = order.iter().map(|&t| instance.weight(t)).collect();
+    let checkpoints: Vec<f64> = (0..n).map(checkpoint_at).collect();
+    let mut recoveries = Vec::with_capacity(n);
+    recoveries.push(instance.initial_recovery());
+    for x in 1..n {
+        recoveries.push(recovery_at(x - 1));
+    }
+    Ok((weights, checkpoints, recoveries))
 }
 
 /// The slowdown of a schedule: expected makespan divided by the total task

@@ -7,7 +7,15 @@
 //!
 //! * **exponential-equivalent planning**: replace the law by the Exponential
 //!   law with the same platform MTBF and run Algorithm 1; this is what a
-//!   scheduler unaware of the law's shape would do;
+//!   scheduler unaware of the law's shape would do. The planner builds the
+//!   chain's [`LambdaSweep`](ckpt_expectation::sweep::LambdaSweep) once,
+//!   instantiates a [`SegmentCostTable`](ckpt_expectation::segment_cost::SegmentCostTable)
+//!   at each surrogate rate and runs the Algorithm 1 recurrence directly on
+//!   the table ([`chain_dp::optimal_placement_on_table`]) — no surrogate
+//!   instance is cloned and no Proposition-1 closed form is re-derived per
+//!   candidate segment, so planning the same chain across several platform
+//!   sizes ([`exponential_equivalent_schedules`]) shares all the
+//!   λ-independent work;
 //! * **work-before-failure greedy** (after Bouguerra, Trystram & Wagner): pick
 //!   segment boundaries that maximise the expected amount of work completed
 //!   before the next failure, a quantity that only needs the survival
@@ -24,12 +32,21 @@ use ckpt_simulator::{MonteCarloOutcome, SimulationScenario};
 
 use crate::chain_dp;
 use crate::error::ScheduleError;
+use crate::evaluate::lambda_sweep_for_order;
 use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 
+/// The Exponential rate a scheduler unaware of `law`'s shape would plan
+/// with: the inverse of the platform MTBF of `processors` superposed i.i.d.
+/// copies of the law (`processors / mean`).
+fn surrogate_lambda(law: &dyn FailureDistribution, processors: usize) -> f64 {
+    processors.max(1) as f64 / law.mean()
+}
+
 /// Plans a chain schedule for a platform whose failures follow `law` by
 /// pretending the law is Exponential with the same mean (the platform MTBF)
-/// and running Algorithm 1.
+/// and running Algorithm 1 at that surrogate rate, directly on the chain's
+/// segment-cost table.
 ///
 /// # Errors
 ///
@@ -39,12 +56,37 @@ pub fn exponential_equivalent_schedule(
     law: &dyn FailureDistribution,
     processors: usize,
 ) -> Result<Schedule, ScheduleError> {
-    // Platform MTBF of the superposition of `processors` i.i.d. laws is
-    // mean / processors; the equivalent Exponential rate is its inverse.
-    let platform_mtbf = law.mean() / processors.max(1) as f64;
-    let lambda = 1.0 / platform_mtbf;
-    let surrogate = instance.with_lambda(lambda)?;
-    Ok(chain_dp::optimal_chain_schedule(&surrogate)?.schedule)
+    let mut schedules = exponential_equivalent_schedules(instance, law, &[processors])?;
+    Ok(schedules.pop().expect("one schedule per processor count"))
+}
+
+/// Plans the exponential-equivalent schedule of one chain for **several**
+/// platform sizes at once: the λ-independent planning work (order
+/// validation, work prefix sums, per-position costs) is done once and only
+/// the per-rate table and DP are redone per processor count — the batched
+/// planning loop experiments like E7 sweep.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::NotAChain`] if the instance is not a chain;
+/// propagates validation errors for degenerate laws (e.g. a zero mean).
+pub fn exponential_equivalent_schedules(
+    instance: &ProblemInstance,
+    law: &dyn FailureDistribution,
+    processor_counts: &[usize],
+) -> Result<Vec<Schedule>, ScheduleError> {
+    let order = properties::as_chain(instance.graph()).ok_or(ScheduleError::NotAChain)?;
+    let sweep = lambda_sweep_for_order(instance, &order)?;
+    processor_counts
+        .iter()
+        .map(|&p| {
+            let table = sweep
+                .table_for(surrogate_lambda(law, p))
+                .map_err(ScheduleError::from_expectation)?;
+            let placement = chain_dp::scalable_placement_on_table(&table);
+            Schedule::new(instance, order.clone(), placement.checkpoint_after())
+        })
+        .collect()
 }
 
 /// Plans a chain schedule with the work-before-failure greedy rule: walk the
@@ -148,6 +190,21 @@ mod tests {
         let planned = exponential_equivalent_schedule(&inst, &law, p).unwrap();
         let optimal = chain_dp::optimal_chain_schedule(&inst).unwrap().schedule;
         assert_eq!(planned, optimal);
+    }
+
+    #[test]
+    fn batched_planning_matches_single_processor_counts() {
+        let inst = chain_instance(12, 600.0, 60.0, 1e-4);
+        let law = Weibull::with_mean(0.7, 50_000.0).unwrap();
+        let counts = [1usize, 8, 64, 512];
+        let batch = exponential_equivalent_schedules(&inst, &law, &counts).unwrap();
+        assert_eq!(batch.len(), counts.len());
+        for (i, &p) in counts.iter().enumerate() {
+            let single = exponential_equivalent_schedule(&inst, &law, p).unwrap();
+            assert_eq!(batch[i], single);
+        }
+        // More processors → higher surrogate rate → no fewer checkpoints.
+        assert!(batch.windows(2).all(|w| w[1].checkpoint_count() >= w[0].checkpoint_count()));
     }
 
     #[test]

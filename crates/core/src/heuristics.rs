@@ -18,7 +18,7 @@ use ckpt_expectation::approximations::young_period;
 use ckpt_expectation::segment_cost::SegmentCostTable;
 
 use crate::error::ScheduleError;
-use crate::evaluate::{expected_makespan, segment_cost_table};
+use crate::evaluate::{expected_makespan, lambda_sweep_for_order, segment_cost_table};
 use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 
@@ -65,19 +65,8 @@ pub fn checkpoint_by_period(
     if !period.is_finite() || period <= 0.0 {
         return Err(ScheduleError::NonPositiveParameter { name: "period", value: period });
     }
-    let n = order.len();
-    let mut checkpoints = vec![false; n];
-    let mut accumulated = 0.0;
-    for (pos, &task) in order.iter().enumerate() {
-        accumulated += instance.weight(task);
-        if accumulated >= period {
-            checkpoints[pos] = true;
-            accumulated = 0.0;
-        }
-    }
-    if let Some(last) = checkpoints.last_mut() {
-        *last = true;
-    }
+    let weights: Vec<f64> = order.iter().map(|&t| instance.weight(t)).collect();
+    let checkpoints = period_flags(&weights, period);
     Schedule::new(instance, order, checkpoints)
 }
 
@@ -93,12 +82,104 @@ pub fn young_periodic_schedule(
     instance: &ProblemInstance,
     order: Vec<TaskId>,
 ) -> Result<Schedule, ScheduleError> {
-    let n = instance.task_count() as f64;
-    let mean_c = instance.checkpoint_costs().iter().sum::<f64>() / n;
-    let period = young_period(mean_c, instance.lambda()).map_err(|_| {
-        ScheduleError::NonPositiveParameter { name: "mean checkpoint cost", value: mean_c }
-    })?;
+    let period = young_period_for(instance, instance.lambda())?;
     checkpoint_by_period(instance, order, period)
+}
+
+/// The Young period `√(2·C̄/λ)` of `instance`'s mean per-task checkpoint cost
+/// at rate `lambda` — shared by [`young_periodic_schedule`] and
+/// [`baseline_lambda_sweep`] so the two can never diverge on the definition.
+fn young_period_for(instance: &ProblemInstance, lambda: f64) -> Result<f64, ScheduleError> {
+    young_period_for_mean(mean_checkpoint_cost(instance), lambda)
+}
+
+/// The λ-independent half of [`young_period_for`], hoisted out of per-rate
+/// loops.
+fn mean_checkpoint_cost(instance: &ProblemInstance) -> f64 {
+    instance.checkpoint_costs().iter().sum::<f64>() / instance.task_count() as f64
+}
+
+/// The λ-dependent half of [`young_period_for`].
+fn young_period_for_mean(mean_c: f64, lambda: f64) -> Result<f64, ScheduleError> {
+    young_period(mean_c, lambda).map_err(|_| ScheduleError::NonPositiveParameter {
+        name: "mean checkpoint cost",
+        value: mean_c,
+    })
+}
+
+/// One row of [`baseline_lambda_sweep`]: the expected makespan of the three
+/// standard fixed-order baselines at one failure rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BaselineSweepPoint {
+    /// The platform failure rate of this point.
+    pub lambda: f64,
+    /// Expected makespan of checkpointing after every task.
+    pub everywhere: f64,
+    /// Expected makespan of the single mandatory final checkpoint.
+    pub final_only: f64,
+    /// Expected makespan of Young-periodic placement (the period `√(2C̄/λ)`
+    /// is recomputed at each rate, so the placement adapts with λ).
+    pub young: f64,
+}
+
+/// Evaluates the checkpoint-everywhere, final-only and Young-periodic
+/// baselines along `order` across a whole vector of failure rates, sharing
+/// the order's λ-independent precomputation
+/// (via [`LambdaSweep`](ckpt_expectation::sweep::LambdaSweep)) between the
+/// rates — the batched baseline curves experiment E9 plots against the
+/// re-optimised [`crate::analysis::lambda_sweep`].
+///
+/// # Errors
+///
+/// * [`ScheduleError::InvalidOrder`] if `order` is not a topological order;
+/// * [`ScheduleError::NonPositiveParameter`] if a rate is not strictly
+///   positive or the mean checkpoint cost is zero (the Young period is then
+///   undefined).
+pub fn baseline_lambda_sweep(
+    instance: &ProblemInstance,
+    order: &[TaskId],
+    lambdas: &[f64],
+) -> Result<Vec<BaselineSweepPoint>, ScheduleError> {
+    let sweep = lambda_sweep_for_order(instance, order)?;
+    let n = order.len();
+    let everywhere = vec![true; n];
+    let mut final_only = vec![false; n];
+    final_only[n - 1] = true;
+    let weights: Vec<f64> = order.iter().map(|&t| instance.weight(t)).collect();
+    let mean_c = mean_checkpoint_cost(instance);
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            let table = sweep.table_for(lambda).map_err(ScheduleError::from_expectation)?;
+            let period = young_period_for_mean(mean_c, lambda)?;
+            let young = table.total_cost(&period_flags(&weights, period));
+            Ok(BaselineSweepPoint {
+                lambda,
+                everywhere: table.total_cost(&everywhere),
+                final_only: table.total_cost(&final_only),
+                young,
+            })
+        })
+        .collect()
+}
+
+/// The checkpoint decisions of periodic placement at task granularity (the
+/// walk of [`checkpoint_by_period`], on positional weights).
+fn period_flags(weights: &[f64], period: f64) -> Vec<bool> {
+    let mut flags = vec![false; weights.len()];
+    let mut accumulated = 0.0;
+    for (pos, &w) in weights.iter().enumerate() {
+        accumulated += w;
+        if accumulated >= period {
+            flags[pos] = true;
+            accumulated = 0.0;
+        }
+    }
+    if let Some(last) = flags.last_mut() {
+        *last = true;
+    }
+    flags
 }
 
 /// Longest-Processing-Time-first order for independent tasks.
@@ -306,6 +387,47 @@ mod tests {
             "{}",
             s.checkpoint_count()
         );
+    }
+
+    #[test]
+    fn baseline_sweep_matches_per_rate_schedule_evaluation() {
+        let inst = independent_instance(&[600.0; 12], 60.0, 1.0 / 10_000.0);
+        let order = id_order(12);
+        let lambdas = [1e-6, 1e-5, 1e-4, 1e-3];
+        let rows = baseline_lambda_sweep(&inst, &order, &lambdas).unwrap();
+        assert_eq!(rows.len(), lambdas.len());
+        for row in &rows {
+            let swept = inst.with_lambda(row.lambda).unwrap();
+            let everywhere = Schedule::checkpoint_everywhere(&swept, order.clone()).unwrap();
+            let final_only = Schedule::checkpoint_final_only(&swept, order.clone()).unwrap();
+            let young = young_periodic_schedule(&swept, order.clone()).unwrap();
+            let tol = 1e-9;
+            assert!(
+                (row.everywhere - expected_makespan(&swept, &everywhere).unwrap()).abs()
+                    / row.everywhere
+                    < tol
+            );
+            assert!(
+                (row.final_only - expected_makespan(&swept, &final_only).unwrap()).abs()
+                    / row.final_only
+                    < tol
+            );
+            assert!(
+                (row.young - expected_makespan(&swept, &young).unwrap()).abs() / row.young < tol,
+                "young mismatch at λ {}",
+                row.lambda
+            );
+        }
+        // At high rates, adaptive-period Young beats the single checkpoint.
+        assert!(rows.last().unwrap().young < rows.last().unwrap().final_only);
+    }
+
+    #[test]
+    fn baseline_sweep_validates_inputs() {
+        let inst = independent_instance(&[100.0; 3], 10.0, 1e-4);
+        assert!(baseline_lambda_sweep(&inst, &id_order(3), &[0.0]).is_err());
+        let zero_cost = independent_instance(&[100.0; 3], 0.0, 1e-4);
+        assert!(baseline_lambda_sweep(&zero_cost, &id_order(3), &[1e-4]).is_err());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Schedules: an execution order plus checkpoint decisions.
+//! Schedules: an execution order plus checkpoint decisions (the solution
+//! space of the paper's §2 problem statement).
 
 use ckpt_dag::{topo, TaskId};
 use ckpt_simulator::Segment;

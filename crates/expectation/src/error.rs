@@ -1,4 +1,6 @@
-//! Error type for analytical-layer parameter validation.
+//! Error type for analytical-layer parameter validation (the §2/§3
+//! assumptions every closed form relies on: positive work and rates,
+//! non-negative costs).
 
 use std::error::Error;
 use std::fmt;

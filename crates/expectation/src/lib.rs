@@ -29,7 +29,10 @@
 //! For solvers that evaluate Proposition 1 over many segments of one fixed
 //! execution order, [`segment_cost::SegmentCostTable`] precomputes the
 //! exponentials once and answers each segment-cost query with a handful of
-//! multiplies instead of two `exp` calls.
+//! multiplies instead of two `exp` calls; for experiments that re-evaluate
+//! the same order across a whole vector of failure rates,
+//! [`sweep::LambdaSweep`] shares the λ-independent part of that
+//! precomputation (validation, work prefix sums) between the rates.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@ pub mod numeric;
 pub mod optimal_period;
 pub mod overhead;
 pub mod segment_cost;
+pub mod sweep;
 pub mod waste;
 pub mod workload;
 

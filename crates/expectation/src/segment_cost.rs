@@ -35,6 +35,8 @@
 //! decomposition `T(x, j) = slope(j)·query_point(x) − coefficient(x)` used by
 //! the `O(n log n)` divide-and-conquer solver.
 
+use std::sync::Arc;
+
 use crate::error::{ensure_non_negative, ensure_positive, ExpectationError};
 
 /// Below this exponent `λ(W+C)`, `e^a·e^b·e^c − 1` loses too many bits to
@@ -54,14 +56,42 @@ const MAX_SAFE_EXPONENT: f64 = 650.0;
 /// evaluates any `T(x, j)` without calling `exp` (outside the documented
 /// fallback regimes).
 ///
+/// # Example
+///
+/// Every `(x, j)` query agrees with the Proposition 1 closed form
+/// ([`expected_time`](crate::exact::expected_time)) applied to that segment:
+///
+/// ```
+/// use ckpt_expectation::exact::{expected_time, ExecutionParams};
+/// use ckpt_expectation::segment_cost::SegmentCostTable;
+///
+/// let (lambda, downtime) = (1e-4, 30.0);
+/// let table = SegmentCostTable::new(
+///     lambda,
+///     downtime,
+///     &[400.0, 100.0, 900.0],  // weights along the execution order
+///     &[60.0, 60.0, 60.0],     // checkpoint costs C_j
+///     &[15.0, 60.0, 20.0],     // protecting recoveries R_x
+/// )?;
+/// // Segment covering positions 0..=1: 500 s of work, checkpoint C_1 = 60,
+/// // protected by the initial recovery R_0 = 15.
+/// let exact = expected_time(&ExecutionParams::new(500.0, 60.0, downtime, 15.0, lambda)?);
+/// assert!((table.cost(0, 1) - exact).abs() / exact < 1e-12);
+/// // A placement's expected makespan is the sum over its segments.
+/// assert_eq!(table.total_cost(&[false, true, true]), table.cost(0, 1) + table.cost(2, 2));
+/// # Ok::<(), ckpt_expectation::ExpectationError>(())
+/// ```
+///
 /// [`cost`]: SegmentCostTable::cost
 #[derive(Debug, Clone, PartialEq)]
 pub struct SegmentCostTable {
     lambda: f64,
-    /// `prefix[k] = w_0 + … + w_{k−1}` (raw work prefix sums, `n + 1` values).
-    prefix: Vec<f64>,
-    /// Checkpoint cost `C_j` per position.
-    ckpt: Vec<f64>,
+    /// `prefix[k] = w_0 + … + w_{k−1}` (raw work prefix sums, `n + 1`
+    /// values). Shared, not copied, between the per-rate tables of one
+    /// [`LambdaSweep`](crate::sweep::LambdaSweep).
+    prefix: Arc<Vec<f64>>,
+    /// Checkpoint cost `C_j` per position (shared like `prefix`).
+    ckpt: Arc<Vec<f64>>,
     /// `e^{λ·prefix[k]}` (empty in saturated mode).
     exp_prefix: Vec<f64>,
     /// `e^{−λ·prefix[k]}` (empty in saturated mode).
@@ -103,29 +133,36 @@ impl SegmentCostTable {
         checkpoints: &[f64],
         recoveries: &[f64],
     ) -> Result<Self, ExpectationError> {
-        let n = weights.len();
-        assert!(n > 0, "segment cost table needs at least one position");
-        assert_eq!(checkpoints.len(), n, "one checkpoint cost per position");
-        assert_eq!(recoveries.len(), n, "one protecting recovery per position");
         let lambda = ensure_positive("lambda", lambda)?;
-        let downtime = ensure_non_negative("downtime", downtime)?;
-        let mut prefix = Vec::with_capacity(n + 1);
-        prefix.push(0.0);
-        for &w in weights {
-            ensure_positive("work", w)?;
-            prefix.push(prefix[prefix.len() - 1] + w);
-        }
-        let mut max_ckpt = 0.0f64;
-        for &c in checkpoints {
-            ensure_non_negative("checkpoint", c)?;
-            max_ckpt = max_ckpt.max(c);
-        }
-        let mut coeff = Vec::with_capacity(n);
+        let (downtime, prefix, max_ckpt) =
+            validate_order(downtime, weights, checkpoints, recoveries)?;
+        Ok(Self::from_validated_parts(
+            lambda,
+            downtime,
+            Arc::new(prefix),
+            Arc::new(checkpoints.to_vec()),
+            recoveries,
+            max_ckpt,
+        ))
+    }
+
+    /// Builds the table from already-validated data: `prefix` are the work
+    /// prefix sums (`n + 1` values, `prefix[0] = 0`), `checkpoints` and
+    /// `recoveries` the per-position costs, `max_ckpt` the largest checkpoint
+    /// cost. Used by [`crate::sweep::LambdaSweep`] to rebuild the table for a
+    /// new `λ` without re-validating, re-summing or copying the
+    /// λ-independent vectors (they are shared by `Arc`).
+    pub(crate) fn from_validated_parts(
+        lambda: f64,
+        downtime: f64,
+        prefix: Arc<Vec<f64>>,
+        checkpoints: Arc<Vec<f64>>,
+        recoveries: &[f64],
+        max_ckpt: f64,
+    ) -> Self {
+        let n = checkpoints.len();
         let base = 1.0 / lambda + downtime;
-        for &r in recoveries {
-            ensure_non_negative("recovery", r)?;
-            coeff.push((lambda * r).exp() * base);
-        }
+        let coeff: Vec<f64> = recoveries.iter().map(|&r| (lambda * r).exp() * base).collect();
 
         let saturated = lambda * (prefix[n] + max_ckpt) > MAX_SAFE_EXPONENT;
         let (exp_prefix, inv_exp_prefix, exp_ckpt, min_slope_suffix) = if saturated {
@@ -149,10 +186,10 @@ impl SegmentCostTable {
             min_log_slope_suffix[j] = running;
         }
 
-        Ok(SegmentCostTable {
+        SegmentCostTable {
             lambda,
             prefix,
-            ckpt: checkpoints.to_vec(),
+            ckpt: checkpoints,
             exp_prefix,
             inv_exp_prefix,
             exp_ckpt,
@@ -160,7 +197,7 @@ impl SegmentCostTable {
             min_slope_suffix,
             min_log_slope_suffix,
             saturated,
-        })
+        }
     }
 
     /// The number of positions covered by the table.
@@ -304,6 +341,43 @@ impl SegmentCostTable {
         }
         total
     }
+}
+
+/// Validates the λ-independent data of one execution order (shared by
+/// [`SegmentCostTable::new`] and [`crate::sweep::LambdaSweep::new`], so the
+/// two constructors can never diverge on what they accept) and returns the
+/// checked downtime, the work prefix sums and the largest checkpoint cost.
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length or are empty (a programming
+/// error, not a data error).
+pub(crate) fn validate_order(
+    downtime: f64,
+    weights: &[f64],
+    checkpoints: &[f64],
+    recoveries: &[f64],
+) -> Result<(f64, Vec<f64>, f64), ExpectationError> {
+    let n = weights.len();
+    assert!(n > 0, "the execution order needs at least one position");
+    assert_eq!(checkpoints.len(), n, "one checkpoint cost per position");
+    assert_eq!(recoveries.len(), n, "one protecting recovery per position");
+    let downtime = ensure_non_negative("downtime", downtime)?;
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &w in weights {
+        ensure_positive("work", w)?;
+        prefix.push(prefix[prefix.len() - 1] + w);
+    }
+    let mut max_ckpt = 0.0f64;
+    for &c in checkpoints {
+        ensure_non_negative("checkpoint", c)?;
+        max_ckpt = max_ckpt.max(c);
+    }
+    for &r in recoveries {
+        ensure_non_negative("recovery", r)?;
+    }
+    Ok((downtime, prefix, max_ckpt))
 }
 
 #[cfg(test)]

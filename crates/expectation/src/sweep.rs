@@ -1,0 +1,369 @@
+//! Batched λ-parameterised evaluation over one fixed execution order.
+//!
+//! Fault-tolerance studies rarely evaluate a workflow at a single failure
+//! rate: sensitivity analyses sweep `λ` across decades to see how the optimal
+//! policy degrades with the platform (paper §5 experiments), and the §6
+//! exponential-equivalent planner re-solves the same chain under a surrogate
+//! rate per candidate platform. Rebuilding a [`SegmentCostTable`] from scratch
+//! for every rate repeats work that does not depend on `λ` at all: parameter
+//! validation, the work prefix sums, and the per-order cost vectors.
+//!
+//! [`LambdaSweep`] performs that λ-independent work **once** per execution
+//! order and then stamps out one table per requested rate; only the genuinely
+//! λ-dependent precomputation (the `O(n)` exponentials) is redone per rate.
+//! On top of [`LambdaSweep::table_for`] it offers batch helpers that evaluate
+//! a fixed checkpoint placement across a whole vector of rates
+//! ([`LambdaSweep::total_costs`]) or lay out a logarithmic rate grid
+//! ([`log_lambda_grid`]).
+//!
+//! Solvers that *optimise* per rate (the Algorithm 1 chain DP) live in
+//! `ckpt-core` and consume the per-rate tables directly; see
+//! `ckpt_core::analysis::lambda_sweep`.
+
+use std::sync::Arc;
+
+use crate::error::{ensure_positive, ExpectationError};
+use crate::segment_cost::SegmentCostTable;
+
+/// The λ-independent part of a [`SegmentCostTable`]: one fixed execution
+/// order (weights, checkpoint costs, protecting recoveries, downtime) with
+/// its work prefix sums, ready to be instantiated at any failure rate.
+///
+/// # Example
+///
+/// Evaluate one checkpoint placement across three platform failure rates,
+/// sharing the order validation and prefix sums between the rates:
+///
+/// ```
+/// use ckpt_expectation::sweep::LambdaSweep;
+///
+/// let sweep = LambdaSweep::new(
+///     30.0,                       // downtime D
+///     &[400.0, 100.0, 900.0],     // task weights along the order
+///     &[60.0, 60.0, 60.0],        // checkpoint costs C_j
+///     &[15.0, 60.0, 20.0],        // protecting recoveries R_x
+/// )?;
+/// let placement = [true, false, true];
+/// let costs = sweep.total_costs(&placement, &[1e-6, 1e-4, 1e-3])?;
+/// // Expected makespan grows with the failure rate.
+/// assert!(costs[0] < costs[1] && costs[1] < costs[2]);
+/// // Each batched value matches the one-off table's evaluation (up to the
+/// // table's documented ~1e-13 product-path rounding).
+/// let one_off = sweep.table_for(1e-4)?.total_cost(&placement);
+/// assert!((costs[1] - one_off).abs() / one_off < 1e-12);
+/// # Ok::<(), ckpt_expectation::ExpectationError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LambdaSweep {
+    downtime: f64,
+    /// `prefix[k] = w_0 + … + w_{k−1}`, shared (by `Arc`, not copied) with
+    /// every per-rate table.
+    prefix: Arc<Vec<f64>>,
+    /// Checkpoint cost per position, shared like `prefix`.
+    checkpoints: Arc<Vec<f64>>,
+    recoveries: Vec<f64>,
+    max_ckpt: f64,
+}
+
+impl LambdaSweep {
+    /// Validates one execution order (positionally, exactly as
+    /// [`SegmentCostTable::new`]) and precomputes its λ-independent data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExpectationError`] if `downtime` is negative, any weight
+    /// is not strictly positive, or any checkpoint/recovery cost is negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices differ in length or are empty (a
+    /// programming error, not a data error).
+    pub fn new(
+        downtime: f64,
+        weights: &[f64],
+        checkpoints: &[f64],
+        recoveries: &[f64],
+    ) -> Result<Self, ExpectationError> {
+        let (downtime, prefix, max_ckpt) =
+            crate::segment_cost::validate_order(downtime, weights, checkpoints, recoveries)?;
+        Ok(LambdaSweep {
+            downtime,
+            prefix: Arc::new(prefix),
+            checkpoints: Arc::new(checkpoints.to_vec()),
+            recoveries: recoveries.to_vec(),
+            max_ckpt,
+        })
+    }
+
+    /// The number of positions of the underlying execution order.
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether the sweep covers no positions (never true: construction
+    /// requires at least one position).
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// The downtime `D` shared by every per-rate table.
+    pub fn downtime(&self) -> f64 {
+        self.downtime
+    }
+
+    /// The total work `w_0 + … + w_{n−1}` of the order.
+    pub fn total_work(&self) -> f64 {
+        *self.prefix.last().expect("prefix always has n + 1 entries")
+    }
+
+    /// Instantiates the order's [`SegmentCostTable`] at failure rate
+    /// `lambda`, redoing only the λ-dependent precomputation (the `O(n)`
+    /// exponentials); validation, prefix sums and checkpoint costs are
+    /// shared with the table by reference (`Arc`), not copied.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExpectationError`] if `lambda` is not strictly positive
+    /// and finite.
+    pub fn table_for(&self, lambda: f64) -> Result<SegmentCostTable, ExpectationError> {
+        let lambda = ensure_positive("lambda", lambda)?;
+        Ok(SegmentCostTable::from_validated_parts(
+            lambda,
+            self.downtime,
+            Arc::clone(&self.prefix),
+            Arc::clone(&self.checkpoints),
+            &self.recoveries,
+            self.max_ckpt,
+        ))
+    }
+
+    /// Evaluates the fixed checkpoint placement `checkpoint_after` (one
+    /// decision per position, final entry `true`) at every rate of `lambdas`,
+    /// returning one expected makespan per rate — the batched form of
+    /// [`SegmentCostTable::total_cost`].
+    ///
+    /// The segment boundaries are λ-independent, so they are extracted once
+    /// and each rate then costs `O(segments)` Proposition-1 closed-form
+    /// evaluations (identically [`expected_time`](crate::exact::expected_time)
+    /// per segment, on the shared prefix sums) — no per-rate table is built.
+    /// Agrees with the corresponding table's
+    /// [`total_cost`](SegmentCostTable::total_cost) to the table's documented
+    /// `~10⁻¹³` relative error (the table may take its exp-free product path
+    /// where this takes the `exp_m1` form).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExpectationError`] if any rate is not strictly positive
+    /// and finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_after` does not have one entry per position or
+    /// its final entry is `false` (the model's mandatory final checkpoint).
+    pub fn total_costs(
+        &self,
+        checkpoint_after: &[bool],
+        lambdas: &[f64],
+    ) -> Result<Vec<f64>, ExpectationError> {
+        assert_eq!(checkpoint_after.len(), self.len(), "one decision per position");
+        assert_eq!(checkpoint_after.last(), Some(&true), "final checkpoint is mandatory");
+        let mut segments = Vec::new();
+        let mut start = 0usize;
+        for (j, &ckpt) in checkpoint_after.iter().enumerate() {
+            if ckpt {
+                segments.push((start, j));
+                start = j + 1;
+            }
+        }
+        lambdas
+            .iter()
+            .map(|&lambda| {
+                let lambda = ensure_positive("lambda", lambda)?;
+                let base = 1.0 / lambda + self.downtime;
+                Ok(segments
+                    .iter()
+                    .map(|&(x, j)| {
+                        let attempt = self.prefix[j + 1] - self.prefix[x] + self.checkpoints[j];
+                        (lambda * self.recoveries[x]).exp() * base * (lambda * attempt).exp_m1()
+                    })
+                    .sum())
+            })
+            .collect()
+    }
+}
+
+/// A logarithmic grid of `points ≥ 2` failure rates from `lambda_min` to
+/// `lambda_max` (inclusive at both ends) — the grid shape every λ-sweep
+/// experiment of the paper's §5 uses.
+///
+/// # Errors
+///
+/// Returns an [`ExpectationError`] if the bounds are not strictly positive
+/// and increasing or `points < 2`.
+///
+/// # Example
+///
+/// ```
+/// let grid = ckpt_expectation::sweep::log_lambda_grid(1e-6, 1e-2, 5)?;
+/// assert_eq!(grid.len(), 5);
+/// assert!((grid[0] - 1e-6).abs() < 1e-18 && (grid[4] - 1e-2).abs() < 1e-9);
+/// // Consecutive points share one ratio (here one decade).
+/// assert!((grid[2] / grid[1] - 10.0).abs() < 1e-9);
+/// # Ok::<(), ckpt_expectation::ExpectationError>(())
+/// ```
+pub fn log_lambda_grid(
+    lambda_min: f64,
+    lambda_max: f64,
+    points: usize,
+) -> Result<Vec<f64>, ExpectationError> {
+    let lambda_min = ensure_positive("lambda_min", lambda_min)?;
+    let lambda_max = ensure_positive("lambda_max", lambda_max)?;
+    if lambda_max <= lambda_min {
+        return Err(ExpectationError::NonPositiveParameter {
+            name: "lambda range",
+            value: lambda_max - lambda_min,
+        });
+    }
+    if points < 2 {
+        return Err(ExpectationError::NonPositiveParameter {
+            name: "points",
+            value: points as f64,
+        });
+    }
+    let ratio = (lambda_max / lambda_min).powf(1.0 / (points - 1) as f64);
+    let mut grid = Vec::with_capacity(points);
+    let mut lambda = lambda_min;
+    for _ in 0..points {
+        grid.push(lambda);
+        lambda *= ratio;
+    }
+    // Land exactly on the upper bound despite the repeated multiplication.
+    *grid.last_mut().expect("points >= 2") = lambda_max;
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{expected_time, ExecutionParams};
+
+    fn reference_cost(work: f64, c: f64, d: f64, r: f64, lambda: f64) -> f64 {
+        expected_time(&ExecutionParams::new(work, c, d, r, lambda).unwrap())
+    }
+
+    fn sample_sweep() -> LambdaSweep {
+        LambdaSweep::new(
+            30.0,
+            &[400.0, 100.0, 900.0, 250.0],
+            &[60.0, 10.0, 45.0, 30.0],
+            &[15.0, 60.0, 20.0, 10.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(LambdaSweep::new(-1.0, &[1.0], &[0.0], &[0.0]).is_err());
+        assert!(LambdaSweep::new(0.0, &[0.0], &[0.0], &[0.0]).is_err());
+        assert!(LambdaSweep::new(0.0, &[1.0], &[-1.0], &[0.0]).is_err());
+        assert!(LambdaSweep::new(0.0, &[1.0], &[0.0], &[-1.0]).is_err());
+        assert!(LambdaSweep::new(0.0, &[1.0], &[0.0], &[0.0]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one position")]
+    fn rejects_empty_orders() {
+        let _ = LambdaSweep::new(0.0, &[], &[], &[]);
+    }
+
+    #[test]
+    fn tables_match_from_scratch_construction() {
+        let sweep = sample_sweep();
+        for lambda in [1e-7, 1e-4, 1e-2, 1.0] {
+            let batched = sweep.table_for(lambda).unwrap();
+            let scratch = SegmentCostTable::new(
+                lambda,
+                30.0,
+                &[400.0, 100.0, 900.0, 250.0],
+                &[60.0, 10.0, 45.0, 30.0],
+                &[15.0, 60.0, 20.0, 10.0],
+            )
+            .unwrap();
+            assert_eq!(batched, scratch, "λ = {lambda}");
+        }
+    }
+
+    #[test]
+    fn table_for_rejects_bad_lambdas() {
+        let sweep = sample_sweep();
+        assert!(sweep.table_for(0.0).is_err());
+        assert!(sweep.table_for(-1.0).is_err());
+        assert!(sweep.table_for(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn accessors_report_the_order() {
+        let sweep = sample_sweep();
+        assert_eq!(sweep.len(), 4);
+        assert!(!sweep.is_empty());
+        assert_eq!(sweep.downtime(), 30.0);
+        assert!((sweep.total_work() - 1_650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_costs_match_single_tables_and_grow_with_lambda() {
+        let sweep = sample_sweep();
+        let placement = [false, true, false, true];
+        let lambdas = [1e-6, 1e-5, 1e-4, 1e-3];
+        let batch = sweep.total_costs(&placement, &lambdas).unwrap();
+        for (i, &lambda) in lambdas.iter().enumerate() {
+            let single = sweep.table_for(lambda).unwrap().total_cost(&placement);
+            // exp_m1 closed form vs the table's product path: ~1e-13 apart.
+            let gap = (batch[i] - single).abs() / single;
+            assert!(gap < 1e-12, "λ {lambda}: gap {gap}");
+        }
+        assert!(batch.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn batch_costs_match_expected_time_per_segment() {
+        let sweep = sample_sweep();
+        // Segments 0..=1 and 2..=3 of the sample order.
+        let placement = [false, true, false, true];
+        for &lambda in &[1e-6, 1e-4, 1e-2] {
+            let batch = sweep.total_costs(&placement, &[lambda]).unwrap()[0];
+            let manual = reference_cost(500.0, 10.0, 30.0, 15.0, lambda)
+                + reference_cost(1_150.0, 30.0, 30.0, 20.0, lambda);
+            assert_eq!(batch, manual, "λ {lambda}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "final checkpoint is mandatory")]
+    fn batch_costs_require_final_checkpoint() {
+        let _ = sample_sweep().total_costs(&[true, false, false, false], &[1e-4]);
+    }
+
+    #[test]
+    fn saturation_is_per_rate() {
+        let sweep = LambdaSweep::new(1.0, &[100.0; 100], &[5.0; 100], &[5.0; 100]).unwrap();
+        assert!(!sweep.table_for(1e-4).unwrap().is_saturated());
+        assert!(sweep.table_for(0.1).unwrap().is_saturated());
+    }
+
+    #[test]
+    fn log_grid_hits_both_ends() {
+        let grid = log_lambda_grid(1e-8, 1e-2, 13).unwrap();
+        assert_eq!(grid.len(), 13);
+        assert_eq!(grid[0], 1e-8);
+        assert_eq!(grid[12], 1e-2);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn log_grid_validates_inputs() {
+        assert!(log_lambda_grid(0.0, 1.0, 5).is_err());
+        assert!(log_lambda_grid(1e-3, 1e-4, 5).is_err());
+        assert!(log_lambda_grid(1e-5, 1e-3, 1).is_err());
+    }
+}

@@ -217,7 +217,8 @@ impl TraceGenerator {
     }
 }
 
-/// A [`RandomSource`]-free failure stream backed by a recorded trace.
+/// A [`RandomSource`](crate::rng::RandomSource)-free failure stream backed
+/// by a recorded trace.
 ///
 /// Wraps a [`FailureTrace`] with a cursor so a simulator can consume the
 /// platform-level failure sequence exactly once, in order.

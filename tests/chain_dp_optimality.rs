@@ -119,3 +119,47 @@ fn memoized_and_bottom_up_formulations_agree_on_large_chains() {
     let memoized = chain_dp::optimal_chain_value_memoized(&inst).unwrap();
     assert!((bottom_up - memoized).abs() / bottom_up < 1e-12);
 }
+
+#[test]
+fn scaling_solvers_agree_on_multi_block_chains() {
+    // 5 000 tasks spans several of the blocked solver's cache-sized blocks;
+    // the two O(n log n) formulations and the pruned quadratic must agree in
+    // both a rare-failure and a frequent-failure regime.
+    for lambda in [1e-7, 1e-4] {
+        let inst = random_chain_instance(7, 5_000, lambda);
+        let pruned = chain_dp::optimal_chain_schedule(&inst).unwrap();
+        let dc = chain_dp::optimal_chain_schedule_divide_conquer(&inst).unwrap();
+        let blocked = chain_dp::optimal_chain_schedule_blocked(&inst).unwrap();
+        for (name, value) in
+            [("divide_conquer", dc.expected_makespan), ("blocked", blocked.expected_makespan)]
+        {
+            let gap = (value - pruned.expected_makespan).abs() / pruned.expected_makespan;
+            assert!(
+                gap < 1e-10,
+                "λ {lambda}: {name} {value} vs pruned {}",
+                pruned.expected_makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_lambda_sweep_agrees_with_per_rate_planning() {
+    use ckpt_workflows::core::analysis;
+
+    let inst = random_chain_instance(11, 40, 1e-4);
+    let sweep = analysis::lambda_sweep(&inst, 1e-6, 1e-3, 6).unwrap();
+    for point in &sweep {
+        let solo = chain_dp::optimal_chain_schedule(&inst.with_lambda(point.lambda).unwrap())
+            .unwrap()
+            .expected_makespan;
+        assert!((point.expected_makespan - solo).abs() / solo < 1e-12, "λ {}", point.lambda);
+    }
+    // Evaluating the optimal schedule of each grid rate at its own rate
+    // through the batched fixed-schedule sweep reproduces the optimum.
+    let mid = &sweep[3];
+    let schedule =
+        chain_dp::optimal_chain_schedule(&inst.with_lambda(mid.lambda).unwrap()).unwrap().schedule;
+    let fixed = analysis::schedule_lambda_sweep(&inst, &schedule, &[mid.lambda]).unwrap();
+    assert!((fixed[0] - mid.expected_makespan).abs() / mid.expected_makespan < 1e-12);
+}
