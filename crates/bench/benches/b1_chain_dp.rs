@@ -9,10 +9,12 @@
 //! pruned DP must beat the reference by ≥ 5×.
 //!
 //! The `chain_dp_large` group is the `n ≫ 10⁵` scaling acceptance of the
-//! blocked solver: only the two envelope formulations run there (the
-//! quadratic ones would take hours at `n = 10⁶`), on a λ chosen so the
-//! table stays out of its saturated fallback (`λ·total work ≈ 10` at
-//! `n = 10⁵`, `≈ 105` at `n = 10⁶`).
+//! blocked solver: only the envelope formulations run there (the quadratic
+//! ones would take hours at `n = 10⁶`), on a λ chosen so the table stays
+//! out of its saturated fallback (`λ·total work ≈ 10` at `n = 10⁵`, `≈ 105`
+//! at `n = 10⁶`). The `blocked_scratch_reuse` entry is the same solver
+//! through a caller-owned `ChainDpScratch`, isolating the allocator-traffic
+//! cost the arena removes.
 
 use ckpt_bench::random_chain_instance;
 use ckpt_core::chain_dp;
@@ -81,6 +83,23 @@ fn bench_chain_dp_large(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("blocked", n), &instance, |b, inst| {
             b.iter(|| chain_dp::optimal_chain_schedule_blocked(black_box(inst)).unwrap())
         });
+        // Caller-owned scratch arena: same solver, no per-solve allocation of
+        // the block-local Li Chao buffers and envelope scratch (~1 000
+        // transient allocations per solve at n = 10⁶ otherwise).
+        let mut scratch = chain_dp::ChainDpScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("blocked_scratch_reuse", n),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    chain_dp::optimal_chain_schedule_blocked_with_scratch(
+                        black_box(inst),
+                        &mut scratch,
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

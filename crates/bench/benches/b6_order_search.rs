@@ -1,0 +1,94 @@
+//! B6 — the linearisation-search subsystem: §6 live-set cost-table builds
+//! (incremental `O(n + E)` sweep vs the recomputing reference) and the
+//! order search itself against the fixed-strategy baseline it dominates.
+//!
+//! The headline acceptance number (≥ 5× table-build speedup at 10⁴ tasks)
+//! is produced by the `e10_order_search` binary, which runs each build once
+//! at full size; this bench tracks the same comparison at sizes that stay
+//! cheap under the smoke-test mode `cargo test` runs benches in.
+
+use ckpt_bench::{random_layered_instance, wide_fork_join_instance};
+use ckpt_core::cost_model::CheckpointCostModel;
+use ckpt_core::dag_schedule;
+use ckpt_core::order_search::{schedule_dag_search, OrderSearchConfig};
+use ckpt_dag::{linearize, LinearizationStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_live_set_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live_set_table");
+    group.sample_size(10);
+    for &branches in &[250usize, 1_000] {
+        let inst = wide_fork_join_instance(7, branches, 100.0, 2_000.0, 80.0, 1e-6);
+        let order = linearize::linearize(inst.graph(), LinearizationStrategy::IdOrder);
+        let n = inst.task_count();
+        for model in [CheckpointCostModel::LiveSetSum, CheckpointCostModel::LiveSetMax] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("incremental_{model}"), n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| {
+                        dag_schedule::model_cost_table(black_box(inst), &order, model).unwrap()
+                    })
+                },
+            );
+        }
+        // The recomputing reference, O(n·degree) per position: only at the
+        // small size (at 10⁴ tasks one build takes seconds — see e10).
+        if branches <= 250 {
+            group.bench_with_input(
+                BenchmarkId::new("recomputed_live-set-sum", n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| {
+                        dag_schedule::model_cost_table_reference(
+                            black_box(inst),
+                            &order,
+                            CheckpointCostModel::LiveSetSum,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    // The incremental sweep alone at the acceptance size.
+    let wide = wide_fork_join_instance(7, 9_998, 100.0, 2_000.0, 80.0, 1e-6);
+    let order = linearize::linearize(wide.graph(), LinearizationStrategy::IdOrder);
+    group.bench_with_input(
+        BenchmarkId::new("incremental_live-set-sum", 10_000),
+        &wide,
+        |b, inst| {
+            b.iter(|| {
+                dag_schedule::model_cost_table(
+                    black_box(inst),
+                    &order,
+                    CheckpointCostModel::LiveSetSum,
+                )
+                .unwrap()
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_order_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_search");
+    group.sample_size(10);
+    let inst =
+        random_layered_instance(5, &[8, 8, 8, 8, 8], 0.3, 150.0, 1_200.0, 120.0, 1.0 / 4_000.0);
+    let model = CheckpointCostModel::LiveSetSum;
+    group.bench_with_input(BenchmarkId::new("best_of", 40), &inst, |b, inst| {
+        b.iter(|| dag_schedule::schedule_dag_best_of(black_box(inst), model, 8).unwrap())
+    });
+    for (label, threads) in [("search_1thread", 1usize), ("search_all_cores", 0)] {
+        let config = OrderSearchConfig { restarts: 8, steps: 256, threads, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new(label, 40), &inst, |b, inst| {
+            b.iter(|| schedule_dag_search(black_box(inst), model, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_live_set_table, bench_order_search);
+criterion_main!(benches);

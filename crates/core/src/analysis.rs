@@ -26,7 +26,9 @@ use ckpt_dag::properties;
 use ckpt_expectation::sweep::log_lambda_grid;
 use ckpt_simulator::SimulationScenario;
 
-use crate::chain_dp::{optimal_chain_schedule, scalable_placement_on_table};
+use crate::chain_dp::{
+    optimal_chain_schedule, scalable_placement_on_table_with_scratch, ChainDpScratch,
+};
 use crate::error::ScheduleError;
 use crate::evaluate::lambda_sweep_for_order;
 use crate::instance::ProblemInstance;
@@ -67,10 +69,13 @@ pub fn lambda_sweep(
     let order = properties::as_chain(instance.graph()).ok_or(ScheduleError::NotAChain)?;
     let sweep = lambda_sweep_for_order(instance, &order)?;
     let total_work = instance.total_weight();
+    // One DP scratch arena for the whole grid: the per-rate solves reuse the
+    // same Li Chao / envelope / DP buffers instead of reallocating them.
+    let mut scratch = ChainDpScratch::new();
     grid.into_iter()
         .map(|lambda| {
             let table = sweep.table_for(lambda).map_err(ScheduleError::from_expectation)?;
-            let placement = scalable_placement_on_table(&table);
+            let placement = scalable_placement_on_table_with_scratch(&table, &mut scratch);
             Ok(LambdaSweepPoint {
                 lambda,
                 checkpoints: placement.checkpoint_count(),

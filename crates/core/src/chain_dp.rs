@@ -152,14 +152,22 @@ fn solution_from_positions(
     Ok(ChainSolution { schedule, expected_makespan, checkpoint_positions })
 }
 
-/// The pruned bottom-up Algorithm 1 recurrence, on a prebuilt table:
-/// `value[x]` is the optimal expected time for positions `x..n`, `choice[x]`
-/// the first checkpoint position of an optimal solution for that suffix.
-fn pruned_dp(table: &SegmentCostTable) -> (Vec<f64>, Vec<usize>) {
+/// The pruned Algorithm 1 inner recurrence for positions `x < below`, given
+/// final values for `value[below..]`: `value[x]` is the optimal expected
+/// time for positions `x..n`, `choice[x]` the first checkpoint position of
+/// an optimal solution for that suffix. `value` must hold `n + 1` entries
+/// with `value[n] = 0`.
+fn pruned_dp_range(
+    table: &SegmentCostTable,
+    value: &mut [f64],
+    choice: &mut [usize],
+    below: usize,
+) {
     let n = table.len();
-    let mut value = vec![0.0f64; n + 1];
-    let mut choice = vec![0usize; n];
-    for x in (0..n).rev() {
+    debug_assert_eq!(value.len(), n + 1);
+    debug_assert_eq!(choice.len(), n);
+    debug_assert!(below <= n);
+    for x in (0..below).rev() {
         let mut best = f64::INFINITY;
         let mut best_j = n - 1;
         for j in x..n {
@@ -177,7 +185,144 @@ fn pruned_dp(table: &SegmentCostTable) -> (Vec<f64>, Vec<usize>) {
         value[x] = best;
         choice[x] = best_j;
     }
+}
+
+/// The pruned bottom-up Algorithm 1 recurrence, on a prebuilt table.
+fn pruned_dp(table: &SegmentCostTable) -> (Vec<f64>, Vec<usize>) {
+    let n = table.len();
+    let mut value = vec![0.0f64; n + 1];
+    let mut choice = vec![0usize; n];
+    pruned_dp_range(table, &mut value, &mut choice, n);
     (value, choice)
+}
+
+/// Reusable state of the pruned Algorithm 1 recurrence that supports
+/// **resuming after a prefix-local change** of the table.
+///
+/// The recurrence runs back to front: `value[x]` depends only on table
+/// entries at positions `≥ x`. So when a new table differs from the last
+/// solved one **only at positions `< first_changed_suffix`** — exactly what a
+/// precedence-preserving order move inside a window produces (see
+/// [`crate::order_search`]) — the committed values of the unchanged suffix
+/// can be reused and only the prefix needs recomputation
+/// ([`try_prefix`](ResumableDp::try_prefix)). Trial results are kept
+/// separate from the committed state so a search can evaluate a candidate
+/// and discard it without re-solving
+/// ([`commit_trial`](ResumableDp::commit_trial)).
+///
+/// # Example
+///
+/// ```
+/// use ckpt_core::chain_dp::ResumableDp;
+/// use ckpt_expectation::segment_cost::SegmentCostTable;
+///
+/// let weights = [400.0, 100.0, 900.0, 250.0];
+/// let base = SegmentCostTable::new(1e-4, 30.0, &weights, &[60.0; 4], &[15.0; 4])?;
+/// // A table whose data differs from `base` only at positions < 2.
+/// let changed = SegmentCostTable::new(1e-4, 30.0, &[100.0, 400.0, 900.0, 250.0],
+///     &[10.0, 60.0, 60.0, 60.0], &[15.0; 4])?;
+///
+/// let mut dp = ResumableDp::new();
+/// dp.solve(&base);
+/// let resumed = dp.try_prefix(&changed, 2);
+/// // The resumed value matches a from-scratch solve of the changed table.
+/// let mut fresh = ResumableDp::new();
+/// assert_eq!(resumed, fresh.solve(&changed));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResumableDp {
+    /// Committed `value[x]` (optimal expected time for positions `x..n`);
+    /// `len + 1` entries, `value[len] = 0`.
+    value: Vec<f64>,
+    choice: Vec<usize>,
+    trial_value: Vec<f64>,
+    trial_choice: Vec<usize>,
+    /// Whether the trial buffers hold an uncommitted `try_prefix` result.
+    trial_pending: bool,
+    len: usize,
+}
+
+impl ResumableDp {
+    /// An empty state; [`solve`](ResumableDp::solve) sizes it to its table.
+    pub fn new() -> Self {
+        ResumableDp::default()
+    }
+
+    /// Solves `table` from scratch and commits the result. Returns the
+    /// optimal expected makespan (the DP value).
+    pub fn solve(&mut self, table: &SegmentCostTable) -> f64 {
+        let n = table.len();
+        self.len = n;
+        self.value.clear();
+        self.value.resize(n + 1, 0.0);
+        self.choice.clear();
+        self.choice.resize(n, 0);
+        pruned_dp_range(table, &mut self.value, &mut self.choice, n);
+        self.trial_pending = false;
+        self.value[0]
+    }
+
+    /// Evaluates `table` assuming its positional data at positions
+    /// `≥ first_unchanged` is identical to the last committed solve: the
+    /// committed suffix values are reused and only `x < first_unchanged` is
+    /// recomputed, into a **trial** buffer. Returns the candidate's optimal
+    /// expected makespan; the committed state is untouched until
+    /// [`commit_trial`](ResumableDp::commit_trial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solve was committed or `table` has a different length.
+    pub fn try_prefix(&mut self, table: &SegmentCostTable, first_unchanged: usize) -> f64 {
+        let n = self.len;
+        assert!(n > 0, "try_prefix before the first solve");
+        assert_eq!(table.len(), n, "table length changed between solves");
+        let below = first_unchanged.min(n);
+        self.trial_value.clear();
+        self.trial_value.extend_from_slice(&self.value);
+        self.trial_choice.clear();
+        self.trial_choice.extend_from_slice(&self.choice);
+        pruned_dp_range(table, &mut self.trial_value, &mut self.trial_choice, below);
+        self.trial_pending = true;
+        self.trial_value[0]
+    }
+
+    /// Commits the last [`try_prefix`](ResumableDp::try_prefix) trial as the
+    /// new state (O(1): the buffers are swapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no uncommitted trial (no `try_prefix` since the
+    /// last `solve`/`commit_trial`).
+    pub fn commit_trial(&mut self) {
+        assert!(self.trial_pending, "no trial to commit");
+        self.trial_pending = false;
+        std::mem::swap(&mut self.value, &mut self.trial_value);
+        std::mem::swap(&mut self.choice, &mut self.trial_choice);
+    }
+
+    /// The committed optimal expected makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solve was committed.
+    pub fn value(&self) -> f64 {
+        assert!(self.len > 0, "value before the first solve");
+        self.value[0]
+    }
+
+    /// The committed optimal placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solve was committed.
+    pub fn placement(&self) -> TablePlacement {
+        assert!(self.len > 0, "placement before the first solve");
+        TablePlacement {
+            expected_makespan: self.value[0],
+            checkpoint_positions: positions_from_choice(&self.choice),
+        }
+    }
 }
 
 /// Runs Algorithm 1's recurrence directly on a prebuilt [`SegmentCostTable`]
@@ -346,17 +491,7 @@ const DP_BLOCK: usize = 1024;
 pub fn optimal_chain_schedule_blocked(
     instance: &ProblemInstance,
 ) -> Result<ChainSolution, ScheduleError> {
-    let (order, table) = chain_table(instance)?;
-    if table.is_saturated() {
-        return saturated_fallback(instance, order, &table);
-    }
-    let placement = blocked_placement_on_table(&table);
-    solution_from_positions(
-        instance,
-        order,
-        placement.checkpoint_positions,
-        placement.expected_makespan,
-    )
+    optimal_chain_schedule_blocked_with_scratch(instance, &mut ChainDpScratch::new())
 }
 
 /// The shared saturated-instance fallback of the two envelope solvers: the
@@ -376,9 +511,58 @@ fn saturated_fallback(
     )
 }
 
-/// The blocked solver's table-level core (the table must not be saturated).
-fn blocked_placement_on_table(table: &SegmentCostTable) -> TablePlacement {
-    blocked_placement_with_block(table, DP_BLOCK)
+/// Caller-owned scratch arena for the blocked chain solver (and the pruned
+/// DP behind [`scalable_placement_on_table_with_scratch`]).
+///
+/// One solve of [`optimal_chain_schedule_blocked`] at `n = 10⁶` otherwise
+/// performs ~1 000 transient allocations: a Li Chao node vector and a sorted
+/// query-point domain per trailing block, plus lines/hull/query buffers per
+/// cross-range envelope level. Holding the buffers here removes all of that
+/// allocator traffic from the hot path — batch consumers (λ sweeps, the
+/// order search, the §6 batch planner) reuse one arena across every solve.
+///
+/// # Example
+///
+/// ```
+/// use ckpt_core::{chain_dp, chain_dp::ChainDpScratch, ProblemInstance};
+/// use ckpt_dag::generators;
+///
+/// let mut scratch = ChainDpScratch::new();
+/// for lambda in [1e-5, 1e-4, 1e-3] {
+///     let graph = generators::uniform_chain(64, 300.0)?;
+///     let instance = ProblemInstance::builder(graph)
+///         .uniform_checkpoint_cost(30.0)
+///         .uniform_recovery_cost(30.0)
+///         .platform_lambda(lambda)
+///         .build()?;
+///     let with_scratch =
+///         chain_dp::optimal_chain_schedule_blocked_with_scratch(&instance, &mut scratch)?;
+///     let fresh = chain_dp::optimal_chain_schedule_blocked(&instance)?;
+///     assert_eq!(with_scratch.expected_makespan, fresh.expected_makespan);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChainDpScratch {
+    points: Vec<f64>,
+    slopes: Vec<f64>,
+    value: Vec<f64>,
+    choice: Vec<usize>,
+    cross_val: Vec<f64>,
+    cross_id: Vec<usize>,
+    domain: Vec<f64>,
+    tree: LiChaoTree,
+    lines: Vec<(f64, f64, usize)>,
+    hull: Vec<(f64, f64, usize)>,
+    by_point: Vec<usize>,
+}
+
+impl ChainDpScratch {
+    /// An empty arena; buffers grow to the largest table solved through it
+    /// and are reused from then on.
+    pub fn new() -> Self {
+        ChainDpScratch::default()
+    }
 }
 
 /// Tables at least this long run the blocked core in
@@ -399,21 +583,88 @@ const SCALABLE_THRESHOLD: usize = 1024;
 /// are cross-checked to `10⁻¹⁰` relative error in the tests); checkpoint
 /// positions may differ only between exactly cost-equivalent solutions.
 pub fn scalable_placement_on_table(table: &SegmentCostTable) -> TablePlacement {
+    scalable_placement_on_table_with_scratch(table, &mut ChainDpScratch::new())
+}
+
+/// [`scalable_placement_on_table`] with a caller-owned [`ChainDpScratch`]:
+/// identical result, but all working buffers (block-local Li Chao trees,
+/// envelope scratch, DP state) are reused across calls instead of being
+/// reallocated per solve. This is the entry point batch consumers
+/// ([`crate::analysis::lambda_sweep`], [`crate::order_search`]) loop over.
+pub fn scalable_placement_on_table_with_scratch(
+    table: &SegmentCostTable,
+    scratch: &mut ChainDpScratch,
+) -> TablePlacement {
     if table.len() >= SCALABLE_THRESHOLD && !table.is_saturated() {
-        blocked_placement_on_table(table)
+        blocked_placement_with_block_into(table, DP_BLOCK, scratch)
     } else {
-        optimal_placement_on_table(table)
+        let n = table.len();
+        scratch.value.clear();
+        scratch.value.resize(n + 1, 0.0);
+        scratch.choice.clear();
+        scratch.choice.resize(n, 0);
+        pruned_dp_range(table, &mut scratch.value, &mut scratch.choice, n);
+        TablePlacement {
+            expected_makespan: scratch.value[0],
+            checkpoint_positions: positions_from_choice(&scratch.choice),
+        }
     }
+}
+
+/// [`optimal_chain_schedule_blocked`] with a caller-owned
+/// [`ChainDpScratch`]: identical result, no per-solve allocation of the
+/// block-local Li Chao buffers and envelope scratch (~1 000 transient
+/// allocations at `n = 10⁶` otherwise; measured in `b1_chain_dp`'s
+/// `blocked_scratch_reuse` entry).
+///
+/// # Errors
+///
+/// Same as [`optimal_chain_schedule`].
+pub fn optimal_chain_schedule_blocked_with_scratch(
+    instance: &ProblemInstance,
+    scratch: &mut ChainDpScratch,
+) -> Result<ChainSolution, ScheduleError> {
+    let (order, table) = chain_table(instance)?;
+    if table.is_saturated() {
+        return saturated_fallback(instance, order, &table);
+    }
+    let placement = blocked_placement_with_block_into(&table, DP_BLOCK, scratch);
+    solution_from_positions(
+        instance,
+        order,
+        placement.checkpoint_positions,
+        placement.expected_makespan,
+    )
 }
 
 /// The blocked core with an explicit block size, so tests can force deep
 /// recursion on small chains.
+#[cfg(test)]
 fn blocked_placement_with_block(table: &SegmentCostTable, block: usize) -> TablePlacement {
+    blocked_placement_with_block_into(table, block, &mut ChainDpScratch::new())
+}
+
+/// The blocked core, running entirely out of `scratch`'s buffers.
+fn blocked_placement_with_block_into(
+    table: &SegmentCostTable,
+    block: usize,
+    scratch: &mut ChainDpScratch,
+) -> TablePlacement {
     debug_assert!(!table.is_saturated(), "blocked solver needs slopes/query points");
     assert!(block > 0, "block size must be positive");
     let n = table.len();
-    let points: Vec<f64> = (0..n).map(|x| table.query_point(x)).collect();
-    let slopes: Vec<f64> = (0..n).map(|j| table.slope(j)).collect();
+    scratch.points.clear();
+    scratch.points.extend((0..n).map(|x| table.query_point(x)));
+    scratch.slopes.clear();
+    scratch.slopes.extend((0..n).map(|j| table.slope(j)));
+    scratch.value.clear();
+    scratch.value.resize(n + 1, 0.0);
+    scratch.choice.clear();
+    scratch.choice.resize(n, 0);
+    scratch.cross_val.clear();
+    scratch.cross_val.resize(n, f64::INFINITY);
+    scratch.cross_id.clear();
+    scratch.cross_id.resize(n, usize::MAX);
 
     struct BlockedDp<'a> {
         table: &'a SegmentCostTable,
@@ -421,13 +672,18 @@ fn blocked_placement_with_block(table: &SegmentCostTable, block: usize) -> Table
         slopes: &'a [f64],
         block: usize,
         /// `value[x]` = optimal expected time for positions `x..n`.
-        value: Vec<f64>,
-        choice: Vec<usize>,
+        value: &'a mut [f64],
+        choice: &'a mut [usize],
         /// Best cross-range candidate of `x` in **line form**
         /// (`slope(j)·t_x + value[j+1]`, before subtracting `coeff(x)`),
         /// accumulated over the envelopes of all solved suffix ranges.
-        cross_val: Vec<f64>,
-        cross_id: Vec<usize>,
+        cross_val: &'a mut [f64],
+        cross_id: &'a mut [usize],
+        domain: &'a mut Vec<f64>,
+        tree: &'a mut LiChaoTree,
+        lines: &'a mut Vec<(f64, f64, usize)>,
+        hull: &'a mut Vec<(f64, f64, usize)>,
+        by_point: &'a mut Vec<usize>,
     }
 
     impl BlockedDp<'_> {
@@ -450,19 +706,20 @@ fn blocked_placement_with_block(table: &SegmentCostTable, block: usize) -> Table
         /// and candidates from outside the block enter through the
         /// accumulated cross-range minima.
         fn solve_block(&mut self, lo: usize, hi: usize) {
-            let mut domain = self.points[lo..hi].to_vec();
-            domain.sort_by(f64::total_cmp);
-            domain.dedup();
-            let mut envelope = LiChaoTree::new(domain);
+            self.domain.clear();
+            self.domain.extend_from_slice(&self.points[lo..hi]);
+            self.domain.sort_by(f64::total_cmp);
+            self.domain.dedup();
+            self.tree.reset(self.domain);
             for x in (lo..hi).rev() {
                 // Candidate "first checkpoint at j = x" becomes available
                 // exactly now: its intercept E(x+1) is final.
-                envelope.insert(LiChaoLine {
+                self.tree.insert(LiChaoLine {
                     slope: self.slopes[x],
                     intercept: self.value[x + 1],
                     id: x,
                 });
-                let (in_block, in_block_id) = envelope.query(self.points[x]);
+                let (in_block, in_block_id) = self.tree.query(self.points[x]);
                 let (mut best, mut best_j) = (in_block, in_block_id);
                 if self.cross_id[x] != usize::MAX && self.cross_val[x] < best {
                     best = self.cross_val[x];
@@ -482,20 +739,20 @@ fn blocked_placement_with_block(table: &SegmentCostTable, block: usize) -> Table
         fn apply_cross(&mut self, lo: usize, mid: usize, hi: usize) {
             // Envelope construction, slope-descending (the minimum's winner
             // as the query point grows moves towards smaller slopes).
-            let mut lines: Vec<(f64, f64, usize)> =
-                (mid..hi).map(|j| (self.slopes[j], self.value[j + 1], j)).collect();
-            lines.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.total_cmp(&b.1)));
-            let mut hull: Vec<(f64, f64, usize)> = Vec::with_capacity(lines.len());
-            for line in lines {
-                if let Some(&(last_slope, ..)) = hull.last() {
+            self.lines.clear();
+            self.lines.extend((mid..hi).map(|j| (self.slopes[j], self.value[j + 1], j)));
+            self.lines.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.total_cmp(&b.1)));
+            self.hull.clear();
+            for &line in self.lines.iter() {
+                if let Some(&(last_slope, ..)) = self.hull.last() {
                     // Equal slopes: the sort put the lowest intercept first.
                     if last_slope == line.0 {
                         continue;
                     }
                 }
-                while hull.len() >= 2 {
-                    let a = hull[hull.len() - 2];
-                    let b = hull[hull.len() - 1];
+                while self.hull.len() >= 2 {
+                    let a = self.hull[self.hull.len() - 2];
+                    let b = self.hull[self.hull.len() - 1];
                     // `b` never strictly wins if the a/line crossover is not
                     // to the right of the a/b crossover (slopes strictly
                     // decrease along the hull, so both denominators are
@@ -503,49 +760,69 @@ fn blocked_placement_with_block(table: &SegmentCostTable, block: usize) -> Table
                     let x_ab = (b.1 - a.1) / (a.0 - b.0);
                     let x_al = (line.1 - a.1) / (a.0 - line.0);
                     if x_al <= x_ab {
-                        hull.pop();
+                        self.hull.pop();
                     } else {
                         break;
                     }
                 }
-                hull.push(line);
+                self.hull.push(line);
             }
 
             // Queries in ascending point order: the winning hull index only
             // moves forward, so the whole batch costs one merge-like sweep.
-            let mut by_point: Vec<usize> = (lo..mid).collect();
-            by_point.sort_by(|&a, &b| self.points[a].total_cmp(&self.points[b]));
+            self.by_point.clear();
+            self.by_point.extend(lo..mid);
+            self.by_point.sort_by(|&a, &b| self.points[a].total_cmp(&self.points[b]));
             let mut k = 0usize;
-            for x in by_point {
+            for &x in self.by_point.iter() {
                 let t = self.points[x];
-                while k + 1 < hull.len()
-                    && hull[k + 1].0 * t + hull[k + 1].1 <= hull[k].0 * t + hull[k].1
+                while k + 1 < self.hull.len()
+                    && self.hull[k + 1].0 * t + self.hull[k + 1].1
+                        <= self.hull[k].0 * t + self.hull[k].1
                 {
                     k += 1;
                 }
-                let candidate = hull[k].0 * t + hull[k].1;
+                let candidate = self.hull[k].0 * t + self.hull[k].1;
                 if self.cross_id[x] == usize::MAX || candidate < self.cross_val[x] {
                     self.cross_val[x] = candidate;
-                    self.cross_id[x] = hull[k].2;
+                    self.cross_id[x] = self.hull[k].2;
                 }
             }
         }
     }
 
+    let ChainDpScratch {
+        points,
+        slopes,
+        value,
+        choice,
+        cross_val,
+        cross_id,
+        domain,
+        tree,
+        lines,
+        hull,
+        by_point,
+    } = scratch;
     let mut dp = BlockedDp {
         table,
-        points: &points,
-        slopes: &slopes,
+        points,
+        slopes,
         block,
-        value: vec![0.0f64; n + 1],
-        choice: vec![0usize; n],
-        cross_val: vec![f64::INFINITY; n],
-        cross_id: vec![usize::MAX; n],
+        value,
+        choice,
+        cross_val,
+        cross_id,
+        domain,
+        tree,
+        lines,
+        hull,
+        by_point,
     };
     dp.solve(0, n);
 
     // Re-sum through the table, as the divide-and-conquer solver does.
-    let positions = positions_from_choice(&dp.choice);
+    let positions = positions_from_choice(dp.choice);
     let expected_makespan = resummed_value(table, &positions);
     TablePlacement { expected_makespan, checkpoint_positions: positions }
 }
@@ -570,7 +847,7 @@ impl LiChaoLine {
 /// the node's midpoint. Insert and query are `O(log n)`; the minimum returned
 /// at any stored point is exact (no convexity assumptions on insertion
 /// order).
-#[derive(Debug)]
+#[derive(Debug, Clone, Default)]
 struct LiChaoTree {
     xs: Vec<f64>,
     nodes: Vec<Option<LiChaoLine>>,
@@ -580,6 +857,16 @@ impl LiChaoTree {
     fn new(xs: Vec<f64>) -> Self {
         let len = xs.len().max(1);
         LiChaoTree { xs, nodes: vec![None; 4 * len] }
+    }
+
+    /// Re-spans the tree over a new sorted domain, keeping both buffers'
+    /// capacity (the [`ChainDpScratch`] reuse path).
+    fn reset(&mut self, xs: &[f64]) {
+        self.xs.clear();
+        self.xs.extend_from_slice(xs);
+        let len = self.xs.len().max(1);
+        self.nodes.clear();
+        self.nodes.resize(4 * len, None);
     }
 
     fn insert(&mut self, line: LiChaoLine) {
@@ -1074,6 +1361,90 @@ mod tests {
             assert!(gap < 1e-10, "seed {seed}: gap {gap}");
             assert_eq!(table.total_cost(&tiny.checkpoint_after()), tiny.expected_makespan);
         }
+    }
+
+    #[test]
+    fn resumable_dp_matches_full_solve_after_prefix_changes() {
+        // Change the positional data below a boundary, resume above it: the
+        // resumed value and placement must match a from-scratch solve of the
+        // changed table.
+        let inst = random_heterogeneous_chain(3, 60, 1e-4);
+        let order = properties::as_chain(inst.graph()).unwrap();
+        let table = crate::evaluate::segment_cost_table(&inst, &order).unwrap();
+        let n = order.len();
+        let weights: Vec<f64> = order.iter().map(|&t| inst.weight(t)).collect();
+        let mut ckpt: Vec<f64> = order.iter().map(|&t| inst.checkpoint_cost(t)).collect();
+        let mut recov = vec![inst.initial_recovery()];
+        recov.extend(order.iter().take(n - 1).map(|&t| inst.recovery_cost(t)));
+
+        let mut dp = ResumableDp::new();
+        let full = dp.solve(&table);
+        assert_eq!(full, optimal_placement_on_table(&table).expected_makespan);
+
+        for boundary in [5usize, 20, 40] {
+            // Perturb checkpoint costs strictly below the boundary (weights
+            // untouched so the prefix sums of the suffix stay bitwise
+            // identical).
+            for c in ckpt.iter_mut().take(boundary) {
+                *c *= 1.25;
+            }
+            recov[boundary - 1] += 3.0;
+            let changed =
+                SegmentCostTable::new(inst.lambda(), inst.downtime(), &weights, &ckpt, &recov)
+                    .unwrap();
+            let resumed = dp.try_prefix(&changed, boundary);
+            let fresh = optimal_placement_on_table(&changed);
+            assert_eq!(resumed, fresh.expected_makespan, "boundary {boundary}");
+            dp.commit_trial();
+            assert_eq!(dp.value(), fresh.expected_makespan);
+            assert_eq!(dp.placement().checkpoint_positions, fresh.checkpoint_positions);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no trial to commit")]
+    fn resumable_dp_rejects_double_commit() {
+        let inst = chain_instance(&[100.0, 200.0, 300.0], 10.0, 10.0, 0.0, 1e-4);
+        let order = properties::as_chain(inst.graph()).unwrap();
+        let table = crate::evaluate::segment_cost_table(&inst, &order).unwrap();
+        let mut dp = ResumableDp::new();
+        dp.solve(&table);
+        let _ = dp.try_prefix(&table, 1);
+        dp.commit_trial();
+        dp.commit_trial();
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first solve")]
+    fn resumable_dp_rejects_try_before_solve() {
+        let inst = chain_instance(&[100.0, 200.0], 10.0, 10.0, 0.0, 1e-4);
+        let order = properties::as_chain(inst.graph()).unwrap();
+        let table = crate::evaluate::segment_cost_table(&inst, &order).unwrap();
+        let mut dp = ResumableDp::new();
+        let _ = dp.try_prefix(&table, 1);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_solves_across_tables() {
+        let mut scratch = ChainDpScratch::new();
+        // Mix of sizes around the scalable threshold and regimes, reusing
+        // one arena throughout.
+        for (seed, n, lambda) in [(1u64, 64usize, 1e-4), (2, 1500, 1e-5), (3, 700, 1e-3)] {
+            let inst = random_heterogeneous_chain(seed, n, lambda);
+            let order = properties::as_chain(inst.graph()).unwrap();
+            let table = crate::evaluate::segment_cost_table(&inst, &order).unwrap();
+            let reused = scalable_placement_on_table_with_scratch(&table, &mut scratch);
+            let fresh = scalable_placement_on_table(&table);
+            assert_eq!(reused.expected_makespan, fresh.expected_makespan, "seed {seed}");
+            assert_eq!(reused.checkpoint_positions, fresh.checkpoint_positions);
+        }
+        // The chain-level scratch entry point agrees with the allocating one.
+        let inst = random_heterogeneous_chain(9, 2000, 1e-5);
+        let with_scratch =
+            optimal_chain_schedule_blocked_with_scratch(&inst, &mut scratch).unwrap();
+        let fresh = optimal_chain_schedule_blocked(&inst).unwrap();
+        assert_eq!(with_scratch.expected_makespan, fresh.expected_makespan);
+        assert_eq!(with_scratch.checkpoint_positions, fresh.checkpoint_positions);
     }
 
     #[test]

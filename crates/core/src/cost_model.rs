@@ -7,10 +7,22 @@
 //! chains the live set is always the single most recent task, which is why the
 //! paper's per-task model is fully general there (§6); for wider DAGs the two
 //! models differ and this module makes the difference explicit.
+//!
+//! Two evaluation paths are provided:
+//!
+//! * [`CheckpointCostModel::cost_after_prefix`] re-derives the live set of
+//!   one prefix from scratch — the reference formulation, `O(n·degree)` per
+//!   query;
+//! * [`CheckpointCostModel::costs_along_order`] sweeps a whole order once
+//!   with [`LiveSetSweep`], maintaining
+//!   the live-set aggregates incrementally, and emits **both** positional
+//!   cost vectors (checkpoint and recovery) in `O(n + E)` — the path every
+//!   table build ([`crate::dag_schedule::model_cost_table`]) and the order
+//!   search take. The two paths are cross-checked by property tests.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, BinaryHeap};
 
-use ckpt_dag::{traversal, TaskGraph, TaskId};
+use ckpt_dag::{traversal, traversal::LiveSetSweep, TaskGraph, TaskId};
 
 use crate::instance::ProblemInstance;
 
@@ -109,6 +121,204 @@ impl CheckpointCostModel {
     ) -> f64 {
         self.cost_after_prefix(instance.graph(), order, position, |t| instance.recovery_cost(t))
     }
+
+    /// Both positional cost vectors of `order` under this model, in **one
+    /// incremental sweep**: entry `i` of the first vector is the cost of a
+    /// checkpoint taken right after position `i`
+    /// ([`checkpoint_cost`](CheckpointCostModel::checkpoint_cost)`(…, i)`),
+    /// entry `i` of the second the recovery cost of that checkpoint
+    /// ([`recovery_cost`](CheckpointCostModel::recovery_cost)`(…, i)`).
+    ///
+    /// The live-set models maintain the set as a delta structure
+    /// ([`LiveSetSweep`]) instead of re-deriving it per position:
+    /// [`LiveSetSum`](CheckpointCostModel::LiveSetSum) keeps running sums
+    /// updated on each enter/retire delta (`O(n + E)` total), and
+    /// [`LiveSetMax`](CheckpointCostModel::LiveSetMax) keeps lazily-pruned
+    /// max-heaps — each task is pushed and popped at most once, for
+    /// `O(n log n + E)` total. Either way the whole order costs far less
+    /// than the `O(n·degree)`-per-position reference path, which is kept
+    /// only for cross-checking.
+    ///
+    /// ```
+    /// use ckpt_core::{cost_model::CheckpointCostModel, ProblemInstance};
+    /// use ckpt_dag::{generators, TaskId};
+    ///
+    /// let graph = generators::diamond([10.0, 20.0, 30.0, 40.0])?;
+    /// let instance = ProblemInstance::builder(graph)
+    ///     .checkpoint_costs(vec![1.0, 2.0, 4.0, 8.0])
+    ///     .uniform_recovery_cost(5.0)
+    ///     .platform_lambda(1e-3)
+    ///     .build()?;
+    /// let order = vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)];
+    /// let model = CheckpointCostModel::LiveSetSum;
+    /// let (ckpt, _rec) = model.costs_along_order(&instance, &order);
+    /// // Matches the per-position reference path: after {a, b} the live set
+    /// // is {a, b} (c and d still need them), so the checkpoint costs 1 + 2.
+    /// assert_eq!(ckpt[1], 3.0);
+    /// assert_eq!(ckpt[1], model.checkpoint_cost(&instance, &order, 1));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Under the live-set models, panics if `order` is not a topological
+    /// order of the instance graph covering every task exactly once (the
+    /// sweep asserts precedence as it advances).
+    /// [`PerLastTask`](CheckpointCostModel::PerLastTask) reads positions
+    /// independently and performs no such validation — callers needing the
+    /// check (e.g. [`crate::dag_schedule::model_cost_table`]) validate
+    /// before calling.
+    pub fn costs_along_order(
+        &self,
+        instance: &ProblemInstance,
+        order: &[TaskId],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let mut sweep = LiveSetCostSweep::new(instance.graph());
+        let mut ckpt = Vec::with_capacity(order.len());
+        let mut rec = Vec::with_capacity(order.len());
+        sweep.costs_into(*self, instance, order, &mut ckpt, &mut rec);
+        (ckpt, rec)
+    }
+}
+
+/// Reusable working state for repeated [`costs_along_order`] sweeps over
+/// orders of **one graph**: the live-set delta structure and the
+/// [`LiveSetMax`] lazy max-heaps are cleared and refilled instead of being
+/// reallocated per order. This is what the order search's proposal loop
+/// holds — evaluating thousands of candidate orders allocates nothing.
+///
+/// [`costs_along_order`]: CheckpointCostModel::costs_along_order
+/// [`LiveSetMax`]: CheckpointCostModel::LiveSetMax
+#[derive(Debug, Clone)]
+pub struct LiveSetCostSweep<'g> {
+    sweep: LiveSetSweep<'g>,
+    ckpt_heap: BinaryHeap<MaxCostEntry>,
+    rec_heap: BinaryHeap<MaxCostEntry>,
+}
+
+impl<'g> LiveSetCostSweep<'g> {
+    /// Working state sized for `graph` (which must be the graph every
+    /// subsequent order belongs to).
+    pub fn new(graph: &'g TaskGraph) -> Self {
+        LiveSetCostSweep {
+            sweep: LiveSetSweep::new(graph),
+            ckpt_heap: BinaryHeap::new(),
+            rec_heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The buffer-reusing core of
+    /// [`CheckpointCostModel::costs_along_order`]: clears `ckpt_out` /
+    /// `rec_out` and fills them with the positional checkpoint and recovery
+    /// costs of `order` under `model`. Identical results, same `O(n + E)`
+    /// sweep; the only difference is where the working memory lives.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`CheckpointCostModel::costs_along_order`]: the
+    /// live-set models panic on non-topological orders (the sweep asserts),
+    /// the per-last-task model performs no validation.
+    pub fn costs_into(
+        &mut self,
+        model: CheckpointCostModel,
+        instance: &ProblemInstance,
+        order: &[TaskId],
+        ckpt_out: &mut Vec<f64>,
+        rec_out: &mut Vec<f64>,
+    ) {
+        ckpt_out.clear();
+        rec_out.clear();
+        match model {
+            CheckpointCostModel::PerLastTask => {
+                ckpt_out.extend(order.iter().map(|&t| instance.checkpoint_cost(t)));
+                rec_out.extend(order.iter().map(|&t| instance.recovery_cost(t)));
+            }
+            CheckpointCostModel::LiveSetSum => {
+                self.sweep.reset();
+                let (mut ckpt_sum, mut rec_sum) = (0.0f64, 0.0f64);
+                for &task in order {
+                    let entered = self.sweep.complete(task, |retired| {
+                        ckpt_sum -= instance.checkpoint_cost(retired);
+                        rec_sum -= instance.recovery_cost(retired);
+                    });
+                    if entered {
+                        ckpt_sum += instance.checkpoint_cost(task);
+                        rec_sum += instance.recovery_cost(task);
+                    }
+                    if self.sweep.live_count() == 0 {
+                        // Empty live set (end of the order, or between
+                        // independent components): the state to save is by
+                        // convention the last task's output.
+                        ckpt_out.push(instance.checkpoint_cost(task));
+                        rec_out.push(instance.recovery_cost(task));
+                    } else {
+                        ckpt_out.push(ckpt_sum);
+                        rec_out.push(rec_sum);
+                    }
+                }
+            }
+            CheckpointCostModel::LiveSetMax => {
+                self.sweep.reset();
+                self.ckpt_heap.clear();
+                self.rec_heap.clear();
+                for &task in order {
+                    let entered = self.sweep.complete(task, |_| {});
+                    if entered {
+                        self.ckpt_heap
+                            .push(MaxCostEntry { cost: instance.checkpoint_cost(task), task });
+                        self.rec_heap
+                            .push(MaxCostEntry { cost: instance.recovery_cost(task), task });
+                    }
+                    if self.sweep.live_count() == 0 {
+                        ckpt_out.push(instance.checkpoint_cost(task));
+                        rec_out.push(instance.recovery_cost(task));
+                    } else {
+                        ckpt_out.push(live_max(&mut self.ckpt_heap, &self.sweep));
+                        rec_out.push(live_max(&mut self.rec_heap, &self.sweep));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A max-heap entry of the [`CheckpointCostModel::LiveSetMax`] sweep. Heaps
+/// are pruned lazily: retired tasks stay in the heap until they surface and
+/// are popped, so each task is pushed and popped at most once over a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MaxCostEntry {
+    cost: f64,
+    task: TaskId,
+}
+
+impl Eq for MaxCostEntry {}
+
+impl Ord for MaxCostEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost.total_cmp(&other.cost).then(self.task.cmp(&other.task))
+    }
+}
+
+impl PartialOrd for MaxCostEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The largest cost among currently-live heap entries, discarding retired
+/// tops as they surface.
+///
+/// # Panics
+///
+/// Panics if no live entry remains (callers check `live_count() > 0`).
+fn live_max(heap: &mut BinaryHeap<MaxCostEntry>, sweep: &LiveSetSweep<'_>) -> f64 {
+    while let Some(top) = heap.peek() {
+        if sweep.is_live(top.task) {
+            return top.cost;
+        }
+        heap.pop();
+    }
+    unreachable!("live_max called with a non-empty live set")
 }
 
 #[cfg(test)]
@@ -162,6 +372,27 @@ mod tests {
     }
 
     #[test]
+    fn reused_cost_sweep_matches_fresh_sweeps_across_orders() {
+        // One LiveSetCostSweep evaluating both topological orders of the
+        // diamond in a row must give exactly what per-order fresh sweeps do.
+        let inst = diamond_instance();
+        let orders = [
+            vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)],
+            vec![TaskId(0), TaskId(2), TaskId(1), TaskId(3)],
+        ];
+        for model in [CheckpointCostModel::LiveSetSum, CheckpointCostModel::LiveSetMax] {
+            let mut reused = LiveSetCostSweep::new(inst.graph());
+            let (mut ckpt, mut rec) = (Vec::new(), Vec::new());
+            for order in &orders {
+                reused.costs_into(model, &inst, order, &mut ckpt, &mut rec);
+                let (fresh_ckpt, fresh_rec) = model.costs_along_order(&inst, order);
+                assert_eq!(ckpt, fresh_ckpt, "{model}");
+                assert_eq!(rec, fresh_rec, "{model}");
+            }
+        }
+    }
+
+    #[test]
     fn all_models_coincide_on_linear_chains() {
         // §6's observation: on a chain the live set is always the single most
         // recently completed task, so the general models reduce to the
@@ -198,5 +429,114 @@ mod tests {
         let inst = diamond_instance();
         let order = vec![TaskId(0)];
         let _ = CheckpointCostModel::PerLastTask.checkpoint_cost(&inst, &order, 3);
+    }
+
+    const ALL_MODELS: [CheckpointCostModel; 3] = [
+        CheckpointCostModel::PerLastTask,
+        CheckpointCostModel::LiveSetSum,
+        CheckpointCostModel::LiveSetMax,
+    ];
+
+    #[test]
+    fn incremental_sweep_matches_reference_on_diamond() {
+        let inst = diamond_instance();
+        let order = vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)];
+        for model in ALL_MODELS {
+            let (ckpt, rec) = model.costs_along_order(&inst, &order);
+            for pos in 0..order.len() {
+                assert_eq!(ckpt[pos], model.checkpoint_cost(&inst, &order, pos), "{model} ckpt");
+                assert_eq!(rec[pos], model.recovery_cost(&inst, &order, pos), "{model} rec");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_sweep_handles_independent_components() {
+        // Independent tasks: the live set is empty after every completion, so
+        // every model falls back to the per-last-task convention everywhere.
+        let graph = generators::independent(&[5.0, 6.0, 7.0]).unwrap();
+        let inst = ProblemInstance::builder(graph)
+            .checkpoint_costs(vec![1.0, 2.0, 3.0])
+            .recovery_costs(vec![4.0, 5.0, 6.0])
+            .platform_lambda(1e-3)
+            .build()
+            .unwrap();
+        let order = vec![TaskId(2), TaskId(0), TaskId(1)];
+        for model in ALL_MODELS {
+            let (ckpt, rec) = model.costs_along_order(&inst, &order);
+            assert_eq!(ckpt, vec![3.0, 1.0, 2.0], "{model}");
+            assert_eq!(rec, vec![6.0, 4.0, 5.0], "{model}");
+        }
+    }
+
+    mod sweep_properties {
+        use super::*;
+        use ckpt_dag::{linearize, LinearizationStrategy};
+        use ckpt_failure::{Pcg64, RandomSource};
+        use proptest::prelude::*;
+
+        /// A layered random DAG instance with pseudo-random heterogeneous
+        /// costs, plus a seeded random topological order of it.
+        fn random_dag_case(seed: u64) -> (ProblemInstance, Vec<TaskId>) {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let layer_count = 2 + (rng.next_u64() % 4) as usize;
+            let layers: Vec<usize> =
+                (0..layer_count).map(|_| 1 + (rng.next_u64() % 5) as usize).collect();
+            let edge_prob = 0.2 + rng.next_f64() * 0.6;
+            let mut coin_rng = rng.derive(1);
+            let graph = ckpt_dag::generators::layered_random(
+                &layers,
+                |_, _| 10.0 + 90.0 * ((seed % 7) as f64 + 1.0),
+                edge_prob,
+                move || coin_rng.next_f64(),
+            )
+            .unwrap();
+            let n = graph.task_count();
+            let ckpt: Vec<f64> = (0..n).map(|_| rng.next_f64() * 100.0).collect();
+            let rec: Vec<f64> = (0..n).map(|_| rng.next_f64() * 100.0).collect();
+            let order = linearize::linearize(&graph, LinearizationStrategy::Random(seed ^ 0xA5));
+            let inst = ProblemInstance::builder(graph)
+                .checkpoint_costs(ckpt)
+                .recovery_costs(rec)
+                .platform_lambda(1e-4)
+                .build()
+                .unwrap();
+            (inst, order)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_incremental_matches_recomputing_path(seed in any::<u64>()) {
+                let (inst, order) = random_dag_case(seed);
+                for model in ALL_MODELS {
+                    let (ckpt, rec) = model.costs_along_order(&inst, &order);
+                    prop_assert_eq!(ckpt.len(), order.len());
+                    for pos in 0..order.len() {
+                        let c_ref = model.checkpoint_cost(&inst, &order, pos);
+                        let r_ref = model.recovery_cost(&inst, &order, pos);
+                        match model {
+                            // Max and per-task never do arithmetic on the
+                            // costs: bitwise equality is required.
+                            CheckpointCostModel::PerLastTask
+                            | CheckpointCostModel::LiveSetMax => {
+                                prop_assert!(ckpt[pos] == c_ref, "{} ckpt at {}", model, pos);
+                                prop_assert!(rec[pos] == r_ref, "{} rec at {}", model, pos);
+                            }
+                            // The running sum re-associates the additions, so
+                            // it may differ from the fresh sum by rounding
+                            // only.
+                            CheckpointCostModel::LiveSetSum => {
+                                prop_assert!((ckpt[pos] - c_ref).abs() <= 1e-12 * c_ref.abs().max(1.0),
+                                    "sum ckpt at {}: {} vs {}", pos, ckpt[pos], c_ref);
+                                prop_assert!((rec[pos] - r_ref).abs() <= 1e-12 * r_ref.abs().max(1.0),
+                                    "sum rec at {}: {} vs {}", pos, rec[pos], r_ref);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -15,16 +15,25 @@
 //!    run directly on the table
 //!    ([`chain_dp::scalable_placement_on_table`](crate::chain_dp::scalable_placement_on_table)).
 //!
-//! The cost model is consulted `O(n)` times per linearisation — once per
-//! position, while building the table — and the DP's inner loop then runs
-//! exp-free on precomputed costs with the table's monotone pruning bound,
-//! exactly like the chain fast path. The table is rebuilt only when the
-//! execution order changes (one table per strategy tried by
-//! [`schedule_dag_best_of`]), never per candidate segment.
+//! The positional cost vectors are produced by **one incremental sweep** of
+//! the order ([`CheckpointCostModel::costs_along_order`]): the live set is
+//! maintained as a delta structure
+//! ([`LiveSetSweep`](ckpt_dag::traversal::LiveSetSweep)) instead of being
+//! re-derived per position, so building the table costs `O(n + E)` per
+//! linearisation — not the `O(n·degree)` per position of the reference
+//! recomputing path (kept as [`model_cost_table_reference`] for
+//! cross-checks). The DP's inner loop then runs exp-free on precomputed
+//! costs with the table's monotone pruning bound, exactly like the chain
+//! fast path. The table is rebuilt only when the execution order changes
+//! (one table per strategy tried by [`schedule_dag_best_of`], one per
+//! candidate explored by [`crate::order_search`]), never per candidate
+//! segment.
 //!
 //! For linear chains step 2 is exactly Algorithm 1 and the result is globally
 //! optimal; for other DAGs the result is a heuristic whose quality experiment
-//! E4 measures against brute force.
+//! E4 measures against brute force — and which
+//! [`crate::order_search::schedule_dag_search`] improves on by searching the
+//! order space beyond the fixed [`LinearizationStrategy`] handful.
 //!
 //! [`SegmentCostTable`]: ckpt_expectation::segment_cost::SegmentCostTable
 
@@ -57,8 +66,9 @@ pub struct DagSolution {
 /// [`crate::evaluate::segment_cost_table`] (which this reduces to under
 /// [`CheckpointCostModel::PerLastTask`]).
 ///
-/// The model is consulted once per position; live-set models walk the DAG
-/// here, and the DP afterwards never re-derives a cost.
+/// The positional cost vectors come from the model's single incremental
+/// live-set sweep ([`CheckpointCostModel::costs_along_order`], `O(n + E)`
+/// for the whole order); the DP afterwards never re-derives a cost.
 ///
 /// # Errors
 ///
@@ -67,6 +77,46 @@ pub struct DagSolution {
 /// * propagated validation errors (cannot occur for instances built through
 ///   [`ProblemInstance::builder`]).
 pub fn model_cost_table(
+    instance: &ProblemInstance,
+    order: &[TaskId],
+    model: CheckpointCostModel,
+) -> Result<SegmentCostTable, ScheduleError> {
+    // Validate before sweeping: the sweep itself asserts (rather than
+    // returns) on non-topological input.
+    if order.is_empty() {
+        return Err(ScheduleError::EmptyInstance);
+    }
+    if !ckpt_dag::topo::is_topological_order(instance.graph(), order) {
+        return Err(ScheduleError::InvalidOrder);
+    }
+    let (ckpt, rec) = model.costs_along_order(instance, order);
+    let (weights, checkpoints, recoveries) =
+        crate::evaluate::order_cost_vectors_prevalidated(instance, order, |j| ckpt[j], |p| rec[p]);
+    SegmentCostTable::new(
+        instance.lambda(),
+        instance.downtime(),
+        &weights,
+        &checkpoints,
+        &recoveries,
+    )
+    .map_err(ScheduleError::from_expectation)
+}
+
+/// The recomputing-path twin of [`model_cost_table`]: every position's costs
+/// are re-derived from scratch with
+/// [`CheckpointCostModel::checkpoint_cost`] /
+/// [`CheckpointCostModel::recovery_cost`] (`O(n·degree)` per position under
+/// the live-set models).
+///
+/// Kept as the correctness reference the incremental sweep is cross-checked
+/// against (tests here, property tests in [`crate::cost_model`]) and as the
+/// baseline of the `b6_order_search` live-set bench; production code should
+/// call [`model_cost_table`].
+///
+/// # Errors
+///
+/// Same as [`model_cost_table`].
+pub fn model_cost_table_reference(
     instance: &ProblemInstance,
     order: &[TaskId],
     model: CheckpointCostModel,
@@ -285,6 +335,31 @@ mod tests {
         assert!(
             live_sum.expected_makespan_under_model >= per_task.expected_makespan_under_model - 1e-9
         );
+    }
+
+    #[test]
+    fn incremental_table_matches_recomputing_reference() {
+        let inst = fork_join_instance();
+        for strategy in [LinearizationStrategy::IdOrder, LinearizationStrategy::CriticalPathFirst] {
+            let order = linearize::linearize(inst.graph(), strategy);
+            for model in [
+                CheckpointCostModel::PerLastTask,
+                CheckpointCostModel::LiveSetSum,
+                CheckpointCostModel::LiveSetMax,
+            ] {
+                let fast = model_cost_table(&inst, &order, model).unwrap();
+                let reference = model_cost_table_reference(&inst, &order, model).unwrap();
+                for x in 0..order.len() {
+                    for j in x..order.len() {
+                        let (a, b) = (fast.cost(x, j), reference.cost(x, j));
+                        assert!(
+                            (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                            "{model} cost({x},{j}): {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -136,6 +136,22 @@ pub(crate) fn order_cost_vectors_with(
     if !topo::is_topological_order(instance.graph(), order) {
         return Err(ScheduleError::InvalidOrder);
     }
+    Ok(order_cost_vectors_prevalidated(instance, order, checkpoint_at, recovery_at))
+}
+
+/// The materialisation half of [`order_cost_vectors_with`], for callers that
+/// have **already validated** `order` (non-empty, topological) and must not
+/// pay the `O(n + E)` validation twice — `dag_schedule::model_cost_table`
+/// validates before its live-set sweep (the sweep asserts rather than
+/// returns on bad orders) and then only materialises here.
+#[allow(clippy::type_complexity)] // three parallel positional vectors
+pub(crate) fn order_cost_vectors_prevalidated(
+    instance: &ProblemInstance,
+    order: &[TaskId],
+    checkpoint_at: impl Fn(usize) -> f64,
+    recovery_at: impl Fn(usize) -> f64,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    debug_assert!(topo::is_topological_order(instance.graph(), order));
     let n = order.len();
     let weights: Vec<f64> = order.iter().map(|&t| instance.weight(t)).collect();
     let checkpoints: Vec<f64> = (0..n).map(checkpoint_at).collect();
@@ -144,7 +160,7 @@ pub(crate) fn order_cost_vectors_with(
     for x in 1..n {
         recoveries.push(recovery_at(x - 1));
     }
-    Ok((weights, checkpoints, recoveries))
+    (weights, checkpoints, recoveries)
 }
 
 /// The slowdown of a schedule: expected makespan divided by the total task

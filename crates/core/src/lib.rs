@@ -17,6 +17,7 @@
 //! | §2 framework (tasks, costs, platform) | [`ProblemInstance`], [`instance`] |
 //! | §3 Proposition 1 (exact expectation) | re-exported from `ckpt-expectation`, used by [`evaluate`] |
 //! | §4 Proposition 2 (strong NP-completeness, 3-PARTITION reduction) | [`three_partition`] |
+//! | §4 heuristic regime (search over linearisations) | [`order_search`], [`dag_schedule`] |
 //! | §5 Algorithm 1 (`O(n²)` chain DP) | [`chain_dp`] |
 //! | §6 extension 1 (general checkpoint costs over the live set) | [`cost_model`], [`dag_schedule`] |
 //! | §6 extension 2 (moldable tasks) | [`moldable`] |
@@ -64,6 +65,7 @@ pub mod general_failures;
 pub mod heuristics;
 pub mod instance;
 pub mod moldable;
+pub mod order_search;
 pub mod schedule;
 pub mod three_partition;
 

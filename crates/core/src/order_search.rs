@@ -1,0 +1,684 @@
+//! Linearisation search: local search over topological orders.
+//!
+//! Proposition 2 shows the joint order+checkpoint problem is strongly
+//! NP-complete, which makes heuristic search over linearisations the
+//! practically interesting regime. [`crate::dag_schedule::schedule_dag_best_of`]
+//! only tries a fixed handful of [`LinearizationStrategy`] orders; this module
+//! *searches* the order space around them:
+//!
+//! * **starts** — every deterministic strategy plus seeded random
+//!   linearisations (the exact candidate set `schedule_dag_best_of` would
+//!   evaluate, so the search result can never be worse);
+//! * **moves** — precedence-preserving adjacent swaps and window rotations
+//!   ([`ckpt_dag::neighborhood`]), proposed by a seeded RNG and accepted on
+//!   strict improvement (first-improvement hill climbing);
+//! * **evaluation** — each candidate order is costed under the requested
+//!   [`CheckpointCostModel`] with one incremental live-set sweep
+//!   ([`CheckpointCostModel::costs_along_order`], `O(n + E)`), one
+//!   [`SegmentCostTable`] build, and a **suffix-reusing** Algorithm 1 solve
+//!   ([`ResumableDp`]): a move inside the window `[i, j]` leaves every table
+//!   position `≥ j + 2` unchanged, so only the prefix of the recurrence is
+//!   recomputed;
+//! * **parallelism** — independent runs (one per start order) are spread
+//!   across threads with the same deterministic contiguous-chunk pattern as
+//!   the Monte-Carlo engine: per-run RNG streams are derived from the master
+//!   seed and the run index, and the winner is selected in run order, so the
+//!   outcome is **identical for any thread count**.
+//!
+//! Experiment `e10_order_search` measures search quality against
+//! `schedule_dag_best_of` on chains, wide fork-joins and layered random
+//! DAGs; bench `b6_order_search` tracks its throughput.
+//!
+//! [`SegmentCostTable`]: ckpt_expectation::segment_cost::SegmentCostTable
+
+use ckpt_dag::neighborhood::{apply_move, is_valid_move, OrderMove};
+use ckpt_dag::{linearize, properties, LinearizationStrategy, TaskId};
+use ckpt_expectation::segment_cost::SegmentCostTable;
+use ckpt_failure::{Pcg64, RandomSource};
+
+use crate::chain_dp::{scalable_placement_on_table, ResumableDp};
+use crate::cost_model::{CheckpointCostModel, LiveSetCostSweep};
+use crate::dag_schedule::DagSolution;
+use crate::error::ScheduleError;
+use crate::instance::ProblemInstance;
+use crate::schedule::Schedule;
+
+/// Tuning knobs of [`schedule_dag_search`].
+#[derive(Debug, Clone)]
+pub struct OrderSearchConfig {
+    /// Seeded random start orders explored on top of the four deterministic
+    /// strategies — the same `Random(0..restarts)` set
+    /// [`crate::dag_schedule::schedule_dag_best_of`] tries with
+    /// `random_tries = restarts`.
+    pub restarts: u64,
+    /// Move proposals per start order; `0` picks `min(4n + 64, 2048)`.
+    pub steps: usize,
+    /// Largest window span (in positions, inclusive) a rotation may cover;
+    /// values below 2 are treated as 2 (adjacent swaps only).
+    pub max_window: usize,
+    /// Worker threads runs are spread across; `0` means one per available
+    /// core. The result is identical for every thread count.
+    pub threads: usize,
+    /// Master seed; each run derives its own RNG stream from it.
+    pub seed: u64,
+}
+
+impl Default for OrderSearchConfig {
+    fn default() -> Self {
+        OrderSearchConfig { restarts: 8, steps: 0, max_window: 12, threads: 0, seed: 0x02DE2 }
+    }
+}
+
+/// The result of a linearisation search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSearchOutcome {
+    /// The best schedule found (order + optimal checkpoints for it), with
+    /// its values under the per-last-task model and the requested model.
+    /// `solution.strategy` records the start strategy of the winning run.
+    pub solution: DagSolution,
+    /// Distinct start orders that were searched (duplicates of earlier
+    /// starts — e.g. every strategy on a chain — are searched once).
+    pub starts: usize,
+    /// Moves accepted across all runs.
+    pub accepted_moves: usize,
+    /// Moves proposed across all runs (valid or not).
+    pub proposed_moves: usize,
+}
+
+impl OrderSearchOutcome {
+    /// The expected makespan of the best schedule under the searched model —
+    /// the value [`schedule_dag_search`] minimised, never worse than
+    /// [`crate::dag_schedule::schedule_dag_best_of`]'s with the same
+    /// `random_tries`/`restarts`.
+    pub fn expected_makespan_under_model(&self) -> f64 {
+        self.solution.expected_makespan_under_model
+    }
+}
+
+/// Searches the space of linearisations of `instance` for a schedule with a
+/// small expected makespan under `model`, starting from every order
+/// [`crate::dag_schedule::schedule_dag_best_of`] would try (with
+/// `random_tries = config.restarts`) and hill-climbing through
+/// precedence-preserving moves.
+///
+/// **Dominance:** the start orders are evaluated with exactly the same
+/// table-and-DP pipeline `schedule_dag_best_of` uses and only improving
+/// moves are accepted, so the returned value is never worse than the
+/// best-of baseline's.
+///
+/// # Example
+///
+/// ```
+/// use ckpt_core::cost_model::CheckpointCostModel;
+/// use ckpt_core::order_search::{schedule_dag_search, OrderSearchConfig};
+/// use ckpt_core::{dag_schedule, ProblemInstance};
+/// use ckpt_dag::generators;
+///
+/// let graph = generators::fork_join(4, &[500.0, 300.0, 700.0, 400.0], 100.0, 200.0)?;
+/// let instance = ProblemInstance::builder(graph)
+///     .uniform_checkpoint_cost(40.0)
+///     .uniform_recovery_cost(80.0)
+///     .platform_lambda(1.0 / 3_000.0)
+///     .build()?;
+/// let config = OrderSearchConfig { restarts: 4, steps: 128, threads: 1, ..Default::default() };
+/// let model = CheckpointCostModel::LiveSetSum;
+/// let found = schedule_dag_search(&instance, model, &config)?;
+/// let baseline = dag_schedule::schedule_dag_best_of(&instance, model, 4)?;
+/// assert!(
+///     found.expected_makespan_under_model() <= baseline.expected_makespan_under_model
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates validation errors; cannot fail for instances built through
+/// [`ProblemInstance::builder`].
+pub fn schedule_dag_search(
+    instance: &ProblemInstance,
+    model: CheckpointCostModel,
+    config: &OrderSearchConfig,
+) -> Result<OrderSearchOutcome, ScheduleError> {
+    let mut strategies = vec![
+        LinearizationStrategy::IdOrder,
+        LinearizationStrategy::HeaviestFirst,
+        LinearizationStrategy::LightestFirst,
+        LinearizationStrategy::CriticalPathFirst,
+    ];
+    strategies.extend((0..config.restarts).map(LinearizationStrategy::Random));
+
+    // Materialise distinct start orders (on chains all strategies coincide —
+    // searching one copy is enough).
+    let mut starts: Vec<(LinearizationStrategy, Vec<TaskId>)> = Vec::new();
+    for strategy in strategies {
+        let order = linearize::linearize(instance.graph(), strategy);
+        if !starts.iter().any(|(_, existing)| *existing == order) {
+            starts.push((strategy, order));
+        }
+    }
+
+    let runs = run_all(instance, model, config, &starts)?;
+
+    // Deterministic winner: smallest value, ties broken by run index.
+    let best = runs
+        .iter()
+        .enumerate()
+        .min_by(|(ia, a), (ib, b)| a.value.total_cmp(&b.value).then(ia.cmp(ib)))
+        .map(|(_, run)| run)
+        .expect("at least one start order exists");
+
+    let schedule = Schedule::new(instance, best.order.clone(), best.checkpoint_after.clone())?;
+    let expected_makespan = crate::evaluate::expected_makespan(instance, &schedule)?;
+    let solution = DagSolution {
+        schedule,
+        expected_makespan,
+        expected_makespan_under_model: best.value,
+        strategy: best.strategy,
+    };
+    Ok(OrderSearchOutcome {
+        solution,
+        starts: starts.len(),
+        accepted_moves: runs.iter().map(|r| r.accepted).sum(),
+        proposed_moves: runs.iter().map(|r| r.proposed).sum(),
+    })
+}
+
+/// The outcome of one start order's local search.
+struct RunResult {
+    strategy: LinearizationStrategy,
+    order: Vec<TaskId>,
+    checkpoint_after: Vec<bool>,
+    /// Expected makespan under the model, evaluated with the same
+    /// table-and-DP pipeline `schedule_dag_best_of` uses.
+    value: f64,
+    accepted: usize,
+    proposed: usize,
+}
+
+/// Runs every start's local search, spreading runs across worker threads in
+/// contiguous chunks (the Monte-Carlo engine's deterministic pattern: run
+/// `k`'s result always lands in slot `k`, whatever the thread count).
+fn run_all(
+    instance: &ProblemInstance,
+    model: CheckpointCostModel,
+    config: &OrderSearchConfig,
+    starts: &[(LinearizationStrategy, Vec<TaskId>)],
+) -> Result<Vec<RunResult>, ScheduleError> {
+    let workers = effective_threads(config.threads).min(starts.len()).max(1);
+    let mut slots: Vec<Option<Result<RunResult, ScheduleError>>> =
+        (0..starts.len()).map(|_| None).collect();
+
+    if workers <= 1 {
+        for (run_index, (slot, start)) in slots.iter_mut().zip(starts).enumerate() {
+            *slot = Some(local_search_run(instance, model, config, start, run_index));
+        }
+    } else {
+        let chunk = starts.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (chunk_index, (slot_chunk, start_chunk)) in
+                slots.chunks_mut(chunk).zip(starts.chunks(chunk)).enumerate()
+            {
+                scope.spawn(move || {
+                    for (offset, (slot, start)) in
+                        slot_chunk.iter_mut().zip(start_chunk).enumerate()
+                    {
+                        let run_index = chunk_index * chunk + offset;
+                        *slot = Some(local_search_run(instance, model, config, start, run_index));
+                    }
+                });
+            }
+        });
+    }
+
+    slots.into_iter().map(|slot| slot.expect("every run slot is filled")).collect()
+}
+
+/// The number of worker threads to use (`0` = one per available core).
+fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Relative improvement a candidate must show to be accepted — comfortably
+/// above the ~1e-15 noise the suffix-reusing evaluation can carry (prefix
+/// sums re-associate when a window is permuted), so accepted improvements
+/// are always real.
+const ACCEPT_MARGIN: f64 = 1e-10;
+
+/// Hill-climbs from one start order. Proposes `steps` seeded random moves,
+/// evaluates each with a window-local vector update plus a suffix-reusing DP
+/// resolve, and accepts strict improvements. The returned value is a final
+/// from-scratch evaluation of the best order through the same
+/// table-and-placement pipeline `schedule_dag_best_of` uses.
+fn local_search_run(
+    instance: &ProblemInstance,
+    model: CheckpointCostModel,
+    config: &OrderSearchConfig,
+    start: &(LinearizationStrategy, Vec<TaskId>),
+    run_index: usize,
+) -> Result<RunResult, ScheduleError> {
+    let (strategy, start_order) = start;
+    let n = start_order.len();
+    let mut state = OrderState::new(instance, model, start_order.clone());
+    let mut accepted = 0usize;
+    let mut proposed = 0usize;
+
+    // On a chain the topological order is unique: no move can be valid, so
+    // skip straight to the final evaluation.
+    let searchable = n >= 2 && !properties::is_chain(instance.graph());
+    if searchable {
+        let steps = if config.steps == 0 { (4 * n + 64).min(2048) } else { config.steps };
+        let max_window = config.max_window.max(2).min(n);
+        let mut rng = Pcg64::seed_from_u64(config.seed).derive(run_index as u64);
+        let mut dp = ResumableDp::new();
+        let mut incumbent = dp.solve(&state.table()?);
+
+        for _ in 0..steps {
+            proposed += 1;
+            let mv = propose_move(&mut rng, n, max_window);
+            if !is_valid_move(instance.graph(), &state.order, &mv) {
+                continue;
+            }
+            let (_, hi) = mv.window();
+            apply_move(&mut state.order, &mv);
+            state.refresh_candidate_vectors(mv.window());
+            let candidate_table = state.candidate_table()?;
+            let value = dp.try_prefix(&candidate_table, hi + 2);
+            if value < incumbent * (1.0 - ACCEPT_MARGIN) {
+                state.commit_candidate();
+                dp.commit_trial();
+                incumbent = value;
+                accepted += 1;
+            } else {
+                apply_move(&mut state.order, &mv.inverse());
+            }
+        }
+    }
+
+    // Final from-scratch evaluation: bitwise the same pipeline as
+    // `schedule_dag_best_of` (model table + scalable placement), so start
+    // orders score identically to the baseline and dominance is exact.
+    let table = crate::dag_schedule::model_cost_table(instance, &state.order, model)?;
+    let placement = scalable_placement_on_table(&table);
+    Ok(RunResult {
+        strategy: *strategy,
+        order: state.order,
+        checkpoint_after: placement.checkpoint_after(),
+        value: placement.expected_makespan,
+        accepted,
+        proposed,
+    })
+}
+
+/// Draws one random move: adjacent swaps and both rotation directions with
+/// equal probability, windows uniform in `2..=max_window` positions.
+fn propose_move(rng: &mut Pcg64, n: usize, max_window: usize) -> OrderMove {
+    let kind = rng.next_u64() % 3;
+    if kind == 0 || max_window == 2 || n < 3 {
+        OrderMove::SwapAdjacent { i: (rng.next_u64() as usize) % (n - 1) }
+    } else {
+        let span = 2 + (rng.next_u64() as usize) % (max_window - 1);
+        let span = span.min(n);
+        let i = (rng.next_u64() as usize) % (n - span + 1);
+        let j = i + span - 1;
+        if kind == 1 {
+            OrderMove::RotateLeft { i, j }
+        } else {
+            OrderMove::RotateRight { i, j }
+        }
+    }
+}
+
+/// The committed positional data of the current order plus a candidate
+/// buffer, so rejected moves never have to rebuild the committed vectors.
+/// All working memory (candidate vectors, the live-set sweep state and its
+/// lazy max-heaps) is held here and reused: the proposal loop allocates
+/// nothing.
+struct OrderState<'a> {
+    instance: &'a ProblemInstance,
+    model: CheckpointCostModel,
+    order: Vec<TaskId>,
+    cost_sweep: LiveSetCostSweep<'a>,
+    /// Committed positional vectors of `order` *before* the pending move.
+    weights: Vec<f64>,
+    ckpt: Vec<f64>,
+    recoveries: Vec<f64>,
+    /// Candidate vectors for the move currently applied to `order`.
+    cand_weights: Vec<f64>,
+    cand_ckpt: Vec<f64>,
+    cand_recoveries: Vec<f64>,
+    /// Scratch for the raw (unshifted) per-position recovery costs.
+    raw_rec: Vec<f64>,
+}
+
+impl<'a> OrderState<'a> {
+    fn new(instance: &'a ProblemInstance, model: CheckpointCostModel, order: Vec<TaskId>) -> Self {
+        let mut state = OrderState {
+            instance,
+            model,
+            order,
+            cost_sweep: LiveSetCostSweep::new(instance.graph()),
+            weights: Vec::new(),
+            ckpt: Vec::new(),
+            recoveries: Vec::new(),
+            cand_weights: Vec::new(),
+            cand_ckpt: Vec::new(),
+            cand_recoveries: Vec::new(),
+            raw_rec: Vec::new(),
+        };
+        state.rebuild_committed();
+        state
+    }
+
+    /// Rebuilds the committed vectors from scratch for the current order.
+    fn rebuild_committed(&mut self) {
+        self.weights.clear();
+        self.weights.extend(self.order.iter().map(|&t| self.instance.weight(t)));
+        self.cost_sweep.costs_into(
+            self.model,
+            self.instance,
+            &self.order,
+            &mut self.ckpt,
+            &mut self.raw_rec,
+        );
+        shift_recoveries(self.instance.initial_recovery(), &self.raw_rec, &mut self.recoveries);
+    }
+
+    /// Fills the candidate vectors for the move just applied to `order`,
+    /// whose position window is `(lo, hi)`. Weights are patched inside the
+    /// window only; under the live-set models the cost vectors are re-swept
+    /// (one `O(n + E)` pass through the reused sweep state — the live set of
+    /// prefixes inside the window genuinely changes), under the
+    /// per-last-task model they are patched in `O(hi − lo)` too.
+    fn refresh_candidate_vectors(&mut self, (lo, hi): (usize, usize)) {
+        let n = self.order.len();
+        self.cand_weights.clone_from(&self.weights);
+        for p in lo..=hi {
+            self.cand_weights[p] = self.instance.weight(self.order[p]);
+        }
+        match self.model {
+            CheckpointCostModel::PerLastTask => {
+                self.cand_ckpt.clone_from(&self.ckpt);
+                self.cand_recoveries.clone_from(&self.recoveries);
+                for p in lo..=hi {
+                    self.cand_ckpt[p] = self.instance.checkpoint_cost(self.order[p]);
+                    if p + 1 < n {
+                        self.cand_recoveries[p + 1] = self.instance.recovery_cost(self.order[p]);
+                    }
+                }
+            }
+            CheckpointCostModel::LiveSetSum | CheckpointCostModel::LiveSetMax => {
+                self.cost_sweep.costs_into(
+                    self.model,
+                    self.instance,
+                    &self.order,
+                    &mut self.cand_ckpt,
+                    &mut self.raw_rec,
+                );
+                shift_recoveries(
+                    self.instance.initial_recovery(),
+                    &self.raw_rec,
+                    &mut self.cand_recoveries,
+                );
+            }
+        }
+    }
+
+    /// Promotes the candidate vectors to committed (the move was accepted).
+    fn commit_candidate(&mut self) {
+        std::mem::swap(&mut self.weights, &mut self.cand_weights);
+        std::mem::swap(&mut self.ckpt, &mut self.cand_ckpt);
+        std::mem::swap(&mut self.recoveries, &mut self.cand_recoveries);
+    }
+
+    fn table(&self) -> Result<SegmentCostTable, ScheduleError> {
+        SegmentCostTable::new(
+            self.instance.lambda(),
+            self.instance.downtime(),
+            &self.weights,
+            &self.ckpt,
+            &self.recoveries,
+        )
+        .map_err(ScheduleError::from_expectation)
+    }
+
+    fn candidate_table(&self) -> Result<SegmentCostTable, ScheduleError> {
+        SegmentCostTable::new(
+            self.instance.lambda(),
+            self.instance.downtime(),
+            &self.cand_weights,
+            &self.cand_ckpt,
+            &self.cand_recoveries,
+        )
+        .map_err(ScheduleError::from_expectation)
+    }
+}
+
+/// Turns raw per-position recovery costs into the protecting-recovery vector
+/// (`out[0] = R₀`, `out[x] = raw[x − 1]`), reusing `out`'s capacity.
+fn shift_recoveries(initial: f64, raw: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.push(initial);
+    out.extend(raw.iter().take(raw.len() - 1).copied());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain_dp;
+    use crate::dag_schedule::schedule_dag_best_of;
+    use ckpt_dag::generators;
+
+    fn fork_join_instance() -> ProblemInstance {
+        let graph =
+            generators::fork_join(5, &[500.0, 300.0, 700.0, 150.0, 900.0], 100.0, 200.0).unwrap();
+        ProblemInstance::builder(graph)
+            .checkpoint_costs(vec![40.0, 10.0, 120.0, 35.0, 80.0, 20.0, 55.0])
+            .uniform_recovery_cost(80.0)
+            .downtime(10.0)
+            .platform_lambda(1.0 / 3_000.0)
+            .build()
+            .unwrap()
+    }
+
+    fn layered_instance(seed: u64) -> ProblemInstance {
+        use ckpt_failure::{Pcg64, RandomSource};
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut coin_rng = rng.derive(7);
+        let graph = generators::layered_random(
+            &[2, 4, 3, 4, 2],
+            |lvl, idx| 100.0 + 150.0 * ((lvl * 3 + idx) % 5) as f64,
+            0.4,
+            move || coin_rng.next_f64(),
+        )
+        .unwrap();
+        let n = graph.task_count();
+        let ckpt: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 90.0).collect();
+        let rec: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 90.0).collect();
+        ProblemInstance::builder(graph)
+            .checkpoint_costs(ckpt)
+            .recovery_costs(rec)
+            .downtime(5.0)
+            .platform_lambda(1.0 / 2_500.0)
+            .build()
+            .unwrap()
+    }
+
+    const MODELS: [CheckpointCostModel; 3] = [
+        CheckpointCostModel::PerLastTask,
+        CheckpointCostModel::LiveSetSum,
+        CheckpointCostModel::LiveSetMax,
+    ];
+
+    #[test]
+    fn search_never_worse_than_best_of() {
+        let config =
+            OrderSearchConfig { restarts: 4, steps: 300, threads: 1, ..Default::default() };
+        for inst in [fork_join_instance(), layered_instance(1), layered_instance(2)] {
+            for model in MODELS {
+                let found = schedule_dag_search(&inst, model, &config).unwrap();
+                let baseline = schedule_dag_best_of(&inst, model, config.restarts).unwrap();
+                assert!(
+                    found.expected_makespan_under_model() <= baseline.expected_makespan_under_model,
+                    "{model}: search {} vs best-of {}",
+                    found.expected_makespan_under_model(),
+                    baseline.expected_makespan_under_model
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn search_on_chain_returns_the_chain_optimum() {
+        let graph = generators::chain(&[400.0, 100.0, 900.0, 250.0, 650.0]).unwrap();
+        let inst = ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(60.0)
+            .uniform_recovery_cost(60.0)
+            .downtime(30.0)
+            .platform_lambda(1.0 / 4_000.0)
+            .build()
+            .unwrap();
+        let found =
+            schedule_dag_search(&inst, CheckpointCostModel::PerLastTask, &Default::default())
+                .unwrap();
+        let chain = chain_dp::optimal_chain_schedule(&inst).unwrap();
+        assert!((found.solution.expected_makespan - chain.expected_makespan).abs() < 1e-9);
+        // A chain has a unique linearisation: one start, no proposals.
+        assert_eq!(found.starts, 1);
+        assert_eq!(found.proposed_moves, 0);
+    }
+
+    #[test]
+    fn outcome_is_identical_for_any_thread_count() {
+        let inst = layered_instance(5);
+        let base = OrderSearchConfig { restarts: 6, steps: 200, threads: 1, ..Default::default() };
+        let single = schedule_dag_search(&inst, CheckpointCostModel::LiveSetSum, &base).unwrap();
+        for threads in [2usize, 3, 8] {
+            let config = OrderSearchConfig { threads, ..base.clone() };
+            let multi =
+                schedule_dag_search(&inst, CheckpointCostModel::LiveSetSum, &config).unwrap();
+            assert_eq!(single.solution, multi.solution, "differs at {threads} threads");
+            assert_eq!(single.accepted_moves, multi.accepted_moves);
+        }
+    }
+
+    #[test]
+    fn search_improves_on_an_adversarial_independent_instance() {
+        // Independent tasks with wildly heterogeneous checkpoint costs: the
+        // fixed strategies order by weight, but the best orders interleave
+        // cheap-checkpoint tasks at segment ends. Search must find strictly
+        // better than the deterministic starts here.
+        use ckpt_failure::{Pcg64, RandomSource};
+        let mut rng = Pcg64::seed_from_u64(42);
+        let n = 12;
+        let weights: Vec<f64> = (0..n).map(|_| 200.0 + rng.next_f64() * 1_000.0).collect();
+        let graph = generators::independent(&weights).unwrap();
+        let ckpt: Vec<f64> = (0..n).map(|_| rng.next_f64() * 400.0).collect();
+        let inst = ProblemInstance::builder(graph)
+            .checkpoint_costs(ckpt)
+            .uniform_recovery_cost(50.0)
+            .platform_lambda(1.0 / 1_500.0)
+            .build()
+            .unwrap();
+        let config =
+            OrderSearchConfig { restarts: 4, steps: 800, threads: 1, ..Default::default() };
+        let model = CheckpointCostModel::PerLastTask;
+        let found = schedule_dag_search(&inst, model, &config).unwrap();
+        let baseline = schedule_dag_best_of(&inst, model, config.restarts).unwrap();
+        assert!(
+            found.expected_makespan_under_model() < baseline.expected_makespan_under_model,
+            "search {} should beat best-of {} here",
+            found.expected_makespan_under_model(),
+            baseline.expected_makespan_under_model
+        );
+        assert!(found.accepted_moves > 0);
+    }
+
+    mod search_properties {
+        use super::*;
+        use ckpt_failure::Pcg64;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Every valid neighbourhood move maps a topological order to a
+            /// topological order — validated through `Schedule::new`, the
+            /// constructor every search result must pass anyway.
+            #[test]
+            fn prop_moves_yield_orders_schedule_new_accepts(seed in any::<u64>()) {
+                let inst = layered_instance(seed);
+                let n = inst.task_count();
+                let order = linearize::linearize(
+                    inst.graph(),
+                    LinearizationStrategy::Random(seed ^ 0x5A5A),
+                );
+                let mut rng = Pcg64::seed_from_u64(seed);
+                let mut current = order;
+                for _ in 0..80 {
+                    let mv = propose_move(&mut rng, n, 8);
+                    if !is_valid_move(inst.graph(), &current, &mv) {
+                        continue;
+                    }
+                    apply_move(&mut current, &mv);
+                    let flags = vec![true; n];
+                    let schedule = Schedule::new(&inst, current.clone(), flags);
+                    prop_assert!(schedule.is_ok(), "{:?} produced an invalid order", mv);
+                }
+            }
+
+            /// The search never returns a worse model value than
+            /// `schedule_dag_best_of` with the matching random-tries count.
+            #[test]
+            fn prop_search_dominates_best_of(seed in any::<u64>()) {
+                let inst = layered_instance(seed);
+                let config = OrderSearchConfig {
+                    restarts: 3,
+                    steps: 60,
+                    threads: 1,
+                    seed,
+                    ..Default::default()
+                };
+                for model in MODELS {
+                    let found = schedule_dag_search(&inst, model, &config).unwrap();
+                    let baseline = schedule_dag_best_of(&inst, model, config.restarts).unwrap();
+                    prop_assert!(
+                        found.expected_makespan_under_model()
+                            <= baseline.expected_makespan_under_model,
+                        "{}: search {} vs best-of {}",
+                        model,
+                        found.expected_makespan_under_model(),
+                        baseline.expected_makespan_under_model
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn returned_schedule_is_consistent_with_its_reported_values() {
+        let inst = layered_instance(3);
+        let config =
+            OrderSearchConfig { restarts: 3, steps: 150, threads: 1, ..Default::default() };
+        for model in MODELS {
+            let found = schedule_dag_search(&inst, model, &config).unwrap();
+            // The order is a valid topological order (Schedule::new validated
+            // it) and the model value matches re-evaluating the order.
+            let table = crate::dag_schedule::model_cost_table(
+                &inst,
+                found.solution.schedule.order(),
+                model,
+            )
+            .unwrap();
+            let value = table.total_cost(found.solution.schedule.checkpoint_after());
+            let gap = (value - found.expected_makespan_under_model()).abs() / value;
+            assert!(gap < 1e-10, "{model}: reported value off by {gap}");
+            let eval = crate::evaluate::expected_makespan(&inst, &found.solution.schedule).unwrap();
+            let gap = (eval - found.solution.expected_makespan).abs() / eval;
+            assert!(gap < 1e-10, "{model}: per-last-task value off by {gap}");
+        }
+    }
+}

@@ -12,8 +12,11 @@
 //!   small graphs), needed because the paper's "full parallelism" assumption
 //!   turns scheduling into the choice of a linearisation (§2);
 //! * [`traversal`] — ancestors/descendants/transitive closure and reduction,
-//!   used by the general checkpoint-cost extension of §6 (the "live" task
-//!   set);
+//!   plus the incremental [`traversal::LiveSetSweep`] used by the general
+//!   checkpoint-cost extension of §6 (the "live" task set);
+//! * [`neighborhood`] — precedence-preserving moves between topological
+//!   orders (adjacent swaps, window rotations), the building blocks of
+//!   `ckpt-core`'s order search;
 //! * [`properties`] — chain/independence detection, critical path, depth,
 //!   width: the structural special cases the paper's results attach to;
 //! * [`generators`] — workload generators (linear chains, independent sets,
@@ -50,6 +53,7 @@ pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod linearize;
+pub mod neighborhood;
 pub mod properties;
 pub mod topo;
 pub mod traversal;

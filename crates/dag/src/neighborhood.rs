@@ -1,0 +1,247 @@
+//! Precedence-preserving moves between topological orders.
+//!
+//! Proposition 2 makes the joint order+checkpoint problem intractable, so the
+//! practically interesting regime is *search* over the space of
+//! linearisations. That space is connected under adjacent transpositions:
+//! any topological order can be reached from any other by swapping adjacent
+//! independent tasks, and window rotations (one task hopping over a block of
+//! its neighbours) are the natural longer-range composite. This module
+//! provides those moves as first-class values — validity check, in-place
+//! application, inverse — so search code (`ckpt-core`'s `order_search`) never
+//! has to re-derive the precedence rules.
+//!
+//! All validity checks assume the input order is itself a valid topological
+//! order; under that assumption a valid move yields a valid topological
+//! order again (property-tested below against
+//! [`is_topological_order`](crate::topo::is_topological_order)).
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// A precedence-preserving transformation of one position window of a
+/// topological order.
+///
+/// # Example
+///
+/// ```
+/// use ckpt_dag::{generators, neighborhood::{apply_move, is_valid_move, OrderMove}, topo, TaskId};
+///
+/// // Diamond a → {b, c} → d in id order: b and c are independent…
+/// let g = generators::diamond([1.0, 1.0, 1.0, 1.0])?;
+/// let mut order = vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)];
+/// let swap = OrderMove::SwapAdjacent { i: 1 };
+/// assert!(is_valid_move(&g, &order, &swap));
+/// apply_move(&mut order, &swap);
+/// assert!(topo::is_topological_order(&g, &order));
+/// // …while a must stay ahead of both:
+/// assert!(!is_valid_move(&g, &order, &OrderMove::SwapAdjacent { i: 0 }));
+/// # Ok::<(), ckpt_dag::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderMove {
+    /// Swap the tasks at positions `i` and `i + 1`.
+    SwapAdjacent {
+        /// The left position of the swapped pair.
+        i: usize,
+    },
+    /// Rotate the window `order[i..=j]` one step left: the task at `i` moves
+    /// to position `j`, everything in between shifts one position earlier.
+    RotateLeft {
+        /// First position of the window.
+        i: usize,
+        /// Last position of the window (`j > i`).
+        j: usize,
+    },
+    /// Rotate the window `order[i..=j]` one step right: the task at `j`
+    /// moves to position `i`, everything in between shifts one position
+    /// later.
+    RotateRight {
+        /// First position of the window.
+        i: usize,
+        /// Last position of the window (`j > i`).
+        j: usize,
+    },
+}
+
+impl OrderMove {
+    /// The inclusive `(first, last)` position window the move touches.
+    pub fn window(&self) -> (usize, usize) {
+        match *self {
+            OrderMove::SwapAdjacent { i } => (i, i + 1),
+            OrderMove::RotateLeft { i, j } | OrderMove::RotateRight { i, j } => (i, j),
+        }
+    }
+
+    /// The move that undoes this one (applied to the transformed order).
+    pub fn inverse(&self) -> OrderMove {
+        match *self {
+            OrderMove::SwapAdjacent { i } => OrderMove::SwapAdjacent { i },
+            OrderMove::RotateLeft { i, j } => OrderMove::RotateRight { i, j },
+            OrderMove::RotateRight { i, j } => OrderMove::RotateLeft { i, j },
+        }
+    }
+}
+
+/// Whether applying `mv` to the topological order `order` yields a
+/// topological order again.
+///
+/// * An adjacent swap is valid iff there is no edge between the two tasks;
+/// * a left rotation is valid iff the task leaving position `i` has no
+///   successor inside the window it hops over;
+/// * a right rotation is valid iff the task leaving position `j` has no
+///   predecessor inside the window.
+///
+/// Out-of-bounds or degenerate windows (`j ≤ i`) are simply invalid, so
+/// randomised proposal loops need no separate bounds handling. Cost:
+/// `O(window · degree)`.
+pub fn is_valid_move(graph: &TaskGraph, order: &[TaskId], mv: &OrderMove) -> bool {
+    let (lo, hi) = mv.window();
+    if lo >= hi || hi >= order.len() {
+        return false;
+    }
+    match *mv {
+        OrderMove::SwapAdjacent { i } => !graph.has_edge(order[i], order[i + 1]),
+        OrderMove::RotateLeft { i, j } => {
+            let mover = order[i];
+            order[i + 1..=j].iter().all(|&t| !graph.has_edge(mover, t))
+        }
+        OrderMove::RotateRight { i, j } => {
+            let mover = order[j];
+            order[i..j].iter().all(|&t| !graph.has_edge(t, mover))
+        }
+    }
+}
+
+/// Applies `mv` to `order` in place.
+///
+/// The caller is responsible for having checked [`is_valid_move`]; applying
+/// an invalid (but in-bounds) move still permutes the order, it just breaks
+/// the topological property.
+///
+/// # Panics
+///
+/// Panics if the move's window is out of bounds or degenerate (`j ≤ i`).
+pub fn apply_move(order: &mut [TaskId], mv: &OrderMove) {
+    let (lo, hi) = mv.window();
+    assert!(lo < hi && hi < order.len(), "move window {lo}..={hi} out of bounds");
+    match *mv {
+        OrderMove::SwapAdjacent { i } => order.swap(i, i + 1),
+        OrderMove::RotateLeft { i, j } => order[i..=j].rotate_left(1),
+        OrderMove::RotateRight { i, j } => order[i..=j].rotate_right(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::is_topological_order;
+    use crate::{generators, linearize, LinearizationStrategy};
+
+    fn diamond() -> TaskGraph {
+        generators::diamond([1.0, 1.0, 1.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn swap_of_independent_tasks_is_valid() {
+        let g = diamond();
+        let order = vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)];
+        assert!(is_valid_move(&g, &order, &OrderMove::SwapAdjacent { i: 1 }));
+        assert!(!is_valid_move(&g, &order, &OrderMove::SwapAdjacent { i: 0 }));
+        assert!(!is_valid_move(&g, &order, &OrderMove::SwapAdjacent { i: 2 }));
+    }
+
+    #[test]
+    fn out_of_bounds_and_degenerate_windows_are_invalid() {
+        let g = diamond();
+        let order = vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)];
+        assert!(!is_valid_move(&g, &order, &OrderMove::SwapAdjacent { i: 3 }));
+        assert!(!is_valid_move(&g, &order, &OrderMove::RotateLeft { i: 2, j: 2 }));
+        assert!(!is_valid_move(&g, &order, &OrderMove::RotateRight { i: 3, j: 1 }));
+        assert!(!is_valid_move(&g, &order, &OrderMove::RotateLeft { i: 1, j: 4 }));
+    }
+
+    #[test]
+    fn rotations_respect_precedence() {
+        // Independent tasks: every rotation is valid.
+        let g = generators::independent(&[1.0; 5]).unwrap();
+        let mut order: Vec<TaskId> = (0..5).map(TaskId).collect();
+        let mv = OrderMove::RotateLeft { i: 0, j: 3 };
+        assert!(is_valid_move(&g, &order, &mv));
+        apply_move(&mut order, &mv);
+        assert_eq!(order, vec![TaskId(1), TaskId(2), TaskId(3), TaskId(0), TaskId(4)]);
+        // A chain: no move at all is valid.
+        let chain = generators::chain(&[1.0; 5]).unwrap();
+        let id_order: Vec<TaskId> = (0..5).map(TaskId).collect();
+        for i in 0..4 {
+            assert!(!is_valid_move(&chain, &id_order, &OrderMove::SwapAdjacent { i }));
+            for j in i + 1..5 {
+                assert!(!is_valid_move(&chain, &id_order, &OrderMove::RotateLeft { i, j }));
+                assert!(!is_valid_move(&chain, &id_order, &OrderMove::RotateRight { i, j }));
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_the_move() {
+        let g = generators::independent(&[1.0; 6]).unwrap();
+        let original: Vec<TaskId> = (0..6).map(TaskId).collect();
+        for mv in [
+            OrderMove::SwapAdjacent { i: 2 },
+            OrderMove::RotateLeft { i: 1, j: 4 },
+            OrderMove::RotateRight { i: 0, j: 5 },
+        ] {
+            let mut order = original.clone();
+            assert!(is_valid_move(&g, &order, &mv));
+            apply_move(&mut order, &mv);
+            apply_move(&mut order, &mv.inverse());
+            assert_eq!(order, original, "inverse failed for {mv:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn apply_rejects_out_of_bounds_windows() {
+        let mut order = vec![TaskId(0), TaskId(1)];
+        apply_move(&mut order, &OrderMove::RotateLeft { i: 0, j: 2 });
+    }
+
+    #[test]
+    fn valid_moves_preserve_topological_orders_on_random_dags() {
+        // A deterministic sweep across layered random DAGs, seeds and move
+        // kinds: every valid move must map a topological order to a
+        // topological order, and its inverse must restore the original.
+        for seed in 0..6u64 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut coin_state = next();
+            let coin = move || {
+                coin_state = coin_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (coin_state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let g = generators::layered_random(&[3, 4, 3, 2], |_, _| 1.0, 0.4, coin).unwrap();
+            let order = linearize::linearize(&g, LinearizationStrategy::Random(seed));
+            let n = order.len();
+            for _ in 0..200 {
+                let i = (next() as usize) % n;
+                let j = i + 1 + (next() as usize) % 4;
+                let mv = match next() % 3 {
+                    0 => OrderMove::SwapAdjacent { i },
+                    1 => OrderMove::RotateLeft { i, j },
+                    _ => OrderMove::RotateRight { i, j },
+                };
+                if !is_valid_move(&g, &order, &mv) {
+                    continue;
+                }
+                let mut moved = order.clone();
+                apply_move(&mut moved, &mv);
+                assert!(is_topological_order(&g, &moved), "seed {seed}: {mv:?} broke the order");
+                apply_move(&mut moved, &mv.inverse());
+                assert_eq!(moved, order, "seed {seed}: inverse of {mv:?} did not restore");
+            }
+        }
+    }
+}
