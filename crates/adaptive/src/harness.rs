@@ -1,0 +1,418 @@
+//! Monte-Carlo evaluation of online policies under **misspecified** failure
+//! models.
+//!
+//! The operationally interesting question is not how a policy behaves when
+//! the planner knew the failure law exactly — the offline DP is provably
+//! optimal there — but how it degrades when the *planning* rate and the
+//! *true* failure process diverge: a platform failing 4–10× more often than
+//! assumed, Weibull-bursty failures planned as Exponential, or a recorded
+//! trace. [`compare_policies`] runs the four policies of
+//! [`crate::policies`] through the policy-driven Monte-Carlo engine under
+//! one [`TruthModel`], all on **identical per-trial failure streams**
+//! (paired comparison: every policy sees the same failures, so differences
+//! are policy effects, not sampling noise), and reports each policy's mean
+//! makespan and its **regret** against the clairvoyant baseline — the
+//! offline DP optimum solved at the truth's effective rate and replayed
+//! statically.
+//!
+//! Everything is deterministic: trials derive their streams from the master
+//! seed and the trial index, and the engine's contiguous-chunk threading
+//! makes the outcome bit-identical at any thread count.
+
+use ckpt_failure::{TraceGenerator, TraceReplay, Weibull};
+use ckpt_simulator::stream::TraceStream;
+use ckpt_simulator::{PolicyMonteCarloOutcome, SimulationScenario};
+
+use crate::chain::ChainSpec;
+use crate::error::AdaptiveError;
+use crate::policies::{
+    optimal_static_plan, AdaptiveResolve, PeriodicYoung, RateLearning, StaticPlan,
+};
+
+/// The failure process executions are actually subjected to (as opposed to
+/// the rate the offline plan assumed).
+#[derive(Debug, Clone)]
+pub enum TruthModel {
+    /// Platform-level Exponential failures of the given rate — the paper's
+    /// model with a possibly wrong planning rate.
+    Exponential {
+        /// The true platform failure rate.
+        lambda: f64,
+    },
+    /// `processors` per-processor Weibull streams (shape < 1 = infant
+    /// mortality bursts) superposed, with the given **platform-level** MTBF.
+    WeibullPlatform {
+        /// Number of processors.
+        processors: usize,
+        /// Weibull shape parameter.
+        shape: f64,
+        /// Platform-level mean time between failures.
+        platform_mtbf: f64,
+    },
+    /// Per-trial synthetic Weibull failure traces, replayed through
+    /// [`TraceStream`] — the "recorded log" scenario: the policy sees a
+    /// finite trace, not a generative law. Traces cover 64× the chain's
+    /// failure-free makespan; a regime so extreme that a trial outruns its
+    /// trace is rejected with [`AdaptiveError::TraceHorizonExceeded`]
+    /// rather than evaluated optimistically.
+    WeibullTrace {
+        /// Number of processors recorded in the trace.
+        processors: usize,
+        /// Weibull shape parameter of each processor's process.
+        shape: f64,
+        /// Platform-level mean time between failures.
+        platform_mtbf: f64,
+    },
+}
+
+impl TruthModel {
+    /// The platform-level failure rate of the truth — what a clairvoyant
+    /// planner (knowing the truth's intensity, if not its law) would plan
+    /// with.
+    pub fn effective_rate(&self) -> f64 {
+        match *self {
+            TruthModel::Exponential { lambda } => lambda,
+            TruthModel::WeibullPlatform { platform_mtbf, .. }
+            | TruthModel::WeibullTrace { platform_mtbf, .. } => 1.0 / platform_mtbf,
+        }
+    }
+
+    fn validate(&self) -> Result<(), AdaptiveError> {
+        let (name, value) = match *self {
+            TruthModel::Exponential { lambda } => ("true lambda", lambda),
+            TruthModel::WeibullPlatform { platform_mtbf, shape, processors }
+            | TruthModel::WeibullTrace { platform_mtbf, shape, processors } => {
+                if processors == 0 {
+                    return Err(AdaptiveError::NonPositiveParameter {
+                        name: "processors",
+                        value: 0.0,
+                    });
+                }
+                if !shape.is_finite() || shape <= 0.0 {
+                    return Err(AdaptiveError::NonPositiveParameter {
+                        name: "shape",
+                        value: shape,
+                    });
+                }
+                ("platform MTBF", platform_mtbf)
+            }
+        };
+        if !value.is_finite() || value <= 0.0 {
+            return Err(AdaptiveError::NonPositiveParameter { name, value });
+        }
+        Ok(())
+    }
+}
+
+/// Monte-Carlo configuration of one policy comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct EvaluationConfig {
+    /// Trials per policy (every policy replays the same trial streams).
+    pub trials: usize,
+    /// Master seed; streams derive per-trial.
+    pub seed: u64,
+    /// Worker threads (`0` = one per core); the outcome is identical for
+    /// every value.
+    pub threads: usize,
+}
+
+impl Default for EvaluationConfig {
+    fn default() -> Self {
+        EvaluationConfig { trials: 1_000, seed: 0xADA7, threads: 0 }
+    }
+}
+
+/// One policy's aggregate outcome in a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyResult {
+    /// Policy name (`static-plan`, `periodic-young`, `adaptive-resolve`,
+    /// `rate-learning`, `clairvoyant`).
+    pub policy: &'static str,
+    /// Mean makespan across trials.
+    pub mean_makespan: f64,
+    /// Mean number of failures observed per trial.
+    pub mean_failures: f64,
+    /// Mean number of checkpoints taken per trial.
+    pub mean_checkpoints: f64,
+    /// `mean_makespan − clairvoyant mean makespan` (0 for the clairvoyant
+    /// row itself; negative values are possible only within Monte-Carlo
+    /// noise, since the clairvoyant static plan is optimal in expectation
+    /// only under an Exponential truth at exactly its rate).
+    pub regret: f64,
+}
+
+/// The outcome of [`compare_policies`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyComparison {
+    /// Mean makespan of the clairvoyant baseline (offline optimum at the
+    /// truth's effective rate, replayed statically).
+    pub clairvoyant_makespan: f64,
+    /// One row per policy, in a fixed order: `clairvoyant`, `static-plan`,
+    /// `periodic-young`, `adaptive-resolve`, `rate-learning`.
+    pub results: Vec<PolicyResult>,
+}
+
+impl PolicyComparison {
+    /// The row of a policy by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is not one of the five fixed rows.
+    pub fn row(&self, policy: &str) -> &PolicyResult {
+        self.results
+            .iter()
+            .find(|r| r.policy == policy)
+            .unwrap_or_else(|| panic!("unknown policy row `{policy}`"))
+    }
+}
+
+/// Horizon multiple (× the chain's failure-free makespan) generated for
+/// trace truths. A trial whose makespan exceeded the generated horizon
+/// would have seen a spuriously failure-free tail, so [`compare_policies`]
+/// **rejects** such runs with [`AdaptiveError::TraceHorizonExceeded`]
+/// instead of returning silently optimistic means — with the slowdowns of
+/// the regimes under study (≲ a few ×) the bound is never approached.
+const TRACE_HORIZON_FACTOR: f64 = 64.0;
+
+/// Runs the four online policies (plus the clairvoyant static baseline)
+/// over `spec`, planned at `planning_rate`, under the given truth.
+///
+/// # Errors
+///
+/// Returns an [`AdaptiveError`] for invalid rates, truth parameters, or an
+/// empty trial count.
+pub fn compare_policies(
+    spec: &ChainSpec,
+    planning_rate: f64,
+    truth: &TruthModel,
+    config: &EvaluationConfig,
+) -> Result<PolicyComparison, AdaptiveError> {
+    truth.validate()?;
+
+    // The plans: offline optimum at the planning rate, and at the truth's
+    // effective rate (the clairvoyant reference).
+    let planned = optimal_static_plan(spec, planning_rate)?;
+    let clairvoyant = optimal_static_plan(spec, truth.effective_rate())?;
+
+    let static_proto = StaticPlan::from_placement(&planned);
+    let clairvoyant_proto = StaticPlan::from_placement(&clairvoyant);
+    let young_proto = PeriodicYoung::new(spec, planning_rate)?;
+    let adaptive_proto = AdaptiveResolve::new(spec, planning_rate)?;
+    let learning_proto = RateLearning::new(spec, planning_rate)?;
+
+    let clairvoyant_outcome = run_policy(spec, truth, config, &clairvoyant_proto)?;
+    let clairvoyant_makespan = clairvoyant_outcome.makespan.mean;
+
+    let mut results = vec![result_row("clairvoyant", &clairvoyant_outcome, clairvoyant_makespan)];
+    let static_outcome = run_policy(spec, truth, config, &static_proto)?;
+    results.push(result_row("static-plan", &static_outcome, clairvoyant_makespan));
+    let young_outcome = run_policy(spec, truth, config, &young_proto)?;
+    results.push(result_row("periodic-young", &young_outcome, clairvoyant_makespan));
+    let adaptive_outcome = run_policy(spec, truth, config, &adaptive_proto)?;
+    results.push(result_row("adaptive-resolve", &adaptive_outcome, clairvoyant_makespan));
+    let learning_outcome = run_policy(spec, truth, config, &learning_proto)?;
+    results.push(result_row("rate-learning", &learning_outcome, clairvoyant_makespan));
+
+    Ok(PolicyComparison { clairvoyant_makespan, results })
+}
+
+fn result_row(
+    policy: &'static str,
+    outcome: &PolicyMonteCarloOutcome,
+    clairvoyant_makespan: f64,
+) -> PolicyResult {
+    PolicyResult {
+        policy,
+        mean_makespan: outcome.makespan.mean,
+        mean_failures: outcome.failures.mean,
+        mean_checkpoints: outcome.checkpoints.mean,
+        regret: outcome.makespan.mean - clairvoyant_makespan,
+    }
+}
+
+/// Runs one policy prototype (cloned per trial) under the truth. All
+/// policies of one comparison share the scenario seed, so trial `i` sees
+/// the same failure stream whichever policy is running — paired
+/// comparisons.
+fn run_policy<P>(
+    spec: &ChainSpec,
+    truth: &TruthModel,
+    config: &EvaluationConfig,
+    prototype: &P,
+) -> Result<PolicyMonteCarloOutcome, AdaptiveError>
+where
+    P: ckpt_simulator::Policy + Clone + Sync,
+{
+    let make_policy = |_trial: usize| prototype.clone();
+    let outcome = match *truth {
+        TruthModel::Exponential { lambda } => SimulationScenario::exponential(lambda)
+            .with_downtime(spec.downtime())
+            .with_trials(config.trials)
+            .with_seed(config.seed)
+            .with_threads(config.threads)
+            .run_policy(spec.tasks(), spec.initial_recovery(), make_policy)?,
+        TruthModel::WeibullPlatform { processors, shape, platform_mtbf } => {
+            let per_processor_mean = platform_mtbf * processors as f64;
+            let law = Weibull::with_mean(shape, per_processor_mean)?;
+            SimulationScenario::platform(processors, law)
+                .with_downtime(spec.downtime())
+                .with_trials(config.trials)
+                .with_seed(config.seed)
+                .with_threads(config.threads)
+                .run_policy(spec.tasks(), spec.initial_recovery(), make_policy)?
+        }
+        TruthModel::WeibullTrace { processors, shape, platform_mtbf } => {
+            let per_processor_mean = platform_mtbf * processors as f64;
+            let law = Weibull::with_mean(shape, per_processor_mean)?;
+            let horizon = TRACE_HORIZON_FACTOR
+                * (spec.total_work() + spec.len() as f64 * spec.mean_checkpoint_cost());
+            // The scenario's Exponential model is unused: streams come from
+            // the factory. Every policy re-generates the same per-trial
+            // trace from the derived seed, keeping the comparison paired.
+            let outcome = SimulationScenario::exponential(1.0)
+                .with_downtime(spec.downtime())
+                .with_trials(config.trials)
+                .with_seed(config.seed)
+                .with_threads(config.threads)
+                .run_policy_with_streams(
+                    spec.tasks(),
+                    spec.initial_recovery(),
+                    make_policy,
+                    |_trial, derived_seed| {
+                        let generator = TraceGenerator::new(processors, derived_seed)
+                            .expect("processors validated above");
+                        let trace = generator.generate(law, horizon);
+                        TraceStream::new(TraceReplay::new(trace))
+                    },
+                )?;
+            // A makespan beyond the generated horizon means that trial's
+            // trace ran out and its tail executed spuriously failure-free:
+            // refuse to report silently optimistic means.
+            if let Some(&worst) =
+                outcome.samples.iter().max_by(|a, b| a.total_cmp(b)).filter(|&&m| m > horizon)
+            {
+                return Err(AdaptiveError::TraceHorizonExceeded { horizon, makespan: worst });
+            }
+            outcome
+        }
+    };
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChainSpec {
+        // 24 × 600 s of work; checkpoints cost 45, recoveries 70.
+        ChainSpec::new(&[600.0; 24], &[45.0; 24], &[70.0; 24], 30.0, 15.0).unwrap()
+    }
+
+    #[test]
+    fn truth_models_validate() {
+        assert!(TruthModel::Exponential { lambda: 0.0 }.validate().is_err());
+        assert!(TruthModel::WeibullPlatform { processors: 0, shape: 0.7, platform_mtbf: 1e4 }
+            .validate()
+            .is_err());
+        assert!(TruthModel::WeibullPlatform { processors: 4, shape: 0.0, platform_mtbf: 1e4 }
+            .validate()
+            .is_err());
+        assert!(TruthModel::WeibullTrace { processors: 2, shape: 0.7, platform_mtbf: -1.0 }
+            .validate()
+            .is_err());
+        let ok = TruthModel::WeibullTrace { processors: 2, shape: 0.7, platform_mtbf: 5e3 };
+        assert!(ok.validate().is_ok());
+        assert!((ok.effective_rate() - 2e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn well_specified_truth_keeps_policies_near_the_clairvoyant() {
+        // Truth == plan: the static plan IS the clairvoyant plan, and the
+        // adaptive policies must stay within noise of it.
+        let spec = spec();
+        let rate = 1.0 / 8_000.0;
+        let config = EvaluationConfig { trials: 400, seed: 11, threads: 1 };
+        let cmp = compare_policies(&spec, rate, &TruthModel::Exponential { lambda: rate }, &config)
+            .unwrap();
+        assert_eq!(cmp.row("static-plan").regret, 0.0);
+        let adaptive_gap = cmp.row("adaptive-resolve").regret.abs() / cmp.clairvoyant_makespan;
+        assert!(adaptive_gap < 0.02, "adaptive gap {adaptive_gap}");
+        let learning_gap = cmp.row("rate-learning").regret.abs() / cmp.clairvoyant_makespan;
+        assert!(learning_gap < 0.02, "rate-learning gap {learning_gap}");
+    }
+
+    #[test]
+    fn misspecified_truth_rewards_adaptation() {
+        // The platform fails 8× more often than planned: policies that
+        // observe and re-plan must beat the stale static plan.
+        let spec = spec();
+        let planning = 1.0 / 40_000.0;
+        let truth = TruthModel::Exponential { lambda: 8.0 / 40_000.0 };
+        let config = EvaluationConfig { trials: 400, seed: 13, threads: 1 };
+        let cmp = compare_policies(&spec, planning, &truth, &config).unwrap();
+        let stale = cmp.row("static-plan").mean_makespan;
+        assert!(
+            cmp.row("adaptive-resolve").mean_makespan < stale,
+            "adaptive {} vs static {stale}",
+            cmp.row("adaptive-resolve").mean_makespan
+        );
+        assert!(
+            cmp.row("rate-learning").mean_makespan < stale,
+            "learning {} vs static {stale}",
+            cmp.row("rate-learning").mean_makespan
+        );
+        // And nobody beats the clairvoyant by more than noise.
+        for row in &cmp.results {
+            assert!(
+                row.regret > -0.02 * cmp.clairvoyant_makespan,
+                "{}: {}",
+                row.policy,
+                row.regret
+            );
+        }
+    }
+
+    #[test]
+    fn comparisons_are_bit_identical_across_thread_counts() {
+        let spec = spec();
+        let planning = 1.0 / 20_000.0;
+        let truth = TruthModel::Exponential { lambda: 1.0 / 5_000.0 };
+        let base = EvaluationConfig { trials: 201, seed: 7, threads: 1 };
+        let single = compare_policies(&spec, planning, &truth, &base).unwrap();
+        for threads in [2usize, 3, 8] {
+            let config = EvaluationConfig { threads, ..base };
+            let multi = compare_policies(&spec, planning, &truth, &config).unwrap();
+            assert_eq!(single, multi, "comparison differs at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn trace_truth_rejects_exhausted_horizons() {
+        // A 50 s platform MTBF against 600 s tasks: rework blows past the
+        // 64× trace horizon, the tail would run spuriously failure-free,
+        // and the harness must refuse instead of reporting optimistic means.
+        let spec = spec();
+        let truth = TruthModel::WeibullTrace { processors: 2, shape: 0.7, platform_mtbf: 50.0 };
+        let config = EvaluationConfig { trials: 10, seed: 1, threads: 1 };
+        assert!(matches!(
+            compare_policies(&spec, 1.0 / 20_000.0, &truth, &config),
+            Err(AdaptiveError::TraceHorizonExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_truth_runs_and_is_deterministic() {
+        let spec = spec();
+        let planning = 1.0 / 20_000.0;
+        let truth = TruthModel::WeibullTrace { processors: 4, shape: 0.7, platform_mtbf: 4_000.0 };
+        let config = EvaluationConfig { trials: 101, seed: 3, threads: 1 };
+        let a = compare_policies(&spec, planning, &truth, &config).unwrap();
+        let b = compare_policies(&spec, planning, &truth, &config).unwrap();
+        assert_eq!(a, b);
+        let threaded =
+            compare_policies(&spec, planning, &truth, &EvaluationConfig { threads: 3, ..config })
+                .unwrap();
+        assert_eq!(a, threaded);
+        assert!(a.row("static-plan").mean_failures > 0.0);
+    }
+}

@@ -1,0 +1,473 @@
+//! The four online checkpoint policies.
+//!
+//! All four implement [`ckpt_simulator::Policy`] and are driven by the
+//! policy engine at every task boundary:
+//!
+//! * [`StaticPlan`] — replay a fixed offline placement (no adaptation; the
+//!   paper's model, used both as the planning-rate baseline and, solved at
+//!   the *true* rate, as the clairvoyant reference);
+//! * [`PeriodicYoung`] — checkpoint whenever the accumulated uncheckpointed
+//!   work reaches the Young period `√(2·C̄/λ_plan)` (the §7 divisible-load
+//!   baseline transplanted to task boundaries);
+//! * [`AdaptiveResolve`] — after **every** observed failure, update a
+//!   Bayesian rate estimate (Gamma prior centred on the planning rate) and
+//!   re-solve the remaining chain with Algorithm 1 on a fresh
+//!   [`SegmentCostTable`](ckpt_expectation::segment_cost::SegmentCostTable)
+//!   at the new estimate — a **suffix-only**
+//!   [`ResumableDp::solve_suffix`] solve, since everything before the last
+//!   durable checkpoint is already executed;
+//! * [`RateLearning`] — maintain the pure maximum-likelihood rate from
+//!   observed inter-failure times
+//!   ([`OnlineExponentialMle`])
+//!   and re-solve only when the estimate drifts past a configurable factor
+//!   from the rate the current plan was solved at (fewer re-plans, no
+//!   prior).
+//!
+//! With **no observed failures**, `AdaptiveResolve` and `RateLearning`
+//! never re-plan and follow their initial full solve exactly — so on a
+//! failure-free stream they reproduce the offline DP optimum bit for bit
+//! (property-tested in the crate tests).
+
+use ckpt_core::chain_dp::{scalable_placement_on_table, ResumableDp, TablePlacement};
+use ckpt_expectation::approximations::young_period;
+use ckpt_failure::fitting::OnlineExponentialMle;
+use ckpt_simulator::{DecisionContext, Policy};
+
+use crate::chain::ChainSpec;
+use crate::error::AdaptiveError;
+
+/// Solves the offline Algorithm 1 optimum of `spec` at `rate` — the plan
+/// [`StaticPlan`] replays and the adaptive policies start from.
+///
+/// # Errors
+///
+/// Returns an [`AdaptiveError`] if `rate` is not strictly positive.
+pub fn optimal_static_plan(spec: &ChainSpec, rate: f64) -> Result<TablePlacement, AdaptiveError> {
+    let table = spec.sweep().table_for(rate)?;
+    Ok(scalable_placement_on_table(&table))
+}
+
+/// Replays a fixed checkpoint placement, ignoring everything the execution
+/// observes. `StaticPlan` of the offline optimum is the paper's §5 policy;
+/// `StaticPlan` of the optimum **at the true rate** is the clairvoyant
+/// reference the evaluation harness measures regret against.
+#[derive(Debug, Clone)]
+pub struct StaticPlan {
+    checkpoint_after: Vec<bool>,
+}
+
+impl StaticPlan {
+    /// A policy replaying per-position decisions (`checkpoint_after[i]` is
+    /// whether to checkpoint right after position `i`; the engine forces the
+    /// final checkpoint regardless).
+    pub fn new(checkpoint_after: Vec<bool>) -> Self {
+        StaticPlan { checkpoint_after }
+    }
+
+    /// A policy replaying a [`TablePlacement`] (e.g. the chain DP optimum).
+    pub fn from_placement(placement: &TablePlacement) -> Self {
+        StaticPlan { checkpoint_after: placement.checkpoint_after() }
+    }
+}
+
+impl Policy for StaticPlan {
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> bool {
+        self.checkpoint_after.get(ctx.position).copied().unwrap_or(false)
+    }
+}
+
+/// Young-periodic checkpointing at task granularity: checkpoint after the
+/// first task that pushes the uncheckpointed work to the period or beyond
+/// (the same walk as `ckpt_core::heuristics::checkpoint_by_period`, applied
+/// online so it also re-triggers during re-execution).
+#[derive(Debug, Clone)]
+pub struct PeriodicYoung {
+    spec: ChainSpec,
+    period: f64,
+}
+
+impl PeriodicYoung {
+    /// The Young period `√(2·C̄/λ_plan)` of the chain's mean checkpoint cost
+    /// at the planning rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AdaptiveError`] if the mean checkpoint cost is zero or
+    /// the rate not strictly positive (the period is then undefined).
+    pub fn new(spec: &ChainSpec, planning_rate: f64) -> Result<Self, AdaptiveError> {
+        let period = young_period(spec.mean_checkpoint_cost(), planning_rate)?;
+        PeriodicYoung::with_period(spec, period)
+    }
+
+    /// A fixed explicit period.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AdaptiveError`] if `period` is not strictly positive.
+    pub fn with_period(spec: &ChainSpec, period: f64) -> Result<Self, AdaptiveError> {
+        if !period.is_finite() || period <= 0.0 {
+            return Err(AdaptiveError::NonPositiveParameter { name: "period", value: period });
+        }
+        Ok(PeriodicYoung { spec: spec.clone(), period })
+    }
+
+    /// The period the policy checkpoints at.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+}
+
+impl Policy for PeriodicYoung {
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> bool {
+        let start = ctx.resume_position();
+        self.spec.work_between(start, ctx.position) >= self.period
+    }
+}
+
+/// Failures observed so far, folded into a rate estimate with a Gamma prior
+/// of `prior_strength` pseudo-failures centred on the planning rate: the
+/// posterior-mean rate after `k` observed failures over `t` seconds is
+/// `(k₀ + k) / (k₀/λ_plan + t)`.
+fn posterior_rate(planning_rate: f64, prior_strength: f64, ctx: &DecisionContext<'_>) -> f64 {
+    let k = ctx.failure_times.len() as f64;
+    (prior_strength + k) / (prior_strength / planning_rate + ctx.clock)
+}
+
+/// Re-solves the remaining chain after **every** observed failure, at the
+/// posterior-mean rate estimate (see the module docs). Decision lookups and
+/// the plan walk are `O(1)`; each re-plan costs one `O(n)` table
+/// instantiation plus a suffix-only Algorithm 1 solve.
+#[derive(Debug, Clone)]
+pub struct AdaptiveResolve {
+    spec: ChainSpec,
+    dp: ResumableDp,
+    planning_rate: f64,
+    prior_strength: f64,
+    /// The rate the committed plan was solved at.
+    plan_rate: f64,
+    seen_failures: usize,
+    replans: usize,
+}
+
+/// Pseudo-failure weight of the planning-rate prior (the Gamma-conjugate
+/// prior contributes `k₀` failures over `k₀/λ_plan` seconds of pseudo
+/// exposure): one pseudo-failure keeps the very first observed failure from
+/// yanking the plan arbitrarily far, while a genuinely misspecified rate
+/// overtakes the prior within a handful of failures.
+const DEFAULT_PRIOR_STRENGTH: f64 = 1.0;
+
+impl AdaptiveResolve {
+    /// Plans `spec` at `planning_rate` (a full Algorithm 1 solve) and arms
+    /// the re-planning machinery with the default prior strength.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AdaptiveError`] if `planning_rate` is not strictly
+    /// positive.
+    pub fn new(spec: &ChainSpec, planning_rate: f64) -> Result<Self, AdaptiveError> {
+        let table = spec.sweep().table_for(planning_rate)?;
+        let mut dp = ResumableDp::new();
+        dp.solve(&table);
+        Ok(AdaptiveResolve {
+            spec: spec.clone(),
+            dp,
+            planning_rate,
+            prior_strength: DEFAULT_PRIOR_STRENGTH,
+            plan_rate: planning_rate,
+            seen_failures: 0,
+            replans: 0,
+        })
+    }
+
+    /// Overrides the prior strength `k₀` (builder style): larger values
+    /// trust the planning rate longer, `0 < k₀ ≪ 1` makes the estimate
+    /// almost purely empirical after the first failure.
+    pub fn with_prior_strength(mut self, prior_strength: f64) -> Self {
+        assert!(
+            prior_strength.is_finite() && prior_strength > 0.0,
+            "prior strength must be strictly positive"
+        );
+        self.prior_strength = prior_strength;
+        self
+    }
+
+    /// The rate the current committed plan was solved at.
+    pub fn plan_rate(&self) -> f64 {
+        self.plan_rate
+    }
+
+    /// Re-plans performed so far.
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+}
+
+impl Policy for AdaptiveResolve {
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> bool {
+        let start = ctx.resume_position();
+        if ctx.failure_times.len() > self.seen_failures {
+            self.seen_failures = ctx.failure_times.len();
+            let estimate = posterior_rate(self.planning_rate, self.prior_strength, ctx);
+            if let Ok(table) = self.spec.sweep().table_for(estimate) {
+                self.dp.solve_suffix(&table, start);
+                self.plan_rate = estimate;
+                self.replans += 1;
+            }
+        }
+        // `choice_at(start)` is the plan's next checkpoint for the suffix
+        // the execution is in. Re-plans only happen at the first boundary
+        // after a failure (where `position == start`), so the planned
+        // position can never already be behind us; `<=` keeps the policy
+        // safe (checkpoint at the earliest boundary) even if that invariant
+        // is relaxed.
+        self.dp.choice_at(start) <= ctx.position
+    }
+}
+
+/// Re-solves the remaining chain only when the running maximum-likelihood
+/// rate estimate drifts past a threshold factor from the rate the current
+/// plan was solved at. The MLE is the pure `k / Σ gaps` from observed
+/// inter-failure times — no prior — so the policy requires a minimum number
+/// of observations before it trusts the estimate at all.
+#[derive(Debug, Clone)]
+pub struct RateLearning {
+    spec: ChainSpec,
+    dp: ResumableDp,
+    mle: OnlineExponentialMle,
+    /// Absolute time of the last failure folded into the MLE.
+    last_failure_time: f64,
+    plan_rate: f64,
+    min_failures: u64,
+    drift_factor: f64,
+    seen_failures: usize,
+    replans: usize,
+}
+
+/// Observations required before the MLE may override the planning rate.
+const DEFAULT_MIN_FAILURES: u64 = 3;
+/// Relative drift (either direction) that triggers a re-plan.
+const DEFAULT_DRIFT_FACTOR: f64 = 1.5;
+
+impl RateLearning {
+    /// Plans `spec` at `planning_rate` and arms the estimator with the
+    /// default thresholds (3 observed failures, 1.5× drift).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AdaptiveError`] if `planning_rate` is not strictly
+    /// positive.
+    pub fn new(spec: &ChainSpec, planning_rate: f64) -> Result<Self, AdaptiveError> {
+        let table = spec.sweep().table_for(planning_rate)?;
+        let mut dp = ResumableDp::new();
+        dp.solve(&table);
+        Ok(RateLearning {
+            spec: spec.clone(),
+            dp,
+            mle: OnlineExponentialMle::new(),
+            last_failure_time: 0.0,
+            plan_rate: planning_rate,
+            min_failures: DEFAULT_MIN_FAILURES,
+            drift_factor: DEFAULT_DRIFT_FACTOR,
+            seen_failures: 0,
+            replans: 0,
+        })
+    }
+
+    /// Overrides the re-plan thresholds (builder style): re-plan once at
+    /// least `min_failures` inter-failure times are observed **and** the MLE
+    /// is at least `drift_factor` away (in either direction) from the
+    /// current plan's rate.
+    pub fn with_thresholds(mut self, min_failures: u64, drift_factor: f64) -> Self {
+        assert!(
+            drift_factor.is_finite() && drift_factor >= 1.0,
+            "the drift factor is a ratio and must be >= 1"
+        );
+        self.min_failures = min_failures.max(1);
+        self.drift_factor = drift_factor;
+        self
+    }
+
+    /// The rate the current committed plan was solved at.
+    pub fn plan_rate(&self) -> f64 {
+        self.plan_rate
+    }
+
+    /// Re-plans performed so far.
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+}
+
+impl Policy for RateLearning {
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> bool {
+        let start = ctx.resume_position();
+        if ctx.failure_times.len() > self.seen_failures {
+            for &t in &ctx.failure_times[self.seen_failures..] {
+                self.mle.observe(t - self.last_failure_time);
+                self.last_failure_time = t;
+            }
+            self.seen_failures = ctx.failure_times.len();
+            if self.mle.count() >= self.min_failures {
+                if let Some(estimate) = self.mle.rate() {
+                    let drift = (estimate / self.plan_rate).max(self.plan_rate / estimate);
+                    if drift >= self.drift_factor {
+                        if let Ok(table) = self.spec.sweep().table_for(estimate) {
+                            self.dp.solve_suffix(&table, start);
+                            self.plan_rate = estimate;
+                            self.replans += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.dp.choice_at(start) <= ctx.position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_simulator::stream::{NoFailureStream, ScriptedStream};
+    use ckpt_simulator::{simulate_policy, simulate_policy_with_log, ExecutionEvent};
+
+    fn spec() -> ChainSpec {
+        ChainSpec::new(
+            &[400.0, 100.0, 900.0, 250.0, 650.0, 300.0],
+            &[60.0; 6],
+            &[60.0; 6],
+            30.0,
+            30.0,
+        )
+        .unwrap()
+    }
+
+    /// The checkpoint positions a policy actually takes on a given stream.
+    fn checkpoints_taken<P: Policy>(
+        spec: &ChainSpec,
+        policy: &mut P,
+        stream: &mut dyn ckpt_simulator::FailureStream,
+    ) -> Vec<usize> {
+        let logged = simulate_policy_with_log(
+            spec.tasks(),
+            spec.initial_recovery(),
+            spec.downtime(),
+            policy,
+            stream,
+        )
+        .unwrap();
+        logged
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                ExecutionEvent::SegmentCompleted { segment, .. } => Some(segment),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_plan_replays_its_placement() {
+        let spec = spec();
+        let placement = optimal_static_plan(&spec, 1e-4).unwrap();
+        let mut policy = StaticPlan::from_placement(&placement);
+        let mut stream = NoFailureStream;
+        let taken = checkpoints_taken(&spec, &mut policy, &mut stream);
+        assert_eq!(taken, placement.checkpoint_positions);
+    }
+
+    #[test]
+    fn periodic_young_triggers_on_accumulated_work() {
+        let spec = spec();
+        let mut policy = PeriodicYoung::with_period(&spec, 1_000.0).unwrap();
+        assert_eq!(policy.period(), 1_000.0);
+        let mut stream = NoFailureStream;
+        let taken = checkpoints_taken(&spec, &mut policy, &mut stream);
+        // Work prefix: 400, 500, 1400 (>= 1000 -> ckpt), 250, 900, 1200
+        // (>= 1000 -> ckpt); final forced.
+        assert_eq!(taken, vec![2, 5]);
+        assert!(PeriodicYoung::with_period(&spec, 0.0).is_err());
+        // Zero mean checkpoint cost has no Young period.
+        let free = ChainSpec::new(&[100.0; 3], &[0.0; 3], &[0.0; 3], 0.0, 0.0).unwrap();
+        assert!(PeriodicYoung::new(&free, 1e-4).is_err());
+    }
+
+    #[test]
+    fn adaptive_resolve_without_failures_is_the_static_optimum() {
+        let spec = spec();
+        let placement = optimal_static_plan(&spec, 1e-4).unwrap();
+        let mut policy = AdaptiveResolve::new(&spec, 1e-4).unwrap();
+        let mut stream = NoFailureStream;
+        let taken = checkpoints_taken(&spec, &mut policy, &mut stream);
+        assert_eq!(taken, placement.checkpoint_positions);
+        assert_eq!(policy.replans(), 0);
+        assert_eq!(policy.plan_rate(), 1e-4);
+    }
+
+    #[test]
+    fn adaptive_resolve_replans_on_failures() {
+        let spec = spec();
+        // A nearly uninformative prior: the posterior is dominated by the
+        // three observed failures, far above the optimistic planning rate.
+        let mut policy = AdaptiveResolve::new(&spec, 1e-6).unwrap().with_prior_strength(0.01);
+        let mut stream = ScriptedStream::new(vec![200.0, 700.0, 1_400.0]);
+        let outcome = simulate_policy(
+            spec.tasks(),
+            spec.initial_recovery(),
+            spec.downtime(),
+            &mut policy,
+            &mut stream,
+        )
+        .unwrap();
+        assert_eq!(outcome.record.failures, 3);
+        assert_eq!(policy.replans(), 3);
+        assert!(policy.plan_rate() > 1e-6, "posterior must move above the prior");
+        // With the rate revised sharply upwards mid-run, the policy
+        // checkpoints more than the one mandatory final time.
+        assert!(outcome.checkpoints > 1, "checkpoints: {}", outcome.checkpoints);
+    }
+
+    #[test]
+    fn rate_learning_replans_only_past_the_drift_threshold() {
+        let spec = spec();
+        let mut policy = RateLearning::new(&spec, 1e-3).unwrap().with_thresholds(2, 1.5);
+        // Two failures 200 s apart: the MLE jumps to 2/400 = 5e-3, a 5×
+        // drift above the planning rate — past the 1.5× threshold, so the
+        // policy re-plans (once: both gaps arrive before the next decision).
+        let mut stream = ScriptedStream::new(vec![200.0, 400.0]);
+        let _ = simulate_policy(
+            spec.tasks(),
+            spec.initial_recovery(),
+            spec.downtime(),
+            &mut policy,
+            &mut stream,
+        )
+        .unwrap();
+        assert_eq!(policy.replans(), 1);
+        assert!(policy.plan_rate() > 1e-3, "the MLE revised the rate upwards");
+    }
+
+    #[test]
+    fn rate_learning_below_min_failures_keeps_the_plan() {
+        let spec = spec();
+        let mut policy = RateLearning::new(&spec, 1e-4).unwrap().with_thresholds(5, 1.1);
+        let mut stream = ScriptedStream::new(vec![300.0, 900.0]);
+        let _ = simulate_policy(
+            spec.tasks(),
+            spec.initial_recovery(),
+            spec.downtime(),
+            &mut policy,
+            &mut stream,
+        )
+        .unwrap();
+        assert_eq!(policy.replans(), 0);
+        assert_eq!(policy.plan_rate(), 1e-4);
+    }
+
+    #[test]
+    fn builders_validate() {
+        let spec = spec();
+        assert!(optimal_static_plan(&spec, 0.0).is_err());
+        assert!(AdaptiveResolve::new(&spec, -1.0).is_err());
+        assert!(RateLearning::new(&spec, f64::NAN).is_err());
+    }
+}

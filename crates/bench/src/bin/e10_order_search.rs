@@ -16,12 +16,14 @@
 //!    models. The search starts from every best-of order, so it must never
 //!    be worse; the table reports how much better it gets.
 //!
-//! Run with `cargo run --release -p ckpt-bench --bin e10_order_search`.
+//! Run with `cargo run --release -p ckpt-bench --bin e10_order_search`
+//! (`--json` / `--json=PATH` additionally emits the key metrics).
 
 use std::time::Instant;
 
 use ckpt_bench::{
     print_header, random_chain_instance, random_layered_instance, wide_fork_join_instance,
+    JsonSummary,
 };
 use ckpt_core::cost_model::CheckpointCostModel;
 use ckpt_core::order_search::{schedule_dag_search, OrderSearchConfig};
@@ -29,14 +31,16 @@ use ckpt_core::{dag_schedule, ProblemInstance};
 use ckpt_dag::{linearize, LinearizationStrategy};
 
 fn main() {
-    table_build_speedup();
-    search_quality();
+    let mut summary = JsonSummary::new("e10_order_search");
+    table_build_speedup(&mut summary);
+    search_quality(&mut summary);
+    summary.emit();
 }
 
 /// Part 1: live-set table-build wall clock, incremental sweep vs the
 /// recomputing reference, on wide fork-join DAGs (the live set peaks at
 /// `branches` tasks — the §6 models' worst case).
-fn table_build_speedup() {
+fn table_build_speedup(summary: &mut JsonSummary) {
     println!(
         "E10 part 1 — §6 live-set cost-table builds on wide fork-join DAGs\n\
          (live-set-sum model; incremental O(n + E) sweep vs per-position recomputation)\n"
@@ -84,6 +88,7 @@ fn table_build_speedup() {
             speedup,
             max_gap,
         );
+        summary.metric(format!("table_build_speedup_{}_tasks", inst.task_count()), speedup);
         if branches >= 9_000 {
             assert!(speedup >= 5.0, "acceptance: >= 5x at 10^4 tasks, measured {speedup:.1}x");
         }
@@ -140,7 +145,7 @@ fn scenarios() -> Vec<Scenario> {
 
 /// Part 2: expected makespan (under each §6 model) of the best-of baseline
 /// vs the order search, plus the search's move statistics.
-fn search_quality() {
+fn search_quality(summary: &mut JsonSummary) {
     const RESTARTS: u64 = 8;
     let config = OrderSearchConfig { restarts: RESTARTS, steps: 1_024, ..Default::default() };
     println!(
@@ -174,6 +179,10 @@ fn search_quality() {
             assert!(never_worse, "{}/{model}: search {value} worse than best-of {base}", {
                 scenario.name
             });
+            summary.metric(
+                format!("gain_pct_{}_{model}", scenario.name.replace('-', "_")),
+                100.0 * (base - value) / base,
+            );
             println!(
                 "{:>13} {:>14} {:>12.5e} {:>12.5e} {:>6.2}% {:>10} {:>3}",
                 scenario.name,

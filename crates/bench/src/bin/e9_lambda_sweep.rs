@@ -21,9 +21,15 @@
 //! (`general_failures::exponential_equivalent_schedules`), which shares the
 //! same per-order precomputation across all surrogate rates.
 //!
-//! Run with `cargo run --release -p ckpt-bench --bin e9_lambda_sweep`.
+//! The re-optimised sweep's grid points are independent and spread across
+//! worker threads (`analysis::lambda_sweep_with_threads`, deterministic
+//! contiguous chunks) — asserted below to be bit-identical at any thread
+//! count.
+//!
+//! Run with `cargo run --release -p ckpt-bench --bin e9_lambda_sweep`
+//! (`--json` / `--json=PATH` additionally emits the key metrics).
 
-use ckpt_bench::{print_header, random_chain_instance};
+use ckpt_bench::{print_header, random_chain_instance, JsonSummary};
 use ckpt_core::{analysis, general_failures, heuristics};
 use ckpt_dag::properties;
 use ckpt_expectation::sweep::log_lambda_grid;
@@ -52,6 +58,13 @@ fn main() {
     ]);
 
     let sweep = analysis::lambda_sweep(&inst, lambda_min, lambda_max, points).expect("chain");
+    // The λ-parallel sweep is bit-identical whatever the worker count.
+    for threads in [1usize, 3] {
+        let re_run =
+            analysis::lambda_sweep_with_threads(&inst, lambda_min, lambda_max, points, threads)
+                .expect("chain");
+        assert_eq!(sweep, re_run, "λ sweep differs at {threads} threads");
+    }
     let midpoint = ckpt_core::chain_dp::optimal_chain_schedule(
         &inst.with_lambda(grid[points / 2]).expect("positive rate"),
     )
@@ -105,4 +118,24 @@ fn main() {
         "\nExpected shape: the surrogate rate grows linearly with the platform \
          size, so the planned checkpoint count is non-decreasing in it."
     );
+
+    let mut summary = JsonSummary::new("e9_lambda_sweep");
+    summary.count("grid_points", points);
+    for point in [&sweep[0], &sweep[points / 2], &sweep[points - 1]] {
+        let key = format!("lambda_{:.0e}", point.lambda);
+        summary
+            .metric(format!("{key}_optimal_makespan"), point.expected_makespan)
+            .count(format!("{key}_checkpoints"), point.checkpoints);
+    }
+    summary
+        .metric(
+            "fixed_vs_optimal_at_max_rate",
+            fixed[points - 1] / sweep[points - 1].expected_makespan,
+        )
+        .metric(
+            "young_vs_optimal_at_max_rate",
+            baselines[points - 1].young / sweep[points - 1].expected_makespan,
+        )
+        .count("weibull_max_platform_checkpoints", schedules.last().unwrap().checkpoint_count());
+    summary.emit();
 }

@@ -1,0 +1,148 @@
+//! Machine-readable experiment summaries.
+//!
+//! Every experiment binary prints its human-readable ASCII tables and, when
+//! invoked with `--json` (print a single JSON line to stdout) or
+//! `--json=PATH` (write the same object to a file), also emits its key
+//! metrics as one flat JSON object — so CI and PR-over-PR tooling can track
+//! the bench trajectory without scraping tables.
+//!
+//! The offline build has no `serde`; this is a deliberately minimal writer
+//! for the flat `{"string": number-or-string}` shape the summaries need.
+//! Keys are inserted in call order and preserved.
+
+use std::fmt::Write as _;
+
+/// A flat, ordered JSON object of experiment metrics.
+#[derive(Debug, Clone)]
+pub struct JsonSummary {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonSummary {
+    /// A summary carrying the experiment name as its first field.
+    pub fn new(experiment: &str) -> Self {
+        let mut summary = JsonSummary { fields: Vec::new() };
+        summary.push_raw("experiment", json_string(experiment));
+        summary
+    }
+
+    /// Adds a numeric metric (non-finite values serialise as `null`).
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.push_raw(key, json_number(value));
+        self
+    }
+
+    /// Adds an integer metric.
+    pub fn count(&mut self, key: impl Into<String>, value: usize) -> &mut Self {
+        self.push_raw(key, value.to_string());
+        self
+    }
+
+    /// Adds a string field.
+    pub fn text(&mut self, key: impl Into<String>, value: &str) -> &mut Self {
+        self.push_raw(key, json_string(value));
+        self
+    }
+
+    fn push_raw(&mut self, key: impl Into<String>, rendered: String) {
+        self.fields.push((key.into(), rendered));
+    }
+
+    /// The summary as one JSON object (single line, insertion order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (index, (key, value)) in self.fields.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(key), value);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Honours the process arguments: `--json` prints the object as the
+    /// final stdout line, `--json=PATH` writes it to `PATH`. Without either
+    /// flag this is a no-op, so binaries can call it unconditionally.
+    pub fn emit(&self) {
+        for arg in std::env::args().skip(1) {
+            if arg == "--json" {
+                println!("{}", self.to_json());
+            } else if let Some(path) = arg.strip_prefix("--json=") {
+                if let Err(error) = std::fs::write(path, self.to_json() + "\n") {
+                    eprintln!("failed to write JSON summary to {path}: {error}");
+                }
+            }
+        }
+    }
+}
+
+/// Serialises a finite number in Rust `Display` form (valid JSON for every
+/// finite `f64`); non-finite values become `null`.
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        // `Display` omits a trailing `.0` for integral values, which JSON
+        // accepts as an integer — fine for metric consumers.
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialises a string with the JSON escapes our keys and values can need.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_ordered_json() {
+        let mut summary = JsonSummary::new("e11_adaptive");
+        summary
+            .metric("static_makespan", 12_345.5)
+            .metric("bad", f64::NAN)
+            .count("trials", 2_000)
+            .text("scenario", "4x misspecified");
+        assert_eq!(
+            summary.to_json(),
+            "{\"experiment\":\"e11_adaptive\",\"static_makespan\":12345.5,\
+             \"bad\":null,\"trials\":2000,\"scenario\":\"4x misspecified\"}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut summary = JsonSummary::new("x");
+        summary.text("key \"quoted\"", "line\nbreak\\slash\u{1}");
+        assert_eq!(
+            summary.to_json(),
+            "{\"experiment\":\"x\",\"key \\\"quoted\\\"\":\"line\\nbreak\\\\slash\\u0001\"}"
+        );
+    }
+
+    #[test]
+    fn numbers_round_trip_display() {
+        assert_eq!(json_number(0.000015), "0.000015");
+        assert_eq!(json_number(-3.0), "-3");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+}

@@ -12,10 +12,17 @@
 //!   order validation, prefix
 //!   sums and cost vectors are materialised once and only the per-rate
 //!   exponentials and the DP itself are redone per grid point — no surrogate
-//!   instance is cloned per rate;
+//!   instance is cloned per rate. Each grid point's table+DP is independent
+//!   of every other point, so the points are spread across worker threads in
+//!   the Monte-Carlo engine's deterministic contiguous-chunk pattern (one
+//!   [`ChainDpScratch`] per worker, results collected in grid order): the
+//!   sweep is **bit-identical at any thread count**, and
+//!   [`lambda_sweep_with_threads`] exposes the worker count;
 //! * [`schedule_lambda_sweep`] evaluates one **fixed** schedule across a λ
 //!   vector through the same shared precomputation (the sensitivity curve of
-//!   a deployed policy, as opposed to the re-optimised curve above);
+//!   a deployed policy, as opposed to the re-optimised curve above), with
+//!   the same per-rate independence and threading
+//!   ([`schedule_lambda_sweep_with_threads`]);
 //! * [`checkpoint_crossover_lambda`] finds, by bisection, the failure rate at
 //!   which the optimal policy starts taking more than a given number of
 //!   checkpoints — the "crossover" points the experiment harness plots;
@@ -64,26 +71,46 @@ pub fn lambda_sweep(
     lambda_max: f64,
     points: usize,
 ) -> Result<Vec<LambdaSweepPoint>, ScheduleError> {
+    lambda_sweep_with_threads(instance, lambda_min, lambda_max, points, 0)
+}
+
+/// [`lambda_sweep`] with an explicit worker-thread count (`0` = one per
+/// available core). Grid points are independent (one table + one DP each),
+/// so they are spread across workers in contiguous chunks — each worker
+/// reuses one [`ChainDpScratch`] across its chunk — and collected in grid
+/// order: the result is **bit-identical for every thread count**.
+///
+/// # Errors
+///
+/// Same as [`lambda_sweep`].
+pub fn lambda_sweep_with_threads(
+    instance: &ProblemInstance,
+    lambda_min: f64,
+    lambda_max: f64,
+    points: usize,
+    threads: usize,
+) -> Result<Vec<LambdaSweepPoint>, ScheduleError> {
     let grid =
         log_lambda_grid(lambda_min, lambda_max, points).map_err(ScheduleError::from_expectation)?;
     let order = properties::as_chain(instance.graph()).ok_or(ScheduleError::NotAChain)?;
     let sweep = lambda_sweep_for_order(instance, &order)?;
     let total_work = instance.total_weight();
-    // One DP scratch arena for the whole grid: the per-rate solves reuse the
-    // same Li Chao / envelope / DP buffers instead of reallocating them.
-    let mut scratch = ChainDpScratch::new();
-    grid.into_iter()
-        .map(|lambda| {
-            let table = sweep.table_for(lambda).map_err(ScheduleError::from_expectation)?;
-            let placement = scalable_placement_on_table_with_scratch(&table, &mut scratch);
-            Ok(LambdaSweepPoint {
-                lambda,
-                checkpoints: placement.checkpoint_count(),
-                expected_makespan: placement.expected_makespan,
-                slowdown: placement.expected_makespan / total_work,
-            })
+
+    // Each worker reuses one DP scratch arena across its whole chunk: the
+    // per-rate solves reuse the same Li Chao / envelope / DP buffers
+    // instead of reallocating them.
+    crate::parallel::chunked_map_with(&grid, threads, ChainDpScratch::new, |scratch, _, &lambda| {
+        let table = sweep.table_for(lambda).map_err(ScheduleError::from_expectation)?;
+        let placement = scalable_placement_on_table_with_scratch(&table, scratch);
+        Ok(LambdaSweepPoint {
+            lambda,
+            checkpoints: placement.checkpoint_count(),
+            expected_makespan: placement.expected_makespan,
+            slowdown: placement.expected_makespan / total_work,
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Evaluates one **fixed** schedule across the failure rates of `lambdas`,
@@ -101,8 +128,51 @@ pub fn schedule_lambda_sweep(
     schedule: &Schedule,
     lambdas: &[f64],
 ) -> Result<Vec<f64>, ScheduleError> {
+    schedule_lambda_sweep_with_threads(instance, schedule, lambdas, 0)
+}
+
+/// [`schedule_lambda_sweep`] with an explicit worker-thread count (`0` = one
+/// per available core). Rates are evaluated independently (one
+/// `O(segments)` closed-form pass each), chunked contiguously across
+/// workers and collected in input order: the result is **bit-identical for
+/// every thread count**.
+///
+/// # Errors
+///
+/// Same as [`schedule_lambda_sweep`].
+pub fn schedule_lambda_sweep_with_threads(
+    instance: &ProblemInstance,
+    schedule: &Schedule,
+    lambdas: &[f64],
+    threads: usize,
+) -> Result<Vec<f64>, ScheduleError> {
     let sweep = lambda_sweep_for_order(instance, schedule.order())?;
-    sweep.total_costs(schedule.checkpoint_after(), lambdas).map_err(ScheduleError::from_expectation)
+    let workers = crate::parallel::effective_threads(threads).min(lambdas.len()).max(1);
+    if workers <= 1 {
+        return sweep
+            .total_costs(schedule.checkpoint_after(), lambdas)
+            .map_err(ScheduleError::from_expectation);
+    }
+
+    // One contiguous rate chunk per worker, evaluated with the batched
+    // `total_costs` (the per-segment extraction is shared within a chunk);
+    // per-rate values are independent, so re-chunking cannot change them.
+    let chunk = lambdas.len().div_ceil(workers);
+    let chunks: Vec<&[f64]> = lambdas.chunks(chunk).collect();
+    let flags = schedule.checkpoint_after();
+    let per_chunk = crate::parallel::chunked_map_with(
+        &chunks,
+        workers,
+        || (),
+        |_, _, lambda_chunk| {
+            sweep.total_costs(flags, lambda_chunk).map_err(ScheduleError::from_expectation)
+        },
+    );
+    let mut out = Vec::with_capacity(lambdas.len());
+    for values in per_chunk {
+        out.extend(values?);
+    }
+    Ok(out)
 }
 
 /// Finds the smallest failure rate at which the optimal policy takes **more
@@ -243,6 +313,45 @@ mod tests {
         // At the rate it was optimised for, the fixed schedule is optimal.
         let gap = (fixed[2] - solution.expected_makespan).abs() / solution.expected_makespan;
         assert!(gap < 1e-12, "gap {gap}");
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_at_any_thread_count() {
+        // 25 points, deliberately not a multiple of any worker count, so
+        // the chunked collection is exercised with ragged tails.
+        let inst = chain_instance(1e-4);
+        let single = lambda_sweep_with_threads(&inst, 1e-7, 1e-2, 25, 1).unwrap();
+        for threads in [2usize, 3, 8, 64] {
+            let multi = lambda_sweep_with_threads(&inst, 1e-7, 1e-2, 25, threads).unwrap();
+            assert_eq!(single, multi, "sweep differs at {threads} threads");
+        }
+        let auto = lambda_sweep(&inst, 1e-7, 1e-2, 25).unwrap();
+        assert_eq!(single, auto, "default sweep differs from single-threaded");
+    }
+
+    #[test]
+    fn parallel_schedule_sweep_is_bit_identical_at_any_thread_count() {
+        let inst = chain_instance(1e-4);
+        let solution = optimal_chain_schedule(&inst).unwrap();
+        let lambdas: Vec<f64> = (0..40).map(|i| 1e-7 * 1.4f64.powi(i)).collect();
+        let single =
+            schedule_lambda_sweep_with_threads(&inst, &solution.schedule, &lambdas, 1).unwrap();
+        for threads in [2usize, 3, 7, 64] {
+            let multi =
+                schedule_lambda_sweep_with_threads(&inst, &solution.schedule, &lambdas, threads)
+                    .unwrap();
+            assert_eq!(single, multi, "schedule sweep differs at {threads} threads");
+        }
+        let auto = schedule_lambda_sweep(&inst, &solution.schedule, &lambdas).unwrap();
+        assert_eq!(single, auto);
+        // An invalid rate anywhere in the vector surfaces as an error at any
+        // thread count.
+        let mut bad = lambdas.clone();
+        bad[17] = -1.0;
+        for threads in [1usize, 3] {
+            assert!(schedule_lambda_sweep_with_threads(&inst, &solution.schedule, &bad, threads)
+                .is_err());
+        }
     }
 
     #[test]

@@ -163,11 +163,27 @@ fn pruned_dp_range(
     choice: &mut [usize],
     below: usize,
 ) {
+    pruned_dp_span(table, value, choice, 0, below);
+}
+
+/// The pruned Algorithm 1 inner recurrence restricted to positions
+/// `from ≤ x < below`, given final values for `value[below..]`. The
+/// recurrence for `x` never reads positions `< x`, so any contiguous span can
+/// be solved independently of the prefix before it — which is what both the
+/// order search ([`ResumableDp::try_prefix`], `from = 0`) and the online
+/// re-planning policies ([`ResumableDp::solve_suffix`], `below = n`) exploit.
+fn pruned_dp_span(
+    table: &SegmentCostTable,
+    value: &mut [f64],
+    choice: &mut [usize],
+    from: usize,
+    below: usize,
+) {
     let n = table.len();
     debug_assert_eq!(value.len(), n + 1);
     debug_assert_eq!(choice.len(), n);
-    debug_assert!(below <= n);
-    for x in (0..below).rev() {
+    debug_assert!(from <= below && below <= n);
+    for x in (from..below).rev() {
         let mut best = f64::INFINITY;
         let mut best_j = n - 1;
         for j in x..n {
@@ -309,6 +325,60 @@ impl ResumableDp {
     pub fn value(&self) -> f64 {
         assert!(self.len > 0, "value before the first solve");
         self.value[0]
+    }
+
+    /// Solves only the **suffix** `from..n` of `table` and commits it:
+    /// `value[x]` and `choice[x]` become the optimal plan of the remaining
+    /// chain for every `x ≥ from`, while positions `< from` are left
+    /// untouched (stale, or zero on a fresh state). Returns the optimal
+    /// expected time of the suffix starting at `from` (0 for `from ≥ n`).
+    ///
+    /// This is the re-planning primitive of the online policies
+    /// (`ckpt-adaptive`): after a failure with the last durable checkpoint
+    /// at position `from − 1`, only the remaining chain needs a plan, and
+    /// the Algorithm 1 recurrence for `x ≥ from` never reads positions
+    /// `< from` — so a mid-execution re-solve costs `O((n − from)²)` pruned
+    /// work instead of a full solve. Accessors for positions `< from` return
+    /// stale data until a wider solve is committed.
+    pub fn solve_suffix(&mut self, table: &SegmentCostTable, from: usize) -> f64 {
+        let n = table.len();
+        if self.len != n {
+            self.len = n;
+            self.value.clear();
+            self.value.resize(n + 1, 0.0);
+            self.choice.clear();
+            self.choice.resize(n, 0);
+        }
+        let from = from.min(n);
+        pruned_dp_span(table, &mut self.value, &mut self.choice, from, n);
+        self.trial_pending = false;
+        self.value[from]
+    }
+
+    /// The first checkpoint position of the committed optimal plan for the
+    /// suffix starting at `x`: executing positions `x..=choice_at(x)` and
+    /// checkpointing there is optimal for the remaining chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range or no solve was committed. After a
+    /// [`solve_suffix`](ResumableDp::solve_suffix) from `from`, only
+    /// positions `≥ from` carry committed data.
+    pub fn choice_at(&self, x: usize) -> usize {
+        assert!(x < self.len, "position {x} out of range (len {})", self.len);
+        self.choice[x]
+    }
+
+    /// The committed optimal expected time of the suffix starting at `x`
+    /// (`x = len` gives 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range or no solve was committed.
+    pub fn suffix_value(&self, x: usize) -> f64 {
+        assert!(self.len > 0, "suffix_value before the first solve");
+        assert!(x <= self.len, "position {x} out of range (len {})", self.len);
+        self.value[x]
     }
 
     /// The committed optimal placement.
@@ -1399,6 +1469,69 @@ mod tests {
             assert_eq!(dp.value(), fresh.expected_makespan);
             assert_eq!(dp.placement().checkpoint_positions, fresh.checkpoint_positions);
         }
+    }
+
+    #[test]
+    fn solve_suffix_matches_full_solve_on_the_suffix() {
+        // A suffix-only solve (the online re-planning primitive) must agree
+        // bitwise with the matching positions of a full solve — at the
+        // planning rate and at re-planned rates.
+        let inst = random_heterogeneous_chain(7, 48, 1e-4);
+        let order = properties::as_chain(inst.graph()).unwrap();
+        let sweep = crate::evaluate::lambda_sweep_for_order(&inst, &order).unwrap();
+        let n = order.len();
+        for lambda in [1e-5f64, 1e-4, 6e-4] {
+            let table = sweep.table_for(lambda).unwrap();
+            let mut full = ResumableDp::new();
+            full.solve(&table);
+            for from in [0usize, 1, 13, 30, n - 1, n] {
+                let mut suffix = ResumableDp::new();
+                let value = suffix.solve_suffix(&table, from);
+                assert_eq!(value, full.suffix_value(from), "λ {lambda} from {from}");
+                for x in from..n {
+                    assert_eq!(suffix.choice_at(x), full.choice_at(x), "λ {lambda} x {x}");
+                    assert_eq!(suffix.suffix_value(x), full.suffix_value(x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_suffix_resizes_and_replans_across_tables() {
+        // One DP state reused across rates (the adaptive policies' pattern):
+        // a full solve at the planning rate, then suffix re-solves at drifted
+        // rates keep the committed suffix consistent with fresh solves.
+        let inst = random_heterogeneous_chain(9, 32, 2e-4);
+        let order = properties::as_chain(inst.graph()).unwrap();
+        let sweep = crate::evaluate::lambda_sweep_for_order(&inst, &order).unwrap();
+        let mut dp = ResumableDp::new();
+        dp.solve(&sweep.table_for(2e-4).unwrap());
+        for (from, lambda) in [(4usize, 8e-4f64), (11, 1.6e-3), (25, 4e-4)] {
+            let table = sweep.table_for(lambda).unwrap();
+            let value = dp.solve_suffix(&table, from);
+            let mut fresh = ResumableDp::new();
+            assert_eq!(value, fresh.solve_suffix(&table, from), "from {from}");
+            assert_eq!(dp.choice_at(from), fresh.choice_at(from));
+        }
+        // choice walks of the last committed suffix terminate at n - 1.
+        let mut x = 25usize;
+        while x < 32 {
+            let j = dp.choice_at(x);
+            assert!(j >= x && j < 32);
+            x = j + 1;
+        }
+        assert_eq!(x, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn choice_at_rejects_out_of_range_positions() {
+        let inst = chain_instance(&[100.0, 200.0], 10.0, 10.0, 0.0, 1e-4);
+        let order = properties::as_chain(inst.graph()).unwrap();
+        let table = crate::evaluate::segment_cost_table(&inst, &order).unwrap();
+        let mut dp = ResumableDp::new();
+        dp.solve(&table);
+        let _ = dp.choice_at(2);
     }
 
     #[test]

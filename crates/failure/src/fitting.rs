@@ -103,6 +103,76 @@ pub fn fit_lognormal(samples: &[f64]) -> Result<LogNormal, FailureModelError> {
     LogNormal::new(mu, sigma)
 }
 
+/// Incremental maximum-likelihood Exponential rate estimation from observed
+/// inter-failure times — the online counterpart of [`fit_exponential`],
+/// maintained in `O(1)` per observation so an executing policy can update
+/// its estimate at every failure.
+///
+/// The MLE of an Exponential rate after `k` observed inter-arrival times
+/// summing to `t` is `λ̂ = k / t`; [`rate`](OnlineExponentialMle::rate)
+/// returns exactly the rate [`fit_exponential`] would fit to the same
+/// samples (up to floating-point summation order).
+///
+/// # Example
+///
+/// ```
+/// use ckpt_failure::fitting::{fit_exponential, OnlineExponentialMle};
+///
+/// let samples = [120.0, 340.0, 80.0, 200.0];
+/// let mut online = OnlineExponentialMle::new();
+/// for &s in &samples {
+///     online.observe(s);
+/// }
+/// let batch = fit_exponential(&samples)?;
+/// let rate = online.rate().expect("four observations");
+/// assert!((rate - batch.rate()).abs() / batch.rate() < 1e-12);
+/// # Ok::<(), ckpt_failure::FailureModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineExponentialMle {
+    count: u64,
+    total: f64,
+}
+
+impl OnlineExponentialMle {
+    /// An estimator with no observations yet.
+    pub fn new() -> Self {
+        OnlineExponentialMle::default()
+    }
+
+    /// Records one inter-failure time. Non-finite or negative samples are
+    /// ignored (a defensive guard: simulated failure streams only produce
+    /// non-negative gaps).
+    pub fn observe(&mut self, interarrival: f64) {
+        if interarrival.is_finite() && interarrival >= 0.0 {
+            self.count += 1;
+            self.total += interarrival;
+        }
+    }
+
+    /// The number of recorded inter-failure times.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The summed observation time of the recorded inter-failure times.
+    pub fn total_time(&self) -> f64 {
+        self.total
+    }
+
+    /// The maximum-likelihood rate `k / t`, or `None` before the first
+    /// observation (or while the accumulated time is still zero).
+    pub fn rate(&self) -> Option<f64> {
+        (self.count > 0 && self.total > 0.0).then(|| self.count as f64 / self.total)
+    }
+
+    /// The maximum-likelihood mean time between failures `t / k`, or `None`
+    /// before the first observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0 && self.total > 0.0).then(|| self.total / self.count as f64)
+    }
+}
+
 /// A goodness-of-fit summary: the Kolmogorov–Smirnov statistic of `samples`
 /// against a candidate CDF.
 pub fn ks_statistic<F>(samples: &[f64], cdf: F) -> f64
@@ -204,6 +274,38 @@ mod tests {
     #[test]
     fn ks_statistic_of_empty_sample_is_zero() {
         assert_eq!(ks_statistic(&[], |_| 0.5), 0.0);
+    }
+
+    #[test]
+    fn online_mle_matches_batch_fit() {
+        let law = Exponential::from_mtbf(640.0).unwrap();
+        let samples = samples_from(&law, 5_000, 21);
+        let mut online = OnlineExponentialMle::new();
+        for &s in &samples {
+            online.observe(s);
+        }
+        let batch = fit_exponential(&samples).unwrap();
+        let rate = online.rate().unwrap();
+        assert!((rate - batch.rate()).abs() / batch.rate() < 1e-12);
+        assert!((online.mean().unwrap() - batch.mean()).abs() / batch.mean() < 1e-12);
+        assert_eq!(online.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn online_mle_guards_degenerate_inputs() {
+        let mut online = OnlineExponentialMle::new();
+        assert_eq!(online.rate(), None);
+        assert_eq!(online.mean(), None);
+        online.observe(f64::NAN);
+        online.observe(-5.0);
+        online.observe(f64::INFINITY);
+        assert_eq!(online.count(), 0);
+        // A single zero gap keeps the rate undefined rather than infinite.
+        online.observe(0.0);
+        assert_eq!(online.count(), 1);
+        assert_eq!(online.rate(), None);
+        online.observe(100.0);
+        assert!((online.rate().unwrap() - 2.0 / 100.0).abs() < 1e-15);
     }
 
     #[test]

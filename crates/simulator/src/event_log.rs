@@ -52,6 +52,18 @@ pub enum ExecutionEvent {
         /// Simulated time at which the segment (and its checkpoint) finished.
         time: f64,
     },
+    /// An online policy decided whether to checkpoint after a task
+    /// (policy-driven simulations only, see [`crate::policy`]; the fixed
+    /// schedule runners never emit it). For these events `segment` is the
+    /// **task position** in the chain.
+    PolicyDecision {
+        /// Position of the just-completed task the decision concerns.
+        segment: usize,
+        /// Simulated time of the decision.
+        time: f64,
+        /// Whether the policy chose to checkpoint.
+        checkpoint: bool,
+    },
 }
 
 impl ExecutionEvent {
@@ -62,7 +74,8 @@ impl ExecutionEvent {
             | ExecutionEvent::Failure { time, .. }
             | ExecutionEvent::DowntimeCompleted { time, .. }
             | ExecutionEvent::RecoveryCompleted { time, .. }
-            | ExecutionEvent::SegmentCompleted { time, .. } => time,
+            | ExecutionEvent::SegmentCompleted { time, .. }
+            | ExecutionEvent::PolicyDecision { time, .. } => time,
         }
     }
 }
@@ -89,7 +102,8 @@ impl LoggedExecution {
                 | ExecutionEvent::Failure { segment: s, .. }
                 | ExecutionEvent::DowntimeCompleted { segment: s, .. }
                 | ExecutionEvent::RecoveryCompleted { segment: s, .. }
-                | ExecutionEvent::SegmentCompleted { segment: s, .. } => s == segment,
+                | ExecutionEvent::SegmentCompleted { segment: s, .. }
+                | ExecutionEvent::PolicyDecision { segment: s, .. } => s == segment,
             })
             .collect()
     }
@@ -229,6 +243,7 @@ mod tests {
                 ExecutionEvent::DowntimeCompleted { .. } => "downtime",
                 ExecutionEvent::RecoveryCompleted { .. } => "recovery",
                 ExecutionEvent::SegmentCompleted { .. } => "done",
+                ExecutionEvent::PolicyDecision { .. } => "decision",
             })
             .collect();
         assert_eq!(kinds, vec!["start", "failure", "downtime", "recovery", "start", "done"]);

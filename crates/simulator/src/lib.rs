@@ -17,6 +17,13 @@
 //! stream (the paper's model), the superposition of per-processor streams of
 //! any law from `ckpt-failure`, or a recorded synthetic trace.
 //!
+//! Besides replaying **fixed** schedules, the simulator can drive **online**
+//! checkpoint policies: [`policy::simulate_policy`] executes a chain task by
+//! task and consults a [`Policy`] at every boundary ("checkpoint now or keep
+//! going?"), logging the decisions; [`SimulationScenario::run_policy`] is
+//! the matching Monte-Carlo driver (bit-identical at any thread count). The
+//! concrete adaptive policies live in the `ckpt-adaptive` crate.
+//!
 //! The headline use is experiment E1: simulating a single segment and checking
 //! the sample mean against the closed form of Proposition 1.
 //!
@@ -49,12 +56,17 @@ pub mod engine;
 pub mod error;
 pub mod event_log;
 pub mod montecarlo;
+pub mod policy;
 pub mod segment;
 pub mod stream;
 
 pub use engine::{simulate, ExecutionRecord, TimeBreakdown};
 pub use error::SimulationError;
 pub use event_log::{simulate_with_log, ExecutionEvent, LoggedExecution};
-pub use montecarlo::{MonteCarloOutcome, SimulationScenario};
+pub use montecarlo::{MonteCarloOutcome, PolicyMonteCarloOutcome, SimulationScenario};
+pub use policy::{
+    simulate_policy, simulate_policy_with_log, ChainTask, DecisionContext, Policy,
+    PolicyExecutionRecord, PolicyLoggedExecution,
+};
 pub use segment::Segment;
 pub use stream::{ExponentialStream, FailureStream, PlatformStream, TraceStream};

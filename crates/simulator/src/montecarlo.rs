@@ -11,6 +11,7 @@ use ckpt_failure::{FailureDistribution, Pcg64, PlatformFailureProcess, RandomSou
 
 use crate::engine::{simulate, ExecutionRecord, TimeBreakdown};
 use crate::error::SimulationError;
+use crate::policy::{simulate_policy, ChainTask, Policy, PolicyExecutionRecord};
 use crate::segment::Segment;
 use crate::stream::{ExponentialStream, FailureStream, PlatformStream};
 
@@ -322,6 +323,201 @@ impl SimulationScenario {
     }
 }
 
+/// Aggregated outcome of a **policy-driven** Monte-Carlo run
+/// (see [`SimulationScenario::run_policy`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyMonteCarloOutcome {
+    /// Statistics of the makespan across trials.
+    pub makespan: SampleStats,
+    /// Statistics of the failure count across trials.
+    pub failures: SampleStats,
+    /// Statistics of the number of checkpoints the policy took per trial
+    /// (the mandatory final checkpoint included).
+    pub checkpoints: SampleStats,
+    /// Mean time breakdown across trials.
+    pub mean_breakdown: TimeBreakdown,
+    /// The raw makespan observations (one per trial), in trial order.
+    pub samples: Vec<f64>,
+}
+
+impl SimulationScenario {
+    /// Runs a **policy-driven** Monte-Carlo experiment: each trial builds a
+    /// fresh failure stream from the scenario's model (exactly as
+    /// [`SimulationScenario::try_run`] does) and a fresh policy from
+    /// `make_policy(trial)`, then executes `tasks` under
+    /// [`crate::policy::simulate_policy`].
+    ///
+    /// Trials are spread across the scenario's worker threads with the same
+    /// deterministic contiguous-chunk pattern as the fixed-schedule runner:
+    /// the outcome is **bit-identical for every thread count** at the same
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::EmptySchedule`] if `tasks` is empty;
+    /// * [`SimulationError::ZeroTrials`] if the scenario has zero trials;
+    /// * [`SimulationError::NonPositiveParameter`] for an invalid failure
+    ///   rate;
+    /// * propagated engine validation errors (negative downtime or initial
+    ///   recovery).
+    pub fn run_policy<P, G>(
+        &self,
+        tasks: &[ChainTask],
+        initial_recovery: f64,
+        make_policy: G,
+    ) -> Result<PolicyMonteCarloOutcome, SimulationError>
+    where
+        P: Policy,
+        G: Fn(usize) -> P + Sync,
+    {
+        if let FailureModel::Exponential { lambda } = self.model {
+            if !lambda.is_finite() || lambda <= 0.0 {
+                return Err(SimulationError::NonPositiveParameter {
+                    name: "lambda",
+                    value: lambda,
+                });
+            }
+        }
+        let root = Pcg64::seed_from_u64(self.seed);
+        self.policy_trials(tasks, |trial| {
+            let mut trial_rng = root.derive(trial as u64);
+            let trial_seed = trial_rng.next_u64();
+            let mut policy = make_policy(trial);
+            match &self.model {
+                FailureModel::Exponential { lambda } => {
+                    let mut stream = ExponentialStream::new(*lambda, trial_seed);
+                    simulate_policy(
+                        tasks,
+                        initial_recovery,
+                        self.downtime,
+                        &mut policy,
+                        &mut stream,
+                    )
+                }
+                FailureModel::Platform { processors, law } => {
+                    let proto = SharedLaw(std::sync::Arc::clone(law));
+                    let process =
+                        PlatformFailureProcess::homogeneous(*processors, proto, trial_seed)
+                            .expect("scenario constructors require at least one processor");
+                    let mut stream = PlatformStream::new(process);
+                    simulate_policy(
+                        tasks,
+                        initial_recovery,
+                        self.downtime,
+                        &mut policy,
+                        &mut stream,
+                    )
+                }
+            }
+        })
+    }
+
+    /// [`SimulationScenario::run_policy`] with a caller-supplied stream
+    /// factory (trace replay, scripted failures): `make_stream(trial, seed)`
+    /// receives the trial index and the trial's deterministically derived
+    /// seed and must return a fresh stream. The scenario's own failure model
+    /// is ignored; trials still run across the scenario's worker threads
+    /// with bit-identical outcomes at any thread count (both factories must
+    /// therefore be pure functions of their arguments).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimulationScenario::run_policy`], minus the failure-rate
+    /// check.
+    pub fn run_policy_with_streams<P, G, S, F>(
+        &self,
+        tasks: &[ChainTask],
+        initial_recovery: f64,
+        make_policy: G,
+        make_stream: F,
+    ) -> Result<PolicyMonteCarloOutcome, SimulationError>
+    where
+        P: Policy,
+        G: Fn(usize) -> P + Sync,
+        S: FailureStream,
+        F: Fn(usize, u64) -> S + Sync,
+    {
+        let root = Pcg64::seed_from_u64(self.seed);
+        self.policy_trials(tasks, |trial| {
+            let mut trial_rng = root.derive(trial as u64);
+            let trial_seed = trial_rng.next_u64();
+            let mut policy = make_policy(trial);
+            let mut stream = make_stream(trial, trial_seed);
+            simulate_policy(tasks, initial_recovery, self.downtime, &mut policy, &mut stream)
+        })
+    }
+
+    /// The shared policy-trial driver: runs `run_trial` for every trial
+    /// index (chunked across workers exactly like
+    /// [`SimulationScenario::try_run`]) and aggregates strictly in trial
+    /// order.
+    fn policy_trials<R>(
+        &self,
+        tasks: &[ChainTask],
+        run_trial: R,
+    ) -> Result<PolicyMonteCarloOutcome, SimulationError>
+    where
+        R: Fn(usize) -> Result<PolicyExecutionRecord, SimulationError> + Sync,
+    {
+        if tasks.is_empty() {
+            return Err(SimulationError::EmptySchedule);
+        }
+        if self.trials == 0 {
+            return Err(SimulationError::ZeroTrials);
+        }
+        let workers = self.effective_threads();
+        let mut records: Vec<Option<Result<PolicyExecutionRecord, SimulationError>>> =
+            (0..self.trials).map(|_| None).collect();
+
+        if workers <= 1 {
+            for (trial, slot) in records.iter_mut().enumerate() {
+                *slot = Some(run_trial(trial));
+            }
+        } else {
+            let chunk = self.trials.div_ceil(workers);
+            let run_trial = &run_trial;
+            std::thread::scope(|scope| {
+                for (index, slice) in records.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        let base = index * chunk;
+                        for (offset, slot) in slice.iter_mut().enumerate() {
+                            *slot = Some(run_trial(base + offset));
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut makespans = Vec::with_capacity(self.trials);
+        let mut failures = Vec::with_capacity(self.trials);
+        let mut checkpoints = Vec::with_capacity(self.trials);
+        let mut breakdown_sum = TimeBreakdown::default();
+        for slot in records {
+            let outcome = slot.expect("every trial slot is filled")?;
+            makespans.push(outcome.record.makespan);
+            failures.push(outcome.record.failures as f64);
+            checkpoints.push(outcome.checkpoints as f64);
+            breakdown_sum.useful += outcome.record.breakdown.useful;
+            breakdown_sum.lost += outcome.record.breakdown.lost;
+            breakdown_sum.downtime += outcome.record.breakdown.downtime;
+            breakdown_sum.recovery += outcome.record.breakdown.recovery;
+        }
+        let n = self.trials as f64;
+        Ok(PolicyMonteCarloOutcome {
+            makespan: SampleStats::from_values(&makespans),
+            failures: SampleStats::from_values(&failures),
+            checkpoints: SampleStats::from_values(&checkpoints),
+            mean_breakdown: TimeBreakdown {
+                useful: breakdown_sum.useful / n,
+                lost: breakdown_sum.lost / n,
+                downtime: breakdown_sum.downtime / n,
+                recovery: breakdown_sum.recovery / n,
+            },
+            samples: makespans,
+        })
+    }
+}
+
 /// A cloneable, shareable view over a prototype failure law.
 ///
 /// [`PlatformFailureProcess::homogeneous`] needs an owned, cloneable law to
@@ -549,5 +745,102 @@ mod tests {
     #[test]
     fn trials_accessor() {
         assert_eq!(SimulationScenario::exponential(1.0).with_trials(17).trials(), 17);
+    }
+
+    /// A work-threshold policy with per-trial state, for the policy-runner
+    /// determinism tests.
+    struct EveryOther {
+        toggle: bool,
+    }
+    impl crate::policy::Policy for EveryOther {
+        fn decide(&mut self, _ctx: &crate::policy::DecisionContext<'_>) -> bool {
+            self.toggle = !self.toggle;
+            self.toggle
+        }
+    }
+
+    fn chain_tasks() -> Vec<crate::policy::ChainTask> {
+        [(1_500.0, 80.0, 40.0), (700.0, 20.0, 60.0), (2_400.0, 120.0, 30.0), (900.0, 50.0, 35.0)]
+            .into_iter()
+            .map(|(w, c, r)| crate::policy::ChainTask::new(w, c, r).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn policy_outcomes_are_bit_identical_across_thread_counts() {
+        let tasks = chain_tasks();
+        let scenario = || {
+            SimulationScenario::exponential(1.0 / 2_000.0)
+                .with_downtime(25.0)
+                .with_trials(2_001)
+                .with_seed(0xADA97)
+        };
+        let factory = |_trial: usize| EveryOther { toggle: false };
+        let single = scenario().with_threads(1).run_policy(&tasks, 15.0, factory).unwrap();
+        for threads in [2usize, 3, 8, 64] {
+            let multi = scenario().with_threads(threads).run_policy(&tasks, 15.0, factory).unwrap();
+            assert_eq!(single, multi, "policy outcome differs at {threads} threads");
+        }
+        let auto = scenario().run_policy(&tasks, 15.0, factory).unwrap();
+        assert_eq!(single, auto);
+    }
+
+    #[test]
+    fn policy_runner_validates_inputs() {
+        let scenario = SimulationScenario::exponential(1e-3);
+        let factory = |_trial: usize| EveryOther { toggle: false };
+        assert!(matches!(
+            scenario.run_policy(&[], 0.0, factory),
+            Err(SimulationError::EmptySchedule)
+        ));
+        let zero = SimulationScenario::exponential(1e-3).with_trials(0);
+        assert!(matches!(
+            zero.run_policy(&chain_tasks(), 0.0, factory),
+            Err(SimulationError::ZeroTrials)
+        ));
+        assert!(SimulationScenario::exponential(0.0)
+            .run_policy(&chain_tasks(), 0.0, factory)
+            .is_err());
+    }
+
+    #[test]
+    fn policy_runner_with_streams_is_thread_deterministic() {
+        // Per-trial scripted streams (a stand-in for trace replay): the
+        // factory is a pure function of the trial index, so the outcome must
+        // not depend on the thread count.
+        let tasks = chain_tasks();
+        let scenario = || {
+            SimulationScenario::exponential(1.0).with_downtime(10.0).with_trials(301).with_seed(9)
+        };
+        let factory = |_trial: usize| EveryOther { toggle: false };
+        let streams = |trial: usize, _seed: u64| {
+            ScriptedStream::new(vec![500.0 + 37.0 * (trial % 7) as f64, 4_000.0])
+        };
+        let single = scenario()
+            .with_threads(1)
+            .run_policy_with_streams(&tasks, 15.0, factory, streams)
+            .unwrap();
+        for threads in [2usize, 5] {
+            let multi = scenario()
+                .with_threads(threads)
+                .run_policy_with_streams(&tasks, 15.0, factory, streams)
+                .unwrap();
+            assert_eq!(single, multi, "differs at {threads} threads");
+        }
+        assert!(single.failures.mean > 0.0);
+        assert!(single.checkpoints.mean >= 1.0);
+    }
+
+    #[test]
+    fn policy_platform_scenario_runs() {
+        let tasks = chain_tasks();
+        let outcome = SimulationScenario::platform(4, Weibull::with_mean(0.7, 30_000.0).unwrap())
+            .with_downtime(20.0)
+            .with_trials(500)
+            .with_seed(3)
+            .run_policy(&tasks, 10.0, |_| EveryOther { toggle: true })
+            .unwrap();
+        assert!(outcome.makespan.mean >= 5_500.0);
+        assert!((outcome.mean_breakdown.total() - outcome.makespan.mean).abs() < 1e-6);
     }
 }

@@ -1,0 +1,610 @@
+//! Policy-driven simulation: online checkpoint decisions at task boundaries.
+//!
+//! The fixed-schedule engine ([`crate::engine::simulate`]) replays a
+//! partition of the workflow into segments that was decided *offline*. This
+//! module closes the loop: execution proceeds **task by task**, and after
+//! each completed task an online [`Policy`] is asked the paper's §2 question
+//! — *"checkpoint now or keep going?"* — with full visibility of what the
+//! execution has observed so far (the clock, the failure times, the last
+//! checkpointed position). Failures roll the execution back to the last
+//! checkpoint exactly as in the offline model, but the policy is consulted
+//! again at every boundary of the re-execution, so it can re-plan
+//! mid-execution (insert an extra checkpoint after a burst of failures,
+//! stretch segments when the platform turns out healthier than planned).
+//!
+//! The concrete adaptive policies (static replay, Young-periodic,
+//! re-solving, rate-learning) live in the `ckpt-adaptive` crate; this module
+//! owns the execution semantics and the Monte-Carlo driver
+//! ([`crate::montecarlo`]'s `run_policy`), which reuses the engine's
+//! deterministic contiguous-chunk threading — outcomes are bit-identical at
+//! any thread count.
+//!
+//! Semantics (the §2 model at task granularity):
+//!
+//! 1. tasks execute in chain order; work accumulates since the last
+//!    checkpoint;
+//! 2. after a task's work completes, the policy decides whether to
+//!    checkpoint (the decision after the **final** task is forced to
+//!    "checkpoint", matching the model's mandatory final checkpoint);
+//! 3. a failure during work or checkpointing loses everything back to the
+//!    last completed checkpoint, then costs a failure-free downtime `D` and
+//!    an interruptible recovery (the recovery cost of the last checkpointed
+//!    task, or `R₀` before the first checkpoint), after which execution
+//!    resumes at the task following the last checkpoint.
+
+use crate::engine::{ExecutionRecord, TimeBreakdown};
+use crate::error::{ensure_non_negative, SimulationError};
+use crate::event_log::ExecutionEvent;
+use crate::stream::FailureStream;
+
+/// One task of a chain executed under an online policy.
+///
+/// Unlike [`crate::segment::Segment`] (whose `recovery` protects the segment
+/// *itself*), a task's `recovery` is the cost of recovering **from this
+/// task's own checkpoint** — it is paid by failures occurring *after* the
+/// checkpoint is taken, which is only known online.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChainTask {
+    work: f64,
+    checkpoint: f64,
+    recovery: f64,
+}
+
+impl ChainTask {
+    /// Creates a task: `work` seconds of computation (> 0), the cost of
+    /// checkpointing right after it (≥ 0) and the cost of recovering from
+    /// that checkpoint (≥ 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimulationError`] if any argument is invalid.
+    pub fn new(work: f64, checkpoint: f64, recovery: f64) -> Result<Self, SimulationError> {
+        if !work.is_finite() || work <= 0.0 {
+            return Err(SimulationError::NonPositiveParameter { name: "work", value: work });
+        }
+        Ok(ChainTask {
+            work,
+            checkpoint: ensure_non_negative("checkpoint", checkpoint)?,
+            recovery: ensure_non_negative("recovery", recovery)?,
+        })
+    }
+
+    /// The work duration of the task.
+    pub fn work(&self) -> f64 {
+        self.work
+    }
+
+    /// The cost of checkpointing right after the task.
+    pub fn checkpoint(&self) -> f64 {
+        self.checkpoint
+    }
+
+    /// The cost of recovering from this task's checkpoint.
+    pub fn recovery(&self) -> f64 {
+        self.recovery
+    }
+}
+
+/// What an online policy sees at a decision point (a just-completed task).
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionContext<'a> {
+    /// Position (index into the task chain) of the task that just completed.
+    pub position: usize,
+    /// Current simulated time.
+    pub clock: f64,
+    /// Position of the last task whose checkpoint completed, or `None` if
+    /// nothing has been checkpointed yet.
+    pub last_checkpoint: Option<usize>,
+    /// Times of every failure observed so far (work, checkpoint and recovery
+    /// failures alike), in increasing order.
+    pub failure_times: &'a [f64],
+}
+
+impl DecisionContext<'_> {
+    /// The number of failures observed so far.
+    pub fn failures_observed(&self) -> usize {
+        self.failure_times.len()
+    }
+
+    /// The position execution would roll back to on a failure right now
+    /// (the task after the last checkpoint).
+    pub fn resume_position(&self) -> usize {
+        self.last_checkpoint.map_or(0, |k| k + 1)
+    }
+}
+
+/// An online checkpoint policy, consulted at every task boundary.
+///
+/// Implementations may carry arbitrary mutable state (a running failure-rate
+/// estimate, a re-solved plan); one policy value drives one execution. The
+/// Monte-Carlo driver constructs a fresh policy per trial through a factory,
+/// so trials stay independent and the threading deterministic.
+pub trait Policy {
+    /// Whether to checkpoint right after the just-completed task described
+    /// by `ctx`. Not consulted for the final task, whose checkpoint is
+    /// mandatory.
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> bool;
+}
+
+impl<P: Policy + ?Sized> Policy for &mut P {
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> bool {
+        (**self).decide(ctx)
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> bool {
+        (**self).decide(ctx)
+    }
+}
+
+/// The outcome of one policy-driven execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyExecutionRecord {
+    /// Makespan, failure count and time breakdown (the same buckets as the
+    /// fixed-schedule engine: `useful + lost + downtime + recovery`
+    /// partitions the makespan).
+    pub record: ExecutionRecord,
+    /// Checkpoints taken, the mandatory final one included.
+    pub checkpoints: u64,
+    /// Policy consultations (one per non-final task boundary reached,
+    /// re-executions included).
+    pub decisions: u64,
+}
+
+/// A policy-driven execution with its full event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyLoggedExecution {
+    /// The aggregate outcome.
+    pub outcome: PolicyExecutionRecord,
+    /// The chronological event log; policy decisions appear as
+    /// [`ExecutionEvent::PolicyDecision`] events. The `segment` index of
+    /// every event is the **task position** in the chain.
+    pub events: Vec<ExecutionEvent>,
+}
+
+/// Simulates one policy-driven execution of `tasks` (see the module docs for
+/// the exact semantics).
+///
+/// `initial_recovery` is the cost `R₀` of restoring the initial state
+/// (failures before the first checkpoint), `downtime` the failure-free
+/// downtime `D` paid after every failure.
+///
+/// # Errors
+///
+/// * [`SimulationError::EmptySchedule`] if `tasks` is empty;
+/// * [`SimulationError::NegativeParameter`] if `downtime` or
+///   `initial_recovery` is negative.
+pub fn simulate_policy<P, S>(
+    tasks: &[ChainTask],
+    initial_recovery: f64,
+    downtime: f64,
+    policy: &mut P,
+    stream: &mut S,
+) -> Result<PolicyExecutionRecord, SimulationError>
+where
+    P: Policy + ?Sized,
+    S: FailureStream + ?Sized,
+{
+    policy_core(tasks, initial_recovery, downtime, policy, stream, None)
+}
+
+/// [`simulate_policy`] with full event logging (decision events included).
+///
+/// # Errors
+///
+/// Same contract as [`simulate_policy`].
+pub fn simulate_policy_with_log<P, S>(
+    tasks: &[ChainTask],
+    initial_recovery: f64,
+    downtime: f64,
+    policy: &mut P,
+    stream: &mut S,
+) -> Result<PolicyLoggedExecution, SimulationError>
+where
+    P: Policy + ?Sized,
+    S: FailureStream + ?Sized,
+{
+    let mut events = Vec::new();
+    let outcome =
+        policy_core(tasks, initial_recovery, downtime, policy, stream, Some(&mut events))?;
+    Ok(PolicyLoggedExecution { outcome, events })
+}
+
+/// The engine shared by the plain and the logged entry points.
+fn policy_core<P, S>(
+    tasks: &[ChainTask],
+    initial_recovery: f64,
+    downtime: f64,
+    policy: &mut P,
+    stream: &mut S,
+    mut events: Option<&mut Vec<ExecutionEvent>>,
+) -> Result<PolicyExecutionRecord, SimulationError>
+where
+    P: Policy + ?Sized,
+    S: FailureStream + ?Sized,
+{
+    if tasks.is_empty() {
+        return Err(SimulationError::EmptySchedule);
+    }
+    let downtime = ensure_non_negative("downtime", downtime)?;
+    let initial_recovery = ensure_non_negative("initial_recovery", initial_recovery)?;
+
+    let n = tasks.len();
+    let mut clock = 0.0f64;
+    let mut breakdown = TimeBreakdown::default();
+    let mut failure_times: Vec<f64> = Vec::new();
+    let mut last_checkpoint: Option<usize> = None;
+    // Start of the current uncheckpointed run: everything executed since is
+    // lost on failure, committed as useful when a checkpoint completes.
+    let mut run_start = 0.0f64;
+    let mut checkpoints = 0u64;
+    let mut decisions = 0u64;
+    let mut position = 0usize;
+
+    macro_rules! log {
+        ($event:expr) => {
+            if let Some(sink) = events.as_deref_mut() {
+                sink.push($event);
+            }
+        };
+    }
+
+    while position < n {
+        log!(ExecutionEvent::AttemptStarted { segment: position, time: clock });
+
+        // Work phase of the current task.
+        let work = tasks[position].work;
+        match stream.next_failure_after(clock) {
+            Some(f) if f < clock + work => {
+                position = handle_failure(
+                    tasks,
+                    initial_recovery,
+                    downtime,
+                    f,
+                    position,
+                    last_checkpoint,
+                    stream,
+                    &mut clock,
+                    &mut run_start,
+                    &mut failure_times,
+                    &mut breakdown,
+                    &mut events,
+                );
+                continue;
+            }
+            _ => clock += work,
+        }
+
+        // Decision point: the final task's checkpoint is mandatory (the
+        // model's final checkpoint), every other boundary asks the policy.
+        let take = if position + 1 == n {
+            true
+        } else {
+            decisions += 1;
+            let ctx =
+                DecisionContext { position, clock, last_checkpoint, failure_times: &failure_times };
+            let take = policy.decide(&ctx);
+            log!(ExecutionEvent::PolicyDecision {
+                segment: position,
+                time: clock,
+                checkpoint: take
+            });
+            take
+        };
+
+        if take {
+            let ckpt = tasks[position].checkpoint;
+            if ckpt > 0.0 {
+                if let Some(f) = stream.next_failure_after(clock) {
+                    if f < clock + ckpt {
+                        position = handle_failure(
+                            tasks,
+                            initial_recovery,
+                            downtime,
+                            f,
+                            position,
+                            last_checkpoint,
+                            stream,
+                            &mut clock,
+                            &mut run_start,
+                            &mut failure_times,
+                            &mut breakdown,
+                            &mut events,
+                        );
+                        continue;
+                    }
+                }
+                clock += ckpt;
+            }
+            // The checkpoint is durable: commit the run as useful time.
+            breakdown.useful += clock - run_start;
+            run_start = clock;
+            last_checkpoint = Some(position);
+            checkpoints += 1;
+            log!(ExecutionEvent::SegmentCompleted { segment: position, time: clock });
+        }
+        position += 1;
+    }
+
+    let failures = failure_times.len() as u64;
+    Ok(PolicyExecutionRecord {
+        record: ExecutionRecord { makespan: clock, failures, breakdown },
+        checkpoints,
+        decisions,
+    })
+}
+
+/// Failure at `failure_time` while executing work or checkpoint of the task
+/// at `position`: lose the run back to the last checkpoint, pay the
+/// failure-free downtime, recover (interruptibly — recovery failures pay
+/// another downtime and restart the recovery), and return the position
+/// execution resumes at.
+#[allow(clippy::too_many_arguments)] // flat engine state, called from two sites
+fn handle_failure<S: FailureStream + ?Sized>(
+    tasks: &[ChainTask],
+    initial_recovery: f64,
+    downtime: f64,
+    failure_time: f64,
+    position: usize,
+    last_checkpoint: Option<usize>,
+    stream: &mut S,
+    clock: &mut f64,
+    run_start: &mut f64,
+    failure_times: &mut Vec<f64>,
+    breakdown: &mut TimeBreakdown,
+    events: &mut Option<&mut Vec<ExecutionEvent>>,
+) -> usize {
+    let mut log = |event: ExecutionEvent| {
+        if let Some(sink) = events.as_deref_mut() {
+            sink.push(event);
+        }
+    };
+    breakdown.lost += failure_time - *run_start;
+    log(ExecutionEvent::Failure {
+        segment: position,
+        time: failure_time,
+        wasted: failure_time - *run_start,
+    });
+    failure_times.push(failure_time);
+    *clock = failure_time + downtime;
+    breakdown.downtime += downtime;
+    log(ExecutionEvent::DowntimeCompleted { segment: position, time: *clock });
+    let recovery = last_checkpoint.map_or(initial_recovery, |k| tasks[k].recovery);
+    if recovery > 0.0 {
+        loop {
+            match stream.next_failure_after(*clock) {
+                Some(f) if f < *clock + recovery => {
+                    log(ExecutionEvent::Failure { segment: position, time: f, wasted: f - *clock });
+                    failure_times.push(f);
+                    breakdown.recovery += f - *clock;
+                    *clock = f + downtime;
+                    breakdown.downtime += downtime;
+                    log(ExecutionEvent::DowntimeCompleted { segment: position, time: *clock });
+                }
+                _ => {
+                    breakdown.recovery += recovery;
+                    *clock += recovery;
+                    log(ExecutionEvent::RecoveryCompleted { segment: position, time: *clock });
+                    break;
+                }
+            }
+        }
+    }
+    *run_start = *clock;
+    last_checkpoint.map_or(0, |k| k + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::segment::Segment;
+    use crate::stream::{ExponentialStream, NoFailureStream, ScriptedStream};
+
+    fn task(work: f64, ckpt: f64, rec: f64) -> ChainTask {
+        ChainTask::new(work, ckpt, rec).unwrap()
+    }
+
+    /// A policy replaying fixed per-position decisions.
+    struct Flags(Vec<bool>);
+    impl Policy for Flags {
+        fn decide(&mut self, ctx: &DecisionContext<'_>) -> bool {
+            self.0[ctx.position]
+        }
+    }
+
+    /// A policy that never checkpoints (the engine still forces the final
+    /// one).
+    struct Never;
+    impl Policy for Never {
+        fn decide(&mut self, _ctx: &DecisionContext<'_>) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut stream = NoFailureStream;
+        assert!(matches!(
+            simulate_policy(&[], 0.0, 0.0, &mut Never, &mut stream),
+            Err(SimulationError::EmptySchedule)
+        ));
+        let tasks = [task(1.0, 0.0, 0.0)];
+        assert!(simulate_policy(&tasks, 0.0, -1.0, &mut Never, &mut stream).is_err());
+        assert!(simulate_policy(&tasks, -1.0, 0.0, &mut Never, &mut stream).is_err());
+        assert!(ChainTask::new(0.0, 1.0, 1.0).is_err());
+        assert!(ChainTask::new(1.0, -1.0, 1.0).is_err());
+        assert!(ChainTask::new(1.0, 1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn failure_free_run_takes_nominal_time_and_forces_final_checkpoint() {
+        let tasks = vec![task(100.0, 10.0, 5.0), task(200.0, 20.0, 5.0)];
+        let mut stream = NoFailureStream;
+        let out = simulate_policy(&tasks, 0.0, 30.0, &mut Never, &mut stream).unwrap();
+        // No intermediate checkpoint, but the final one is mandatory.
+        assert_eq!(out.checkpoints, 1);
+        assert_eq!(out.decisions, 1);
+        assert_eq!(out.record.makespan, 320.0);
+        assert_eq!(out.record.breakdown.useful, 320.0);
+        assert_eq!(out.record.failures, 0);
+    }
+
+    #[test]
+    fn static_flags_match_the_fixed_schedule_engine() {
+        // The same plan, played through the policy engine and through the
+        // fixed-schedule engine on the equivalent segments, must agree on
+        // identical failure streams.
+        let tasks = vec![
+            task(500.0, 60.0, 30.0),
+            task(900.0, 45.0, 60.0),
+            task(200.0, 20.0, 40.0),
+            task(700.0, 80.0, 25.0),
+        ];
+        let flags = vec![true, false, true, true];
+        let initial_recovery = 15.0;
+        // Segment view: positions {0}, {1,2}, {3}; recovery protecting a
+        // segment is the recovery of the previous checkpointed task.
+        let segments = vec![
+            Segment::new(500.0, 60.0, initial_recovery).unwrap(),
+            Segment::new(1100.0, 20.0, 30.0).unwrap(),
+            Segment::new(700.0, 80.0, 40.0).unwrap(),
+        ];
+        for seed in 0..25u64 {
+            let mut s1 = ExponentialStream::new(1.0 / 900.0, seed);
+            let mut s2 = ExponentialStream::new(1.0 / 900.0, seed);
+            let fixed = simulate(&segments, 25.0, &mut s1).unwrap();
+            let online =
+                simulate_policy(&tasks, initial_recovery, 25.0, &mut Flags(flags.clone()), &mut s2)
+                    .unwrap();
+            assert_eq!(fixed.failures, online.record.failures, "seed {seed}");
+            assert!(
+                (fixed.makespan - online.record.makespan).abs() < 1e-9,
+                "seed {seed}: {} vs {}",
+                fixed.makespan,
+                online.record.makespan
+            );
+            assert!((fixed.breakdown.useful - online.record.breakdown.useful).abs() < 1e-9);
+            assert!((fixed.breakdown.lost - online.record.breakdown.lost).abs() < 1e-9);
+            assert_eq!(online.checkpoints, 3);
+        }
+    }
+
+    #[test]
+    fn breakdown_partitions_makespan() {
+        let tasks = vec![task(100.0, 10.0, 20.0), task(150.0, 15.0, 25.0), task(80.0, 5.0, 10.0)];
+        let mut stream = ScriptedStream::new(vec![30.0, 60.0, 200.0, 390.0]);
+        let out =
+            simulate_policy(&tasks, 12.0, 7.5, &mut Flags(vec![true; 3]), &mut stream).unwrap();
+        assert!((out.record.breakdown.total() - out.record.makespan).abs() < 1e-9);
+        // 30 and 60 strike task 0's attempts, 200 task 1's work and 390 task
+        // 1's checkpoint.
+        assert_eq!(out.record.failures, 4);
+    }
+
+    #[test]
+    fn rollback_resumes_after_the_last_checkpoint() {
+        // Tasks of 100 s each; checkpoint after task 0 (cost 10, recovery
+        // 20). Failure at t = 250, i.e. 140 s into the run following the
+        // checkpoint (tasks 1 and part of 2): roll back to task 1, not 0.
+        let tasks = vec![task(100.0, 10.0, 20.0), task(100.0, 0.0, 0.0), task(100.0, 0.0, 0.0)];
+        let mut stream = ScriptedStream::new(vec![250.0]);
+        let mut policy = Flags(vec![true, false, false]);
+        let logged = simulate_policy_with_log(&tasks, 5.0, 8.0, &mut policy, &mut stream).unwrap();
+        // Timeline: ckpt done at 110; failure at 250 loses 140; downtime 8
+        // (258), recovery 20 (278); re-run tasks 1..2 (200) -> 478; no
+        // checkpoint cost at the end (task 2's C = 0). Final checkpoint
+        // completes at 478.
+        assert!((logged.outcome.record.makespan - 478.0).abs() < 1e-9);
+        assert!((logged.outcome.record.breakdown.lost - 140.0).abs() < 1e-9);
+        assert_eq!(logged.outcome.record.failures, 1);
+        // Task 0 is attempted once; tasks 1 and 2 twice.
+        let attempts = |p: usize| {
+            logged
+                .events
+                .iter()
+                .filter(|e| matches!(e, ExecutionEvent::AttemptStarted { segment, .. } if *segment == p))
+                .count()
+        };
+        assert_eq!(attempts(0), 1);
+        assert_eq!(attempts(1), 2);
+        assert_eq!(attempts(2), 2);
+    }
+
+    #[test]
+    fn decision_events_are_logged_with_their_outcome() {
+        let tasks = vec![task(10.0, 1.0, 1.0), task(10.0, 1.0, 1.0), task(10.0, 1.0, 1.0)];
+        let mut stream = NoFailureStream;
+        let mut policy = Flags(vec![false, true, false]);
+        let logged = simulate_policy_with_log(&tasks, 0.0, 0.0, &mut policy, &mut stream).unwrap();
+        let decisions: Vec<(usize, bool)> = logged
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                ExecutionEvent::PolicyDecision { segment, checkpoint, .. } => {
+                    Some((segment, checkpoint))
+                }
+                _ => None,
+            })
+            .collect();
+        // The final boundary is mandatory, not a decision.
+        assert_eq!(decisions, vec![(0, false), (1, true)]);
+        assert_eq!(logged.outcome.decisions, 2);
+        assert_eq!(logged.outcome.checkpoints, 2);
+    }
+
+    #[test]
+    fn policy_can_adapt_to_observed_failures() {
+        // A policy that checkpoints only once it has seen a failure: the
+        // second pass over task 0 checkpoints where the first did not.
+        struct AfterFirstFailure;
+        impl Policy for AfterFirstFailure {
+            fn decide(&mut self, ctx: &DecisionContext<'_>) -> bool {
+                !ctx.failure_times.is_empty()
+            }
+        }
+        let tasks = vec![task(100.0, 10.0, 0.0), task(100.0, 10.0, 0.0)];
+        // Failure at t = 150: inside task 1's work (no checkpoint was taken
+        // after task 0 on the first pass).
+        let mut stream = ScriptedStream::new(vec![150.0]);
+        let logged =
+            simulate_policy_with_log(&tasks, 0.0, 0.0, &mut AfterFirstFailure, &mut stream)
+                .unwrap();
+        let decisions: Vec<bool> = logged
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                ExecutionEvent::PolicyDecision { checkpoint, .. } => Some(checkpoint),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions, vec![false, true], "re-execution decision must flip");
+        // Timeline: 150 lost, rollback to 0; re-run task 0 (100) + ckpt
+        // (10) at 260, task 1 (100) + final ckpt (10) at 370.
+        assert!((logged.outcome.record.makespan - 370.0).abs() < 1e-9);
+        assert_eq!(logged.outcome.checkpoints, 2);
+    }
+
+    #[test]
+    fn logged_and_plain_policy_runs_agree() {
+        let tasks = vec![task(300.0, 30.0, 15.0), task(500.0, 25.0, 40.0), task(150.0, 10.0, 5.0)];
+        for seed in 0..15u64 {
+            let mut s1 = ExponentialStream::new(1.0 / 600.0, seed);
+            let mut s2 = ExponentialStream::new(1.0 / 600.0, seed);
+            let plain =
+                simulate_policy(&tasks, 20.0, 12.0, &mut Flags(vec![true, false, true]), &mut s1)
+                    .unwrap();
+            let logged = simulate_policy_with_log(
+                &tasks,
+                20.0,
+                12.0,
+                &mut Flags(vec![true, false, true]),
+                &mut s2,
+            )
+            .unwrap();
+            assert_eq!(plain, logged.outcome, "seed {seed}");
+        }
+    }
+}

@@ -16,7 +16,10 @@
 //!   executions;
 //! * [`core`] — the scheduling layer: problem instances, schedules, the
 //!   Algorithm 1 chain DP, brute-force baselines, heuristics, the
-//!   Proposition 2 NP-hardness reduction, and the §6 extensions.
+//!   Proposition 2 NP-hardness reduction, and the §6 extensions;
+//! * [`adaptive`] — online checkpoint policies that observe failures during
+//!   execution and re-plan the remaining chain mid-run, plus the harness
+//!   comparing them under misspecified failure models.
 //!
 //! # Quickstart
 //!
@@ -49,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ckpt_adaptive as adaptive;
 pub use ckpt_core as core;
 pub use ckpt_dag as dag;
 pub use ckpt_expectation as expectation;
