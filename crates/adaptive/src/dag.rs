@@ -1,0 +1,901 @@
+//! The DAG execution tier of the online subsystem: policies that
+//! re-linearise the remaining graph after failures.
+//!
+//! PR 4's chain policies re-plan checkpoint *placement* online but keep the
+//! execution order frozen — for a chain there is nothing else to decide.
+//! General DAGs have a whole order space, and when the failure rate turns
+//! out misspecified, the stale order is wrong together with the stale
+//! placement: the tasks worth putting at segment boundaries (cheap
+//! checkpoints, small live sets) change with the checkpoint density. The
+//! policies here close that loop on top of
+//! [`ckpt_simulator::simulate_dag_policy`]:
+//!
+//! * [`DagStaticPlan`] — replay a fixed offline plan (order + placement);
+//!   solved at the *true* rate it is the clairvoyant regret reference;
+//! * [`DagAdaptiveResolve`] — after every observed failure, update the
+//!   Gamma-posterior rate estimate and re-solve the checkpoint placement of
+//!   the **remaining suffix on the current order**
+//!   ([`ResumableDp::solve_suffix`]); the order itself never changes;
+//! * [`DagRelinearise`] — additionally extract the **remaining graph**
+//!   ([`ckpt_dag::subgraph::suffix_subgraph`]: surviving tasks, induced
+//!   edges, live-set seed) and run a bounded-budget
+//!   [`order_search`](ckpt_core::order_search) restart over it, seeded with
+//!   the incumbent suffix order — the chosen order is never worse, under
+//!   the planning model at the posterior rate, than keeping the current one
+//!   — then splice the winner back and re-solve the placement.
+//!
+//! Execution semantics: the simulator charges each task its **own**
+//! checkpoint/recovery cost (the paper's §2 baseline, exactly what
+//! [`Schedule::to_segments`](ckpt_core::Schedule) replays). The §6
+//! live-set models remain available as *planning objectives*
+//! ([`DagSpec::new`] takes the [`CheckpointCostModel`]), mirroring the
+//! offline `expected_makespan` / `expected_makespan_under_model` split; the
+//! suffix re-linearisation then also ignores the frontier's live-set seed
+//! contribution (exposed by `suffix_subgraph` for future refinement).
+//!
+//! [`compare_dag_policies`] is the misspecified-truth regret harness
+//! (paired per-trial streams, deterministic at any thread count) and
+//! experiment `e12_dag_adaptive` asserts the headline claims.
+
+use std::sync::Arc;
+
+use ckpt_core::chain_dp::ResumableDp;
+use ckpt_core::cost_model::CheckpointCostModel;
+use ckpt_core::order_search::{
+    default_start_strategies, schedule_dag_search, search_from_starts, OrderSearchConfig,
+    SeededSearchOutcome,
+};
+use ckpt_core::ProblemInstance;
+use ckpt_dag::subgraph::{suffix_subgraph, SuffixSubgraph};
+use ckpt_dag::{linearize, topo, TaskId};
+use ckpt_expectation::sweep::LambdaSweep;
+use ckpt_simulator::{
+    ChainTask, DagDecision, DagDecisionContext, DagPolicy, DagPolicyMonteCarloOutcome,
+};
+
+use crate::error::AdaptiveError;
+use crate::harness::{EvaluationConfig, TruthModel};
+use crate::policies::{posterior_rate, DEFAULT_PRIOR_STRENGTH};
+
+/// One DAG instance in both representations the online subsystem needs:
+/// the planner's [`ProblemInstance`] (graph, per-task costs, planning
+/// objective) and the simulator's per-task [`ChainTask`] view (indexed by
+/// task id; execution orders index into it). Cloning shares the heavy data
+/// by `Arc`.
+#[derive(Debug, Clone)]
+pub struct DagSpec {
+    instance: Arc<ProblemInstance>,
+    model: CheckpointCostModel,
+    tasks: Arc<Vec<ChainTask>>,
+    mean_checkpoint_cost: f64,
+}
+
+impl DagSpec {
+    /// Builds the spec from a planner instance and the cost model every
+    /// policy of this spec plans under.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AdaptiveError`] if the instance is empty or a task's
+    /// parameters do not form a valid simulator task (cannot occur for
+    /// instances built through [`ProblemInstance::builder`]).
+    pub fn new(
+        instance: ProblemInstance,
+        model: CheckpointCostModel,
+    ) -> Result<Self, AdaptiveError> {
+        if instance.task_count() == 0 {
+            return Err(ckpt_core::ScheduleError::EmptyInstance.into());
+        }
+        let tasks: Vec<ChainTask> = instance
+            .graph()
+            .task_ids()
+            .map(|t| {
+                ChainTask::new(
+                    instance.weight(t),
+                    instance.checkpoint_cost(t),
+                    instance.recovery_cost(t),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let mean_checkpoint_cost =
+            instance.checkpoint_costs().iter().sum::<f64>() / instance.task_count() as f64;
+        Ok(DagSpec {
+            instance: Arc::new(instance),
+            model,
+            tasks: Arc::new(tasks),
+            mean_checkpoint_cost,
+        })
+    }
+
+    /// The planner view of the DAG.
+    pub fn instance(&self) -> &ProblemInstance {
+        &self.instance
+    }
+
+    /// The cost model the policies plan under.
+    pub fn model(&self) -> CheckpointCostModel {
+        self.model
+    }
+
+    /// The simulator view: one [`ChainTask`] per task id.
+    pub fn tasks(&self) -> &[ChainTask] {
+        &self.tasks
+    }
+
+    /// The number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the spec is empty (never true: construction requires at
+    /// least one task).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The downtime `D`.
+    pub fn downtime(&self) -> f64 {
+        self.instance.downtime()
+    }
+
+    /// The initial recovery `R₀`.
+    pub fn initial_recovery(&self) -> f64 {
+        self.instance.initial_recovery()
+    }
+
+    /// The total work of the DAG.
+    pub fn total_work(&self) -> f64 {
+        self.instance.total_weight()
+    }
+
+    /// The mean per-task checkpoint cost (used for trace horizons).
+    pub fn mean_checkpoint_cost(&self) -> f64 {
+        self.mean_checkpoint_cost
+    }
+}
+
+/// An offline DAG plan: a linearisation plus its optimal checkpoint
+/// placement, the unit the DAG policies replay, re-solve and re-linearise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagPlan {
+    /// The execution order (a topological order of the spec graph).
+    pub order: Vec<TaskId>,
+    /// Per-position checkpoint decisions (final position always `true`).
+    pub checkpoint_after: Vec<bool>,
+    /// The plan's expected makespan under the spec's planning model at the
+    /// rate it was solved for.
+    pub value_under_model: f64,
+}
+
+impl DagPlan {
+    /// The order as task indices, the form the simulator engine consumes.
+    pub fn order_indices(&self) -> Vec<usize> {
+        self.order.iter().map(|t| t.index()).collect()
+    }
+}
+
+/// Solves the offline plan of `spec` at `rate`: a full
+/// [`schedule_dag_search`] (the strongest offline planner of the workspace)
+/// on the instance re-rated to `rate`, under the spec's model. This is the
+/// plan [`DagStaticPlan`] replays and the adaptive DAG policies start from;
+/// solved at the truth's rate it is the clairvoyant reference.
+///
+/// # Errors
+///
+/// Returns an [`AdaptiveError`] for a non-positive rate or invalid search
+/// parameters.
+pub fn optimal_static_dag_plan(
+    spec: &DagSpec,
+    rate: f64,
+    search: &OrderSearchConfig,
+) -> Result<DagPlan, AdaptiveError> {
+    let instance = spec.instance().with_lambda(rate)?;
+    let found = schedule_dag_search(&instance, spec.model(), search)?;
+    Ok(DagPlan {
+        order: found.solution.schedule.order().to_vec(),
+        checkpoint_after: found.solution.schedule.checkpoint_after().to_vec(),
+        value_under_model: found.expected_makespan_under_model(),
+    })
+}
+
+/// The λ-batched planner view of one fixed order of a spec: a
+/// [`LambdaSweep`] over the order's positional cost vectors under the
+/// spec's model, so a policy can instantiate the order's cost table at any
+/// rate estimate in `O(n)`, plus the raw (unshifted) positional recovery
+/// costs the suffix re-linearisation reads its protecting recovery from.
+#[derive(Debug, Clone)]
+struct OrderPlanner {
+    sweep: LambdaSweep,
+    /// `raw_rec[j]` is the recovery cost of a checkpoint taken right after
+    /// position `j`, under the spec's model.
+    raw_rec: Vec<f64>,
+}
+
+impl OrderPlanner {
+    /// Builds the planner view of `order`, which must be a topological
+    /// order of the spec graph.
+    fn new(spec: &DagSpec, order: &[TaskId]) -> Result<Self, AdaptiveError> {
+        if !topo::is_topological_order(spec.instance().graph(), order) {
+            return Err(ckpt_core::ScheduleError::InvalidOrder.into());
+        }
+        let weights: Vec<f64> = order.iter().map(|&t| spec.instance().weight(t)).collect();
+        let (ckpt, raw_rec) = spec.model().costs_along_order(spec.instance(), order);
+        // Protecting-recovery convention of the cost tables: position 0 is
+        // protected by R₀, position x > 0 by the recovery of the checkpoint
+        // at position x − 1 (exactly `dag_schedule::model_cost_table`).
+        let mut protecting = Vec::with_capacity(order.len());
+        protecting.push(spec.initial_recovery());
+        protecting.extend(raw_rec.iter().take(raw_rec.len() - 1).copied());
+        let sweep = LambdaSweep::new(spec.downtime(), &weights, &ckpt, &protecting)?;
+        Ok(OrderPlanner { sweep, raw_rec })
+    }
+}
+
+/// Replays a fixed DAG plan: checkpoint flags by position, never reordering
+/// — the DAG twin of [`crate::StaticPlan`]. Replaying the plan solved at
+/// the truth's rate is the clairvoyant baseline of
+/// [`compare_dag_policies`].
+#[derive(Debug, Clone)]
+pub struct DagStaticPlan {
+    checkpoint_after: Vec<bool>,
+}
+
+impl DagStaticPlan {
+    /// A policy replaying per-position decisions (the engine forces the
+    /// final checkpoint regardless).
+    pub fn new(checkpoint_after: Vec<bool>) -> Self {
+        DagStaticPlan { checkpoint_after }
+    }
+
+    /// A policy replaying an offline [`DagPlan`]'s placement (the plan's
+    /// order is handed to the engine separately).
+    pub fn from_plan(plan: &DagPlan) -> Self {
+        DagStaticPlan { checkpoint_after: plan.checkpoint_after.clone() }
+    }
+}
+
+impl DagPolicy for DagStaticPlan {
+    fn decide(&mut self, ctx: &DagDecisionContext<'_>) -> DagDecision {
+        DagDecision::keep_order(self.checkpoint_after.get(ctx.position).copied().unwrap_or(false))
+    }
+}
+
+/// Re-solves the checkpoint placement of the remaining suffix **on the
+/// current order** after every observed failure, at the Gamma-posterior
+/// rate estimate — the DAG twin of [`crate::AdaptiveResolve`]. The
+/// execution order itself is never touched; [`DagRelinearise`] adds that.
+#[derive(Debug, Clone)]
+pub struct DagAdaptiveResolve {
+    planner: OrderPlanner,
+    dp: ResumableDp,
+    planning_rate: f64,
+    prior_strength: f64,
+    plan_rate: f64,
+    seen_failures: usize,
+    replans: usize,
+}
+
+impl DagAdaptiveResolve {
+    /// Arms the policy with `plan` (solved at `planning_rate`): builds the
+    /// λ-batched planner view of the plan's order and solves the full DP
+    /// once, so a failure-free execution replays the plan exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AdaptiveError`] if the plan's order is not a
+    /// topological order of the spec graph or the rate is not strictly
+    /// positive.
+    pub fn new(spec: &DagSpec, plan: &DagPlan, planning_rate: f64) -> Result<Self, AdaptiveError> {
+        let planner = OrderPlanner::new(spec, &plan.order)?;
+        let table = planner.sweep.table_for(planning_rate)?;
+        let mut dp = ResumableDp::new();
+        dp.solve(&table);
+        Ok(DagAdaptiveResolve {
+            planner,
+            dp,
+            planning_rate,
+            prior_strength: DEFAULT_PRIOR_STRENGTH,
+            plan_rate: planning_rate,
+            seen_failures: 0,
+            replans: 0,
+        })
+    }
+
+    /// Overrides the prior strength `k₀` (builder style); see
+    /// [`crate::AdaptiveResolve::with_prior_strength`].
+    pub fn with_prior_strength(mut self, prior_strength: f64) -> Self {
+        assert!(
+            prior_strength.is_finite() && prior_strength > 0.0,
+            "prior strength must be strictly positive"
+        );
+        self.prior_strength = prior_strength;
+        self
+    }
+
+    /// The rate the current committed plan was solved at.
+    pub fn plan_rate(&self) -> f64 {
+        self.plan_rate
+    }
+
+    /// Re-plans performed so far.
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+}
+
+impl DagPolicy for DagAdaptiveResolve {
+    fn decide(&mut self, ctx: &DagDecisionContext<'_>) -> DagDecision {
+        let start = ctx.resume_position();
+        if ctx.failure_times.len() > self.seen_failures {
+            self.seen_failures = ctx.failure_times.len();
+            let estimate = posterior_rate(
+                self.planning_rate,
+                self.prior_strength,
+                ctx.failure_times.len(),
+                ctx.clock,
+            );
+            if let Ok(table) = self.planner.sweep.table_for(estimate) {
+                self.dp.solve_suffix(&table, start);
+                self.plan_rate = estimate;
+                self.replans += 1;
+            }
+        }
+        // Same safety argument as the chain policy: re-plans happen at the
+        // first boundary after a failure (`position == start`), `<=` keeps
+        // the policy checkpointing at the earliest planned boundary even if
+        // that invariant is ever relaxed.
+        DagDecision::keep_order(self.dp.choice_at(start) <= ctx.position)
+    }
+}
+
+/// Re-plans **both layers** after every observed failure: updates the
+/// Gamma-posterior rate, re-linearises the unexecuted suffix by a
+/// bounded-budget order search over the remaining graph
+/// ([`suffix_subgraph`] + [`search_from_starts`] seeded with the incumbent
+/// suffix), splices the winner into its execution order, and re-solves the
+/// checkpoint placement on the updated order. With no observed failures it
+/// replays its initial plan exactly, like every other policy here.
+#[derive(Debug, Clone)]
+pub struct DagRelinearise {
+    spec: DagSpec,
+    /// The policy's view of the current execution order (kept in lockstep
+    /// with the engine: every accepted reorder updates both).
+    order: Vec<TaskId>,
+    planner: OrderPlanner,
+    dp: ResumableDp,
+    planning_rate: f64,
+    prior_strength: f64,
+    plan_rate: f64,
+    seen_failures: usize,
+    replans: usize,
+    reorders: usize,
+    /// Budget of each suffix re-linearisation; `threads` is forced to 1
+    /// (the search runs inside a Monte-Carlo trial).
+    search: OrderSearchConfig,
+}
+
+/// Default re-linearisation budget: a handful of random restarts on top of
+/// the deterministic strategies and the incumbent, with a short move
+/// budget. Re-plans run once per observed failure, so the budget is paid
+/// `O(failures)` times per trial.
+fn default_replan_budget() -> OrderSearchConfig {
+    OrderSearchConfig { restarts: 2, steps: 48, threads: 1, ..Default::default() }
+}
+
+impl DagRelinearise {
+    /// Arms the policy with `plan` (solved at `planning_rate`) and the
+    /// default re-linearisation budget.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DagAdaptiveResolve::new`].
+    pub fn new(spec: &DagSpec, plan: &DagPlan, planning_rate: f64) -> Result<Self, AdaptiveError> {
+        let planner = OrderPlanner::new(spec, &plan.order)?;
+        let table = planner.sweep.table_for(planning_rate)?;
+        let mut dp = ResumableDp::new();
+        dp.solve(&table);
+        Ok(DagRelinearise {
+            spec: spec.clone(),
+            order: plan.order.clone(),
+            planner,
+            dp,
+            planning_rate,
+            prior_strength: DEFAULT_PRIOR_STRENGTH,
+            plan_rate: planning_rate,
+            seen_failures: 0,
+            replans: 0,
+            reorders: 0,
+            search: default_replan_budget(),
+        })
+    }
+
+    /// Overrides the suffix re-linearisation budget (builder style):
+    /// `restarts` seeded random starts on top of the deterministic
+    /// strategies and the incumbent suffix, `steps` move proposals per
+    /// start.
+    pub fn with_search_budget(mut self, restarts: u64, steps: usize) -> Self {
+        self.search.restarts = restarts;
+        self.search.steps = steps;
+        self
+    }
+
+    /// Overrides the prior strength `k₀` (builder style).
+    pub fn with_prior_strength(mut self, prior_strength: f64) -> Self {
+        assert!(
+            prior_strength.is_finite() && prior_strength > 0.0,
+            "prior strength must be strictly positive"
+        );
+        self.prior_strength = prior_strength;
+        self
+    }
+
+    /// The rate the current committed plan was solved at.
+    pub fn plan_rate(&self) -> f64 {
+        self.plan_rate
+    }
+
+    /// Re-plans performed so far.
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+
+    /// Suffix reorders actually taken so far.
+    pub fn reorders(&self) -> usize {
+        self.reorders
+    }
+
+    /// Runs the bounded-budget order search on the remaining graph of
+    /// `self.order[suffix_start..]` at `rate` and returns the winning
+    /// suffix (original task ids), or `None` when the incumbent suffix
+    /// wins (no reorder worth taking) or the search fails.
+    ///
+    /// The incumbent suffix is always among the starts, and
+    /// [`search_from_starts`] never returns a worse value than any start —
+    /// so under the planning model at `rate`, reordering is never a
+    /// planned-value regression over [`DagAdaptiveResolve`]'s keep-the-
+    /// order behaviour.
+    fn relinearised_suffix(&self, suffix_start: usize, rate: f64) -> Option<Vec<TaskId>> {
+        let sub: SuffixSubgraph =
+            suffix_subgraph(self.spec.instance().graph(), &self.order, suffix_start);
+        let instance = self.spec.instance();
+        let ckpt: Vec<f64> = sub.tasks.iter().map(|&t| instance.checkpoint_cost(t)).collect();
+        let rec: Vec<f64> = sub.tasks.iter().map(|&t| instance.recovery_cost(t)).collect();
+        // The suffix's first segment is protected by the checkpoint
+        // candidate right before it (position suffix_start − 1 of the
+        // current order) — the natural R₀ of the sub-problem.
+        let r0 = self.planner.raw_rec[suffix_start - 1];
+        let mut builder = ProblemInstance::builder(sub.graph.clone());
+        builder
+            .checkpoint_costs(ckpt)
+            .recovery_costs(rec)
+            .initial_recovery(r0)
+            .downtime(self.spec.downtime())
+            .platform_lambda(rate);
+        let sub_instance = builder.build().ok()?;
+
+        // Starts: the incumbent suffix (sub-ids follow suffix positions, so
+        // the identity order IS the incumbent) plus exactly the strategy
+        // set `schedule_dag_search` would try on the subgraph (shared
+        // through `default_start_strategies`, so the two can never drift).
+        let mut starts: Vec<Vec<TaskId>> = vec![(0..sub.len()).map(TaskId).collect()];
+        starts.extend(
+            default_start_strategies(self.search.restarts)
+                .into_iter()
+                .map(|s| linearize::linearize(&sub.graph, s)),
+        );
+
+        let found: SeededSearchOutcome =
+            search_from_starts(&sub_instance, self.spec.model(), &self.search, &starts).ok()?;
+        let new_suffix = sub.to_original_order(&found.order);
+        if new_suffix == self.order[suffix_start..] {
+            None
+        } else {
+            Some(new_suffix)
+        }
+    }
+}
+
+impl DagPolicy for DagRelinearise {
+    fn decide(&mut self, ctx: &DagDecisionContext<'_>) -> DagDecision {
+        debug_assert!(
+            ctx.order.iter().zip(&self.order).all(|(&a, &b)| a == b.index()),
+            "the policy's order drifted from the engine's"
+        );
+        let start = ctx.resume_position();
+        let mut reorder_suffix: Option<Vec<usize>> = None;
+        if ctx.failure_times.len() > self.seen_failures {
+            self.seen_failures = ctx.failure_times.len();
+            let estimate = posterior_rate(
+                self.planning_rate,
+                self.prior_strength,
+                ctx.failure_times.len(),
+                ctx.clock,
+            );
+            // Re-linearise the unexecuted suffix (positions strictly after
+            // the current boundary) when there are at least two tasks to
+            // permute.
+            let suffix_start = ctx.position + 1;
+            if self.spec.len().saturating_sub(suffix_start) >= 2 {
+                if let Some(new_suffix) = self.relinearised_suffix(suffix_start, estimate) {
+                    let mut candidate = self.order.clone();
+                    candidate[suffix_start..].copy_from_slice(&new_suffix);
+                    // The spliced order is topological by construction, so
+                    // the planner rebuild cannot fail; guarding keeps the
+                    // policy's plan and the engine's order in lockstep even
+                    // if it ever did.
+                    if let Ok(planner) = OrderPlanner::new(&self.spec, &candidate) {
+                        self.order = candidate;
+                        self.planner = planner;
+                        reorder_suffix = Some(new_suffix.iter().map(|t| t.index()).collect());
+                        self.reorders += 1;
+                    }
+                }
+            }
+            if let Ok(table) = self.planner.sweep.table_for(estimate) {
+                self.dp.solve_suffix(&table, start);
+                self.plan_rate = estimate;
+                self.replans += 1;
+            }
+        }
+        DagDecision { checkpoint: self.dp.choice_at(start) <= ctx.position, reorder_suffix }
+    }
+}
+
+/// One DAG policy's aggregate outcome in a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagPolicyResult {
+    /// Policy name (`clairvoyant`, `dag-static`, `dag-adaptive-resolve`,
+    /// `dag-relinearise`).
+    pub policy: &'static str,
+    /// Mean makespan across trials.
+    pub mean_makespan: f64,
+    /// Mean number of failures observed per trial.
+    pub mean_failures: f64,
+    /// Mean number of checkpoints taken per trial.
+    pub mean_checkpoints: f64,
+    /// Mean number of suffix reorders per trial (0 for the non-reordering
+    /// policies).
+    pub mean_reorders: f64,
+    /// `mean_makespan − clairvoyant mean makespan`.
+    pub regret: f64,
+}
+
+/// The outcome of [`compare_dag_policies`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagPolicyComparison {
+    /// Mean makespan of the clairvoyant baseline (the offline
+    /// [`schedule_dag_search`] plan at the truth's effective rate, replayed
+    /// statically).
+    pub clairvoyant_makespan: f64,
+    /// The (mis)planned offline plan every non-clairvoyant policy starts
+    /// from.
+    pub planned: DagPlan,
+    /// The clairvoyant plan.
+    pub clairvoyant_plan: DagPlan,
+    /// One row per policy, in a fixed order: `clairvoyant`, `dag-static`,
+    /// `dag-adaptive-resolve`, `dag-relinearise`.
+    pub results: Vec<DagPolicyResult>,
+}
+
+impl DagPolicyComparison {
+    /// The row of a policy by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is not one of the four fixed rows.
+    pub fn row(&self, policy: &str) -> &DagPolicyResult {
+        self.results
+            .iter()
+            .find(|r| r.policy == policy)
+            .unwrap_or_else(|| panic!("unknown policy row `{policy}`"))
+    }
+}
+
+/// Runs the three DAG policies (plus the clairvoyant static baseline) over
+/// `spec`, planned at `planning_rate` with `search`, under the given truth
+/// — the DAG twin of [`crate::compare_policies`]. All rows replay
+/// identical per-trial failure streams (paired comparison) and the outcome
+/// is bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Returns an [`AdaptiveError`] for invalid rates, truth parameters or
+/// search configuration, and propagates
+/// [`AdaptiveError::TraceHorizonExceeded`] for trace truths whose horizon
+/// a trial outruns.
+pub fn compare_dag_policies(
+    spec: &DagSpec,
+    planning_rate: f64,
+    truth: &TruthModel,
+    config: &EvaluationConfig,
+    search: &OrderSearchConfig,
+) -> Result<DagPolicyComparison, AdaptiveError> {
+    truth.validate()?;
+
+    let planned = optimal_static_dag_plan(spec, planning_rate, search)?;
+    let clairvoyant = optimal_static_dag_plan(spec, truth.effective_rate(), search)?;
+
+    let clairvoyant_outcome = run_dag_policy(
+        spec,
+        truth,
+        config,
+        &clairvoyant.order_indices(),
+        &DagStaticPlan::from_plan(&clairvoyant),
+    )?;
+    let clairvoyant_makespan = clairvoyant_outcome.makespan.mean;
+
+    let planned_order = planned.order_indices();
+    let mut results =
+        vec![dag_result_row("clairvoyant", &clairvoyant_outcome, clairvoyant_makespan)];
+
+    let static_outcome =
+        run_dag_policy(spec, truth, config, &planned_order, &DagStaticPlan::from_plan(&planned))?;
+    results.push(dag_result_row("dag-static", &static_outcome, clairvoyant_makespan));
+
+    let resolve_proto = DagAdaptiveResolve::new(spec, &planned, planning_rate)?;
+    let resolve_outcome = run_dag_policy(spec, truth, config, &planned_order, &resolve_proto)?;
+    results.push(dag_result_row("dag-adaptive-resolve", &resolve_outcome, clairvoyant_makespan));
+
+    let relin_proto = DagRelinearise::new(spec, &planned, planning_rate)?;
+    let relin_outcome = run_dag_policy(spec, truth, config, &planned_order, &relin_proto)?;
+    results.push(dag_result_row("dag-relinearise", &relin_outcome, clairvoyant_makespan));
+
+    Ok(DagPolicyComparison {
+        clairvoyant_makespan,
+        planned,
+        clairvoyant_plan: clairvoyant,
+        results,
+    })
+}
+
+fn dag_result_row(
+    policy: &'static str,
+    outcome: &DagPolicyMonteCarloOutcome,
+    clairvoyant_makespan: f64,
+) -> DagPolicyResult {
+    DagPolicyResult {
+        policy,
+        mean_makespan: outcome.makespan.mean,
+        mean_failures: outcome.failures.mean,
+        mean_checkpoints: outcome.checkpoints.mean,
+        mean_reorders: outcome.reorders.mean,
+        regret: outcome.makespan.mean - clairvoyant_makespan,
+    }
+}
+
+/// Runs one DAG policy prototype (cloned per trial) under the truth — the
+/// DAG twin of the chain harness's `run_policy`, sharing the scenario seed
+/// so trial `i` sees the same failure stream whichever policy is running
+/// (and the chain harness's truth driver, so the two harnesses can never
+/// disagree on scenario construction or the trace-horizon guard).
+fn run_dag_policy<P>(
+    spec: &DagSpec,
+    truth: &TruthModel,
+    config: &EvaluationConfig,
+    order: &[usize],
+    prototype: &P,
+) -> Result<DagPolicyMonteCarloOutcome, AdaptiveError>
+where
+    P: DagPolicy + Clone + Sync,
+{
+    let make_policy = |_trial: usize| prototype.clone();
+    crate::harness::run_under_truth(
+        truth,
+        spec.downtime(),
+        config,
+        spec.total_work() + spec.len() as f64 * spec.mean_checkpoint_cost(),
+        |scenario| {
+            scenario.run_dag_policy(spec.tasks(), order, spec.initial_recovery(), make_policy)
+        },
+        |scenario, make_stream| {
+            scenario.run_dag_policy_with_streams(
+                spec.tasks(),
+                order,
+                spec.initial_recovery(),
+                make_policy,
+                make_stream,
+            )
+        },
+        |outcome| &outcome.samples,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_simulator::stream::{NoFailureStream, ScriptedStream};
+    use ckpt_simulator::{simulate_dag_policy, simulate_dag_policy_with_log, ExecutionEvent};
+
+    /// A heterogeneous layered DAG spec (per-last-task planning model).
+    fn layered_spec(seed: u64) -> DagSpec {
+        use ckpt_failure::{Pcg64, RandomSource};
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut coin_rng = rng.derive(7);
+        let graph = ckpt_dag::generators::layered_random(
+            &[2, 4, 3, 4, 2],
+            |lvl, idx| 150.0 + 120.0 * ((lvl * 3 + idx) % 5) as f64,
+            0.4,
+            move || coin_rng.next_f64(),
+        )
+        .unwrap();
+        let n = graph.task_count();
+        let ckpt: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 80.0).collect();
+        let rec: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 80.0).collect();
+        let instance = ProblemInstance::builder(graph)
+            .checkpoint_costs(ckpt)
+            .recovery_costs(rec)
+            .initial_recovery(20.0)
+            .downtime(10.0)
+            .platform_lambda(1e-4)
+            .build()
+            .unwrap();
+        DagSpec::new(instance, CheckpointCostModel::PerLastTask).unwrap()
+    }
+
+    fn quick_search() -> OrderSearchConfig {
+        OrderSearchConfig { restarts: 3, steps: 80, threads: 1, ..Default::default() }
+    }
+
+    /// The checkpoint positions a DAG policy takes on a given stream.
+    fn run_logged<P: DagPolicy>(
+        spec: &DagSpec,
+        order: &[usize],
+        policy: &mut P,
+        stream: &mut dyn ckpt_simulator::FailureStream,
+    ) -> ckpt_simulator::DagPolicyLoggedExecution {
+        simulate_dag_policy_with_log(
+            spec.tasks(),
+            order,
+            spec.initial_recovery(),
+            spec.downtime(),
+            policy,
+            stream,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn static_plan_replays_its_placement() {
+        let spec = layered_spec(1);
+        let plan = optimal_static_dag_plan(&spec, 1e-4, &quick_search()).unwrap();
+        let mut policy = DagStaticPlan::from_plan(&plan);
+        let logged = run_logged(&spec, &plan.order_indices(), &mut policy, &mut NoFailureStream);
+        let taken: Vec<usize> = logged
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                ExecutionEvent::SegmentCompleted { segment, .. } => Some(segment),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<usize> =
+            plan.checkpoint_after.iter().enumerate().filter_map(|(p, &c)| c.then_some(p)).collect();
+        assert_eq!(taken, expected);
+        assert_eq!(logged.outcome.reorders, 0);
+    }
+
+    #[test]
+    fn adaptive_policies_without_failures_replay_the_offline_plan() {
+        for seed in [1u64, 5] {
+            let spec = layered_spec(seed);
+            let plan = optimal_static_dag_plan(&spec, 1e-4, &quick_search()).unwrap();
+            let mut static_policy = DagStaticPlan::from_plan(&plan);
+            let reference =
+                run_logged(&spec, &plan.order_indices(), &mut static_policy, &mut NoFailureStream);
+            let mut resolve = DagAdaptiveResolve::new(&spec, &plan, 1e-4).unwrap();
+            let run = run_logged(&spec, &plan.order_indices(), &mut resolve, &mut NoFailureStream);
+            assert_eq!(run.outcome, reference.outcome, "seed {seed}: resolve drifted");
+            assert_eq!(resolve.replans(), 0);
+
+            let mut relin = DagRelinearise::new(&spec, &plan, 1e-4).unwrap();
+            let run = run_logged(&spec, &plan.order_indices(), &mut relin, &mut NoFailureStream);
+            assert_eq!(run.outcome, reference.outcome, "seed {seed}: relinearise drifted");
+            assert_eq!(relin.replans(), 0);
+            assert_eq!(relin.reorders(), 0);
+        }
+    }
+
+    #[test]
+    fn relinearise_replans_and_may_reorder_on_failures() {
+        let spec = layered_spec(2);
+        // Plan at a wildly optimistic rate, then hit early failures: the
+        // posterior shoots up and the policy re-plans.
+        let plan = optimal_static_dag_plan(&spec, 1e-6, &quick_search()).unwrap();
+        let mut policy = DagRelinearise::new(&spec, &plan, 1e-6).unwrap().with_prior_strength(0.01);
+        let mut stream = ScriptedStream::new(vec![300.0, 900.0, 1_700.0]);
+        let outcome = simulate_dag_policy(
+            spec.tasks(),
+            &plan.order_indices(),
+            spec.initial_recovery(),
+            spec.downtime(),
+            &mut policy,
+            &mut stream,
+        )
+        .unwrap();
+        assert_eq!(outcome.record.failures, 3);
+        assert!(policy.replans() >= 1);
+        assert!(policy.plan_rate() > 1e-6);
+        // With the rate revised sharply upwards, more than just the final
+        // checkpoint gets taken.
+        assert!(outcome.checkpoints > 1, "checkpoints: {}", outcome.checkpoints);
+        // The engine's applied reorders match the policy's accounting.
+        assert_eq!(outcome.reorders as usize, policy.reorders());
+    }
+
+    #[test]
+    fn relinearised_orders_stay_topological() {
+        // Drive the policy through many scripted failures and let the
+        // engine + instance validation check every spliced order.
+        for seed in [3u64, 4, 8] {
+            let spec = layered_spec(seed);
+            let plan = optimal_static_dag_plan(&spec, 1e-6, &quick_search()).unwrap();
+            let mut policy =
+                DagRelinearise::new(&spec, &plan, 1e-6).unwrap().with_prior_strength(0.05);
+            let mut stream =
+                ScriptedStream::new(vec![250.0, 600.0, 1_000.0, 1_500.0, 2_200.0, 3_000.0]);
+            let outcome = simulate_dag_policy(
+                spec.tasks(),
+                &plan.order_indices(),
+                spec.initial_recovery(),
+                spec.downtime(),
+                &mut policy,
+                &mut stream,
+            )
+            .unwrap();
+            // The final order must be a topological order of the graph.
+            let final_order: Vec<TaskId> = outcome.final_order.iter().map(|&i| TaskId(i)).collect();
+            assert!(
+                topo::is_topological_order(spec.instance().graph(), &final_order),
+                "seed {seed}: final order is not topological"
+            );
+        }
+    }
+
+    #[test]
+    fn comparison_is_deterministic_and_ranks_sanely() {
+        let spec = layered_spec(1);
+        let planning = 1.0 / 40_000.0;
+        let truth = TruthModel::Exponential { lambda: 8.0 * planning };
+        let config = EvaluationConfig { trials: 120, seed: 11, threads: 1 };
+        let cmp = compare_dag_policies(&spec, planning, &truth, &config, &quick_search()).unwrap();
+        assert_eq!(cmp.results.len(), 4);
+        assert_eq!(cmp.row("clairvoyant").regret, 0.0);
+        let again =
+            compare_dag_policies(&spec, planning, &truth, &config, &quick_search()).unwrap();
+        assert_eq!(cmp, again, "comparison must be deterministic");
+        // Adapting must beat the stale static plan under an 8× truth.
+        let stale = cmp.row("dag-static").mean_makespan;
+        assert!(cmp.row("dag-adaptive-resolve").mean_makespan < stale);
+        assert!(cmp.row("dag-relinearise").mean_makespan < stale);
+    }
+
+    #[test]
+    fn spec_validates_and_exposes_both_views() {
+        let spec = layered_spec(1);
+        assert!(!spec.is_empty());
+        assert_eq!(spec.len(), spec.instance().task_count());
+        assert_eq!(spec.tasks().len(), spec.len());
+        let t0 = spec.tasks()[0];
+        assert_eq!(t0.work(), spec.instance().weight(TaskId(0)));
+        assert_eq!(t0.checkpoint(), spec.instance().checkpoint_cost(TaskId(0)));
+        assert!((spec.total_work() - spec.instance().total_weight()).abs() < 1e-12);
+        let empty =
+            ProblemInstance::builder(ckpt_dag::TaskGraph::new()).platform_lambda(1e-3).build();
+        // An empty graph cannot even build an instance, or is rejected here.
+        if let Ok(instance) = empty {
+            assert!(DagSpec::new(instance, CheckpointCostModel::PerLastTask).is_err());
+        }
+    }
+
+    #[test]
+    fn policies_validate_their_plans() {
+        let spec = layered_spec(1);
+        let plan = optimal_static_dag_plan(&spec, 1e-4, &quick_search()).unwrap();
+        let mut bad = plan.clone();
+        bad.order.reverse();
+        assert!(DagAdaptiveResolve::new(&spec, &bad, 1e-4).is_err());
+        assert!(DagRelinearise::new(&spec, &bad, 1e-4).is_err());
+        assert!(DagAdaptiveResolve::new(&spec, &plan, 0.0).is_err());
+        assert!(optimal_static_dag_plan(&spec, -1.0, &quick_search()).is_err());
+    }
+}

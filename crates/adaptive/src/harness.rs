@@ -77,7 +77,7 @@ impl TruthModel {
         }
     }
 
-    fn validate(&self) -> Result<(), AdaptiveError> {
+    pub(crate) fn validate(&self) -> Result<(), AdaptiveError> {
         let (name, value) = match *self {
             TruthModel::Exponential { lambda } => ("true lambda", lambda),
             TruthModel::WeibullPlatform { platform_mtbf, shape, processors }
@@ -244,59 +244,85 @@ where
     P: ckpt_simulator::Policy + Clone + Sync,
 {
     let make_policy = |_trial: usize| prototype.clone();
-    let outcome = match *truth {
-        TruthModel::Exponential { lambda } => SimulationScenario::exponential(lambda)
-            .with_downtime(spec.downtime())
+    run_under_truth(
+        truth,
+        spec.downtime(),
+        config,
+        spec.total_work() + spec.len() as f64 * spec.mean_checkpoint_cost(),
+        |scenario| scenario.run_policy(spec.tasks(), spec.initial_recovery(), make_policy),
+        |scenario, make_stream| {
+            scenario.run_policy_with_streams(
+                spec.tasks(),
+                spec.initial_recovery(),
+                make_policy,
+                make_stream,
+            )
+        },
+        |outcome| &outcome.samples,
+    )
+}
+
+/// The truth-model driver shared by the chain and the DAG harnesses: builds
+/// the Monte-Carlo scenario of `truth` (downtime, trials, seed, threads
+/// applied uniformly) and hands it to `run_direct` (model-generated
+/// streams) — or, for trace truths, generates per-trial traces covering
+/// [`TRACE_HORIZON_FACTOR`] × `failure_free_makespan` and hands the stream
+/// factory to `run_with_traces`, then enforces the horizon guard on the
+/// returned samples: a makespan beyond the generated horizon means that
+/// trial's trace ran out and its tail executed spuriously failure-free, so
+/// the run is rejected instead of reported optimistically.
+///
+/// Keeping the scenario construction, the Weibull platform derivation and
+/// the horizon formula in exactly one place is what keeps the two
+/// harnesses' notion of a valid trial from drifting apart.
+pub(crate) fn run_under_truth<O>(
+    truth: &TruthModel,
+    downtime: f64,
+    config: &EvaluationConfig,
+    failure_free_makespan: f64,
+    run_direct: impl Fn(SimulationScenario) -> Result<O, ckpt_simulator::SimulationError>,
+    run_with_traces: impl Fn(
+        SimulationScenario,
+        &(dyn Fn(usize, u64) -> TraceStream + Sync),
+    ) -> Result<O, ckpt_simulator::SimulationError>,
+    samples: impl Fn(&O) -> &[f64],
+) -> Result<O, AdaptiveError> {
+    let configure = |scenario: SimulationScenario| {
+        scenario
+            .with_downtime(downtime)
             .with_trials(config.trials)
             .with_seed(config.seed)
             .with_threads(config.threads)
-            .run_policy(spec.tasks(), spec.initial_recovery(), make_policy)?,
+    };
+    match *truth {
+        TruthModel::Exponential { lambda } => {
+            Ok(run_direct(configure(SimulationScenario::exponential(lambda)))?)
+        }
         TruthModel::WeibullPlatform { processors, shape, platform_mtbf } => {
-            let per_processor_mean = platform_mtbf * processors as f64;
-            let law = Weibull::with_mean(shape, per_processor_mean)?;
-            SimulationScenario::platform(processors, law)
-                .with_downtime(spec.downtime())
-                .with_trials(config.trials)
-                .with_seed(config.seed)
-                .with_threads(config.threads)
-                .run_policy(spec.tasks(), spec.initial_recovery(), make_policy)?
+            let law = Weibull::with_mean(shape, platform_mtbf * processors as f64)?;
+            Ok(run_direct(configure(SimulationScenario::platform(processors, law)))?)
         }
         TruthModel::WeibullTrace { processors, shape, platform_mtbf } => {
-            let per_processor_mean = platform_mtbf * processors as f64;
-            let law = Weibull::with_mean(shape, per_processor_mean)?;
-            let horizon = TRACE_HORIZON_FACTOR
-                * (spec.total_work() + spec.len() as f64 * spec.mean_checkpoint_cost());
+            let law = Weibull::with_mean(shape, platform_mtbf * processors as f64)?;
+            let horizon = TRACE_HORIZON_FACTOR * failure_free_makespan;
             // The scenario's Exponential model is unused: streams come from
             // the factory. Every policy re-generates the same per-trial
             // trace from the derived seed, keeping the comparison paired.
-            let outcome = SimulationScenario::exponential(1.0)
-                .with_downtime(spec.downtime())
-                .with_trials(config.trials)
-                .with_seed(config.seed)
-                .with_threads(config.threads)
-                .run_policy_with_streams(
-                    spec.tasks(),
-                    spec.initial_recovery(),
-                    make_policy,
-                    |_trial, derived_seed| {
-                        let generator = TraceGenerator::new(processors, derived_seed)
-                            .expect("processors validated above");
-                        let trace = generator.generate(law, horizon);
-                        TraceStream::new(TraceReplay::new(trace))
-                    },
-                )?;
-            // A makespan beyond the generated horizon means that trial's
-            // trace ran out and its tail executed spuriously failure-free:
-            // refuse to report silently optimistic means.
+            let make_stream = move |_trial: usize, derived_seed: u64| {
+                let generator = TraceGenerator::new(processors, derived_seed)
+                    .expect("processors validated before running");
+                TraceStream::new(TraceReplay::new(generator.generate(law, horizon)))
+            };
+            let outcome =
+                run_with_traces(configure(SimulationScenario::exponential(1.0)), &make_stream)?;
             if let Some(&worst) =
-                outcome.samples.iter().max_by(|a, b| a.total_cmp(b)).filter(|&&m| m > horizon)
+                samples(&outcome).iter().max_by(|a, b| a.total_cmp(b)).filter(|&&m| m > horizon)
             {
                 return Err(AdaptiveError::TraceHorizonExceeded { horizon, makespan: worst });
             }
-            outcome
+            Ok(outcome)
         }
-    };
-    Ok(outcome)
+    }
 }
 
 #[cfg(test)]

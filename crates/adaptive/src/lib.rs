@@ -16,7 +16,12 @@
 //!   inter-failure times, re-plan on drift);
 //! * the [`harness`] Monte-Carlo-compares all of them under misspecified
 //!   truths (wrong rate, Weibull platform, trace replay) against the
-//!   clairvoyant offline optimum, deterministically at any thread count.
+//!   clairvoyant offline optimum, deterministically at any thread count;
+//! * the [`dag`] module is the **DAG execution tier**: policies over
+//!   linearised DAGs that may also **re-linearise the remaining graph**
+//!   after a failure ([`DagRelinearise`]: suffix-subgraph extraction +
+//!   bounded-budget seeded order search), with their own regret harness
+//!   ([`compare_dag_policies`]).
 //!
 //! # Example
 //!
@@ -50,11 +55,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chain;
+pub mod dag;
 pub mod error;
 pub mod harness;
 pub mod policies;
 
 pub use chain::ChainSpec;
+pub use dag::{
+    compare_dag_policies, optimal_static_dag_plan, DagAdaptiveResolve, DagPlan,
+    DagPolicyComparison, DagPolicyResult, DagRelinearise, DagSpec, DagStaticPlan,
+};
 pub use error::AdaptiveError;
 pub use harness::{compare_policies, EvaluationConfig, PolicyComparison, PolicyResult, TruthModel};
 pub use policies::{optimal_static_plan, AdaptiveResolve, PeriodicYoung, RateLearning, StaticPlan};

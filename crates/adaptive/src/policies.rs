@@ -126,12 +126,24 @@ impl Policy for PeriodicYoung {
 
 /// Failures observed so far, folded into a rate estimate with a Gamma prior
 /// of `prior_strength` pseudo-failures centred on the planning rate: the
-/// posterior-mean rate after `k` observed failures over `t` seconds is
-/// `(k₀ + k) / (k₀/λ_plan + t)`.
-fn posterior_rate(planning_rate: f64, prior_strength: f64, ctx: &DecisionContext<'_>) -> f64 {
-    let k = ctx.failure_times.len() as f64;
-    (prior_strength + k) / (prior_strength / planning_rate + ctx.clock)
+/// posterior-mean rate after `failures` observed failures over `clock`
+/// seconds is `(k₀ + k) / (k₀/λ_plan + t)`. Shared by the chain policies
+/// here and the DAG policies in [`crate::dag`].
+pub(crate) fn posterior_rate(
+    planning_rate: f64,
+    prior_strength: f64,
+    failures: usize,
+    clock: f64,
+) -> f64 {
+    (prior_strength + failures as f64) / (prior_strength / planning_rate + clock)
 }
+
+/// Pseudo-failure weight of the planning-rate prior (the Gamma-conjugate
+/// prior contributes `k₀` failures over `k₀/λ_plan` seconds of pseudo
+/// exposure): one pseudo-failure keeps the very first observed failure from
+/// yanking the plan arbitrarily far, while a genuinely misspecified rate
+/// overtakes the prior within a handful of failures.
+pub(crate) const DEFAULT_PRIOR_STRENGTH: f64 = 1.0;
 
 /// Re-solves the remaining chain after **every** observed failure, at the
 /// posterior-mean rate estimate (see the module docs). Decision lookups and
@@ -148,13 +160,6 @@ pub struct AdaptiveResolve {
     seen_failures: usize,
     replans: usize,
 }
-
-/// Pseudo-failure weight of the planning-rate prior (the Gamma-conjugate
-/// prior contributes `k₀` failures over `k₀/λ_plan` seconds of pseudo
-/// exposure): one pseudo-failure keeps the very first observed failure from
-/// yanking the plan arbitrarily far, while a genuinely misspecified rate
-/// overtakes the prior within a handful of failures.
-const DEFAULT_PRIOR_STRENGTH: f64 = 1.0;
 
 impl AdaptiveResolve {
     /// Plans `spec` at `planning_rate` (a full Algorithm 1 solve) and arms
@@ -207,7 +212,12 @@ impl Policy for AdaptiveResolve {
         let start = ctx.resume_position();
         if ctx.failure_times.len() > self.seen_failures {
             self.seen_failures = ctx.failure_times.len();
-            let estimate = posterior_rate(self.planning_rate, self.prior_strength, ctx);
+            let estimate = posterior_rate(
+                self.planning_rate,
+                self.prior_strength,
+                ctx.failure_times.len(),
+                ctx.clock,
+            );
             if let Ok(table) = self.spec.sweep().table_for(estimate) {
                 self.dp.solve_suffix(&table, start);
                 self.plan_rate = estimate;

@@ -1,0 +1,304 @@
+//! Seeded test-instance generators shared by the experiment binaries, the
+//! Criterion benches and every test suite of the workspace.
+//!
+//! Before this module existed, three near-identical copies of the
+//! random-chain / random-DAG generators lived in `ckpt-bench`'s crate root,
+//! `tests/chain_dp_optimality.rs` and `ckpt-core`'s cost-model property
+//! tests. They are deduplicated here **preserving each generator's exact
+//! RNG consumption pattern**, so the same seeds produce bit-identical
+//! instances as before the migration — asserted by the `legacy_migration`
+//! tests below, which inline the original generator code and compare.
+//!
+//! Shapes provided: uniform random chains ([`random_chain_instance`]),
+//! heterogeneous chains ([`heterogeneous_chain_instance`]), independent
+//! task sets ([`random_independent_instance`]), wide fork-joins
+//! ([`wide_fork_join_instance`]) and layered random DAGs
+//! ([`random_layered_instance`], plus the random-structure
+//! [`random_layered_proptest_case`] used by property tests).
+
+use ckpt_core::{ProblemInstance, ProblemInstanceBuilder};
+use ckpt_dag::{generators, linearize, LinearizationStrategy, TaskId};
+use ckpt_failure::{Pcg64, RandomSource};
+
+/// A deterministic random chain instance used across experiments:
+/// `n` tasks with weights in `[min_w, max_w]`, uniform checkpoint/recovery
+/// costs and the given platform rate.
+#[allow(clippy::too_many_arguments)] // flat experiment-config signature
+pub fn random_chain_instance(
+    seed: u64,
+    n: usize,
+    min_w: f64,
+    max_w: f64,
+    checkpoint: f64,
+    recovery: f64,
+    downtime: f64,
+    lambda: f64,
+) -> ProblemInstance {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n).map(|_| rng.next_range(min_w, max_w)).collect();
+    let graph = generators::chain(&weights).expect("n >= 1");
+    let mut builder: ProblemInstanceBuilder = ProblemInstance::builder(graph);
+    builder
+        .uniform_checkpoint_cost(checkpoint)
+        .uniform_recovery_cost(recovery)
+        .downtime(downtime)
+        .platform_lambda(lambda);
+    builder.build().expect("valid parameters")
+}
+
+/// A deterministic **heterogeneous** random chain: weights in
+/// `[100, 4000]`, checkpoint costs in `[10, 300]`, recovery costs in
+/// `[10, 600]`, downtime 30, initial recovery 20 — the integration-test
+/// workhorse (formerly a private copy in `tests/chain_dp_optimality.rs`;
+/// same seeds ⇒ same instances).
+pub fn heterogeneous_chain_instance(seed: u64, n: usize, lambda: f64) -> ProblemInstance {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n).map(|_| 100.0 + rng.next_f64() * 3_900.0).collect();
+    let checkpoints: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 290.0).collect();
+    let recoveries: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 590.0).collect();
+    let graph = generators::chain(&weights).expect("n >= 1");
+    ProblemInstance::builder(graph)
+        .checkpoint_costs(checkpoints)
+        .recovery_costs(recoveries)
+        .downtime(30.0)
+        .initial_recovery(20.0)
+        .platform_lambda(lambda)
+        .build()
+        .expect("valid parameters")
+}
+
+/// A deterministic random independent-task instance.
+pub fn random_independent_instance(
+    seed: u64,
+    n: usize,
+    min_w: f64,
+    max_w: f64,
+    checkpoint: f64,
+    lambda: f64,
+) -> ProblemInstance {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n).map(|_| rng.next_range(min_w, max_w)).collect();
+    let graph = generators::independent(&weights).expect("n >= 1");
+    let mut builder = ProblemInstance::builder(graph);
+    builder
+        .uniform_checkpoint_cost(checkpoint)
+        .uniform_recovery_cost(checkpoint)
+        .platform_lambda(lambda);
+    builder.build().expect("valid parameters")
+}
+
+/// A deterministic wide fork-join instance: one fork task, `branches`
+/// parallel branch tasks with weights in `[min_w, max_w]`, one join task —
+/// the live set grows to `branches` tasks mid-execution, the worst case for
+/// the §6 live-set cost models.
+pub fn wide_fork_join_instance(
+    seed: u64,
+    branches: usize,
+    min_w: f64,
+    max_w: f64,
+    max_cost: f64,
+    lambda: f64,
+) -> ProblemInstance {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..branches).map(|_| rng.next_range(min_w, max_w)).collect();
+    let graph = generators::fork_join(branches, &weights, min_w, min_w).expect("branches >= 1");
+    let n = graph.task_count();
+    let ckpt: Vec<f64> = (0..n).map(|_| rng.next_f64() * max_cost).collect();
+    let rec: Vec<f64> = (0..n).map(|_| rng.next_f64() * max_cost).collect();
+    let mut builder = ProblemInstance::builder(graph);
+    builder.checkpoint_costs(ckpt).recovery_costs(rec).platform_lambda(lambda);
+    builder.build().expect("valid parameters")
+}
+
+/// A deterministic layered random DAG instance: `layers[k]` tasks per
+/// precedence level, each task wired to the previous level with probability
+/// `edge_prob`, weights in `[min_w, max_w]`, heterogeneous checkpoint and
+/// recovery costs in `[0, max_cost]`.
+#[allow(clippy::too_many_arguments)] // flat experiment-config signature
+pub fn random_layered_instance(
+    seed: u64,
+    layers: &[usize],
+    edge_prob: f64,
+    min_w: f64,
+    max_w: f64,
+    max_cost: f64,
+    lambda: f64,
+) -> ProblemInstance {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let mut weight_rng = rng.derive(1);
+    let mut coin_rng = rng.derive(2);
+    let graph = generators::layered_random(
+        layers,
+        move |_, _| weight_rng.next_range(min_w, max_w),
+        edge_prob,
+        move || coin_rng.next_f64(),
+    )
+    .expect("non-empty layers");
+    let n = graph.task_count();
+    let ckpt: Vec<f64> = (0..n).map(|_| rng.next_f64() * max_cost).collect();
+    let rec: Vec<f64> = (0..n).map(|_| rng.next_f64() * max_cost).collect();
+    let mut builder = ProblemInstance::builder(graph);
+    builder.checkpoint_costs(ckpt).recovery_costs(rec).platform_lambda(lambda);
+    builder.build().expect("valid parameters")
+}
+
+/// A layered random DAG instance with a pseudo-random **layer structure**
+/// (2–5 levels of 1–5 tasks, random edge density) and heterogeneous costs,
+/// plus a seeded random topological order of it — the property-test case of
+/// `ckpt-core`'s cost-model sweep (formerly a private copy there; same
+/// seeds ⇒ same cases).
+pub fn random_layered_proptest_case(seed: u64) -> (ProblemInstance, Vec<TaskId>) {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let layer_count = 2 + (rng.next_u64() % 4) as usize;
+    let layers: Vec<usize> = (0..layer_count).map(|_| 1 + (rng.next_u64() % 5) as usize).collect();
+    let edge_prob = 0.2 + rng.next_f64() * 0.6;
+    let mut coin_rng = rng.derive(1);
+    let graph = generators::layered_random(
+        &layers,
+        |_, _| 10.0 + 90.0 * ((seed % 7) as f64 + 1.0),
+        edge_prob,
+        move || coin_rng.next_f64(),
+    )
+    .expect("non-empty layers");
+    let n = graph.task_count();
+    let ckpt: Vec<f64> = (0..n).map(|_| rng.next_f64() * 100.0).collect();
+    let rec: Vec<f64> = (0..n).map(|_| rng.next_f64() * 100.0).collect();
+    let order = linearize::linearize(&graph, LinearizationStrategy::Random(seed ^ 0xA5));
+    let instance = ProblemInstance::builder(graph)
+        .checkpoint_costs(ckpt)
+        .recovery_costs(rec)
+        .platform_lambda(1e-4)
+        .build()
+        .expect("valid parameters");
+    (instance, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_dag::properties;
+
+    #[test]
+    fn random_chain_instance_is_deterministic_and_chain_shaped() {
+        let a = random_chain_instance(1, 10, 100.0, 200.0, 30.0, 30.0, 0.0, 1e-4);
+        let b = random_chain_instance(1, 10, 100.0, 200.0, 30.0, 30.0, 0.0, 1e-4);
+        assert_eq!(a, b);
+        assert!(properties::is_chain(a.graph()));
+        assert_eq!(a.task_count(), 10);
+    }
+
+    #[test]
+    fn random_independent_instance_has_no_edges() {
+        let inst = random_independent_instance(2, 6, 10.0, 20.0, 5.0, 1e-3);
+        assert!(properties::is_independent(inst.graph()));
+    }
+
+    #[test]
+    fn dag_instance_helpers_are_deterministic() {
+        let a = wide_fork_join_instance(3, 8, 100.0, 200.0, 50.0, 1e-4);
+        let b = wide_fork_join_instance(3, 8, 100.0, 200.0, 50.0, 1e-4);
+        assert_eq!(a, b);
+        assert_eq!(a.task_count(), 10);
+        assert_eq!(properties::width(a.graph()), 8);
+        let c = random_layered_instance(4, &[3, 5, 4], 0.4, 50.0, 150.0, 40.0, 1e-4);
+        let d = random_layered_instance(4, &[3, 5, 4], 0.4, 50.0, 150.0, 40.0, 1e-4);
+        assert_eq!(c, d);
+        assert_eq!(c.task_count(), 12);
+    }
+
+    #[test]
+    fn heterogeneous_chain_is_deterministic_and_chain_shaped() {
+        let a = heterogeneous_chain_instance(7, 12, 1e-4);
+        let b = heterogeneous_chain_instance(7, 12, 1e-4);
+        assert_eq!(a, b);
+        assert!(properties::is_chain(a.graph()));
+        assert_eq!(a.downtime(), 30.0);
+        assert_eq!(a.initial_recovery(), 20.0);
+    }
+
+    #[test]
+    fn layered_proptest_case_is_deterministic_with_a_valid_order() {
+        let (a, order_a) = random_layered_proptest_case(42);
+        let (b, order_b) = random_layered_proptest_case(42);
+        assert_eq!(a, b);
+        assert_eq!(order_a, order_b);
+        assert!(ckpt_dag::topo::is_topological_order(a.graph(), &order_a));
+    }
+
+    /// The migration contract of the ISSUE-5 satellite: the deduplicated
+    /// generators reproduce the **legacy inline generators byte for byte**
+    /// at the same seeds. Each legacy body below is the verbatim code that
+    /// used to live at the named call site.
+    mod legacy_migration {
+        use super::*;
+
+        /// Formerly `random_chain_instance` in `tests/chain_dp_optimality.rs`.
+        fn legacy_hetero_chain(seed: u64, n: usize, lambda: f64) -> ProblemInstance {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let weights: Vec<f64> = (0..n).map(|_| 100.0 + rng.next_f64() * 3_900.0).collect();
+            let checkpoints: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 290.0).collect();
+            let recoveries: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 590.0).collect();
+            let graph = generators::chain(&weights).unwrap();
+            ProblemInstance::builder(graph)
+                .checkpoint_costs(checkpoints)
+                .recovery_costs(recoveries)
+                .downtime(30.0)
+                .initial_recovery(20.0)
+                .platform_lambda(lambda)
+                .build()
+                .unwrap()
+        }
+
+        /// Formerly `random_dag_case` in `ckpt-core`'s
+        /// `cost_model::sweep_properties`.
+        fn legacy_random_dag_case(seed: u64) -> (ProblemInstance, Vec<TaskId>) {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let layer_count = 2 + (rng.next_u64() % 4) as usize;
+            let layers: Vec<usize> =
+                (0..layer_count).map(|_| 1 + (rng.next_u64() % 5) as usize).collect();
+            let edge_prob = 0.2 + rng.next_f64() * 0.6;
+            let mut coin_rng = rng.derive(1);
+            let graph = generators::layered_random(
+                &layers,
+                |_, _| 10.0 + 90.0 * ((seed % 7) as f64 + 1.0),
+                edge_prob,
+                move || coin_rng.next_f64(),
+            )
+            .unwrap();
+            let n = graph.task_count();
+            let ckpt: Vec<f64> = (0..n).map(|_| rng.next_f64() * 100.0).collect();
+            let rec: Vec<f64> = (0..n).map(|_| rng.next_f64() * 100.0).collect();
+            let order = linearize::linearize(&graph, LinearizationStrategy::Random(seed ^ 0xA5));
+            let inst = ProblemInstance::builder(graph)
+                .checkpoint_costs(ckpt)
+                .recovery_costs(rec)
+                .platform_lambda(1e-4)
+                .build()
+                .unwrap();
+            (inst, order)
+        }
+
+        #[test]
+        fn heterogeneous_chain_matches_the_legacy_integration_test_generator() {
+            for seed in [0u64, 1, 7, 100, 4242, 31337] {
+                for (n, lambda) in [(5usize, 1.0 / 2_500.0), (12, 1.0 / 6_000.0), (30, 1e-4)] {
+                    assert_eq!(
+                        heterogeneous_chain_instance(seed, n, lambda),
+                        legacy_hetero_chain(seed, n, lambda),
+                        "seed {seed}, n {n}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn layered_proptest_case_matches_the_legacy_core_generator() {
+            for seed in [0u64, 1, 2, 17, 0xDEAD_BEEF, u64::MAX] {
+                let (inst, order) = random_layered_proptest_case(seed);
+                let (legacy_inst, legacy_order) = legacy_random_dag_case(seed);
+                assert_eq!(inst, legacy_inst, "seed {seed}");
+                assert_eq!(order, legacy_order, "seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Golden-snapshot tests of the `--json` machine-readable summaries
+//! (ISSUE 5 satellite): each experiment binary with a JSON surface is run
+//! twice, its emitted object is parsed, the schema keys CI tooling depends
+//! on are asserted present and non-null, and the two runs must agree
+//! **byte for byte** on every non-timing metric — so the machine-readable
+//! surface cannot silently drift (a renamed key, a lost metric, a
+//! nondeterministic value).
+//!
+//! Gated to the `--release` CI pass: the binaries replay full experiments
+//! (e10's 10⁴-task reference table build, e12's Monte-Carlo regret study),
+//! far too slow under a debug build.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs `binary --json=PATH`, asserting success, and returns the emitted
+/// single-line JSON object.
+fn run_with_json(binary: &str, tag: &str) -> String {
+    let path: PathBuf = std::env::temp_dir().join(format!("ckpt_{tag}.json"));
+    let status = Command::new(binary)
+        .arg(format!("--json={}", path.display()))
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {binary}: {e}"));
+    assert!(status.success(), "{binary} exited with {status}");
+    let json = std::fs::read_to_string(&path).expect("summary file written");
+    let _ = std::fs::remove_file(&path);
+    json.trim_end().to_string()
+}
+
+/// Length of the quoted JSON string at the start of `s` (including both
+/// quotes), honouring the writer's backslash escapes.
+fn quoted_string_len(s: &str) -> usize {
+    let bytes = s.as_bytes();
+    assert_eq!(bytes.first(), Some(&b'"'), "expected a quoted string: {s}");
+    let mut i = 1;
+    loop {
+        match bytes.get(i) {
+            Some(b'\\') => i += 2,
+            Some(b'"') => return i + 1,
+            Some(_) => i += 1,
+            None => panic!("unterminated string in: {s}"),
+        }
+    }
+}
+
+/// A minimal parser for the writer's flat `{"key":value}` shape
+/// (`JsonSummary` emits escaped keys/strings and bare numbers): returns the
+/// key → raw-value map in insertion order (BTreeMap for lookup; insertion
+/// order is compared via the key vectors across runs).
+fn parse_flat_object(json: &str) -> BTreeMap<String, String> {
+    assert!(json.starts_with('{') && json.ends_with('}'), "not an object: {json}");
+    let mut fields = BTreeMap::new();
+    let mut rest = &json[1..json.len() - 1];
+    while !rest.is_empty() {
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+        let key_len = quoted_string_len(rest);
+        let key = &rest[1..key_len - 1];
+        let after = rest[key_len..].strip_prefix(':').expect("missing colon");
+        let value_end = if after.starts_with('"') {
+            quoted_string_len(after)
+        } else {
+            after.find(',').unwrap_or(after.len())
+        };
+        fields.insert(key.to_string(), after[..value_end].to_string());
+        rest = &after[value_end..];
+    }
+    fields
+}
+
+/// The shared schema contract: run twice, parse, assert determinism, the
+/// experiment name, and the presence of every expected non-null key.
+/// Keys starting with one of `timing_prefixes` carry wall-clock
+/// measurements: they must exist in both runs but their values are
+/// legitimately nondeterministic and are excluded from the byte
+/// comparison.
+fn assert_summary_schema(
+    binary: &str,
+    experiment: &str,
+    expected_keys: &[String],
+    timing_prefixes: &[&str],
+) {
+    let first = run_with_json(binary, &format!("{experiment}_a"));
+    let second = run_with_json(binary, &format!("{experiment}_b"));
+
+    let fields = parse_flat_object(&first);
+    let fields_again = parse_flat_object(&second);
+    let keys: Vec<&String> = fields.keys().collect();
+    let keys_again: Vec<&String> = fields_again.keys().collect();
+    assert_eq!(keys, keys_again, "{experiment}: key set differs across two runs");
+    for (key, value) in &fields {
+        if timing_prefixes.iter().any(|p| key.starts_with(p)) {
+            continue;
+        }
+        assert_eq!(
+            Some(value),
+            fields_again.get(key),
+            "{experiment}: value of `{key}` differs across two runs"
+        );
+    }
+    assert_eq!(
+        fields.get("experiment").map(String::as_str),
+        Some(format!("\"{experiment}\"").as_str()),
+        "{experiment}: wrong experiment tag"
+    );
+    for key in expected_keys {
+        let value =
+            fields.get(key).unwrap_or_else(|| panic!("{experiment}: missing summary key `{key}`"));
+        assert_ne!(value, "null", "{experiment}: key `{key}` is null");
+        assert!(!value.is_empty(), "{experiment}: key `{key}` is empty");
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs release experiment binaries (see CI)")]
+fn e9_json_summary_schema_and_determinism() {
+    let keys: Vec<String> = ["grid_points".to_string()]
+        .into_iter()
+        .chain(["1e-7", "3e-5", "1e-2"].iter().flat_map(|rate| {
+            [format!("lambda_{rate}_optimal_makespan"), format!("lambda_{rate}_checkpoints")]
+        }))
+        .chain(["fixed_vs_optimal_at_max_rate".to_string()])
+        .collect();
+    assert_summary_schema(env!("CARGO_BIN_EXE_e9_lambda_sweep"), "e9_lambda_sweep", &keys, &[]);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs release experiment binaries (see CI)")]
+fn e10_json_summary_schema_and_determinism() {
+    let mut keys: Vec<String> = Vec::new();
+    for tasks in [102usize, 1_002, 10_000] {
+        keys.push(format!("table_build_speedup_{tasks}_tasks"));
+    }
+    for scenario in ["chain_64", "fork_join_16", "fork_join_48", "layered_5x8", "layered_deep"] {
+        for model in ["per-last-task", "live-set-sum", "live-set-max"] {
+            keys.push(format!("gain_pct_{scenario}_{model}"));
+        }
+    }
+    assert_summary_schema(
+        env!("CARGO_BIN_EXE_e10_order_search"),
+        "e10_order_search",
+        &keys,
+        &["table_build_speedup_"],
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs release experiment binaries (see CI)")]
+fn e11_json_summary_schema_and_determinism() {
+    let mut keys: Vec<String> = vec!["planning_rate".to_string(), "trials".to_string()];
+    for scenario in ["true_rate", "rate_4x", "rate_10x", "weibull_10x", "trace_8x"] {
+        for policy in
+            ["clairvoyant", "static_plan", "periodic_young", "adaptive_resolve", "rate_learning"]
+        {
+            keys.push(format!("{scenario}_{policy}_makespan"));
+        }
+    }
+    assert_summary_schema(env!("CARGO_BIN_EXE_e11_adaptive"), "e11_adaptive", &keys, &[]);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs release experiment binaries (see CI)")]
+fn e12_json_summary_schema_and_determinism() {
+    let mut keys: Vec<String> =
+        vec!["planning_rate".to_string(), "trials".to_string(), "tasks".to_string()];
+    for scenario in ["true_rate", "rate_4x", "rate_10x", "weibull_8x"] {
+        for policy in ["clairvoyant", "dag_static", "dag_adaptive_resolve", "dag_relinearise"] {
+            keys.push(format!("{scenario}_{policy}_makespan"));
+        }
+        keys.push(format!("{scenario}_relinearise_reorders"));
+    }
+    assert_summary_schema(env!("CARGO_BIN_EXE_e12_dag_adaptive"), "e12_dag_adaptive", &keys, &[]);
+}

@@ -469,74 +469,10 @@ mod tests {
         }
     }
 
-    mod sweep_properties {
-        use super::*;
-        use ckpt_dag::{linearize, LinearizationStrategy};
-        use ckpt_failure::{Pcg64, RandomSource};
-        use proptest::prelude::*;
-
-        /// A layered random DAG instance with pseudo-random heterogeneous
-        /// costs, plus a seeded random topological order of it.
-        fn random_dag_case(seed: u64) -> (ProblemInstance, Vec<TaskId>) {
-            let mut rng = Pcg64::seed_from_u64(seed);
-            let layer_count = 2 + (rng.next_u64() % 4) as usize;
-            let layers: Vec<usize> =
-                (0..layer_count).map(|_| 1 + (rng.next_u64() % 5) as usize).collect();
-            let edge_prob = 0.2 + rng.next_f64() * 0.6;
-            let mut coin_rng = rng.derive(1);
-            let graph = ckpt_dag::generators::layered_random(
-                &layers,
-                |_, _| 10.0 + 90.0 * ((seed % 7) as f64 + 1.0),
-                edge_prob,
-                move || coin_rng.next_f64(),
-            )
-            .unwrap();
-            let n = graph.task_count();
-            let ckpt: Vec<f64> = (0..n).map(|_| rng.next_f64() * 100.0).collect();
-            let rec: Vec<f64> = (0..n).map(|_| rng.next_f64() * 100.0).collect();
-            let order = linearize::linearize(&graph, LinearizationStrategy::Random(seed ^ 0xA5));
-            let inst = ProblemInstance::builder(graph)
-                .checkpoint_costs(ckpt)
-                .recovery_costs(rec)
-                .platform_lambda(1e-4)
-                .build()
-                .unwrap();
-            (inst, order)
-        }
-
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-
-            #[test]
-            fn prop_incremental_matches_recomputing_path(seed in any::<u64>()) {
-                let (inst, order) = random_dag_case(seed);
-                for model in ALL_MODELS {
-                    let (ckpt, rec) = model.costs_along_order(&inst, &order);
-                    prop_assert_eq!(ckpt.len(), order.len());
-                    for pos in 0..order.len() {
-                        let c_ref = model.checkpoint_cost(&inst, &order, pos);
-                        let r_ref = model.recovery_cost(&inst, &order, pos);
-                        match model {
-                            // Max and per-task never do arithmetic on the
-                            // costs: bitwise equality is required.
-                            CheckpointCostModel::PerLastTask
-                            | CheckpointCostModel::LiveSetMax => {
-                                prop_assert!(ckpt[pos] == c_ref, "{} ckpt at {}", model, pos);
-                                prop_assert!(rec[pos] == r_ref, "{} rec at {}", model, pos);
-                            }
-                            // The running sum re-associates the additions, so
-                            // it may differ from the fresh sum by rounding
-                            // only.
-                            CheckpointCostModel::LiveSetSum => {
-                                prop_assert!((ckpt[pos] - c_ref).abs() <= 1e-12 * c_ref.abs().max(1.0),
-                                    "sum ckpt at {}: {} vs {}", pos, ckpt[pos], c_ref);
-                                prop_assert!((rec[pos] - r_ref).abs() <= 1e-12 * r_ref.abs().max(1.0),
-                                    "sum rec at {}: {} vs {}", pos, rec[pos], r_ref);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
+    // The incremental-vs-recomputing sweep property test lives in the
+    // workspace integration suite (`tests/live_set_cost_models.rs`): its
+    // random layered DAG cases come from the shared
+    // `ckpt_bench::testgen::random_layered_proptest_case` generator, and
+    // `ckpt-bench` cannot be a dev-dependency here without the unit-test
+    // build seeing two distinct `ckpt-core` compilations.
 }

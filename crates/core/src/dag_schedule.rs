@@ -196,13 +196,7 @@ pub fn schedule_dag_best_of(
     model: CheckpointCostModel,
     random_tries: u64,
 ) -> Result<DagSolution, ScheduleError> {
-    let mut strategies = vec![
-        LinearizationStrategy::IdOrder,
-        LinearizationStrategy::HeaviestFirst,
-        LinearizationStrategy::LightestFirst,
-        LinearizationStrategy::CriticalPathFirst,
-    ];
-    strategies.extend((0..random_tries).map(LinearizationStrategy::Random));
+    let strategies = crate::order_search::default_start_strategies(random_tries);
     let mut best: Option<DagSolution> = None;
     for strategy in strategies {
         let candidate = schedule_dag(instance, strategy, model)?;

@@ -181,6 +181,140 @@ pub fn schedule_dag_search(
     model: CheckpointCostModel,
     config: &OrderSearchConfig,
 ) -> Result<OrderSearchOutcome, ScheduleError> {
+    validate_acceptance(config)?;
+    let strategies = default_start_strategies(config.restarts);
+
+    // Materialise distinct start orders (on chains all strategies coincide —
+    // searching one copy is enough), keeping the strategy of each retained
+    // start aligned with it.
+    let mut kept_strategies: Vec<LinearizationStrategy> = Vec::new();
+    let mut starts: Vec<Vec<TaskId>> = Vec::new();
+    for strategy in strategies {
+        let order = linearize::linearize(instance.graph(), strategy);
+        if !starts.contains(&order) {
+            kept_strategies.push(strategy);
+            starts.push(order);
+        }
+    }
+
+    let runs = run_all(instance, model, config, &starts)?;
+    let winner = winning_run(&runs);
+    let best = &runs[winner];
+
+    let schedule = Schedule::new(instance, best.order.clone(), best.checkpoint_after.clone())?;
+    let expected_makespan = crate::evaluate::expected_makespan(instance, &schedule)?;
+    let solution = DagSolution {
+        schedule,
+        expected_makespan,
+        expected_makespan_under_model: best.value,
+        strategy: kept_strategies[winner],
+    };
+    Ok(OrderSearchOutcome {
+        solution,
+        starts: starts.len(),
+        accepted_moves: runs.iter().map(|r| r.accepted).sum(),
+        degrading_moves: runs.iter().map(|r| r.degrading).sum(),
+        proposed_moves: runs.iter().map(|r| r.proposed).sum(),
+    })
+}
+
+/// The start-strategy set of [`schedule_dag_search`] and
+/// [`crate::dag_schedule::schedule_dag_best_of`]: the four deterministic
+/// strategies plus `restarts` seeded random linearisations. Exposed in one
+/// place so callers seeding [`search_from_starts`] with fresh strategy
+/// orders (e.g. the online re-linearisation policies) can never silently
+/// diverge from the offline planners' candidate set.
+pub fn default_start_strategies(restarts: u64) -> Vec<LinearizationStrategy> {
+    let mut strategies = vec![
+        LinearizationStrategy::IdOrder,
+        LinearizationStrategy::HeaviestFirst,
+        LinearizationStrategy::LightestFirst,
+        LinearizationStrategy::CriticalPathFirst,
+    ];
+    strategies.extend((0..restarts).map(LinearizationStrategy::Random));
+    strategies
+}
+
+/// The result of a [`search_from_starts`] run: the best order found and its
+/// optimal placement, without the strategy bookkeeping of
+/// [`schedule_dag_search`] (caller-seeded starts have no
+/// [`LinearizationStrategy`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeededSearchOutcome {
+    /// The best order found, never worse (under the model) than any start.
+    pub order: Vec<TaskId>,
+    /// The optimal checkpoint placement for that order under the model.
+    pub checkpoint_after: Vec<bool>,
+    /// The expected makespan of the order + placement under the model.
+    pub value: f64,
+    /// Index (into the deduplicated start list) of the winning start.
+    pub winning_start: usize,
+    /// Distinct start orders searched.
+    pub starts: usize,
+    /// Moves accepted across all runs.
+    pub accepted_moves: usize,
+    /// Moves proposed across all runs (valid or not).
+    pub proposed_moves: usize,
+}
+
+/// [`schedule_dag_search`]'s engine over **caller-supplied** start orders:
+/// each start is validated as a topological order of the instance graph,
+/// duplicates are searched once, and every run uses the same moves,
+/// evaluation and deterministic threading as `schedule_dag_search`. The
+/// returned value is never worse than the best start evaluated through the
+/// `schedule_dag_best_of` pipeline — so passing the incumbent order as a
+/// start makes the search a strict-improvement step.
+///
+/// This is the online re-linearisation primitive: the `ckpt-adaptive`
+/// `DagRelinearise` policy extracts the remaining graph after a failure
+/// ([`ckpt_dag::subgraph::suffix_subgraph`]), seeds this search with the
+/// current suffix order plus fresh strategy orders of the subgraph, and
+/// splices the winner back into its execution order.
+///
+/// # Errors
+///
+/// * [`ScheduleError::EmptyInstance`] if `starts` is empty;
+/// * [`ScheduleError::InvalidOrder`] if any start is not a topological
+///   order of the instance graph;
+/// * the [`AcceptanceRule`] validation errors of [`schedule_dag_search`].
+pub fn search_from_starts(
+    instance: &ProblemInstance,
+    model: CheckpointCostModel,
+    config: &OrderSearchConfig,
+    starts: &[Vec<TaskId>],
+) -> Result<SeededSearchOutcome, ScheduleError> {
+    validate_acceptance(config)?;
+    if starts.is_empty() {
+        return Err(ScheduleError::EmptyInstance);
+    }
+    let mut deduped: Vec<Vec<TaskId>> = Vec::new();
+    for order in starts {
+        if !ckpt_dag::topo::is_topological_order(instance.graph(), order) {
+            return Err(ScheduleError::InvalidOrder);
+        }
+        if !deduped.contains(order) {
+            deduped.push(order.clone());
+        }
+    }
+
+    let runs = run_all(instance, model, config, &deduped)?;
+    let winner = winning_run(&runs);
+    let accepted_moves = runs.iter().map(|r| r.accepted).sum();
+    let proposed_moves = runs.iter().map(|r| r.proposed).sum();
+    let best = runs.into_iter().nth(winner).expect("winner index is in range");
+    Ok(SeededSearchOutcome {
+        order: best.order,
+        checkpoint_after: best.checkpoint_after,
+        value: best.value,
+        winning_start: winner,
+        starts: deduped.len(),
+        accepted_moves,
+        proposed_moves,
+    })
+}
+
+/// Validates the acceptance-rule parameters of a config.
+fn validate_acceptance(config: &OrderSearchConfig) -> Result<(), ScheduleError> {
     if let AcceptanceRule::SimulatedAnnealing { initial_temperature, cooling } = config.acceptance {
         if !initial_temperature.is_finite() || initial_temperature <= 0.0 {
             return Err(ScheduleError::NonPositiveParameter {
@@ -192,54 +326,20 @@ pub fn schedule_dag_search(
             return Err(ScheduleError::NonPositiveParameter { name: "cooling", value: cooling });
         }
     }
-    let mut strategies = vec![
-        LinearizationStrategy::IdOrder,
-        LinearizationStrategy::HeaviestFirst,
-        LinearizationStrategy::LightestFirst,
-        LinearizationStrategy::CriticalPathFirst,
-    ];
-    strategies.extend((0..config.restarts).map(LinearizationStrategy::Random));
+    Ok(())
+}
 
-    // Materialise distinct start orders (on chains all strategies coincide —
-    // searching one copy is enough).
-    let mut starts: Vec<(LinearizationStrategy, Vec<TaskId>)> = Vec::new();
-    for strategy in strategies {
-        let order = linearize::linearize(instance.graph(), strategy);
-        if !starts.iter().any(|(_, existing)| *existing == order) {
-            starts.push((strategy, order));
-        }
-    }
-
-    let runs = run_all(instance, model, config, &starts)?;
-
-    // Deterministic winner: smallest value, ties broken by run index.
-    let best = runs
-        .iter()
+/// Deterministic winner selection: smallest value, ties broken by run index.
+fn winning_run(runs: &[RunResult]) -> usize {
+    runs.iter()
         .enumerate()
         .min_by(|(ia, a), (ib, b)| a.value.total_cmp(&b.value).then(ia.cmp(ib)))
-        .map(|(_, run)| run)
-        .expect("at least one start order exists");
-
-    let schedule = Schedule::new(instance, best.order.clone(), best.checkpoint_after.clone())?;
-    let expected_makespan = crate::evaluate::expected_makespan(instance, &schedule)?;
-    let solution = DagSolution {
-        schedule,
-        expected_makespan,
-        expected_makespan_under_model: best.value,
-        strategy: best.strategy,
-    };
-    Ok(OrderSearchOutcome {
-        solution,
-        starts: starts.len(),
-        accepted_moves: runs.iter().map(|r| r.accepted).sum(),
-        degrading_moves: runs.iter().map(|r| r.degrading).sum(),
-        proposed_moves: runs.iter().map(|r| r.proposed).sum(),
-    })
+        .map(|(index, _)| index)
+        .expect("at least one start order exists")
 }
 
 /// The outcome of one start order's local search.
 struct RunResult {
-    strategy: LinearizationStrategy,
     order: Vec<TaskId>,
     checkpoint_after: Vec<bool>,
     /// Expected makespan under the model, evaluated with the same
@@ -257,7 +357,7 @@ fn run_all(
     instance: &ProblemInstance,
     model: CheckpointCostModel,
     config: &OrderSearchConfig,
-    starts: &[(LinearizationStrategy, Vec<TaskId>)],
+    starts: &[Vec<TaskId>],
 ) -> Result<Vec<RunResult>, ScheduleError> {
     crate::parallel::chunked_map_with(
         starts,
@@ -284,12 +384,11 @@ fn local_search_run(
     instance: &ProblemInstance,
     model: CheckpointCostModel,
     config: &OrderSearchConfig,
-    start: &(LinearizationStrategy, Vec<TaskId>),
+    start_order: &[TaskId],
     run_index: usize,
 ) -> Result<RunResult, ScheduleError> {
-    let (strategy, start_order) = start;
     let n = start_order.len();
-    let mut state = OrderState::new(instance, model, start_order.clone());
+    let mut state = OrderState::new(instance, model, start_order.to_vec());
     let mut accepted = 0usize;
     let mut degrading = 0usize;
     let mut proposed = 0usize;
@@ -378,7 +477,7 @@ fn local_search_run(
         // Under annealing, fall back to the best recorded order (or the
         // start order if nothing ever improved on it).
         if !matches!(config.acceptance, AcceptanceRule::HillClimb) {
-            state.order = best_order.unwrap_or_else(|| start_order.clone());
+            state.order = best_order.unwrap_or_else(|| start_order.to_vec());
         }
     }
 
@@ -388,7 +487,6 @@ fn local_search_run(
     let table = crate::dag_schedule::model_cost_table(instance, &state.order, model)?;
     let placement = scalable_placement_on_table(&table);
     Ok(RunResult {
-        strategy: *strategy,
         order: state.order,
         checkpoint_after: placement.checkpoint_after(),
         value: placement.expected_makespan,
@@ -826,6 +924,55 @@ mod tests {
                 "temperature {t}, cooling {c} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn search_from_starts_never_worse_than_its_seeds() {
+        let inst = layered_instance(9);
+        let config = OrderSearchConfig { steps: 120, threads: 1, ..Default::default() };
+        let seed_orders: Vec<Vec<TaskId>> = [
+            LinearizationStrategy::IdOrder,
+            LinearizationStrategy::Random(3),
+            LinearizationStrategy::Random(3), // duplicate: searched once
+        ]
+        .into_iter()
+        .map(|s| linearize::linearize(inst.graph(), s))
+        .collect();
+        for model in MODELS {
+            let found = search_from_starts(&inst, model, &config, &seed_orders).unwrap();
+            assert_eq!(found.starts, 2, "duplicate start must be deduplicated");
+            assert!(found.winning_start < found.starts);
+            for order in &seed_orders {
+                let table = crate::dag_schedule::model_cost_table(&inst, order, model).unwrap();
+                let seed_value = scalable_placement_on_table(&table).expected_makespan;
+                assert!(
+                    found.value <= seed_value,
+                    "{model}: seeded search {} worse than its start {seed_value}",
+                    found.value
+                );
+            }
+            // The returned order + placement re-evaluate to the reported
+            // value through the same pipeline.
+            let table = crate::dag_schedule::model_cost_table(&inst, &found.order, model).unwrap();
+            let value = table.total_cost(&found.checkpoint_after);
+            assert!((value - found.value).abs() <= 1e-10 * value.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn search_from_starts_validates_inputs() {
+        let inst = layered_instance(9);
+        let config = OrderSearchConfig { threads: 1, ..Default::default() };
+        assert!(matches!(
+            search_from_starts(&inst, CheckpointCostModel::PerLastTask, &config, &[]),
+            Err(ScheduleError::EmptyInstance)
+        ));
+        let mut bad = linearize::linearize(inst.graph(), LinearizationStrategy::IdOrder);
+        bad.reverse();
+        assert!(matches!(
+            search_from_starts(&inst, CheckpointCostModel::PerLastTask, &config, &[bad]),
+            Err(ScheduleError::InvalidOrder)
+        ));
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   `ckpt-core`'s order search;
 //! * [`properties`] — chain/independence detection, critical path, depth,
 //!   width: the structural special cases the paper's results attach to;
+//! * [`subgraph`] — remaining-graph extraction
+//!   ([`subgraph::suffix_subgraph`]): the induced graph over the unexecuted
+//!   suffix of a linearisation plus the frontier's live-set seed, what the
+//!   online DAG policies re-linearise after a failure;
 //! * [`generators`] — workload generators (linear chains, independent sets,
 //!   fork-join, layered random DAGs, trees, diamonds) used by the test suite
 //!   and the experiment harness;
@@ -55,6 +59,7 @@ pub mod graph;
 pub mod linearize;
 pub mod neighborhood;
 pub mod properties;
+pub mod subgraph;
 pub mod topo;
 pub mod traversal;
 

@@ -24,6 +24,9 @@ pub enum SimulationError {
     EmptySchedule,
     /// At least one Monte-Carlo trial is required.
     ZeroTrials,
+    /// A DAG execution order (or a policy's proposed suffix reorder) is not
+    /// a permutation of the task set it must cover.
+    InvalidTaskOrder,
     /// The failure trace ended before the execution completed.
     TraceExhausted {
         /// Simulated time at which the trace ran out.
@@ -42,6 +45,9 @@ impl fmt::Display for SimulationError {
             }
             SimulationError::EmptySchedule => write!(f, "at least one segment is required"),
             SimulationError::ZeroTrials => write!(f, "at least one Monte-Carlo trial is required"),
+            SimulationError::InvalidTaskOrder => {
+                write!(f, "the execution order is not a permutation of the tasks it must cover")
+            }
             SimulationError::TraceExhausted { at_time } => {
                 write!(f, "failure trace exhausted at simulated time {at_time}")
             }

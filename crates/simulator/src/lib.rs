@@ -63,10 +63,14 @@ pub mod stream;
 pub use engine::{simulate, ExecutionRecord, TimeBreakdown};
 pub use error::SimulationError;
 pub use event_log::{simulate_with_log, ExecutionEvent, LoggedExecution};
-pub use montecarlo::{MonteCarloOutcome, PolicyMonteCarloOutcome, SimulationScenario};
+pub use montecarlo::{
+    DagPolicyMonteCarloOutcome, MonteCarloOutcome, PolicyMonteCarloOutcome, SimulationScenario,
+};
 pub use policy::{
-    simulate_policy, simulate_policy_with_log, ChainTask, DecisionContext, Policy,
-    PolicyExecutionRecord, PolicyLoggedExecution,
+    simulate_dag_policy, simulate_dag_policy_with_log, simulate_policy, simulate_policy_with_log,
+    ChainTask, DagDecision, DagDecisionContext, DagPolicy, DagPolicyExecutionRecord,
+    DagPolicyLoggedExecution, DecisionContext, Policy, PolicyExecutionRecord,
+    PolicyLoggedExecution,
 };
 pub use segment::Segment;
 pub use stream::{ExponentialStream, FailureStream, PlatformStream, TraceStream};

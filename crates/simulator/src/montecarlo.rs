@@ -11,7 +11,10 @@ use ckpt_failure::{FailureDistribution, Pcg64, PlatformFailureProcess, RandomSou
 
 use crate::engine::{simulate, ExecutionRecord, TimeBreakdown};
 use crate::error::SimulationError;
-use crate::policy::{simulate_policy, ChainTask, Policy, PolicyExecutionRecord};
+use crate::policy::{
+    simulate_dag_policy, simulate_policy, ChainTask, DagPolicy, DagPolicyExecutionRecord, Policy,
+    PolicyExecutionRecord,
+};
 use crate::segment::Segment;
 use crate::stream::{ExponentialStream, FailureStream, PlatformStream};
 
@@ -216,30 +219,9 @@ impl SimulationScenario {
         }
 
         let root = Pcg64::seed_from_u64(self.seed);
-        let workers = self.effective_threads();
-        let mut records: Vec<Option<Result<ExecutionRecord, SimulationError>>> =
-            (0..self.trials).map(|_| None).collect();
-
-        if workers <= 1 {
-            for (trial, slot) in records.iter_mut().enumerate() {
-                *slot = Some(self.run_trial(trial, segments, &root));
-            }
-        } else {
-            // Contiguous chunks, one per worker; each worker writes only its
-            // own slice, so trial `i`'s record always lands in slot `i`.
-            let chunk = self.trials.div_ceil(workers);
-            let root_ref = &root;
-            std::thread::scope(|scope| {
-                for (index, slice) in records.chunks_mut(chunk).enumerate() {
-                    scope.spawn(move || {
-                        let base = index * chunk;
-                        for (offset, slot) in slice.iter_mut().enumerate() {
-                            *slot = Some(self.run_trial(base + offset, segments, root_ref));
-                        }
-                    });
-                }
-            });
-        }
+        let records = scatter_trials(self.trials, self.effective_threads(), |trial| {
+            self.run_trial(trial, segments, &root)
+        });
 
         // Aggregate strictly in trial order: the summation order (and hence
         // every floating-point result) is independent of the thread count.
@@ -247,7 +229,7 @@ impl SimulationScenario {
         let mut failures = Vec::with_capacity(self.trials);
         let mut breakdown_sum = TimeBreakdown::default();
         for slot in records {
-            let record = slot.expect("every trial slot is filled")?;
+            let record = slot?;
             makespans.push(record.makespan);
             failures.push(record.failures as f64);
             breakdown_sum.useful += record.breakdown.useful;
@@ -465,35 +447,14 @@ impl SimulationScenario {
         if self.trials == 0 {
             return Err(SimulationError::ZeroTrials);
         }
-        let workers = self.effective_threads();
-        let mut records: Vec<Option<Result<PolicyExecutionRecord, SimulationError>>> =
-            (0..self.trials).map(|_| None).collect();
-
-        if workers <= 1 {
-            for (trial, slot) in records.iter_mut().enumerate() {
-                *slot = Some(run_trial(trial));
-            }
-        } else {
-            let chunk = self.trials.div_ceil(workers);
-            let run_trial = &run_trial;
-            std::thread::scope(|scope| {
-                for (index, slice) in records.chunks_mut(chunk).enumerate() {
-                    scope.spawn(move || {
-                        let base = index * chunk;
-                        for (offset, slot) in slice.iter_mut().enumerate() {
-                            *slot = Some(run_trial(base + offset));
-                        }
-                    });
-                }
-            });
-        }
+        let records = scatter_trials(self.trials, self.effective_threads(), run_trial);
 
         let mut makespans = Vec::with_capacity(self.trials);
         let mut failures = Vec::with_capacity(self.trials);
         let mut checkpoints = Vec::with_capacity(self.trials);
         let mut breakdown_sum = TimeBreakdown::default();
         for slot in records {
-            let outcome = slot.expect("every trial slot is filled")?;
+            let outcome = slot?;
             makespans.push(outcome.record.makespan);
             failures.push(outcome.record.failures as f64);
             checkpoints.push(outcome.checkpoints as f64);
@@ -516,6 +477,227 @@ impl SimulationScenario {
             samples: makespans,
         })
     }
+}
+
+/// Aggregated outcome of a **policy-driven DAG** Monte-Carlo run
+/// (see [`SimulationScenario::run_dag_policy`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagPolicyMonteCarloOutcome {
+    /// Statistics of the makespan across trials.
+    pub makespan: SampleStats,
+    /// Statistics of the failure count across trials.
+    pub failures: SampleStats,
+    /// Statistics of the number of checkpoints taken per trial.
+    pub checkpoints: SampleStats,
+    /// Statistics of the number of suffix reorders per trial.
+    pub reorders: SampleStats,
+    /// Mean time breakdown across trials.
+    pub mean_breakdown: TimeBreakdown,
+    /// The raw makespan observations (one per trial), in trial order.
+    pub samples: Vec<f64>,
+}
+
+impl SimulationScenario {
+    /// The **DAG** twin of [`SimulationScenario::run_policy`]: each trial
+    /// builds a fresh failure stream from the scenario's model and a fresh
+    /// [`DagPolicy`] from `make_policy(trial)`, then executes `tasks` in
+    /// `order` under [`crate::policy::simulate_dag_policy`].
+    ///
+    /// Trials are spread across the scenario's worker threads with the same
+    /// deterministic contiguous-chunk pattern as every other runner: the
+    /// outcome is **bit-identical for every thread count** at the same seed.
+    ///
+    /// # Errors
+    ///
+    /// * the [`simulate_dag_policy`] validation errors (empty task set,
+    ///   invalid order or suffix reorder, negative downtime/recovery);
+    /// * [`SimulationError::ZeroTrials`] if the scenario has zero trials;
+    /// * [`SimulationError::NonPositiveParameter`] for an invalid failure
+    ///   rate.
+    pub fn run_dag_policy<P, G>(
+        &self,
+        tasks: &[ChainTask],
+        order: &[usize],
+        initial_recovery: f64,
+        make_policy: G,
+    ) -> Result<DagPolicyMonteCarloOutcome, SimulationError>
+    where
+        P: DagPolicy,
+        G: Fn(usize) -> P + Sync,
+    {
+        if let FailureModel::Exponential { lambda } = self.model {
+            if !lambda.is_finite() || lambda <= 0.0 {
+                return Err(SimulationError::NonPositiveParameter {
+                    name: "lambda",
+                    value: lambda,
+                });
+            }
+        }
+        let root = Pcg64::seed_from_u64(self.seed);
+        self.dag_policy_trials(tasks, |trial| {
+            let mut trial_rng = root.derive(trial as u64);
+            let trial_seed = trial_rng.next_u64();
+            let mut policy = make_policy(trial);
+            match &self.model {
+                FailureModel::Exponential { lambda } => {
+                    let mut stream = ExponentialStream::new(*lambda, trial_seed);
+                    simulate_dag_policy(
+                        tasks,
+                        order,
+                        initial_recovery,
+                        self.downtime,
+                        &mut policy,
+                        &mut stream,
+                    )
+                }
+                FailureModel::Platform { processors, law } => {
+                    let proto = SharedLaw(std::sync::Arc::clone(law));
+                    let process =
+                        PlatformFailureProcess::homogeneous(*processors, proto, trial_seed)
+                            .expect("scenario constructors require at least one processor");
+                    let mut stream = PlatformStream::new(process);
+                    simulate_dag_policy(
+                        tasks,
+                        order,
+                        initial_recovery,
+                        self.downtime,
+                        &mut policy,
+                        &mut stream,
+                    )
+                }
+            }
+        })
+    }
+
+    /// [`SimulationScenario::run_dag_policy`] with a caller-supplied stream
+    /// factory: `make_stream(trial, seed)` receives the trial index and the
+    /// trial's deterministically derived seed. The scenario's own failure
+    /// model is ignored; both factories must be pure functions of their
+    /// arguments for the thread-count invariance to hold.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimulationScenario::run_dag_policy`], minus the
+    /// failure-rate check.
+    pub fn run_dag_policy_with_streams<P, G, S, F>(
+        &self,
+        tasks: &[ChainTask],
+        order: &[usize],
+        initial_recovery: f64,
+        make_policy: G,
+        make_stream: F,
+    ) -> Result<DagPolicyMonteCarloOutcome, SimulationError>
+    where
+        P: DagPolicy,
+        G: Fn(usize) -> P + Sync,
+        S: FailureStream,
+        F: Fn(usize, u64) -> S + Sync,
+    {
+        let root = Pcg64::seed_from_u64(self.seed);
+        self.dag_policy_trials(tasks, |trial| {
+            let mut trial_rng = root.derive(trial as u64);
+            let trial_seed = trial_rng.next_u64();
+            let mut policy = make_policy(trial);
+            let mut stream = make_stream(trial, trial_seed);
+            simulate_dag_policy(
+                tasks,
+                order,
+                initial_recovery,
+                self.downtime,
+                &mut policy,
+                &mut stream,
+            )
+        })
+    }
+
+    /// The shared DAG-policy trial driver: chunked across workers exactly
+    /// like [`SimulationScenario::try_run`], aggregated strictly in trial
+    /// order.
+    fn dag_policy_trials<R>(
+        &self,
+        tasks: &[ChainTask],
+        run_trial: R,
+    ) -> Result<DagPolicyMonteCarloOutcome, SimulationError>
+    where
+        R: Fn(usize) -> Result<DagPolicyExecutionRecord, SimulationError> + Sync,
+    {
+        if tasks.is_empty() {
+            return Err(SimulationError::EmptySchedule);
+        }
+        if self.trials == 0 {
+            return Err(SimulationError::ZeroTrials);
+        }
+        let records = scatter_trials(self.trials, self.effective_threads(), run_trial);
+
+        let mut makespans = Vec::with_capacity(self.trials);
+        let mut failures = Vec::with_capacity(self.trials);
+        let mut checkpoints = Vec::with_capacity(self.trials);
+        let mut reorders = Vec::with_capacity(self.trials);
+        let mut breakdown_sum = TimeBreakdown::default();
+        for slot in records {
+            let outcome = slot?;
+            makespans.push(outcome.record.makespan);
+            failures.push(outcome.record.failures as f64);
+            checkpoints.push(outcome.checkpoints as f64);
+            reorders.push(outcome.reorders as f64);
+            breakdown_sum.useful += outcome.record.breakdown.useful;
+            breakdown_sum.lost += outcome.record.breakdown.lost;
+            breakdown_sum.downtime += outcome.record.breakdown.downtime;
+            breakdown_sum.recovery += outcome.record.breakdown.recovery;
+        }
+        let n = self.trials as f64;
+        Ok(DagPolicyMonteCarloOutcome {
+            makespan: SampleStats::from_values(&makespans),
+            failures: SampleStats::from_values(&failures),
+            checkpoints: SampleStats::from_values(&checkpoints),
+            reorders: SampleStats::from_values(&reorders),
+            mean_breakdown: TimeBreakdown {
+                useful: breakdown_sum.useful / n,
+                lost: breakdown_sum.lost / n,
+                downtime: breakdown_sum.downtime / n,
+                recovery: breakdown_sum.recovery / n,
+            },
+            samples: makespans,
+        })
+    }
+}
+
+/// The determinism-critical trial scatter shared by every Monte-Carlo
+/// runner: executes `run_trial` for trial indices `0..trials`, spread
+/// across `workers` threads in **contiguous chunks** (each worker writes
+/// only its own slice, so trial `i`'s record always lands in slot `i`
+/// whatever the thread count), and returns the records strictly in trial
+/// order — the invariant the bit-identical-at-any-thread-count guarantee
+/// rests on, kept in exactly one place.
+fn scatter_trials<T, R>(
+    trials: usize,
+    workers: usize,
+    run_trial: R,
+) -> Vec<Result<T, SimulationError>>
+where
+    T: Send,
+    R: Fn(usize) -> Result<T, SimulationError> + Sync,
+{
+    let mut records: Vec<Option<Result<T, SimulationError>>> = (0..trials).map(|_| None).collect();
+    if workers <= 1 {
+        for (trial, slot) in records.iter_mut().enumerate() {
+            *slot = Some(run_trial(trial));
+        }
+    } else {
+        let chunk = trials.div_ceil(workers);
+        let run_trial = &run_trial;
+        std::thread::scope(|scope| {
+            for (index, slice) in records.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    let base = index * chunk;
+                    for (offset, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(run_trial(base + offset));
+                    }
+                });
+            }
+        });
+    }
+    records.into_iter().map(|slot| slot.expect("every trial slot is filled")).collect()
 }
 
 /// A cloneable, shareable view over a prototype failure law.
@@ -783,6 +965,79 @@ mod tests {
         }
         let auto = scenario().run_policy(&tasks, 15.0, factory).unwrap();
         assert_eq!(single, auto);
+    }
+
+    /// A DAG policy that checkpoints on alternating boundaries and reverses
+    /// the suffix after the first observed failure — enough statefulness to
+    /// catch any thread-order dependence in the driver.
+    struct AlternateAndFlip {
+        toggle: bool,
+        flipped: bool,
+    }
+    impl crate::policy::DagPolicy for AlternateAndFlip {
+        fn decide(
+            &mut self,
+            ctx: &crate::policy::DagDecisionContext<'_>,
+        ) -> crate::policy::DagDecision {
+            self.toggle = !self.toggle;
+            let reorder = if !self.flipped && !ctx.failure_times.is_empty() {
+                self.flipped = true;
+                let mut suffix = ctx.suffix().to_vec();
+                suffix.reverse();
+                Some(suffix)
+            } else {
+                None
+            };
+            crate::policy::DagDecision { checkpoint: self.toggle, reorder_suffix: reorder }
+        }
+    }
+
+    #[test]
+    fn dag_policy_outcomes_are_bit_identical_across_thread_counts() {
+        let tasks = chain_tasks();
+        let order: Vec<usize> = (0..tasks.len()).collect();
+        let scenario = || {
+            SimulationScenario::exponential(1.0 / 2_000.0)
+                .with_downtime(25.0)
+                .with_trials(1_001)
+                .with_seed(0xDA6)
+        };
+        let factory = |_trial: usize| AlternateAndFlip { toggle: false, flipped: false };
+        let single =
+            scenario().with_threads(1).run_dag_policy(&tasks, &order, 15.0, factory).unwrap();
+        for threads in [2usize, 3, 8] {
+            let multi = scenario()
+                .with_threads(threads)
+                .run_dag_policy(&tasks, &order, 15.0, factory)
+                .unwrap();
+            assert_eq!(single, multi, "DAG policy outcome differs at {threads} threads");
+        }
+        assert!(single.failures.mean > 0.0);
+        assert!(single.reorders.mean > 0.0, "the flip policy must have reordered");
+        assert!((single.mean_breakdown.total() - single.makespan.mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dag_policy_runner_with_streams_is_deterministic() {
+        let tasks = chain_tasks();
+        let order: Vec<usize> = (0..tasks.len()).collect();
+        let scenario = || {
+            SimulationScenario::exponential(1.0).with_downtime(10.0).with_trials(201).with_seed(5)
+        };
+        let factory = |_trial: usize| AlternateAndFlip { toggle: true, flipped: false };
+        let streams = |trial: usize, _seed: u64| {
+            ScriptedStream::new(vec![700.0 + 41.0 * (trial % 5) as f64, 9_000.0])
+        };
+        let single = scenario()
+            .with_threads(1)
+            .run_dag_policy_with_streams(&tasks, &order, 15.0, factory, streams)
+            .unwrap();
+        let multi = scenario()
+            .with_threads(3)
+            .run_dag_policy_with_streams(&tasks, &order, 15.0, factory, streams)
+            .unwrap();
+        assert_eq!(single, multi);
+        assert!(single.failures.mean > 0.0);
     }
 
     #[test]

@@ -19,6 +19,14 @@
 //! deterministic contiguous-chunk threading — outcomes are bit-identical at
 //! any thread count.
 //!
+//! Beyond chains, [`simulate_dag_policy`] drives **linearised DAG**
+//! executions: tasks run in a caller-supplied topological order, and the
+//! [`DagPolicy`] consulted at every boundary may both toggle the next
+//! checkpoint *and* swap in a new precedence-valid order for the unexecuted
+//! suffix — the "re-linearise the remaining graph after a failure" primitive
+//! the `ckpt-adaptive` DAG policies build on. The matching Monte-Carlo
+//! driver is [`crate::montecarlo`]'s `run_dag_policy`.
+//!
 //! Semantics (the §2 model at task granularity):
 //!
 //! 1. tasks execute in chain order; work accumulates since the last
@@ -259,8 +267,7 @@ where
         match stream.next_failure_after(clock) {
             Some(f) if f < clock + work => {
                 position = handle_failure(
-                    tasks,
-                    initial_recovery,
+                    last_checkpoint.map_or(initial_recovery, |k| tasks[k].recovery),
                     downtime,
                     f,
                     position,
@@ -300,8 +307,7 @@ where
                 if let Some(f) = stream.next_failure_after(clock) {
                     if f < clock + ckpt {
                         position = handle_failure(
-                            tasks,
-                            initial_recovery,
+                            last_checkpoint.map_or(initial_recovery, |k| tasks[k].recovery),
                             downtime,
                             f,
                             position,
@@ -340,11 +346,13 @@ where
 /// at `position`: lose the run back to the last checkpoint, pay the
 /// failure-free downtime, recover (interruptibly — recovery failures pay
 /// another downtime and restart the recovery), and return the position
-/// execution resumes at.
-#[allow(clippy::too_many_arguments)] // flat engine state, called from two sites
+/// execution resumes at. `recovery` is the cost of restoring the last
+/// durable state (the last checkpointed task's recovery, or `R₀`), resolved
+/// by the caller — the chain engine indexes `tasks` by position, the DAG
+/// engine through its execution order.
+#[allow(clippy::too_many_arguments)] // flat engine state, called from two engines
 fn handle_failure<S: FailureStream + ?Sized>(
-    tasks: &[ChainTask],
-    initial_recovery: f64,
+    recovery: f64,
     downtime: f64,
     failure_time: f64,
     position: usize,
@@ -371,7 +379,6 @@ fn handle_failure<S: FailureStream + ?Sized>(
     *clock = failure_time + downtime;
     breakdown.downtime += downtime;
     log(ExecutionEvent::DowntimeCompleted { segment: position, time: *clock });
-    let recovery = last_checkpoint.map_or(initial_recovery, |k| tasks[k].recovery);
     if recovery > 0.0 {
         loop {
             match stream.next_failure_after(*clock) {
@@ -394,6 +401,371 @@ fn handle_failure<S: FailureStream + ?Sized>(
     }
     *run_start = *clock;
     last_checkpoint.map_or(0, |k| k + 1)
+}
+
+/// What a DAG policy sees at a decision point (a just-completed task of the
+/// current execution order).
+///
+/// Unlike the chain context ([`DecisionContext`]), the DAG context carries
+/// the **current order** itself: the policy may not only toggle the next
+/// checkpoint but also swap in a new order for the unexecuted suffix (a
+/// re-linearisation of the remaining graph), and it needs to see the order
+/// it would be amending.
+#[derive(Debug, Clone, Copy)]
+pub struct DagDecisionContext<'a> {
+    /// Position (index into the current order) of the task that just
+    /// completed.
+    pub position: usize,
+    /// The task (index into the task slice) that just completed —
+    /// `order[position]`.
+    pub task: usize,
+    /// Current simulated time.
+    pub clock: f64,
+    /// Position of the last task whose checkpoint completed, or `None` if
+    /// nothing has been checkpointed yet.
+    pub last_checkpoint: Option<usize>,
+    /// Times of every failure observed so far, in increasing order.
+    pub failure_times: &'a [f64],
+    /// The current execution order (task indices); positions
+    /// `0..=position` are fixed history, positions `position + 1..` are the
+    /// unexecuted suffix a [`DagDecision::reorder_suffix`] may permute.
+    pub order: &'a [usize],
+}
+
+impl DagDecisionContext<'_> {
+    /// The number of failures observed so far.
+    pub fn failures_observed(&self) -> usize {
+        self.failure_times.len()
+    }
+
+    /// The position execution would roll back to on a failure right now
+    /// (the position after the last checkpoint).
+    pub fn resume_position(&self) -> usize {
+        self.last_checkpoint.map_or(0, |k| k + 1)
+    }
+
+    /// The unexecuted suffix of the current order (positions strictly after
+    /// the current one) — the only part a decision may reorder.
+    pub fn suffix(&self) -> &[usize] {
+        &self.order[self.position + 1..]
+    }
+}
+
+/// What a [`DagPolicy`] decides at a task boundary.
+#[derive(Debug, Clone, Default)]
+pub struct DagDecision {
+    /// Whether to checkpoint right after the just-completed task.
+    pub checkpoint: bool,
+    /// A replacement execution order for the **unexecuted suffix**
+    /// (positions strictly after the current one), as task indices. Must be
+    /// a permutation of [`DagDecisionContext::suffix`] — the engine verifies
+    /// the permutation and rejects the run with
+    /// [`SimulationError::InvalidTaskOrder`] otherwise. **Precedence
+    /// validity is the policy's contract**: the engine has no knowledge of
+    /// the task graph, so policies must only propose suffixes that keep the
+    /// whole order topological (the `ckpt-adaptive` DAG policies derive
+    /// theirs from `ckpt_dag` re-linearisations, which guarantee it).
+    pub reorder_suffix: Option<Vec<usize>>,
+}
+
+impl DagDecision {
+    /// A plain "checkpoint or not" decision leaving the order untouched.
+    pub fn keep_order(checkpoint: bool) -> Self {
+        DagDecision { checkpoint, reorder_suffix: None }
+    }
+}
+
+/// An online DAG policy, consulted at every task boundary of a linearised
+/// DAG execution.
+///
+/// The contract extends [`Policy`]: besides the checkpoint toggle, a
+/// decision may re-linearise the unexecuted suffix of the order (see
+/// [`DagDecision`]). One policy value drives one execution; the Monte-Carlo
+/// driver builds a fresh policy per trial.
+pub trait DagPolicy {
+    /// The decision for the boundary described by `ctx`. Not consulted after
+    /// the final task, whose checkpoint is mandatory and whose suffix is
+    /// empty.
+    fn decide(&mut self, ctx: &DagDecisionContext<'_>) -> DagDecision;
+}
+
+impl<P: DagPolicy + ?Sized> DagPolicy for &mut P {
+    fn decide(&mut self, ctx: &DagDecisionContext<'_>) -> DagDecision {
+        (**self).decide(ctx)
+    }
+}
+
+impl<P: DagPolicy + ?Sized> DagPolicy for Box<P> {
+    fn decide(&mut self, ctx: &DagDecisionContext<'_>) -> DagDecision {
+        (**self).decide(ctx)
+    }
+}
+
+/// The outcome of one policy-driven DAG execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagPolicyExecutionRecord {
+    /// Makespan, failure count and time breakdown (same buckets as the
+    /// fixed-schedule engine).
+    pub record: ExecutionRecord,
+    /// Checkpoints taken, the mandatory final one included.
+    pub checkpoints: u64,
+    /// Policy consultations (one per non-final boundary reached,
+    /// re-executions included).
+    pub decisions: u64,
+    /// Decisions that swapped in a new suffix order.
+    pub reorders: u64,
+    /// The order the execution finished with (the initial order with every
+    /// accepted suffix reorder applied).
+    pub final_order: Vec<usize>,
+}
+
+/// A policy-driven DAG execution with its full event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagPolicyLoggedExecution {
+    /// The aggregate outcome.
+    pub outcome: DagPolicyExecutionRecord,
+    /// The chronological event log; the `segment` index of every event is
+    /// the **order position** the event concerns.
+    pub events: Vec<ExecutionEvent>,
+}
+
+/// Simulates one policy-driven execution of a linearised DAG: the tasks of
+/// `tasks` are executed in the order given by `order` (task indices), with
+/// the §2 rollback semantics of [`simulate_policy`] at the granularity of
+/// order positions, and `policy` consulted at every non-final boundary.
+///
+/// The execution tracks the **completed-and-checkpointed frontier**: a
+/// checkpoint after position `p` durably commits positions `0..=p`, and a
+/// failure rolls back to the position after the last durable checkpoint.
+/// Decisions may both toggle the next checkpoint and swap in a new order
+/// for the unexecuted suffix (see [`DagDecision`]); the engine verifies
+/// each proposed suffix is a permutation of the current one. A chain
+/// executed with the identity order reproduces [`simulate_policy`] exactly.
+///
+/// # Errors
+///
+/// * [`SimulationError::EmptySchedule`] if `tasks` is empty;
+/// * [`SimulationError::InvalidTaskOrder`] if `order` is not a permutation
+///   of `0..tasks.len()`, or a decision proposes a suffix that is not a
+///   permutation of the unexecuted suffix;
+/// * [`SimulationError::NegativeParameter`] if `downtime` or
+///   `initial_recovery` is negative.
+pub fn simulate_dag_policy<P, S>(
+    tasks: &[ChainTask],
+    order: &[usize],
+    initial_recovery: f64,
+    downtime: f64,
+    policy: &mut P,
+    stream: &mut S,
+) -> Result<DagPolicyExecutionRecord, SimulationError>
+where
+    P: DagPolicy + ?Sized,
+    S: FailureStream + ?Sized,
+{
+    dag_policy_core(tasks, order, initial_recovery, downtime, policy, stream, None)
+}
+
+/// [`simulate_dag_policy`] with full event logging (decision events
+/// included).
+///
+/// # Errors
+///
+/// Same contract as [`simulate_dag_policy`].
+pub fn simulate_dag_policy_with_log<P, S>(
+    tasks: &[ChainTask],
+    order: &[usize],
+    initial_recovery: f64,
+    downtime: f64,
+    policy: &mut P,
+    stream: &mut S,
+) -> Result<DagPolicyLoggedExecution, SimulationError>
+where
+    P: DagPolicy + ?Sized,
+    S: FailureStream + ?Sized,
+{
+    let mut events = Vec::new();
+    let outcome = dag_policy_core(
+        tasks,
+        order,
+        initial_recovery,
+        downtime,
+        policy,
+        stream,
+        Some(&mut events),
+    )?;
+    Ok(DagPolicyLoggedExecution { outcome, events })
+}
+
+/// Verifies that `proposed` is a permutation of `current`, using `seen` as a
+/// scratch bitmap over task indices (`seen` must be all-false on entry and
+/// is restored to all-false before returning). One `O(k)` sweep: each
+/// proposed task consumes its mark, so membership and duplicates are
+/// checked together.
+fn is_permutation_of(current: &[usize], proposed: &[usize], seen: &mut [bool]) -> bool {
+    if proposed.len() != current.len() {
+        return false;
+    }
+    for &t in current {
+        seen[t] = true;
+    }
+    let ok = proposed.iter().all(|&t| t < seen.len() && std::mem::replace(&mut seen[t], false));
+    for &t in current {
+        seen[t] = false;
+    }
+    ok
+}
+
+/// The engine shared by the plain and the logged DAG entry points.
+fn dag_policy_core<P, S>(
+    tasks: &[ChainTask],
+    order: &[usize],
+    initial_recovery: f64,
+    downtime: f64,
+    policy: &mut P,
+    stream: &mut S,
+    mut events: Option<&mut Vec<ExecutionEvent>>,
+) -> Result<DagPolicyExecutionRecord, SimulationError>
+where
+    P: DagPolicy + ?Sized,
+    S: FailureStream + ?Sized,
+{
+    if tasks.is_empty() {
+        return Err(SimulationError::EmptySchedule);
+    }
+    let n = tasks.len();
+    let mut seen = vec![false; n];
+    if order.len() != n {
+        return Err(SimulationError::InvalidTaskOrder);
+    }
+    for &t in order {
+        if t >= n || seen[t] {
+            return Err(SimulationError::InvalidTaskOrder);
+        }
+        seen[t] = true;
+    }
+    seen.fill(false);
+    let downtime = ensure_non_negative("downtime", downtime)?;
+    let initial_recovery = ensure_non_negative("initial_recovery", initial_recovery)?;
+
+    let mut order: Vec<usize> = order.to_vec();
+    let mut clock = 0.0f64;
+    let mut breakdown = TimeBreakdown::default();
+    let mut failure_times: Vec<f64> = Vec::new();
+    let mut last_checkpoint: Option<usize> = None;
+    let mut run_start = 0.0f64;
+    let mut checkpoints = 0u64;
+    let mut decisions = 0u64;
+    let mut reorders = 0u64;
+    let mut position = 0usize;
+
+    macro_rules! log {
+        ($event:expr) => {
+            if let Some(sink) = events.as_deref_mut() {
+                sink.push($event);
+            }
+        };
+    }
+    // Recovery cost of the last durable state, through the current order.
+    macro_rules! protecting_recovery {
+        () => {
+            last_checkpoint.map_or(initial_recovery, |k| tasks[order[k]].recovery)
+        };
+    }
+
+    while position < n {
+        log!(ExecutionEvent::AttemptStarted { segment: position, time: clock });
+
+        let work = tasks[order[position]].work;
+        match stream.next_failure_after(clock) {
+            Some(f) if f < clock + work => {
+                position = handle_failure(
+                    protecting_recovery!(),
+                    downtime,
+                    f,
+                    position,
+                    last_checkpoint,
+                    stream,
+                    &mut clock,
+                    &mut run_start,
+                    &mut failure_times,
+                    &mut breakdown,
+                    &mut events,
+                );
+                continue;
+            }
+            _ => clock += work,
+        }
+
+        // Decision point: the final boundary forces the checkpoint and has
+        // no suffix to reorder; every other boundary asks the policy.
+        let take = if position + 1 == n {
+            true
+        } else {
+            decisions += 1;
+            let ctx = DagDecisionContext {
+                position,
+                task: order[position],
+                clock,
+                last_checkpoint,
+                failure_times: &failure_times,
+                order: &order,
+            };
+            let decision = policy.decide(&ctx);
+            log!(ExecutionEvent::PolicyDecision {
+                segment: position,
+                time: clock,
+                checkpoint: decision.checkpoint
+            });
+            if let Some(suffix) = decision.reorder_suffix {
+                if !is_permutation_of(&order[position + 1..], &suffix, &mut seen) {
+                    return Err(SimulationError::InvalidTaskOrder);
+                }
+                order[position + 1..].copy_from_slice(&suffix);
+                reorders += 1;
+            }
+            decision.checkpoint
+        };
+
+        if take {
+            let ckpt = tasks[order[position]].checkpoint;
+            if ckpt > 0.0 {
+                if let Some(f) = stream.next_failure_after(clock) {
+                    if f < clock + ckpt {
+                        position = handle_failure(
+                            protecting_recovery!(),
+                            downtime,
+                            f,
+                            position,
+                            last_checkpoint,
+                            stream,
+                            &mut clock,
+                            &mut run_start,
+                            &mut failure_times,
+                            &mut breakdown,
+                            &mut events,
+                        );
+                        continue;
+                    }
+                }
+                clock += ckpt;
+            }
+            breakdown.useful += clock - run_start;
+            run_start = clock;
+            last_checkpoint = Some(position);
+            checkpoints += 1;
+            log!(ExecutionEvent::SegmentCompleted { segment: position, time: clock });
+        }
+        position += 1;
+    }
+
+    let failures = failure_times.len() as u64;
+    Ok(DagPolicyExecutionRecord {
+        record: ExecutionRecord { makespan: clock, failures, breakdown },
+        checkpoints,
+        decisions,
+        reorders,
+        final_order: order,
+    })
 }
 
 #[cfg(test)]
@@ -585,6 +957,187 @@ mod tests {
         // (10) at 260, task 1 (100) + final ckpt (10) at 370.
         assert!((logged.outcome.record.makespan - 370.0).abs() < 1e-9);
         assert_eq!(logged.outcome.checkpoints, 2);
+    }
+
+    /// A DAG policy replaying fixed per-position decisions, never reordering.
+    struct DagFlags(Vec<bool>);
+    impl DagPolicy for DagFlags {
+        fn decide(&mut self, ctx: &DagDecisionContext<'_>) -> DagDecision {
+            DagDecision::keep_order(self.0[ctx.position])
+        }
+    }
+
+    #[test]
+    fn dag_engine_with_identity_order_matches_the_chain_engine() {
+        let tasks = vec![
+            task(500.0, 60.0, 30.0),
+            task(900.0, 45.0, 60.0),
+            task(200.0, 20.0, 40.0),
+            task(700.0, 80.0, 25.0),
+        ];
+        let order: Vec<usize> = (0..tasks.len()).collect();
+        let flags = vec![true, false, true, true];
+        for seed in 0..20u64 {
+            let mut s1 = ExponentialStream::new(1.0 / 900.0, seed);
+            let mut s2 = ExponentialStream::new(1.0 / 900.0, seed);
+            let chain =
+                simulate_policy(&tasks, 15.0, 25.0, &mut Flags(flags.clone()), &mut s1).unwrap();
+            let dag = simulate_dag_policy(
+                &tasks,
+                &order,
+                15.0,
+                25.0,
+                &mut DagFlags(flags.clone()),
+                &mut s2,
+            )
+            .unwrap();
+            assert_eq!(chain.record, dag.record, "seed {seed}");
+            assert_eq!(chain.checkpoints, dag.checkpoints, "seed {seed}");
+            assert_eq!(chain.decisions, dag.decisions, "seed {seed}");
+            assert_eq!(dag.reorders, 0);
+            assert_eq!(dag.final_order, order);
+        }
+    }
+
+    #[test]
+    fn dag_engine_executes_through_the_order_indirection() {
+        // Order [2, 0, 1]: position costs must come from the ordered tasks.
+        let tasks = vec![task(100.0, 10.0, 5.0), task(200.0, 20.0, 6.0), task(300.0, 30.0, 7.0)];
+        let order = vec![2usize, 0, 1];
+        let mut stream = NoFailureStream;
+        let out = simulate_dag_policy(
+            &tasks,
+            &order,
+            0.0,
+            0.0,
+            &mut DagFlags(vec![true, false, false]),
+            &mut stream,
+        )
+        .unwrap();
+        // 300 + 30 (ckpt after T2) + 100 + 200 + 20 (final ckpt = T1's).
+        assert!((out.record.makespan - 650.0).abs() < 1e-9);
+        assert_eq!(out.checkpoints, 2);
+    }
+
+    #[test]
+    fn dag_rollback_recovers_with_the_ordered_tasks_recovery() {
+        // Order [1, 0]; checkpoint after position 0 (task 1, recovery 80).
+        // A failure during position 1's work must pay task 1's recovery.
+        let tasks = vec![task(100.0, 0.0, 5.0), task(100.0, 10.0, 80.0)];
+        let order = vec![1usize, 0];
+        let mut stream = ScriptedStream::new(vec![150.0]);
+        let out = simulate_dag_policy(
+            &tasks,
+            &order,
+            3.0,
+            7.0,
+            &mut DagFlags(vec![true, false]),
+            &mut stream,
+        )
+        .unwrap();
+        // 100 + 10 (ckpt at 110); failure at 150 loses 40; downtime 7
+        // (157), recovery 80 (237); re-run task 0 (100) -> 337; final ckpt
+        // costs 0.
+        assert!((out.record.makespan - 337.0).abs() < 1e-9, "makespan {}", out.record.makespan);
+        assert!((out.record.breakdown.recovery - 80.0).abs() < 1e-9);
+    }
+
+    /// A DAG policy that swaps the two tasks following the first boundary.
+    struct SwapOnce {
+        done: bool,
+    }
+    impl DagPolicy for SwapOnce {
+        fn decide(&mut self, ctx: &DagDecisionContext<'_>) -> DagDecision {
+            if !self.done && ctx.suffix().len() >= 2 {
+                self.done = true;
+                let mut suffix = ctx.suffix().to_vec();
+                suffix.swap(0, 1);
+                return DagDecision { checkpoint: true, reorder_suffix: Some(suffix) };
+            }
+            DagDecision::keep_order(false)
+        }
+    }
+
+    #[test]
+    fn suffix_reorders_are_applied_and_counted() {
+        let tasks = vec![task(100.0, 1.0, 1.0), task(200.0, 2.0, 2.0), task(300.0, 3.0, 3.0)];
+        let order = vec![0usize, 1, 2];
+        let mut stream = NoFailureStream;
+        let out = simulate_dag_policy(
+            &tasks,
+            &order,
+            0.0,
+            0.0,
+            &mut SwapOnce { done: false },
+            &mut stream,
+        )
+        .unwrap();
+        assert_eq!(out.reorders, 1);
+        assert_eq!(out.final_order, vec![0, 2, 1]);
+        // 100 + 1 (ckpt) + 300 + 200 + 2 (final ckpt = task 1's).
+        assert!((out.record.makespan - 603.0).abs() < 1e-9);
+    }
+
+    /// A DAG policy proposing a suffix that is not a permutation.
+    struct BadReorder;
+    impl DagPolicy for BadReorder {
+        fn decide(&mut self, ctx: &DagDecisionContext<'_>) -> DagDecision {
+            DagDecision {
+                checkpoint: false,
+                reorder_suffix: Some(vec![ctx.task; ctx.suffix().len()]),
+            }
+        }
+    }
+
+    #[test]
+    fn dag_engine_validates_orders_and_reorders() {
+        let tasks = vec![task(1.0, 0.0, 0.0), task(1.0, 0.0, 0.0)];
+        let mut stream = NoFailureStream;
+        let mut never = DagFlags(vec![false, false]);
+        // Wrong length, out-of-range and duplicate initial orders.
+        for bad in [vec![0usize], vec![0, 2], vec![0, 0]] {
+            assert!(matches!(
+                simulate_dag_policy(&tasks, &bad, 0.0, 0.0, &mut never, &mut stream),
+                Err(SimulationError::InvalidTaskOrder)
+            ));
+        }
+        assert!(matches!(
+            simulate_dag_policy(&tasks, &[0, 1], 0.0, 0.0, &mut BadReorder, &mut stream),
+            Err(SimulationError::InvalidTaskOrder)
+        ));
+        assert!(matches!(
+            simulate_dag_policy(&[], &[], 0.0, 0.0, &mut never, &mut stream),
+            Err(SimulationError::EmptySchedule)
+        ));
+    }
+
+    #[test]
+    fn dag_logged_and_plain_runs_agree() {
+        let tasks = vec![task(300.0, 30.0, 15.0), task(500.0, 25.0, 40.0), task(150.0, 10.0, 5.0)];
+        let order = vec![0usize, 2, 1];
+        for seed in 0..10u64 {
+            let mut s1 = ExponentialStream::new(1.0 / 600.0, seed);
+            let mut s2 = ExponentialStream::new(1.0 / 600.0, seed);
+            let plain = simulate_dag_policy(
+                &tasks,
+                &order,
+                20.0,
+                12.0,
+                &mut DagFlags(vec![true, false, true]),
+                &mut s1,
+            )
+            .unwrap();
+            let logged = simulate_dag_policy_with_log(
+                &tasks,
+                &order,
+                20.0,
+                12.0,
+                &mut DagFlags(vec![true, false, true]),
+                &mut s2,
+            )
+            .unwrap();
+            assert_eq!(plain, logged.outcome, "seed {seed}");
+        }
     }
 
     #[test]

@@ -2,28 +2,10 @@
 //! dynamic program is optimal, its analytical value is confirmed by
 //! simulation, and it dominates the periodic baselines.
 
-use ckpt_workflows::core::{
-    brute_force, chain_dp, evaluate, heuristics, ProblemInstance, Schedule,
-};
-use ckpt_workflows::dag::{generators, properties};
-use ckpt_workflows::failure::{Pcg64, RandomSource};
+use ckpt_bench::testgen::heterogeneous_chain_instance as random_chain_instance;
+use ckpt_workflows::core::{brute_force, chain_dp, evaluate, heuristics, Schedule};
+use ckpt_workflows::dag::properties;
 use ckpt_workflows::simulator::SimulationScenario;
-
-fn random_chain_instance(seed: u64, n: usize, lambda: f64) -> ProblemInstance {
-    let mut rng = Pcg64::seed_from_u64(seed);
-    let weights: Vec<f64> = (0..n).map(|_| 100.0 + rng.next_f64() * 3_900.0).collect();
-    let checkpoints: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 290.0).collect();
-    let recoveries: Vec<f64> = (0..n).map(|_| 10.0 + rng.next_f64() * 590.0).collect();
-    let graph = generators::chain(&weights).unwrap();
-    ProblemInstance::builder(graph)
-        .checkpoint_costs(checkpoints)
-        .recovery_costs(recoveries)
-        .downtime(30.0)
-        .initial_recovery(20.0)
-        .platform_lambda(lambda)
-        .build()
-        .unwrap()
-}
 
 #[test]
 fn dp_matches_exhaustive_search_on_random_chains() {

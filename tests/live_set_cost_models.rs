@@ -1,0 +1,55 @@
+//! Cross-crate property test of the §6 live-set cost models: the
+//! incremental `O(n + E)` sweep ([`CheckpointCostModel::costs_along_order`])
+//! must match the recomputing reference path position by position on random
+//! layered DAGs.
+//!
+//! Migrated from `ckpt-core`'s `cost_model::sweep_properties` unit tests
+//! when the random-instance generator moved to the shared
+//! [`ckpt_bench::testgen`] module (a unit test inside `ckpt-core` cannot
+//! consume `ckpt-bench` types without seeing two distinct compilations of
+//! its own crate).
+
+use ckpt_bench::testgen::random_layered_proptest_case as random_dag_case;
+use ckpt_workflows::core::cost_model::CheckpointCostModel;
+use proptest::prelude::*;
+
+const ALL_MODELS: [CheckpointCostModel; 3] = [
+    CheckpointCostModel::PerLastTask,
+    CheckpointCostModel::LiveSetSum,
+    CheckpointCostModel::LiveSetMax,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_incremental_matches_recomputing_path(seed in any::<u64>()) {
+        let (inst, order) = random_dag_case(seed);
+        for model in ALL_MODELS {
+            let (ckpt, rec) = model.costs_along_order(&inst, &order);
+            prop_assert_eq!(ckpt.len(), order.len());
+            for pos in 0..order.len() {
+                let c_ref = model.checkpoint_cost(&inst, &order, pos);
+                let r_ref = model.recovery_cost(&inst, &order, pos);
+                match model {
+                    // Max and per-task never do arithmetic on the
+                    // costs: bitwise equality is required.
+                    CheckpointCostModel::PerLastTask
+                    | CheckpointCostModel::LiveSetMax => {
+                        prop_assert!(ckpt[pos] == c_ref, "{} ckpt at {}", model, pos);
+                        prop_assert!(rec[pos] == r_ref, "{} rec at {}", model, pos);
+                    }
+                    // The running sum re-associates the additions, so
+                    // it may differ from the fresh sum by rounding
+                    // only.
+                    CheckpointCostModel::LiveSetSum => {
+                        prop_assert!((ckpt[pos] - c_ref).abs() <= 1e-12 * c_ref.abs().max(1.0),
+                            "sum ckpt at {}: {} vs {}", pos, ckpt[pos], c_ref);
+                        prop_assert!((rec[pos] - r_ref).abs() <= 1e-12 * r_ref.abs().max(1.0),
+                            "sum rec at {}: {} vs {}", pos, rec[pos], r_ref);
+                    }
+                }
+            }
+        }
+    }
+}
