@@ -28,8 +28,12 @@ pub enum AdaptiveError {
     TraceHorizonExceeded {
         /// The generated trace horizon.
         horizon: f64,
-        /// The offending trial's makespan.
+        /// The worst offending trial's makespan.
         makespan: f64,
+        /// How many of the run's trials outran the horizon — surfaced so
+        /// harness robustness is observable (the experiment binaries report
+        /// this count in their `--json` summaries instead of only dying).
+        trials: usize,
     },
     /// A scheduling-layer error (instance or plan construction).
     Schedule(ScheduleError),
@@ -50,10 +54,10 @@ impl fmt::Display for AdaptiveError {
             AdaptiveError::NonPositiveParameter { name, value } => {
                 write!(f, "parameter `{name}` must be strictly positive, got {value}")
             }
-            AdaptiveError::TraceHorizonExceeded { horizon, makespan } => write!(
+            AdaptiveError::TraceHorizonExceeded { horizon, makespan, trials } => write!(
                 f,
-                "a trial's makespan ({makespan}) exceeded the generated trace horizon \
-                 ({horizon}): its tail would have run spuriously failure-free"
+                "{trials} trial(s) exceeded the generated trace horizon ({horizon}, worst \
+                 makespan {makespan}): their tails would have run spuriously failure-free"
             ),
             AdaptiveError::Schedule(e) => write!(f, "scheduling error: {e}"),
             AdaptiveError::Expectation(e) => write!(f, "expectation error: {e}"),

@@ -318,7 +318,12 @@ pub(crate) fn run_under_truth<O>(
             if let Some(&worst) =
                 samples(&outcome).iter().max_by(|a, b| a.total_cmp(b)).filter(|&&m| m > horizon)
             {
-                return Err(AdaptiveError::TraceHorizonExceeded { horizon, makespan: worst });
+                let trials = samples(&outcome).iter().filter(|&&m| m > horizon).count();
+                return Err(AdaptiveError::TraceHorizonExceeded {
+                    horizon,
+                    makespan: worst,
+                    trials,
+                });
             }
             Ok(outcome)
         }
@@ -420,10 +425,16 @@ mod tests {
         let spec = spec();
         let truth = TruthModel::WeibullTrace { processors: 2, shape: 0.7, platform_mtbf: 50.0 };
         let config = EvaluationConfig { trials: 10, seed: 1, threads: 1 };
-        assert!(matches!(
-            compare_policies(&spec, 1.0 / 20_000.0, &truth, &config),
-            Err(AdaptiveError::TraceHorizonExceeded { .. })
-        ));
+        match compare_policies(&spec, 1.0 / 20_000.0, &truth, &config) {
+            Err(AdaptiveError::TraceHorizonExceeded { horizon, makespan, trials }) => {
+                assert!(makespan > horizon, "worst makespan must exceed the horizon");
+                assert!(
+                    (1..=config.trials).contains(&trials),
+                    "exceeded-trial count {trials} out of range"
+                );
+            }
+            other => panic!("expected TraceHorizonExceeded, got {other:?}"),
+        }
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! Run with `cargo run --release -p ckpt-bench --bin e11_adaptive`
 //! (`--json` / `--json=PATH` additionally emits the key metrics).
 
-use ckpt_adaptive::{compare_policies, ChainSpec, EvaluationConfig, PolicyComparison, TruthModel};
+use ckpt_adaptive::{
+    compare_policies, AdaptiveError, ChainSpec, EvaluationConfig, PolicyComparison, TruthModel,
+};
 use ckpt_bench::{print_header, JsonSummary};
 use ckpt_failure::{Pcg64, RandomSource};
 
@@ -116,9 +118,26 @@ fn main() {
     let mut summary = JsonSummary::new("e11_adaptive");
     summary.metric("planning_rate", PLANNING_RATE).count("trials", TRIALS);
 
+    let mut horizon_rejected = false;
     for scenario in scenarios() {
-        let cmp = compare_policies(&spec, PLANNING_RATE, &scenario.truth, &config)
-            .expect("valid scenario");
+        // A trace scenario whose trials outran the 64x horizon guard is a
+        // harness-robustness event, not a silent statistic: the count is
+        // surfaced in the JSON summary and the run exits non-zero after
+        // emitting, instead of dying with nothing machine-readable.
+        let cmp = match compare_policies(&spec, PLANNING_RATE, &scenario.truth, &config) {
+            Ok(cmp) => cmp,
+            Err(AdaptiveError::TraceHorizonExceeded { horizon, makespan, trials }) => {
+                eprintln!(
+                    "{:>12}: {trials} trial(s) outran the trace horizon \
+                     ({horizon:.0} s, worst makespan {makespan:.0} s) — rejected",
+                    scenario.name
+                );
+                summary.count(format!("{}_horizon_exceeded_trials", scenario.key), trials);
+                horizon_rejected = true;
+                continue;
+            }
+            Err(e) => panic!("scenario {}: {e}", scenario.name),
+        };
         for row in &cmp.results {
             println!(
                 "{:>12} {:>17} {:>14.1} {:>10.1} {:>7.2}% {:>6.2} {:>6.2}",
@@ -135,6 +154,7 @@ fn main() {
                 row.mean_makespan,
             );
         }
+        summary.count(format!("{}_horizon_exceeded_trials", scenario.key), 0);
         println!();
         assert_claims(&scenario, &cmp);
     }
@@ -148,6 +168,9 @@ fn main() {
          every comparison is bit-identical at any thread count."
     );
     summary.emit();
+    if horizon_rejected {
+        std::process::exit(2);
+    }
 }
 
 /// The headline claims, asserted per scenario.

@@ -27,7 +27,7 @@
 //! (`--json` / `--json=PATH` additionally emits the key metrics).
 
 use ckpt_adaptive::{
-    compare_dag_policies, DagPolicyComparison, DagSpec, EvaluationConfig, TruthModel,
+    compare_dag_policies, AdaptiveError, DagPolicyComparison, DagSpec, EvaluationConfig, TruthModel,
 };
 use ckpt_bench::{print_header, random_layered_instance, JsonSummary};
 use ckpt_core::cost_model::CheckpointCostModel;
@@ -133,9 +133,27 @@ fn main() {
         .count("trials", TRIALS)
         .count("tasks", spec.len());
 
+    let mut horizon_rejected = false;
     for scenario in scenarios() {
-        let cmp = compare_dag_policies(&spec, PLANNING_RATE, &scenario.truth, &config, &search)
-            .expect("valid scenario");
+        // Same harness-robustness surface as e11: a trace scenario rejected
+        // by the 64x horizon guard reports its exceeded-trial count in the
+        // JSON summary (and exits non-zero after emitting) instead of dying
+        // with nothing machine-readable.
+        let cmp =
+            match compare_dag_policies(&spec, PLANNING_RATE, &scenario.truth, &config, &search) {
+                Ok(cmp) => cmp,
+                Err(AdaptiveError::TraceHorizonExceeded { horizon, makespan, trials }) => {
+                    eprintln!(
+                        "{:>12}: {trials} trial(s) outran the trace horizon \
+                     ({horizon:.0} s, worst makespan {makespan:.0} s) — rejected",
+                        scenario.name
+                    );
+                    summary.count(format!("{}_horizon_exceeded_trials", scenario.key), trials);
+                    horizon_rejected = true;
+                    continue;
+                }
+                Err(e) => panic!("scenario {}: {e}", scenario.name),
+            };
         for row in &cmp.results {
             println!(
                 "{:>12} {:>20} {:>14.1} {:>10.1} {:>7.2}% {:>6.2} {:>6.2} {:>6.2}",
@@ -157,6 +175,7 @@ fn main() {
             format!("{}_relinearise_reorders", scenario.key),
             cmp.row("dag-relinearise").mean_reorders,
         );
+        summary.count(format!("{}_horizon_exceeded_trials", scenario.key), 0);
         println!();
         assert_claims(&scenario, &cmp);
     }
@@ -170,6 +189,9 @@ fn main() {
          and every comparison is bit-identical at 1/2/3/8 worker threads."
     );
     summary.emit();
+    if horizon_rejected {
+        std::process::exit(2);
+    }
 }
 
 /// The headline claims, asserted per scenario.

@@ -155,6 +155,7 @@ fn e11_json_summary_schema_and_determinism() {
         {
             keys.push(format!("{scenario}_{policy}_makespan"));
         }
+        keys.push(format!("{scenario}_horizon_exceeded_trials"));
     }
     assert_summary_schema(env!("CARGO_BIN_EXE_e11_adaptive"), "e11_adaptive", &keys, &[]);
 }
@@ -169,6 +170,27 @@ fn e12_json_summary_schema_and_determinism() {
             keys.push(format!("{scenario}_{policy}_makespan"));
         }
         keys.push(format!("{scenario}_relinearise_reorders"));
+        keys.push(format!("{scenario}_horizon_exceeded_trials"));
     }
     assert_summary_schema(env!("CARGO_BIN_EXE_e12_dag_adaptive"), "e12_dag_adaptive", &keys, &[]);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs release experiment binaries (see CI)")]
+fn e13_json_summary_schema_and_determinism() {
+    let mut keys: Vec<String> = vec![
+        "machines".to_string(),
+        "jobs".to_string(),
+        "trials".to_string(),
+        "planning_rate".to_string(),
+        "degradation_mean_waiting".to_string(),
+        "degradation_max_queue_depth".to_string(),
+    ];
+    for width in ["w0", "w150", "w1200"] {
+        for policy in ["checkpoint_only", "always_migrate", "replicate_top_2", "setlur"] {
+            keys.push(format!("{width}_{policy}_makespan"));
+        }
+        keys.push(format!("{width}_replication_advantage"));
+    }
+    assert_summary_schema(env!("CARGO_BIN_EXE_e13_cluster"), "e13_cluster", &keys, &[]);
 }

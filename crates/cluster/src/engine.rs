@@ -1,0 +1,976 @@
+//! The deterministic event-driven cluster engine.
+//!
+//! A pool of machines executes many chain jobs concurrently. Each dispatched
+//! job is simulated **synchronously** on its machine with the exact §2
+//! semantics of the single-machine chain engine — the same
+//! [`run_phase`]/[`absorb_run_failure`]/[`absorb_recovery_failure`]/
+//! [`commit_run`] helpers, called in the same order — so a single-machine,
+//! no-migration, no-replica cluster run is **bitwise identical** to
+//! [`simulate_policy`](ckpt_simulator::simulate_policy). Synchronous
+//! run-ahead is sound because machines own disjoint failure streams and a
+//! running job cannot be preempted: cross-machine interaction happens only
+//! through the ready queue and replica attachment, both resolved at
+//! event-processing times.
+//!
+//! On a machine failure the job's [`ClusterPolicy`] picks a
+//! [`FailureAction`]:
+//!
+//! * **restart** — the job holds the machine, waits out the §2 downtime and
+//!   any remaining machine repair, and recovers in place;
+//! * **migrate** — the job re-enters the ready queue (plus retry backoff once
+//!   its budget is exhausted) and pays the migration overhead at its next
+//!   dispatch, on whichever machine picks it up;
+//! * **failover** — the job continues immediately on the warm replica it paid
+//!   to keep (checkpoints were inflated by the replication factor, and the
+//!   replica machine was reserved). The replica watches its own failure
+//!   stream while standing by, so a correlated burst can kill it together
+//!   with the primary — failover then degrades to a restart.
+//!
+//! **Graceful degradation**: when no machine is idle (all busy or repairing),
+//! ready jobs simply wait in FIFO order — queue depth and per-job waiting
+//! time grow, but no error is produced; repairs eventually free machines and
+//! the queue drains.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::error::{ensure_non_negative, ClusterError};
+use crate::job::{ClusterJob, JobRecord};
+use crate::policy::{ClusterPolicy, FailureAction, FailureContext};
+use crate::source::{MachineFailureSource, MachineStream};
+use ckpt_simulator::rollback::{
+    absorb_recovery_failure, absorb_run_failure, commit_run, run_phase, PhaseOutcome,
+};
+use ckpt_simulator::{ExecutionRecord, TimeBreakdown};
+
+/// Cluster-level cost and robustness knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    migration_overhead: f64,
+    failover_overhead: f64,
+    replication_checkpoint_factor: f64,
+    retry_budget: u64,
+    backoff_base: f64,
+    backoff_cap: f64,
+    event_cap: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            migration_overhead: 0.0,
+            failover_overhead: 0.0,
+            replication_checkpoint_factor: 1.0,
+            retry_budget: 8,
+            backoff_base: 0.0,
+            backoff_cap: 0.0,
+            event_cap: 1_000_000,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Default migration overhead handed to policies (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClusterError`] if the value is negative or non-finite.
+    pub fn with_migration_overhead(mut self, value: f64) -> Result<Self, ClusterError> {
+        self.migration_overhead = ensure_non_negative("migration_overhead", value)?;
+        Ok(self)
+    }
+
+    /// Overhead paid when failing over to the replica (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClusterError`] if the value is negative or non-finite.
+    pub fn with_failover_overhead(mut self, value: f64) -> Result<Self, ClusterError> {
+        self.failover_overhead = ensure_non_negative("failover_overhead", value)?;
+        Ok(self)
+    }
+
+    /// Multiplier (≥ 1) applied to checkpoint costs while a replica is
+    /// attached — shipping state to the replica makes checkpoints dearer
+    /// (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClusterError`] if the factor is below 1 or non-finite.
+    pub fn with_replication_checkpoint_factor(mut self, value: f64) -> Result<Self, ClusterError> {
+        if !value.is_finite() || value < 1.0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "replication_checkpoint_factor",
+                value,
+            });
+        }
+        self.replication_checkpoint_factor = value;
+        Ok(self)
+    }
+
+    /// Failures a job may absorb before migration re-admissions start paying
+    /// exponential backoff (builder style).
+    pub fn with_retry_budget(mut self, budget: u64) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Backoff parameters: re-admission `i` beyond the retry budget waits
+    /// `base · 2^(i−1)`, capped at `cap` (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClusterError`] if either value is negative or non-finite.
+    pub fn with_backoff(mut self, base: f64, cap: f64) -> Result<Self, ClusterError> {
+        self.backoff_base = ensure_non_negative("backoff_base", base)?;
+        self.backoff_cap = ensure_non_negative("backoff_cap", cap)?;
+        Ok(self)
+    }
+
+    /// Safety cap on processed events (builder style) — a livelock guard, not
+    /// a tuning knob.
+    pub fn with_event_cap(mut self, cap: u64) -> Self {
+        self.event_cap = cap;
+        self
+    }
+
+    /// The default migration overhead.
+    pub fn migration_overhead(&self) -> f64 {
+        self.migration_overhead
+    }
+
+    /// The failover overhead.
+    pub fn failover_overhead(&self) -> f64 {
+        self.failover_overhead
+    }
+
+    /// The checkpoint inflation factor while a replica is attached.
+    pub fn replication_checkpoint_factor(&self) -> f64 {
+        self.replication_checkpoint_factor
+    }
+}
+
+/// The outcome of one cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// Per-job outcomes, in job order.
+    pub jobs: Vec<JobRecord>,
+    /// Completion time of the last job.
+    pub makespan: f64,
+    /// Useful machine utilisation: total useful work over
+    /// `machines × makespan`.
+    pub utilisation: f64,
+    /// Largest number of jobs simultaneously waiting for a machine — the
+    /// graceful-degradation observable.
+    pub peak_queue_depth: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A job entered (or re-entered) the ready queue.
+    JobReady(usize),
+    /// A machine became idle (job completed, or repair finished after the
+    /// job left it).
+    MachineFreed(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first, ties
+        // broken by insertion order for determinism.
+        other.time.total_cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    fn push(&mut self, time: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+/// Mutable per-job execution state (the chain-engine state plus cluster
+/// metadata), persisted across migrations.
+#[derive(Debug)]
+struct JobState {
+    position: usize,
+    last_checkpoint: Option<usize>,
+    failure_times: Vec<f64>,
+    breakdown: TimeBreakdown,
+    run_start: f64,
+    checkpoints: u64,
+    decisions: u64,
+    retries: u64,
+    waiting: f64,
+    migrations: u64,
+    failovers: u64,
+    /// Overhead to pay at the next dispatch (migration cost).
+    pending_overhead: f64,
+    /// Whether the next execution episode starts with a recovery.
+    needs_recovery: bool,
+    /// When the job entered the ready queue (to account waiting).
+    ready_since: f64,
+    completed_at: Option<f64>,
+}
+
+impl JobState {
+    fn new(arrival: f64) -> Self {
+        JobState {
+            position: 0,
+            last_checkpoint: None,
+            failure_times: Vec::new(),
+            breakdown: TimeBreakdown::default(),
+            run_start: 0.0,
+            checkpoints: 0,
+            decisions: 0,
+            retries: 0,
+            waiting: 0.0,
+            migrations: 0,
+            failovers: 0,
+            pending_overhead: 0.0,
+            needs_recovery: false,
+            ready_since: arrival,
+            completed_at: None,
+        }
+    }
+
+    fn resume_position(&self) -> usize {
+        self.last_checkpoint.map_or(0, |k| k + 1)
+    }
+}
+
+/// How an execution episode left the machine-failure handler.
+enum AfterFailure {
+    /// Keep executing (possibly on the replica after a failover): re-enter
+    /// the recovery phase on the current machine.
+    Resume,
+    /// The job left its machine (migration): re-enqueue at `ready_at`.
+    Leave { ready_at: f64 },
+}
+
+/// Runs `jobs` on a pool of `machines` machines whose failures come from
+/// `source`, consulting `policy` on every machine failure.
+///
+/// Returns one [`JobRecord`] per job (same order) plus cluster-level
+/// aggregates. Jobs queue FIFO; machines are picked lowest-index-first; every
+/// tie is broken deterministically, so a run is a pure function of its
+/// inputs.
+///
+/// # Errors
+///
+/// * [`ClusterError::EmptyCluster`] if `machines == 0`;
+/// * [`ClusterError::NoJobs`] if `jobs` is empty;
+/// * [`ClusterError::MachineCountMismatch`] if `source` covers fewer than
+///   `machines` machines;
+/// * [`ClusterError::PlanLengthMismatch`] if a job's plan is inconsistent
+///   (jobs constructed via [`ClusterJob::new`] cannot trip this);
+/// * [`ClusterError::EventCapExceeded`] if the simulation fails to make
+///   progress within the configured event cap.
+pub fn run_cluster<S, P>(
+    jobs: &[ClusterJob],
+    machines: usize,
+    source: &mut S,
+    policy: &mut P,
+    config: &ClusterConfig,
+) -> Result<ClusterOutcome, ClusterError>
+where
+    S: MachineFailureSource + ?Sized,
+    P: ClusterPolicy + ?Sized,
+{
+    if machines == 0 {
+        return Err(ClusterError::EmptyCluster);
+    }
+    if jobs.is_empty() {
+        return Err(ClusterError::NoJobs);
+    }
+    if source.machine_count() < machines {
+        return Err(ClusterError::MachineCountMismatch {
+            machines,
+            source: source.machine_count(),
+        });
+    }
+    for (j, job) in jobs.iter().enumerate() {
+        if job.plan().len() != job.tasks().len() {
+            return Err(ClusterError::PlanLengthMismatch {
+                job: j,
+                plan: job.plan().len(),
+                tasks: job.tasks().len(),
+            });
+        }
+    }
+
+    let mut states: Vec<JobState> = jobs.iter().map(|job| JobState::new(job.arrival())).collect();
+    let mut idle = vec![true; machines];
+    let mut events = EventQueue::new();
+    for (j, job) in jobs.iter().enumerate() {
+        events.push(job.arrival(), EventKind::JobReady(j));
+    }
+
+    let mut ready: Vec<usize> = Vec::new();
+    let mut peak_queue_depth = 0usize;
+    let mut processed = 0u64;
+
+    while let Some(event) = events.pop() {
+        processed += 1;
+        if processed > config.event_cap {
+            return Err(ClusterError::EventCapExceeded { cap: config.event_cap });
+        }
+        match event.kind {
+            EventKind::JobReady(j) => ready.push(j),
+            EventKind::MachineFreed(m) => idle[m] = true,
+        }
+        // Drain every event at this exact instant before dispatching, so
+        // simultaneous arrivals contend (and are measured) together.
+        while events.peek_time() == Some(event.time) {
+            processed += 1;
+            if processed > config.event_cap {
+                return Err(ClusterError::EventCapExceeded { cap: config.event_cap });
+            }
+            match events.pop().expect("peeked").kind {
+                EventKind::JobReady(j) => ready.push(j),
+                EventKind::MachineFreed(m) => idle[m] = true,
+            }
+        }
+        peak_queue_depth = peak_queue_depth.max(ready.len());
+
+        // Dispatch as many ready jobs as there are idle machines, FIFO,
+        // lowest machine index first.
+        while !ready.is_empty() {
+            let Some(machine) = idle.iter().position(|&free| free) else { break };
+            let j = ready.remove(0);
+            idle[machine] = false;
+            // Reserve the replica from the remaining idle machines; when the
+            // pool is too busy the job simply runs unreplicated.
+            let buddy = if jobs[j].replica_requested() {
+                let b = idle.iter().position(|&free| free);
+                if let Some(b) = b {
+                    idle[b] = false;
+                }
+                b
+            } else {
+                None
+            };
+            states[j].waiting += event.time - states[j].ready_since;
+            run_episode(
+                jobs,
+                &mut states,
+                &idle,
+                &mut events,
+                source,
+                policy,
+                config,
+                j,
+                machine,
+                buddy,
+                event.time,
+            );
+        }
+    }
+
+    let mut records = Vec::with_capacity(jobs.len());
+    let mut makespan = 0.0f64;
+    let mut useful = 0.0f64;
+    for (j, state) in states.iter().enumerate() {
+        let completed_at =
+            state.completed_at.ok_or(ClusterError::EventCapExceeded { cap: config.event_cap })?;
+        makespan = makespan.max(completed_at);
+        useful += state.breakdown.useful;
+        records.push(JobRecord {
+            record: ExecutionRecord {
+                makespan: completed_at - jobs[j].arrival(),
+                failures: state.failure_times.len() as u64,
+                breakdown: state.breakdown,
+            },
+            checkpoints: state.checkpoints,
+            decisions: state.decisions,
+            waiting: state.waiting,
+            migrations: state.migrations,
+            failovers: state.failovers,
+            completed_at,
+        });
+    }
+    let utilisation = if makespan > 0.0 { useful / (machines as f64 * makespan) } else { 0.0 };
+    Ok(ClusterOutcome { jobs: records, makespan, utilisation, peak_queue_depth })
+}
+
+/// One execution episode: job `j` runs on `machine` (with an optional standby
+/// `buddy`) from `start` until it completes or migrates away. Mirrors the
+/// chain engine's `policy_core` loop exactly on the restart path.
+#[allow(clippy::too_many_arguments)] // flat engine state, one call site
+fn run_episode<S, P>(
+    jobs: &[ClusterJob],
+    states: &mut [JobState],
+    idle: &[bool],
+    events: &mut EventQueue,
+    source: &mut S,
+    policy: &mut P,
+    config: &ClusterConfig,
+    j: usize,
+    mut machine: usize,
+    mut buddy: Option<usize>,
+    start: f64,
+) where
+    S: MachineFailureSource + ?Sized,
+    P: ClusterPolicy + ?Sized,
+{
+    let job = &jobs[j];
+    let n = job.tasks().len();
+    let downtime = job.downtime();
+    let mut clock = start;
+    // When the buddy started standing by — its failure stream is inspected
+    // from here on failover attempts.
+    let watch_from = start;
+
+    // Outcome of one failure: mutates everything through the passed-in state.
+    macro_rules! on_failure {
+        ($at:expr) => {
+            failure_decision(
+                source,
+                policy,
+                config,
+                idle,
+                events,
+                &mut states[j],
+                job,
+                j,
+                &mut machine,
+                &mut buddy,
+                watch_from,
+                &mut clock,
+                $at,
+            )
+        };
+    }
+
+    'episode: loop {
+        // Entry overhead: migration cost carried from the previous episode,
+        // booked as downtime (the §2 bucket for failure-induced waiting).
+        if states[j].pending_overhead > 0.0 {
+            clock += states[j].pending_overhead;
+            states[j].breakdown.downtime += states[j].pending_overhead;
+            states[j].pending_overhead = 0.0;
+        }
+
+        if states[j].needs_recovery {
+            let recovery = states[j]
+                .last_checkpoint
+                .map_or(job.initial_recovery(), |k| job.tasks()[k].recovery());
+            if recovery > 0.0 {
+                loop {
+                    let outcome =
+                        run_phase(&mut MachineStream::new(source, machine), &mut clock, recovery);
+                    match outcome {
+                        PhaseOutcome::Failed { at } => {
+                            let st = &mut states[j];
+                            absorb_recovery_failure(
+                                at,
+                                downtime,
+                                &mut clock,
+                                &mut st.failure_times,
+                                &mut st.breakdown,
+                            );
+                            match on_failure!(at) {
+                                AfterFailure::Resume => continue,
+                                AfterFailure::Leave { ready_at } => {
+                                    leave(states, events, j, clock, ready_at);
+                                    return;
+                                }
+                            }
+                        }
+                        PhaseOutcome::Completed => {
+                            states[j].breakdown.recovery += recovery;
+                            break;
+                        }
+                    }
+                }
+            }
+            states[j].needs_recovery = false;
+        }
+        states[j].run_start = clock;
+
+        while states[j].position < n {
+            let position = states[j].position;
+
+            // Work phase.
+            let work = job.tasks()[position].work();
+            if let PhaseOutcome::Failed { at } =
+                run_phase(&mut MachineStream::new(source, machine), &mut clock, work)
+            {
+                let st = &mut states[j];
+                absorb_run_failure(
+                    at,
+                    downtime,
+                    &mut clock,
+                    st.run_start,
+                    &mut st.failure_times,
+                    &mut st.breakdown,
+                );
+                st.position = st.resume_position();
+                st.needs_recovery = true;
+                match on_failure!(at) {
+                    AfterFailure::Resume => continue 'episode,
+                    AfterFailure::Leave { ready_at } => {
+                        leave(states, events, j, clock, ready_at);
+                        return;
+                    }
+                }
+            }
+
+            // Decision point: final checkpoint mandatory, otherwise the
+            // job's static plan decides (counted exactly like the chain
+            // engine's policy consultations).
+            let take = if position + 1 == n {
+                true
+            } else {
+                states[j].decisions += 1;
+                job.plan()[position]
+            };
+
+            if take {
+                let base = job.tasks()[position].checkpoint();
+                // Shipping state to an attached replica inflates the
+                // checkpoint.
+                let ckpt = if buddy.is_some() {
+                    base * config.replication_checkpoint_factor
+                } else {
+                    base
+                };
+                if ckpt > 0.0 {
+                    if let PhaseOutcome::Failed { at } =
+                        run_phase(&mut MachineStream::new(source, machine), &mut clock, ckpt)
+                    {
+                        let st = &mut states[j];
+                        absorb_run_failure(
+                            at,
+                            downtime,
+                            &mut clock,
+                            st.run_start,
+                            &mut st.failure_times,
+                            &mut st.breakdown,
+                        );
+                        st.position = st.resume_position();
+                        st.needs_recovery = true;
+                        match on_failure!(at) {
+                            AfterFailure::Resume => continue 'episode,
+                            AfterFailure::Leave { ready_at } => {
+                                leave(states, events, j, clock, ready_at);
+                                return;
+                            }
+                        }
+                    }
+                }
+                let st = &mut states[j];
+                commit_run(clock, &mut st.run_start, &mut st.breakdown);
+                st.last_checkpoint = Some(position);
+                st.checkpoints += 1;
+            }
+            states[j].position += 1;
+        }
+
+        // Chain complete.
+        states[j].completed_at = Some(clock);
+        events.push(clock, EventKind::MachineFreed(machine));
+        if let Some(b) = buddy {
+            release_standby(source, events, b, watch_from, clock);
+        }
+        return;
+    }
+}
+
+/// Book a migration departure: the job left its machine at `left_at` and
+/// re-enters the queue at `ready_at`. Waiting accrues from `left_at`, so any
+/// retry backoff (`ready_at − left_at`) is accounted as queue time and the
+/// makespan decomposition stays exact.
+fn leave(states: &mut [JobState], events: &mut EventQueue, j: usize, left_at: f64, ready_at: f64) {
+    states[j].ready_since = left_at;
+    events.push(ready_at, EventKind::JobReady(j));
+}
+
+/// Release a standby machine at episode end: if it silently failed while
+/// watching, it must repair before rejoining the pool.
+fn release_standby<S: MachineFailureSource + ?Sized>(
+    source: &mut S,
+    events: &mut EventQueue,
+    standby: usize,
+    watch_from: f64,
+    now: f64,
+) {
+    let failed_at = source.next_failure_after(standby, watch_from);
+    if failed_at <= now {
+        let done = source.begin_repair(standby, failed_at);
+        events.push(done.max(now), EventKind::MachineFreed(standby));
+    } else {
+        events.push(now, EventKind::MachineFreed(standby));
+    }
+}
+
+/// Handle a machine failure at `at`: repair the machine, consult the policy
+/// and apply the chosen action. The §2 downtime has already been absorbed
+/// (the clock sits at `at + D`).
+#[allow(clippy::too_many_arguments)] // flat engine state, called from three phases
+fn failure_decision<S, P>(
+    source: &mut S,
+    policy: &mut P,
+    config: &ClusterConfig,
+    idle: &[bool],
+    events: &mut EventQueue,
+    st: &mut JobState,
+    job: &ClusterJob,
+    j: usize,
+    machine: &mut usize,
+    buddy: &mut Option<usize>,
+    watch_from: f64,
+    clock: &mut f64,
+    at: f64,
+) -> AfterFailure
+where
+    S: MachineFailureSource + ?Sized,
+    P: ClusterPolicy + ?Sized,
+{
+    st.retries += 1;
+    let repair_done = source.begin_repair(*machine, at);
+
+    // Is the replica still alive? Its stream is inspected (not consumed past
+    // the failure instant); a dead replica goes to repair and detaches.
+    let mut replica_alive = false;
+    if let Some(b) = *buddy {
+        let buddy_failed_at = source.next_failure_after(b, watch_from);
+        if buddy_failed_at <= at {
+            let done = source.begin_repair(b, buddy_failed_at);
+            events.push(done.max(at), EventKind::MachineFreed(b));
+            *buddy = None;
+        } else {
+            replica_alive = true;
+        }
+    }
+
+    let resume = st.resume_position();
+    let remaining_work: f64 = job.tasks()[resume..].iter().map(|t| t.work()).sum();
+    let ctx = FailureContext {
+        job: j,
+        machine: *machine,
+        failure_time: at,
+        repair_done,
+        retries: st.retries,
+        resume_position: resume,
+        remaining_work,
+        replica_alive,
+        // Snapshot as of this job's dispatch: machines freed since then are
+        // still queued as events. Advisory only — allocation happens at
+        // event-processing time and is always consistent.
+        idle_machines: idle.iter().filter(|&&free| free).count(),
+        migration_overhead: config.migration_overhead,
+    };
+
+    match policy.on_failure(&ctx) {
+        FailureAction::Failover if replica_alive => {
+            let b = buddy.take().expect("replica_alive implies an attached buddy");
+            events.push(repair_done, EventKind::MachineFreed(*machine));
+            *machine = b;
+            st.failovers += 1;
+            if config.failover_overhead > 0.0 {
+                *clock += config.failover_overhead;
+                st.breakdown.downtime += config.failover_overhead;
+            }
+            AfterFailure::Resume
+        }
+        FailureAction::Migrate { overhead } => {
+            st.migrations += 1;
+            st.pending_overhead = overhead.max(0.0);
+            events.push(repair_done, EventKind::MachineFreed(*machine));
+            if let Some(b) = buddy.take() {
+                // The (healthy) replica is released back to the pool.
+                events.push(at, EventKind::MachineFreed(b));
+            }
+            let excess = st.retries.saturating_sub(config.retry_budget);
+            let backoff = if excess > 0 {
+                let exponent = (excess - 1).min(62) as i32;
+                (config.backoff_base * 2f64.powi(exponent)).min(config.backoff_cap)
+            } else {
+                0.0
+            };
+            AfterFailure::Leave { ready_at: *clock + backoff }
+        }
+        // Restart, or a failover request the engine cannot honour (replica
+        // dead or never attached): hold the machine through its repair.
+        FailureAction::RestartFromCheckpoint | FailureAction::Failover => {
+            if repair_done > *clock {
+                st.breakdown.downtime += repair_done - *clock;
+                *clock = repair_done;
+            }
+            AfterFailure::Resume
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::BaselinePolicy;
+    use ckpt_simulator::ChainTask;
+
+    /// Scripted machine failures with fixed repair duration: machine `m`
+    /// fails at each listed time (unless silenced by an earlier repair).
+    struct ScriptedSource {
+        times: Vec<Vec<f64>>,
+        silenced: Vec<f64>,
+        repair: f64,
+    }
+
+    impl ScriptedSource {
+        fn new(times: Vec<Vec<f64>>, repair: f64) -> Self {
+            let silenced = vec![f64::NEG_INFINITY; times.len()];
+            ScriptedSource { times, silenced, repair }
+        }
+    }
+
+    impl MachineFailureSource for ScriptedSource {
+        fn machine_count(&self) -> usize {
+            self.times.len()
+        }
+
+        fn next_failure_after(&mut self, machine: usize, after: f64) -> f64 {
+            let floor = self.silenced[machine];
+            self.times[machine]
+                .iter()
+                .copied()
+                .find(|&t| t > after && t > floor)
+                .unwrap_or(f64::INFINITY)
+        }
+
+        fn begin_repair(&mut self, machine: usize, at: f64) -> f64 {
+            let done = at + self.repair;
+            self.silenced[machine] = done;
+            done
+        }
+    }
+
+    fn job(works: &[f64], ckpt: f64, rec: f64, r0: f64, d: f64, plan: &[bool]) -> ClusterJob {
+        let tasks: Vec<ChainTask> =
+            works.iter().map(|&w| ChainTask::new(w, ckpt, rec).unwrap()).collect();
+        ClusterJob::new(tasks, r0, d, plan.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn failure_free_run_is_pure_work_plus_checkpoints() {
+        let jobs = vec![job(&[100.0, 100.0], 10.0, 5.0, 0.0, 3.0, &[true, true])];
+        let mut source = ScriptedSource::new(vec![vec![]], 0.0);
+        let mut policy = BaselinePolicy::CheckpointOnly;
+        let out =
+            run_cluster(&jobs, 1, &mut source, &mut policy, &ClusterConfig::default()).unwrap();
+        let rec = &out.jobs[0];
+        assert_eq!(rec.record.makespan, 220.0);
+        assert_eq!(rec.record.failures, 0);
+        assert_eq!(rec.checkpoints, 2);
+        assert_eq!(rec.decisions, 1);
+        assert_eq!(rec.waiting, 0.0);
+        assert_eq!(out.makespan, 220.0);
+        assert_eq!(out.peak_queue_depth, 1);
+        // The useful bucket includes checkpoint time (the chain convention):
+        // a failure-free single-job run keeps its machine fully utilised.
+        assert_eq!(out.utilisation, 1.0);
+    }
+
+    #[test]
+    fn restart_waits_out_the_machine_repair() {
+        // Work 100, failure at 40. §2 downtime 3 ⇒ clock 43, but the machine
+        // repairs until 40 + 50 = 90 ⇒ extra 47 of downtime, then recovery 5
+        // and a clean re-run: makespan 90 + 5 + 100 + 10 = 205.
+        let jobs = vec![job(&[100.0], 10.0, 5.0, 5.0, 3.0, &[true])];
+        let mut source = ScriptedSource::new(vec![vec![40.0]], 50.0);
+        let mut policy = BaselinePolicy::CheckpointOnly;
+        let out =
+            run_cluster(&jobs, 1, &mut source, &mut policy, &ClusterConfig::default()).unwrap();
+        let rec = &out.jobs[0];
+        assert_eq!(rec.record.makespan, 205.0);
+        assert_eq!(rec.record.failures, 1);
+        assert_eq!(rec.record.breakdown.lost, 40.0);
+        assert_eq!(rec.record.breakdown.downtime, 50.0);
+        assert_eq!(rec.record.breakdown.recovery, 5.0);
+        assert_eq!(rec.record.breakdown.useful, 110.0);
+        assert_eq!(rec.waiting, 0.0);
+    }
+
+    #[test]
+    fn migration_requeues_and_pays_overhead_elsewhere() {
+        // Machine 0 fails at 40 and repairs for 1000; machine 1 is idle. The
+        // job re-enters the queue at 40 + D = 43, pays the migration overhead
+        // 7 and R₀ = 5, then re-runs: 43 + 7 + 5 + 100 + 10 = 165.
+        let jobs = vec![job(&[100.0], 10.0, 5.0, 5.0, 3.0, &[true])];
+        let mut source = ScriptedSource::new(vec![vec![40.0], vec![]], 1000.0);
+        let mut policy = BaselinePolicy::AlwaysMigrate;
+        let config = ClusterConfig::default().with_migration_overhead(7.0).unwrap();
+        let out = run_cluster(&jobs, 2, &mut source, &mut policy, &config).unwrap();
+        let rec = &out.jobs[0];
+        assert_eq!(rec.record.makespan, 165.0);
+        assert_eq!(rec.migrations, 1);
+        assert_eq!(rec.waiting, 0.0);
+        assert_eq!(rec.record.breakdown.downtime, 3.0 + 7.0);
+        assert_eq!(rec.record.breakdown.lost, 40.0);
+    }
+
+    #[test]
+    fn failover_continues_on_the_replica() {
+        // Job replicated on machine 1; machine 0 fails at 40. Failover pays 2
+        // and recovers R₀ = 5 on the replica: 40 + 3 + 2 + 5 + 100 + 10 = 160.
+        let jobs = vec![job(&[100.0], 10.0, 5.0, 5.0, 3.0, &[true]).with_replica()];
+        let mut source = ScriptedSource::new(vec![vec![40.0], vec![]], 1000.0);
+        let mut policy = BaselinePolicy::ReplicateTopK { k: 1 };
+        let config = ClusterConfig::default().with_failover_overhead(2.0).unwrap();
+        let out = run_cluster(&jobs, 2, &mut source, &mut policy, &config).unwrap();
+        let rec = &out.jobs[0];
+        assert_eq!(rec.record.makespan, 160.0);
+        assert_eq!(rec.failovers, 1);
+        assert_eq!(rec.migrations, 0);
+    }
+
+    #[test]
+    fn dead_replica_degrades_to_migration() {
+        // The replica (machine 1) dies at 30, before the primary's failure at
+        // 40 — the burst scenario. ReplicateTopK then migrates; the only
+        // healthy machine is 2.
+        let jobs = vec![job(&[100.0], 10.0, 5.0, 5.0, 3.0, &[true]).with_replica()];
+        let mut source = ScriptedSource::new(vec![vec![40.0], vec![30.0], vec![]], 1000.0);
+        let mut policy = BaselinePolicy::ReplicateTopK { k: 1 };
+        let out =
+            run_cluster(&jobs, 3, &mut source, &mut policy, &ClusterConfig::default()).unwrap();
+        let rec = &out.jobs[0];
+        assert_eq!(rec.failovers, 0);
+        assert_eq!(rec.migrations, 1);
+        // 40 + 3 (D) + 0 (overhead) + 5 (R₀) + 100 + 10 = 158.
+        assert_eq!(rec.record.makespan, 158.0);
+    }
+
+    #[test]
+    fn replication_inflates_checkpoints_while_attached() {
+        let jobs = vec![job(&[50.0, 50.0], 10.0, 5.0, 5.0, 3.0, &[true, true]).with_replica()];
+        let mut source = ScriptedSource::new(vec![vec![], vec![]], 0.0);
+        let mut policy = BaselinePolicy::ReplicateTopK { k: 1 };
+        let config = ClusterConfig::default().with_replication_checkpoint_factor(1.5).unwrap();
+        let out = run_cluster(&jobs, 2, &mut source, &mut policy, &config).unwrap();
+        // 50 + 15 + 50 + 15 = 130 (checkpoints cost 10 × 1.5 each).
+        assert_eq!(out.jobs[0].record.makespan, 130.0);
+    }
+
+    #[test]
+    fn jobs_queue_gracefully_when_machines_are_scarce() {
+        let jobs = vec![
+            job(&[100.0], 10.0, 5.0, 0.0, 3.0, &[true]),
+            job(&[100.0], 10.0, 5.0, 0.0, 3.0, &[true]),
+        ];
+        let mut source = ScriptedSource::new(vec![vec![]], 0.0);
+        let mut policy = BaselinePolicy::CheckpointOnly;
+        let out =
+            run_cluster(&jobs, 1, &mut source, &mut policy, &ClusterConfig::default()).unwrap();
+        // FIFO: job 0 runs 0..110, job 1 waits 110 then runs 110..220.
+        assert_eq!(out.jobs[0].waiting, 0.0);
+        assert_eq!(out.jobs[1].waiting, 110.0);
+        assert_eq!(out.jobs[1].completed_at, 220.0);
+        assert_eq!(out.jobs[1].record.makespan, 220.0);
+        assert_eq!(out.peak_queue_depth, 2);
+        assert_eq!(out.makespan, 220.0);
+    }
+
+    #[test]
+    fn backoff_delays_re_admissions_beyond_the_budget() {
+        // Machine 0 fails at 10 (repairing until 16), machine 1 at 31.
+        // AlwaysMigrate with a budget of 1: the first re-admission is free,
+        // the second pays a backoff of 8 · 2⁰ = 8.
+        let jobs = vec![job(&[100.0], 10.0, 5.0, 5.0, 3.0, &[true])];
+        let mut source = ScriptedSource::new(vec![vec![10.0], vec![31.0]], 6.0);
+        let mut policy = BaselinePolicy::AlwaysMigrate;
+        let config = ClusterConfig::default().with_retry_budget(1).with_backoff(8.0, 20.0).unwrap();
+        let out = run_cluster(&jobs, 2, &mut source, &mut policy, &config).unwrap();
+        let rec = &out.jobs[0];
+        assert_eq!(rec.migrations, 2);
+        // Failure 1 (within budget): ready at 10 + 3 = 13; m0 is repairing,
+        // so m1 takes the job. Recovery R₀ = 5 ⇒ work starts 18; m1 fails at
+        // 31 (13 into the work). Retry 2 ⇒ backoff 8: ready at 31 + 3 + 8 =
+        // 42, back on m0 (repaired at 16): 42 + 5 + 100 + 10 = 157.
+        assert_eq!(rec.record.makespan, 157.0);
+        // The backoff window is booked as queue time.
+        assert_eq!(rec.waiting, 8.0);
+        assert_eq!(rec.record.breakdown.lost, 10.0 + 13.0);
+        assert_eq!(rec.record.breakdown.recovery, 10.0);
+        assert_eq!(rec.record.breakdown.downtime, 6.0);
+        assert_eq!(rec.record.breakdown.useful, 110.0);
+    }
+
+    #[test]
+    fn validation_errors_are_reported() {
+        let jobs = vec![job(&[10.0], 0.0, 0.0, 0.0, 0.0, &[true])];
+        let mut source = ScriptedSource::new(vec![vec![]], 0.0);
+        let mut policy = BaselinePolicy::CheckpointOnly;
+        let config = ClusterConfig::default();
+        assert!(matches!(
+            run_cluster(&jobs, 0, &mut source, &mut policy, &config),
+            Err(ClusterError::EmptyCluster)
+        ));
+        assert!(matches!(
+            run_cluster(&[], 1, &mut source, &mut policy, &config),
+            Err(ClusterError::NoJobs)
+        ));
+        assert!(matches!(
+            run_cluster(&jobs, 2, &mut source, &mut policy, &config),
+            Err(ClusterError::MachineCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn config_builders_validate() {
+        assert!(ClusterConfig::default().with_migration_overhead(-1.0).is_err());
+        assert!(ClusterConfig::default().with_failover_overhead(f64::NAN).is_err());
+        assert!(ClusterConfig::default().with_replication_checkpoint_factor(0.5).is_err());
+        assert!(ClusterConfig::default().with_backoff(-1.0, 0.0).is_err());
+        let cfg = ClusterConfig::default()
+            .with_migration_overhead(1.0)
+            .unwrap()
+            .with_failover_overhead(2.0)
+            .unwrap()
+            .with_replication_checkpoint_factor(1.25)
+            .unwrap();
+        assert_eq!(cfg.migration_overhead(), 1.0);
+        assert_eq!(cfg.failover_overhead(), 2.0);
+        assert_eq!(cfg.replication_checkpoint_factor(), 1.25);
+    }
+}

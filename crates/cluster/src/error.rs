@@ -1,0 +1,115 @@
+//! Error type for cluster construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by cluster construction, planning or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The machine pool is empty.
+    EmptyCluster,
+    /// No jobs were submitted.
+    NoJobs,
+    /// A job's checkpoint plan does not cover its task chain.
+    PlanLengthMismatch {
+        /// Index of the offending job.
+        job: usize,
+        /// Length of the supplied plan.
+        plan: usize,
+        /// Number of tasks in the chain.
+        tasks: usize,
+    },
+    /// A numeric parameter was expected to be non-negative and finite.
+    InvalidParameter {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// The failure source covers fewer machines than the pool.
+    MachineCountMismatch {
+        /// Machines in the pool.
+        machines: usize,
+        /// Machines the failure source knows about.
+        source: usize,
+    },
+    /// The event-driven simulation exceeded its safety cap (a policy /
+    /// parameter combination that can never make progress).
+    EventCapExceeded {
+        /// The cap that was hit.
+        cap: u64,
+    },
+    /// Computing a job's checkpoint plan failed.
+    Planning(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyCluster => {
+                write!(f, "a cluster must contain at least one machine")
+            }
+            ClusterError::NoJobs => write!(f, "a cluster run needs at least one job"),
+            ClusterError::PlanLengthMismatch { job, plan, tasks } => {
+                write!(
+                    f,
+                    "job {job}: checkpoint plan covers {plan} tasks but the chain has {tasks}"
+                )
+            }
+            ClusterError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` must be non-negative and finite, got {value}")
+            }
+            ClusterError::MachineCountMismatch { machines, source } => {
+                write!(f, "pool has {machines} machines but the failure source covers {source}")
+            }
+            ClusterError::EventCapExceeded { cap } => {
+                write!(f, "cluster simulation exceeded the event cap of {cap} (livelock guard)")
+            }
+            ClusterError::Planning(msg) => write!(f, "checkpoint planning failed: {msg}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+/// Validates that `value` is finite and non-negative.
+pub(crate) fn ensure_non_negative(name: &'static str, value: f64) -> Result<f64, ClusterError> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(ClusterError::InvalidParameter { name, value });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(ClusterError, &str)> = vec![
+            (ClusterError::EmptyCluster, "machine"),
+            (ClusterError::NoJobs, "job"),
+            (ClusterError::PlanLengthMismatch { job: 2, plan: 3, tasks: 5 }, "job 2"),
+            (ClusterError::InvalidParameter { name: "overhead", value: -1.0 }, "overhead"),
+            (ClusterError::MachineCountMismatch { machines: 4, source: 2 }, "4"),
+            (ClusterError::EventCapExceeded { cap: 10 }, "event cap"),
+            (ClusterError::Planning("rate".into()), "rate"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn ensure_non_negative_validates() {
+        assert!(ensure_non_negative("x", 0.0).is_ok());
+        assert!(ensure_non_negative("x", -0.5).is_err());
+        assert!(ensure_non_negative("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

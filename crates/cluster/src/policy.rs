@@ -1,0 +1,276 @@
+//! Cluster scheduling policies: what to do when the machine under a job dies.
+//!
+//! The chain/DAG tiers decide *when to checkpoint*; the cluster tier adds the
+//! orthogonal decision *where to keep running*. A [`ClusterPolicy`] is
+//! consulted twice per job lifecycle:
+//!
+//! * at **admission** ([`ClusterPolicy::wants_replica`]) — whether to pay for
+//!   a warm replica: a second machine reserved as a failover target, which
+//!   inflates every checkpoint by the replication factor (state is shipped to
+//!   the replica) and removes a machine from the pool while attached;
+//! * at every **machine failure** ([`ClusterPolicy::on_failure`]) — choose a
+//!   [`FailureAction`]: wait out the repair and restart from the checkpoint
+//!   on the same machine, migrate the checkpoint to another machine (pay the
+//!   migration overhead and possibly queue), or fail over to the replica
+//!   (cheapest, if it is still alive — correlated bursts can fell the replica
+//!   together with the primary).
+//!
+//! [`BaselinePolicy`] packages the four reference strategies the e13
+//! experiment compares: checkpoint-only, always-migrate, replicate-top-k and
+//! the Setlur-style heuristic (replicate the biggest jobs *and* checkpoint
+//! them more sparsely, trading replication cost against checkpoint
+//! frequency).
+
+/// What a policy sees at job admission.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionContext {
+    /// Index of the job being admitted.
+    pub job: usize,
+    /// Total work of the job's chain.
+    pub total_work: f64,
+    /// Rank of the job by total work, `0` = largest (ties broken by index).
+    pub work_rank: usize,
+    /// Number of jobs in the batch.
+    pub job_count: usize,
+    /// Number of machines in the pool.
+    pub machine_count: usize,
+}
+
+/// What a policy sees when the machine under a job fails.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureContext {
+    /// Index of the failed job.
+    pub job: usize,
+    /// Machine the job was running on.
+    pub machine: usize,
+    /// Absolute failure time.
+    pub failure_time: f64,
+    /// When the failed machine finishes repairing.
+    pub repair_done: f64,
+    /// Failures this job has absorbed so far (this one included).
+    pub retries: u64,
+    /// Position execution would resume at (task after the last checkpoint).
+    pub resume_position: usize,
+    /// Work remaining from the resume position to the end of the chain.
+    pub remaining_work: f64,
+    /// Whether a replica is attached **and** was alive at the failure
+    /// instant. [`FailureAction::Failover`] is only honoured when true.
+    pub replica_alive: bool,
+    /// Number of idle machines at the failure instant (the failed machine
+    /// excluded) — migration targets that could start immediately.
+    pub idle_machines: usize,
+    /// The scenario's default migration overhead, for policies that pass it
+    /// through.
+    pub migration_overhead: f64,
+}
+
+/// The recovery action a [`ClusterPolicy`] chooses on a machine failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureAction {
+    /// Wait for the machine to repair, then recover from the last checkpoint
+    /// on the same machine (the single-machine §2 behaviour).
+    RestartFromCheckpoint,
+    /// Re-queue the job: pay `overhead` when it is next dispatched (on top of
+    /// the normal recovery), resuming from the last checkpoint on whichever
+    /// healthy machine picks it up.
+    Migrate {
+        /// Migration cost paid at re-dispatch (clamped to ≥ 0).
+        overhead: f64,
+    },
+    /// Continue on the warm replica immediately (honoured only when
+    /// [`FailureContext::replica_alive`] is true; otherwise the engine falls
+    /// back to [`FailureAction::RestartFromCheckpoint`]).
+    Failover,
+}
+
+/// A cluster scheduling policy (see the module docs).
+pub trait ClusterPolicy {
+    /// Whether to reserve a warm replica for this job at admission.
+    fn wants_replica(&mut self, ctx: &AdmissionContext) -> bool;
+
+    /// The action to take when the machine under a job fails.
+    fn on_failure(&mut self, ctx: &FailureContext) -> FailureAction;
+
+    /// Factor applied to the planning failure rate of **replicated** jobs
+    /// (< 1.0 ⇒ sparser checkpoints: failover makes failures cheaper, so the
+    /// checkpoint/risk balance shifts — the Setlur trade-off). Non-replicated
+    /// jobs always plan at the base rate.
+    fn replicated_plan_rate_factor(&self) -> f64 {
+        1.0
+    }
+}
+
+impl<P: ClusterPolicy + ?Sized> ClusterPolicy for &mut P {
+    fn wants_replica(&mut self, ctx: &AdmissionContext) -> bool {
+        (**self).wants_replica(ctx)
+    }
+
+    fn on_failure(&mut self, ctx: &FailureContext) -> FailureAction {
+        (**self).on_failure(ctx)
+    }
+
+    fn replicated_plan_rate_factor(&self) -> f64 {
+        (**self).replicated_plan_rate_factor()
+    }
+}
+
+impl<P: ClusterPolicy + ?Sized> ClusterPolicy for Box<P> {
+    fn wants_replica(&mut self, ctx: &AdmissionContext) -> bool {
+        (**self).wants_replica(ctx)
+    }
+
+    fn on_failure(&mut self, ctx: &FailureContext) -> FailureAction {
+        (**self).on_failure(ctx)
+    }
+
+    fn replicated_plan_rate_factor(&self) -> f64 {
+        (**self).replicated_plan_rate_factor()
+    }
+}
+
+/// The reference policies compared by the e13 experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BaselinePolicy {
+    /// Never replicate, never migrate: every failure waits out the repair and
+    /// restarts from the checkpoint — the single-machine model lifted to a
+    /// pool.
+    CheckpointOnly,
+    /// Never replicate; every failure migrates the checkpoint to another
+    /// machine (queuing if none is healthy).
+    AlwaysMigrate,
+    /// Keep warm replicas for the `k` largest jobs (by total work); fail over
+    /// when the replica survived, migrate otherwise.
+    ReplicateTopK {
+        /// Number of jobs (largest first) that get replicas.
+        k: usize,
+    },
+    /// Setlur-style heuristic: replicate the largest `replicate_fraction` of
+    /// the batch **and** plan their checkpoints at `rate_factor × λ`
+    /// (sparser checkpoints — replication already covers most failures).
+    /// On failure: fail over if possible, migrate if a machine is idle,
+    /// otherwise wait out the repair.
+    Setlur {
+        /// Fraction of jobs (largest first, rounded up) that get replicas.
+        replicate_fraction: f64,
+        /// Planning-rate factor for replicated jobs (in `(0, 1]`).
+        rate_factor: f64,
+    },
+}
+
+impl ClusterPolicy for BaselinePolicy {
+    fn wants_replica(&mut self, ctx: &AdmissionContext) -> bool {
+        match *self {
+            BaselinePolicy::CheckpointOnly | BaselinePolicy::AlwaysMigrate => false,
+            BaselinePolicy::ReplicateTopK { k } => ctx.work_rank < k,
+            BaselinePolicy::Setlur { replicate_fraction, .. } => {
+                let quota = (replicate_fraction * ctx.job_count as f64).ceil() as usize;
+                ctx.work_rank < quota
+            }
+        }
+    }
+
+    fn on_failure(&mut self, ctx: &FailureContext) -> FailureAction {
+        match *self {
+            BaselinePolicy::CheckpointOnly => FailureAction::RestartFromCheckpoint,
+            BaselinePolicy::AlwaysMigrate => {
+                FailureAction::Migrate { overhead: ctx.migration_overhead }
+            }
+            BaselinePolicy::ReplicateTopK { .. } => {
+                if ctx.replica_alive {
+                    FailureAction::Failover
+                } else {
+                    FailureAction::Migrate { overhead: ctx.migration_overhead }
+                }
+            }
+            BaselinePolicy::Setlur { .. } => {
+                if ctx.replica_alive {
+                    FailureAction::Failover
+                } else if ctx.idle_machines > 0 {
+                    FailureAction::Migrate { overhead: ctx.migration_overhead }
+                } else {
+                    FailureAction::RestartFromCheckpoint
+                }
+            }
+        }
+    }
+
+    fn replicated_plan_rate_factor(&self) -> f64 {
+        match *self {
+            BaselinePolicy::Setlur { rate_factor, .. } => rate_factor,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admission(rank: usize) -> AdmissionContext {
+        AdmissionContext {
+            job: 0,
+            total_work: 100.0,
+            work_rank: rank,
+            job_count: 4,
+            machine_count: 4,
+        }
+    }
+
+    fn failure(replica_alive: bool, idle: usize) -> FailureContext {
+        FailureContext {
+            job: 0,
+            machine: 1,
+            failure_time: 50.0,
+            repair_done: 650.0,
+            retries: 1,
+            resume_position: 2,
+            remaining_work: 300.0,
+            replica_alive,
+            idle_machines: idle,
+            migration_overhead: 30.0,
+        }
+    }
+
+    #[test]
+    fn checkpoint_only_always_restarts() {
+        let mut p = BaselinePolicy::CheckpointOnly;
+        assert!(!p.wants_replica(&admission(0)));
+        assert_eq!(p.on_failure(&failure(true, 3)), FailureAction::RestartFromCheckpoint);
+    }
+
+    #[test]
+    fn always_migrate_passes_the_default_overhead_through() {
+        let mut p = BaselinePolicy::AlwaysMigrate;
+        assert!(!p.wants_replica(&admission(0)));
+        assert_eq!(p.on_failure(&failure(false, 0)), FailureAction::Migrate { overhead: 30.0 });
+    }
+
+    #[test]
+    fn replicate_top_k_ranks_by_work() {
+        let mut p = BaselinePolicy::ReplicateTopK { k: 2 };
+        assert!(p.wants_replica(&admission(0)));
+        assert!(p.wants_replica(&admission(1)));
+        assert!(!p.wants_replica(&admission(2)));
+        assert_eq!(p.on_failure(&failure(true, 1)), FailureAction::Failover);
+        assert_eq!(p.on_failure(&failure(false, 1)), FailureAction::Migrate { overhead: 30.0 });
+    }
+
+    #[test]
+    fn setlur_trades_replication_against_checkpoints() {
+        let mut p = BaselinePolicy::Setlur { replicate_fraction: 0.5, rate_factor: 0.5 };
+        // 4 jobs × 0.5 → the 2 largest are replicated.
+        assert!(p.wants_replica(&admission(1)));
+        assert!(!p.wants_replica(&admission(2)));
+        assert_eq!(p.replicated_plan_rate_factor(), 0.5);
+        assert_eq!(p.on_failure(&failure(true, 0)), FailureAction::Failover);
+        assert_eq!(p.on_failure(&failure(false, 2)), FailureAction::Migrate { overhead: 30.0 });
+        assert_eq!(p.on_failure(&failure(false, 0)), FailureAction::RestartFromCheckpoint);
+    }
+
+    #[test]
+    fn trait_objects_forward() {
+        let mut boxed: Box<dyn ClusterPolicy> = Box::new(BaselinePolicy::CheckpointOnly);
+        assert_eq!(boxed.on_failure(&failure(false, 0)), FailureAction::RestartFromCheckpoint);
+        assert_eq!(boxed.replicated_plan_rate_factor(), 1.0);
+    }
+}

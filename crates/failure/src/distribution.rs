@@ -118,6 +118,56 @@ pub trait FailureDistribution: std::fmt::Debug + Send + Sync {
     }
 }
 
+/// Forwarding impl so shared laws (`Arc<dyn FailureDistribution + Send + Sync>`)
+/// can be used wherever an owned law is expected — e.g. cloning one law into
+/// every machine of a [`ClusterFailureInjector`](crate::ClusterFailureInjector)
+/// across Monte-Carlo trials without re-boxing.
+///
+/// Every method forwards to the inner law, including the ones with default
+/// bodies: a law that overrides a default (the Exponential's memoryless
+/// `sample_remaining`, say) must behave identically through the `Arc`.
+impl FailureDistribution for std::sync::Arc<dyn FailureDistribution + Send + Sync> {
+    fn kind(&self) -> DistributionKind {
+        (**self).kind()
+    }
+
+    fn sample(&self, rng: &mut dyn RandomSource) -> f64 {
+        (**self).sample(rng)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        (**self).pdf(x)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        (**self).cdf(x)
+    }
+
+    fn survival(&self, x: f64) -> f64 {
+        (**self).survival(x)
+    }
+
+    fn hazard(&self, x: f64) -> f64 {
+        (**self).hazard(x)
+    }
+
+    fn mean(&self) -> f64 {
+        (**self).mean()
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        (**self).quantile(p)
+    }
+
+    fn conditional_survival(&self, elapsed: f64, x: f64) -> f64 {
+        (**self).conditional_survival(elapsed, x)
+    }
+
+    fn sample_remaining(&self, elapsed: f64, rng: &mut dyn RandomSource) -> f64 {
+        (**self).sample_remaining(elapsed, rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

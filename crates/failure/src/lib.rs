@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
 pub mod distribution;
 pub mod error;
 pub mod exponential;
@@ -49,6 +50,7 @@ pub mod rng;
 pub mod trace;
 pub mod weibull;
 
+pub use cluster::{ClusterFailureInjector, RepairModel, ShockConfig};
 pub use distribution::{DistributionKind, FailureDistribution};
 pub use error::FailureModelError;
 pub use exponential::Exponential;

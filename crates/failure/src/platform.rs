@@ -380,4 +380,125 @@ mod tests {
         let plat = PlatformFailureProcess::homogeneous(2, law, 1).unwrap();
         assert!(!format!("{plat:?}").is_empty());
     }
+
+    mod properties {
+        use super::*;
+        use crate::lognormal::LogNormal;
+        use proptest::prelude::*;
+
+        /// A platform mixing the three law families, sized and seeded by the
+        /// strategy inputs.
+        fn mixed_platform(p: usize, mtbf: f64, seed: u64) -> PlatformFailureProcess {
+            let laws: Vec<Box<dyn crate::FailureDistribution>> = (0..p)
+                .map(|i| match i % 3 {
+                    0 => Box::new(Exponential::from_mtbf(mtbf).unwrap())
+                        as Box<dyn crate::FailureDistribution>,
+                    1 => Box::new(Weibull::new(0.8, mtbf).unwrap()),
+                    _ => Box::new(LogNormal::with_mean(mtbf, 1.0).unwrap()),
+                })
+                .collect();
+            PlatformFailureProcess::heterogeneous(laws, seed).unwrap()
+        }
+
+        proptest! {
+            #[test]
+            fn prop_failure_times_are_non_decreasing(
+                p in 1usize..9,
+                mtbf in 1.0f64..1e4,
+                seed in any::<u64>(),
+            ) {
+                let mut plat = mixed_platform(p, mtbf, seed);
+                let mut last = 0.0;
+                for _ in 0..64 {
+                    let f = plat.next_failure();
+                    prop_assert!(f.time >= last, "time went backwards: {} < {last}", f.time);
+                    prop_assert!(f.processor.0 < p);
+                    last = f.time;
+                }
+            }
+
+            #[test]
+            fn prop_next_failure_after_is_strictly_later(
+                p in 1usize..9,
+                mtbf in 1.0f64..1e4,
+                seed in any::<u64>(),
+                after in 0.0f64..1e5,
+            ) {
+                let mut plat = mixed_platform(p, mtbf, seed);
+                let f = plat.next_failure_after(after);
+                prop_assert!(f.time > after);
+            }
+
+            #[test]
+            fn prop_record_repair_shifts_only_the_repaired_processor(
+                p in 2usize..9,
+                mtbf in 1.0f64..1e4,
+                seed in any::<u64>(),
+                delay in 0.0f64..1e4,
+            ) {
+                let mut plat = mixed_platform(p, mtbf, seed);
+                let failure = plat.next_failure();
+                let before = plat.next.clone();
+                let repair_time = failure.time + delay;
+                plat.record_repair(failure.processor, repair_time);
+                for (i, (&now, &was)) in plat.next.iter().zip(before.iter()).enumerate() {
+                    if i == failure.processor.0 {
+                        prop_assert!(
+                            now >= repair_time,
+                            "repaired processor {i} still fails at {now} < {repair_time}"
+                        );
+                    } else {
+                        prop_assert!(now == was, "repair perturbed processor {i}");
+                    }
+                }
+            }
+
+            #[test]
+            fn prop_record_repair_in_the_past_is_a_no_op(
+                p in 1usize..9,
+                mtbf in 1.0f64..1e4,
+                seed in any::<u64>(),
+            ) {
+                let mut plat = mixed_platform(p, mtbf, seed);
+                // Candidates are all in the future of t = 0, so a repair
+                // completing at 0 must leave every clock untouched.
+                let before = plat.next.clone();
+                plat.record_repair(ProcessorId(0), 0.0);
+                prop_assert_eq!(&plat.next, &before);
+            }
+
+            #[test]
+            fn prop_equivalent_exponential_agrees_with_aggregate_rate(
+                r1 in 1e-6f64..1e2,
+                r2 in 1e-6f64..1e2,
+                r3 in 1e-6f64..1e2,
+                n in 1usize..4,
+            ) {
+                let rates = &[r1, r2, r3][..n];
+                let laws: Vec<Box<dyn crate::FailureDistribution>> = rates
+                    .iter()
+                    .map(|&r| Box::new(Exponential::new(r).unwrap())
+                        as Box<dyn crate::FailureDistribution>)
+                    .collect();
+                let plat = PlatformFailureProcess::heterogeneous(laws, 1).unwrap();
+                prop_assert!(plat.is_memoryless());
+                let total: f64 = rates.iter().sum();
+                let aggregate = plat.aggregate_rate();
+                prop_assert!((aggregate - total).abs() <= 1e-9 * total.max(1.0));
+                let equiv = plat.equivalent_exponential().expect("memoryless platform");
+                prop_assert_eq!(equiv.rate(), aggregate);
+            }
+
+            #[test]
+            fn prop_non_memoryless_platforms_have_no_equivalent_exponential(
+                mtbf in 1.0f64..1e4,
+                p in 1usize..6,
+            ) {
+                let law = Weibull::new(0.7, mtbf).unwrap();
+                let plat = PlatformFailureProcess::homogeneous(p, law, 3).unwrap();
+                prop_assert!(!plat.is_memoryless());
+                prop_assert!(plat.equivalent_exponential().is_none());
+            }
+        }
+    }
 }

@@ -57,6 +57,7 @@ pub mod error;
 pub mod event_log;
 pub mod montecarlo;
 pub mod policy;
+pub mod rollback;
 pub mod segment;
 pub mod stream;
 
@@ -64,7 +65,8 @@ pub use engine::{simulate, ExecutionRecord, TimeBreakdown};
 pub use error::SimulationError;
 pub use event_log::{simulate_with_log, ExecutionEvent, LoggedExecution};
 pub use montecarlo::{
-    DagPolicyMonteCarloOutcome, MonteCarloOutcome, PolicyMonteCarloOutcome, SimulationScenario,
+    scatter_trials, DagPolicyMonteCarloOutcome, MonteCarloOutcome, PolicyMonteCarloOutcome,
+    SimulationScenario,
 };
 pub use policy::{
     simulate_dag_policy, simulate_dag_policy_with_log, simulate_policy, simulate_policy_with_log,

@@ -669,16 +669,18 @@ impl SimulationScenario {
 /// whatever the thread count), and returns the records strictly in trial
 /// order — the invariant the bit-identical-at-any-thread-count guarantee
 /// rests on, kept in exactly one place.
-fn scatter_trials<T, R>(
-    trials: usize,
-    workers: usize,
-    run_trial: R,
-) -> Vec<Result<T, SimulationError>>
+///
+/// `run_trial` must be a pure function of the trial index (derive per-trial
+/// RNG streams from a shared root and the index); downstream drivers (the
+/// `ckpt-cluster` Monte-Carlo runner) reuse this function so every runner in
+/// the workspace shares the one audited implementation.
+pub fn scatter_trials<T, E, R>(trials: usize, workers: usize, run_trial: R) -> Vec<Result<T, E>>
 where
     T: Send,
-    R: Fn(usize) -> Result<T, SimulationError> + Sync,
+    E: Send,
+    R: Fn(usize) -> Result<T, E> + Sync,
 {
-    let mut records: Vec<Option<Result<T, SimulationError>>> = (0..trials).map(|_| None).collect();
+    let mut records: Vec<Option<Result<T, E>>> = (0..trials).map(|_| None).collect();
     if workers <= 1 {
         for (trial, slot) in records.iter_mut().enumerate() {
             *slot = Some(run_trial(trial));

@@ -43,6 +43,9 @@
 use crate::engine::{ExecutionRecord, TimeBreakdown};
 use crate::error::{ensure_non_negative, SimulationError};
 use crate::event_log::ExecutionEvent;
+use crate::rollback::{
+    absorb_recovery_failure, absorb_run_failure, commit_run, run_phase, PhaseOutcome,
+};
 use crate::stream::FailureStream;
 
 /// One task of a chain executed under an online policy.
@@ -264,24 +267,21 @@ where
 
         // Work phase of the current task.
         let work = tasks[position].work;
-        match stream.next_failure_after(clock) {
-            Some(f) if f < clock + work => {
-                position = handle_failure(
-                    last_checkpoint.map_or(initial_recovery, |k| tasks[k].recovery),
-                    downtime,
-                    f,
-                    position,
-                    last_checkpoint,
-                    stream,
-                    &mut clock,
-                    &mut run_start,
-                    &mut failure_times,
-                    &mut breakdown,
-                    &mut events,
-                );
-                continue;
-            }
-            _ => clock += work,
+        if let PhaseOutcome::Failed { at } = run_phase(stream, &mut clock, work) {
+            position = handle_failure(
+                last_checkpoint.map_or(initial_recovery, |k| tasks[k].recovery),
+                downtime,
+                at,
+                position,
+                last_checkpoint,
+                stream,
+                &mut clock,
+                &mut run_start,
+                &mut failure_times,
+                &mut breakdown,
+                &mut events,
+            );
+            continue;
         }
 
         // Decision point: the final task's checkpoint is mandatory (the
@@ -304,29 +304,25 @@ where
         if take {
             let ckpt = tasks[position].checkpoint;
             if ckpt > 0.0 {
-                if let Some(f) = stream.next_failure_after(clock) {
-                    if f < clock + ckpt {
-                        position = handle_failure(
-                            last_checkpoint.map_or(initial_recovery, |k| tasks[k].recovery),
-                            downtime,
-                            f,
-                            position,
-                            last_checkpoint,
-                            stream,
-                            &mut clock,
-                            &mut run_start,
-                            &mut failure_times,
-                            &mut breakdown,
-                            &mut events,
-                        );
-                        continue;
-                    }
+                if let PhaseOutcome::Failed { at } = run_phase(stream, &mut clock, ckpt) {
+                    position = handle_failure(
+                        last_checkpoint.map_or(initial_recovery, |k| tasks[k].recovery),
+                        downtime,
+                        at,
+                        position,
+                        last_checkpoint,
+                        stream,
+                        &mut clock,
+                        &mut run_start,
+                        &mut failure_times,
+                        &mut breakdown,
+                        &mut events,
+                    );
+                    continue;
                 }
-                clock += ckpt;
             }
             // The checkpoint is durable: commit the run as useful time.
-            breakdown.useful += clock - run_start;
-            run_start = clock;
+            commit_run(clock, &mut run_start, &mut breakdown);
             last_checkpoint = Some(position);
             checkpoints += 1;
             log!(ExecutionEvent::SegmentCompleted { segment: position, time: clock });
@@ -369,30 +365,27 @@ fn handle_failure<S: FailureStream + ?Sized>(
             sink.push(event);
         }
     };
-    breakdown.lost += failure_time - *run_start;
     log(ExecutionEvent::Failure {
         segment: position,
         time: failure_time,
         wasted: failure_time - *run_start,
     });
-    failure_times.push(failure_time);
-    *clock = failure_time + downtime;
-    breakdown.downtime += downtime;
+    absorb_run_failure(failure_time, downtime, clock, *run_start, failure_times, breakdown);
     log(ExecutionEvent::DowntimeCompleted { segment: position, time: *clock });
     if recovery > 0.0 {
         loop {
-            match stream.next_failure_after(*clock) {
-                Some(f) if f < *clock + recovery => {
-                    log(ExecutionEvent::Failure { segment: position, time: f, wasted: f - *clock });
-                    failure_times.push(f);
-                    breakdown.recovery += f - *clock;
-                    *clock = f + downtime;
-                    breakdown.downtime += downtime;
+            match run_phase(stream, clock, recovery) {
+                PhaseOutcome::Failed { at } => {
+                    log(ExecutionEvent::Failure {
+                        segment: position,
+                        time: at,
+                        wasted: at - *clock,
+                    });
+                    absorb_recovery_failure(at, downtime, clock, failure_times, breakdown);
                     log(ExecutionEvent::DowntimeCompleted { segment: position, time: *clock });
                 }
-                _ => {
+                PhaseOutcome::Completed => {
                     breakdown.recovery += recovery;
-                    *clock += recovery;
                     log(ExecutionEvent::RecoveryCompleted { segment: position, time: *clock });
                     break;
                 }
@@ -676,24 +669,21 @@ where
         log!(ExecutionEvent::AttemptStarted { segment: position, time: clock });
 
         let work = tasks[order[position]].work;
-        match stream.next_failure_after(clock) {
-            Some(f) if f < clock + work => {
-                position = handle_failure(
-                    protecting_recovery!(),
-                    downtime,
-                    f,
-                    position,
-                    last_checkpoint,
-                    stream,
-                    &mut clock,
-                    &mut run_start,
-                    &mut failure_times,
-                    &mut breakdown,
-                    &mut events,
-                );
-                continue;
-            }
-            _ => clock += work,
+        if let PhaseOutcome::Failed { at } = run_phase(stream, &mut clock, work) {
+            position = handle_failure(
+                protecting_recovery!(),
+                downtime,
+                at,
+                position,
+                last_checkpoint,
+                stream,
+                &mut clock,
+                &mut run_start,
+                &mut failure_times,
+                &mut breakdown,
+                &mut events,
+            );
+            continue;
         }
 
         // Decision point: the final boundary forces the checkpoint and has
@@ -729,28 +719,24 @@ where
         if take {
             let ckpt = tasks[order[position]].checkpoint;
             if ckpt > 0.0 {
-                if let Some(f) = stream.next_failure_after(clock) {
-                    if f < clock + ckpt {
-                        position = handle_failure(
-                            protecting_recovery!(),
-                            downtime,
-                            f,
-                            position,
-                            last_checkpoint,
-                            stream,
-                            &mut clock,
-                            &mut run_start,
-                            &mut failure_times,
-                            &mut breakdown,
-                            &mut events,
-                        );
-                        continue;
-                    }
+                if let PhaseOutcome::Failed { at } = run_phase(stream, &mut clock, ckpt) {
+                    position = handle_failure(
+                        protecting_recovery!(),
+                        downtime,
+                        at,
+                        position,
+                        last_checkpoint,
+                        stream,
+                        &mut clock,
+                        &mut run_start,
+                        &mut failure_times,
+                        &mut breakdown,
+                        &mut events,
+                    );
+                    continue;
                 }
-                clock += ckpt;
             }
-            breakdown.useful += clock - run_start;
-            run_start = clock;
+            commit_run(clock, &mut run_start, &mut breakdown);
             last_checkpoint = Some(position);
             checkpoints += 1;
             log!(ExecutionEvent::SegmentCompleted { segment: position, time: clock });

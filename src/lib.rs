@@ -19,7 +19,11 @@
 //!   Proposition 2 NP-hardness reduction, and the §6 extensions;
 //! * [`adaptive`] — online checkpoint policies that observe failures during
 //!   execution and re-plan the remaining chain mid-run, plus the harness
-//!   comparing them under misspecified failure models.
+//!   comparing them under misspecified failure models;
+//! * [`cluster`] — the multi-machine execution tier: a deterministic
+//!   event-driven engine running many chain jobs on a machine pool under
+//!   correlated failures, with policies choosing between restart, migration
+//!   and hot-replica failover, and a paired-trial Monte-Carlo harness.
 //!
 //! # Quickstart
 //!
@@ -53,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use ckpt_adaptive as adaptive;
+pub use ckpt_cluster as cluster;
 pub use ckpt_core as core;
 pub use ckpt_dag as dag;
 pub use ckpt_expectation as expectation;
