@@ -1,0 +1,39 @@
+use ckpt_failure::{ClusterFailureInjector, Exponential, RepairModel, ShockConfig};
+
+#[test]
+fn pending_natural_candidate_survives_short_repair() {
+    let law = Exponential::from_mtbf(100.0).unwrap();
+    // Reference: no shocks — the machine's own first failure.
+    let mut plain = ClusterFailureInjector::homogeneous(1, law.clone(), 42).unwrap();
+    let natural = plain.next_failure_after(0, 0.0);
+
+    // Same seed, same per-machine sub-streams, plus a dense shock process.
+    let mut shocked = ClusterFailureInjector::homogeneous(1, law, 42)
+        .unwrap()
+        .with_shocks(ShockConfig::new(1.0, 1.0, 0.0).unwrap())
+        .with_repair(RepairModel::Immediate)
+        .unwrap();
+    let first = shocked.next_failure_after(0, 0.0);
+    assert!(first < natural, "test setup: first failure should be a shock hit");
+    let done = shocked.begin_repair(0, first);
+    assert_eq!(done, first, "immediate repair");
+
+    // Walk forward past all shock hits below `natural`: the natural failure
+    // at `natural` should still be observed (the machine was up at that time,
+    // and `begin_repair` docs promise only candidates inside the repair
+    // interval are silenced).
+    let mut t = done;
+    let mut saw_natural = false;
+    for _ in 0..10_000 {
+        t = shocked.next_failure_after(0, t);
+        if (t - natural).abs() < 1e-9 {
+            saw_natural = true;
+            break;
+        }
+        if t > natural {
+            break;
+        }
+        shocked.begin_repair(0, t);
+    }
+    assert!(saw_natural, "natural failure at {natural} was silently dropped");
+}
