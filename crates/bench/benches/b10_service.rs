@@ -1,0 +1,109 @@
+//! B10 — the planner-as-a-service tier: sustained plans/sec under a Zipf
+//! fleet workload mix, and the tail latency of the paths a single request
+//! can take (cache hit, sweep solve at a new rate, suffix re-plan).
+
+use ckpt_bench::testgen;
+use ckpt_failure::{Pcg64, RandomSource};
+use ckpt_service::{PlanInstance, PlanRequest, Planner, RateBucketing};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const SEED: u64 = 0xB10;
+const SHAPES: usize = 24;
+const REQUESTS: usize = 1_000;
+const BATCH: usize = 128;
+
+fn bucketing() -> RateBucketing {
+    RateBucketing::log_grid(1e-6, 1e-3, 13).expect("valid grid")
+}
+
+fn instances() -> Vec<PlanInstance> {
+    (0..SHAPES)
+        .map(|k| {
+            let n = 16 + (k * 29) % 240;
+            let problem = testgen::heterogeneous_chain_instance(SEED ^ ((k as u64) << 18), n, 1e-4);
+            PlanInstance::from_chain_instance(&problem).expect("chain instance")
+        })
+        .collect()
+}
+
+/// A Zipf-popular request stream with ~20% re-plans, like E14's.
+fn stream() -> Vec<PlanRequest> {
+    let shapes = instances();
+    let ranks = testgen::zipf_ranks(SEED, SHAPES, 1.1, REQUESTS);
+    let mut rng = Pcg64::seed_from_u64(SEED);
+    let rates = [3e-5, 1e-4, 3e-4];
+    ranks
+        .into_iter()
+        .enumerate()
+        .map(|(id, rank)| {
+            let instance = &shapes[rank];
+            let rate = rates[rng.next_bounded(3) as usize] * rng.next_range(0.95, 1.05);
+            if instance.len() > 1 && rng.next_bool(0.2) {
+                let from = 1 + rng.next_bounded(instance.len() as u64 - 1) as usize;
+                PlanRequest::replan(id as u64, instance.clone(), rate, from).expect("valid")
+            } else {
+                PlanRequest::plan(id as u64, instance.clone(), rate).expect("valid")
+            }
+        })
+        .collect()
+}
+
+/// Sustained serving of the fleet stream, cold planner per iteration, at
+/// 1 / 4 worker threads (bit-identical responses; the threads only buy
+/// wall-clock on the miss-heavy first batches).
+fn bench_sustained_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_stream");
+    group.sample_size(10);
+    let requests = stream();
+    for threads in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let mut planner = Planner::new(bucketing()).with_threads(threads);
+                let served: usize = requests
+                    .chunks(BATCH)
+                    .map(|chunk| planner.serve_batch(black_box(chunk)).len())
+                    .sum();
+                black_box(served)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Per-path single-request latency on a warm planner.
+fn bench_request_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_paths");
+    let instance = instances().remove(3);
+    let n = instance.len();
+    let hit = PlanRequest::plan(0, instance.clone(), 1e-4).expect("valid");
+    let replan = PlanRequest::replan(1, instance.clone(), 1e-4, n - n / 4).expect("valid");
+
+    // Warm planner: the hit path answers from the cache.
+    let mut warm = Planner::new(bucketing());
+    let _ = warm.serve_batch(std::slice::from_ref(&hit));
+    group.bench_function(BenchmarkId::new("cache_hit", n), |b| {
+        b.iter(|| black_box(warm.serve_batch(black_box(std::slice::from_ref(&hit)))))
+    });
+    group.bench_function(BenchmarkId::new("suffix_replan", n), |b| {
+        b.iter(|| black_box(warm.serve_batch(black_box(std::slice::from_ref(&replan)))))
+    });
+
+    // Sweep solve: a cached order at an always-fresh rate (Exact buckets,
+    // new λ bit pattern per iteration, so every serve stamps and solves).
+    let mut sweeping = Planner::new(RateBucketing::Exact);
+    let _ = sweeping.serve_batch(std::slice::from_ref(&hit));
+    let mut tick = 0u64;
+    group.bench_function(BenchmarkId::new("sweep_solve", n), |b| {
+        b.iter(|| {
+            tick += 1;
+            let rate = 1e-4 * (1.0 + tick as f64 * 1e-9);
+            let request = PlanRequest::plan(tick, instance.clone(), rate).expect("valid");
+            black_box(sweeping.serve_batch(std::slice::from_ref(&request)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sustained_stream, bench_request_paths);
+criterion_main!(benches);

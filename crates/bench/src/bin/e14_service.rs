@@ -1,0 +1,349 @@
+//! E14 — planner-as-a-service throughput: sustained plans/sec and tail
+//! latency of `ckpt-service` under a Zipf fleet workload, with the
+//! bitwise-correctness and determinism walls asserted inline.
+//!
+//! The scenario: a fleet of workflows drawn from `SHAPES` chain templates
+//! (Zipf-popular — a few hot shapes take most of the traffic) sends
+//! `REQUESTS` plan requests at telemetry-jittered failure rates, ~20% of
+//! them mid-run re-plans. The planner quantises rates onto a 13-point log
+//! grid, so the hot set concentrates on a few dozen cache buckets.
+//!
+//! Asserted acceptance criteria:
+//!
+//! * every served plan (full and re-plan) is **bitwise identical** to a
+//!   cold one-shot solve at its effective rate;
+//! * the whole stream is bit-identical at 1/2/3/8 worker threads;
+//! * cache-hit throughput on the hot set is ≥ 10× cold-solve throughput;
+//! * at n = 4096, suffix re-plans are ≥ 50× faster than full solves.
+//!
+//! Wall-clock numbers (plans/sec, p50/p99 latency, the speedup ratios) are
+//! reported under `timing_`-prefixed JSON keys, which the golden-snapshot
+//! suite excludes from its byte comparison (`--json` / `--json=PATH`).
+
+use std::time::Instant;
+
+use ckpt_bench::{print_header, testgen, JsonSummary};
+use ckpt_core::chain_dp::{optimal_chain_schedule, ResumableDp};
+use ckpt_core::evaluate::segment_cost_table;
+use ckpt_dag::properties;
+use ckpt_failure::{Pcg64, RandomSource};
+use ckpt_service::{PlanInstance, PlanRequest, PlanResponse, Planner, RateBucketing};
+
+const SEED: u64 = 14;
+const SHAPES: usize = 48;
+const HOT_SHAPES: usize = 4;
+const REQUESTS: usize = 4_000;
+const ZIPF_EXPONENT: f64 = 1.1;
+const BATCH: usize = 256;
+const REPLAN_FRACTION: f64 = 0.2;
+/// The big-chain phase: re-plan the last `REPLAN_TAIL` of `BIG_N` tasks.
+const BIG_N: usize = 4_096;
+const REPLAN_TAIL: usize = 64;
+const BIG_LAMBDA: f64 = 1e-6;
+
+/// One workload shape, reconstructible at any rate for cold references.
+#[derive(Clone, Copy)]
+struct Shape {
+    seed: u64,
+    n: usize,
+}
+
+impl Shape {
+    fn generate(rank: usize) -> Shape {
+        // Hot shapes are mid-sized (the fleet's standard pipelines); the
+        // tail varies from tiny to large.
+        let n = if rank < HOT_SHAPES { 192 + 32 * rank } else { 24 + (rank * 13) % 240 };
+        Shape { seed: SEED ^ ((rank as u64) << 20), n }
+    }
+
+    fn at(self, lambda: f64) -> ckpt_core::ProblemInstance {
+        testgen::heterogeneous_chain_instance(self.seed, self.n, lambda)
+    }
+
+    fn instance(self) -> PlanInstance {
+        PlanInstance::from_chain_instance(&self.at(1e-4)).expect("chain instance")
+    }
+}
+
+fn bucketing() -> RateBucketing {
+    RateBucketing::log_grid(1e-6, 1e-3, 13).expect("valid grid")
+}
+
+/// The Zipf fleet stream: per request a shape rank, a jittered rate and a
+/// ~20% chance of being a mid-run re-plan.
+fn build_stream(shapes: &[(Shape, PlanInstance)]) -> Vec<(PlanRequest, Shape)> {
+    let ranks = testgen::zipf_ranks(SEED, shapes.len(), ZIPF_EXPONENT, REQUESTS);
+    let mut rng = Pcg64::seed_from_u64(SEED ^ 0xE14);
+    let telemetry = [3e-5, 1e-4, 3e-4];
+    ranks
+        .into_iter()
+        .enumerate()
+        .map(|(id, rank)| {
+            let (shape, instance) = &shapes[rank];
+            let rate = telemetry[rng.next_bounded(3) as usize] * rng.next_range(0.95, 1.05);
+            let request = if shape.n > 1 && rng.next_bool(REPLAN_FRACTION) {
+                let from = 1 + rng.next_bounded(shape.n as u64 - 1) as usize;
+                PlanRequest::replan(id as u64, instance.clone(), rate, from).expect("valid")
+            } else {
+                PlanRequest::plan(id as u64, instance.clone(), rate).expect("valid")
+            };
+            (request, *shape)
+        })
+        .collect()
+}
+
+fn serve_stream(stream: &[(PlanRequest, Shape)], threads: usize) -> Vec<PlanResponse> {
+    let mut planner = Planner::new(bucketing()).with_threads(threads);
+    let requests: Vec<PlanRequest> = stream.iter().map(|(r, _)| r.clone()).collect();
+    requests.chunks(BATCH).flat_map(|chunk| planner.serve_batch(chunk)).collect()
+}
+
+/// Bitwise wall: the response must equal a cold one-shot solve of the same
+/// chain at the response's effective rate (full solve, or a fresh
+/// full-order table + fresh suffix solve for re-plans).
+fn assert_matches_cold(response: &PlanResponse, shape: Shape) {
+    let lambda = response.effective_lambda;
+    let (value, positions) = if response.resume_from == 0 {
+        let solution = optimal_chain_schedule(&shape.at(lambda)).expect("chain");
+        (solution.expected_makespan, solution.checkpoint_positions)
+    } else {
+        let instance = shape.at(lambda);
+        let order = properties::as_chain(instance.graph()).expect("chain graph");
+        let table = segment_cost_table(&instance, &order).expect("valid");
+        let mut dp = ResumableDp::new();
+        let value = dp.solve_suffix(&table, response.resume_from);
+        (value, dp.suffix_positions(response.resume_from))
+    };
+    assert_eq!(
+        *response.checkpoint_positions, positions,
+        "request {}: served positions diverge from the cold solve",
+        response.id
+    );
+    assert_eq!(
+        response.expected_makespan.to_bits(),
+        value.to_bits(),
+        "request {}: served value diverges from the cold solve",
+        response.id
+    );
+}
+
+fn percentile(sorted_micros: &[f64], p: f64) -> f64 {
+    let index = ((sorted_micros.len() - 1) as f64 * p).round() as usize;
+    sorted_micros[index]
+}
+
+fn main() {
+    println!(
+        "E14 — planner-as-a-service throughput\n\
+         ({SHAPES} workflow shapes, Zipf(s={ZIPF_EXPONENT}) popularity, {REQUESTS} requests in \
+         batches of {BATCH},\n ~{:.0}% re-plans, 13-bucket log rate grid over [1e-6, 1e-3])\n",
+        100.0 * REPLAN_FRACTION,
+    );
+
+    let mut summary = JsonSummary::new("e14_service");
+    summary
+        .count("shapes", SHAPES)
+        .count("hot_shapes", HOT_SHAPES)
+        .count("requests", REQUESTS)
+        .count("batch", BATCH);
+
+    let shapes: Vec<(Shape, PlanInstance)> = (0..SHAPES)
+        .map(|rank| {
+            let shape = Shape::generate(rank);
+            (shape, shape.instance())
+        })
+        .collect();
+    let stream = build_stream(&shapes);
+
+    // --- Sustained throughput over the fleet stream -----------------------
+    let mut planner = Planner::new(bucketing());
+    let requests: Vec<PlanRequest> = stream.iter().map(|(r, _)| r.clone()).collect();
+    let started = Instant::now();
+    let responses: Vec<PlanResponse> =
+        requests.chunks(BATCH).flat_map(|chunk| planner.serve_batch(chunk)).collect();
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = planner.stats();
+    let plans_per_sec = REQUESTS as f64 / elapsed;
+
+    print_header(&[("metric", 28), ("value", 14)]);
+    println!("{:>28} {:>14.0}", "sustained plans/sec", plans_per_sec);
+    println!(
+        "{:>28} {:>13.1}%",
+        "cache hit rate",
+        100.0 * stats.cache_hits as f64 / stats.requests as f64
+    );
+    summary
+        .count("cache_hits", stats.cache_hits as usize)
+        .count("cold_solves", stats.cold_solves as usize)
+        .count("sweep_solves", stats.sweep_solves as usize)
+        .count("suffix_replans", stats.suffix_replans as usize)
+        .count("cached_orders", planner.cached_orders())
+        .count("cached_plans", planner.cached_plans())
+        .metric("timing_plans_per_sec", plans_per_sec);
+
+    // The deterministic payload digest: total expected makespan served, in
+    // request order (byte-compared by the golden-snapshot suite).
+    let total_makespan: f64 = responses.iter().map(|r| r.expected_makespan).sum();
+    let checkpoints_served: usize = responses.iter().map(|r| r.checkpoint_positions.len()).sum();
+    summary.metric("total_expected_makespan", total_makespan);
+    summary.count("checkpoints_served", checkpoints_served);
+
+    // --- Bitwise wall: every response equals a cold one-shot solve -------
+    for (response, (_, shape)) in responses.iter().zip(&stream) {
+        assert_matches_cold(response, *shape);
+    }
+    println!("{:>28} {:>14}", "bitwise vs cold solves", "ok");
+
+    // --- Determinism wall: 1/2/3/8 workers, bit-identical ----------------
+    let serial = serve_stream(&stream, 1);
+    for threads in [2usize, 3, 8] {
+        let parallel = serve_stream(&stream, threads);
+        assert_eq!(parallel, serial, "stream diverges at {threads} workers");
+    }
+    assert_eq!(responses, serial, "all-core run diverges from the serial run");
+    println!("{:>28} {:>14}", "bit-identical 1/2/3/8", "ok");
+
+    // --- Per-request latency distribution (batch size 1, warm cache) -----
+    let mut latency_planner = Planner::new(bucketing());
+    let mut micros: Vec<f64> = requests
+        .iter()
+        .map(|request| {
+            let t = Instant::now();
+            let _ = latency_planner.serve_batch(std::slice::from_ref(request));
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    micros.sort_by(f64::total_cmp);
+    let (p50, p99) = (percentile(&micros, 0.50), percentile(&micros, 0.99));
+    println!("{:>28} {:>11.1} µs", "p50 latency", p50);
+    println!("{:>28} {:>11.1} µs", "p99 latency", p99);
+    summary.metric("timing_p50_latency_us", p50).metric("timing_p99_latency_us", p99);
+
+    // --- Hot-set cache hits vs cold solves (≥ 10×) -----------------------
+    let hot_requests: Vec<PlanRequest> = requests
+        .iter()
+        .zip(&stream)
+        .filter(|(request, (_, shape))| {
+            request.resume_from() == 0
+                && shapes[..HOT_SHAPES].iter().any(|(hot, _)| hot.seed == shape.seed)
+        })
+        .map(|(request, _)| request.clone())
+        .take(2_000)
+        .collect();
+    let mut hot_planner = Planner::new(bucketing());
+    let _ = hot_planner.serve_batch(&hot_requests); // warm every bucket
+    let hits_before = hot_planner.stats().cache_hits;
+    let t = Instant::now();
+    let _ = hot_planner.serve_batch(&hot_requests);
+    let hit_time = t.elapsed().as_secs_f64();
+    assert_eq!(
+        hot_planner.stats().cache_hits - hits_before,
+        hot_requests.len() as u64,
+        "warm hot-set pass must be all cache hits"
+    );
+    let hit_rate = hot_requests.len() as f64 / hit_time;
+
+    // Cold baseline: the same distinct (shape, bucket) plans on a fresh
+    // planner, one batch of all-misses.
+    let quantiser = bucketing();
+    let mut seen = std::collections::HashSet::new();
+    let distinct: Vec<PlanRequest> = hot_requests
+        .iter()
+        .filter(|request| {
+            let (bucket, _) = quantiser.bucket(request.lambda());
+            seen.insert((request.instance().fingerprint(), bucket))
+        })
+        .cloned()
+        .collect();
+    let mut cold_planner = Planner::new(bucketing()).with_threads(1);
+    let t = Instant::now();
+    let _ = cold_planner.serve_batch(&distinct);
+    let cold_time = t.elapsed().as_secs_f64();
+    let cold_rate = distinct.len() as f64 / cold_time;
+    let hit_speedup = hit_rate / cold_rate;
+    println!(
+        "{:>28} {:>13.0}× ({} hits at {:.2e}/s vs {} cold at {:.2e}/s)",
+        "hot-set hit speedup",
+        hit_speedup,
+        hot_requests.len(),
+        hit_rate,
+        distinct.len(),
+        cold_rate,
+    );
+    assert!(
+        hit_speedup >= 10.0,
+        "cache-hit throughput must be >= 10x cold solves, got {hit_speedup:.1}x"
+    );
+    summary
+        .count("hot_requests", hot_requests.len())
+        .count("hot_distinct_plans", distinct.len())
+        .metric("timing_hit_per_sec", hit_rate)
+        .metric("timing_cold_per_sec", cold_rate)
+        .metric("timing_hit_speedup", hit_speedup);
+
+    // --- Suffix re-plans vs full solves at n = 4096 (≥ 50×) --------------
+    let big = Shape { seed: SEED ^ 0xB16, n: BIG_N };
+    let big_instance = big.instance();
+    let mut big_planner = Planner::new(RateBucketing::Exact).with_threads(1);
+    // Warm the order's sweep and the λ bucket's table.
+    let warm = big_planner
+        .serve_batch(&[PlanRequest::plan(0, big_instance.clone(), BIG_LAMBDA).expect("valid")]);
+    assert_matches_cold(&warm[0], big);
+
+    // Full solves at fresh rates: each stamps a table and runs the full DP.
+    let full_rates = 8;
+    let full_requests: Vec<PlanRequest> = (0..full_rates)
+        .map(|k| {
+            let rate = BIG_LAMBDA * (1.0 + (k as f64 + 1.0) * 1e-3);
+            PlanRequest::plan(100 + k as u64, big_instance.clone(), rate).expect("valid")
+        })
+        .collect();
+    let t = Instant::now();
+    let full_responses = big_planner.serve_batch(&full_requests);
+    let full_time = t.elapsed().as_secs_f64() / full_rates as f64;
+
+    // Re-plans of the last REPLAN_TAIL positions at the warm rate: cached
+    // table, suffix DP only. Served one per batch — re-plans are computed
+    // fresh every time, so each batch re-runs the suffix DP.
+    let replans = 64;
+    let from = BIG_N - REPLAN_TAIL;
+    let replan_request =
+        PlanRequest::replan(200, big_instance.clone(), BIG_LAMBDA, from).expect("valid");
+    let t = Instant::now();
+    let mut last = None;
+    for _ in 0..replans {
+        last = Some(big_planner.serve_batch(std::slice::from_ref(&replan_request)).remove(0));
+    }
+    let replan_time = t.elapsed().as_secs_f64() / replans as f64;
+    let replan = last.expect("at least one re-plan");
+    assert_matches_cold(&replan, big);
+    assert_matches_cold(&full_responses[0], big);
+    let replan_speedup = full_time / replan_time;
+    println!(
+        "{:>28} {:>13.0}× (full {:.2} ms vs re-plan {:.1} µs, n = {BIG_N}, tail {REPLAN_TAIL})",
+        "suffix re-plan speedup",
+        replan_speedup,
+        full_time * 1e3,
+        replan_time * 1e6,
+    );
+    assert!(
+        replan_speedup >= 50.0,
+        "suffix re-plans must be >= 50x faster than full solves at n = {BIG_N}, \
+         got {replan_speedup:.1}x"
+    );
+    summary
+        .count("big_n", BIG_N)
+        .count("replan_tail", REPLAN_TAIL)
+        .metric("timing_full_solve_ms", full_time * 1e3)
+        .metric("timing_replan_us", replan_time * 1e6)
+        .metric("timing_replan_speedup", replan_speedup);
+
+    println!(
+        "\nAcceptance (asserted): every served plan and re-plan is bitwise equal\n\
+         to a cold one-shot solve at its effective rate; the stream is\n\
+         bit-identical at 1/2/3/8 worker threads; hot-set cache hits sustain\n\
+         >= 10x the cold-solve rate; and n = {BIG_N} suffix re-plans run >= 50x\n\
+         faster than full solves."
+    );
+    summary.emit();
+}

@@ -173,6 +173,33 @@ pub fn random_layered_proptest_case(seed: u64) -> (ProblemInstance, Vec<TaskId>)
     (instance, order)
 }
 
+/// `count` Zipf-distributed ranks over `0..items`: rank `k` is drawn with
+/// probability proportional to `1 / (k + 1)^exponent` (inverse-CDF on the
+/// precomputed normalised weights). The fleet-workload generator of the
+/// serving-tier experiments: a handful of hot workflow shapes take most of
+/// the request traffic, a long tail takes the rest. Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if `items` is zero or `exponent` is not finite.
+pub fn zipf_ranks(seed: u64, items: usize, exponent: f64, count: usize) -> Vec<usize> {
+    assert!(items > 0, "need at least one rank");
+    assert!(exponent.is_finite(), "exponent must be finite");
+    let mut cdf = Vec::with_capacity(items);
+    let mut total = 0.0;
+    for k in 0..items {
+        total += 1.0 / ((k + 1) as f64).powf(exponent);
+        cdf.push(total);
+    }
+    let mut rng = Pcg64::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let u = rng.next_f64() * total;
+            cdf.partition_point(|&c| c <= u).min(items - 1)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +212,19 @@ mod tests {
         assert_eq!(a, b);
         assert!(properties::is_chain(a.graph()));
         assert_eq!(a.task_count(), 10);
+    }
+
+    #[test]
+    fn zipf_ranks_are_deterministic_skewed_and_in_range() {
+        let ranks = zipf_ranks(14, 32, 1.1, 4_000);
+        assert_eq!(ranks, zipf_ranks(14, 32, 1.1, 4_000));
+        assert!(ranks.iter().all(|&r| r < 32));
+        // Zipf skew: rank 0 alone beats the whole tail's least-popular half.
+        let rank0 = ranks.iter().filter(|&&r| r == 0).count();
+        let tail_half = ranks.iter().filter(|&&r| r >= 16).count();
+        assert!(rank0 > tail_half, "rank0 {rank0} vs tail {tail_half}");
+        // Degenerate single-item case always returns rank 0.
+        assert!(zipf_ranks(7, 1, 1.5, 100).iter().all(|&r| r == 0));
     }
 
     #[test]

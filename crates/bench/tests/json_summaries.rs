@@ -194,3 +194,43 @@ fn e13_json_summary_schema_and_determinism() {
     }
     assert_summary_schema(env!("CARGO_BIN_EXE_e13_cluster"), "e13_cluster", &keys, &[]);
 }
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs release experiment binaries (see CI)")]
+fn e14_json_summary_schema_and_determinism() {
+    // The `timing_` keys carry wall-clock throughput/latency measurements;
+    // everything else — the serving counters, the cache census and the
+    // payload digest (total served makespan, checkpoint count) — must be
+    // byte-identical between runs.
+    let keys: Vec<String> = [
+        "shapes",
+        "hot_shapes",
+        "requests",
+        "batch",
+        "cache_hits",
+        "cold_solves",
+        "sweep_solves",
+        "suffix_replans",
+        "cached_orders",
+        "cached_plans",
+        "timing_plans_per_sec",
+        "total_expected_makespan",
+        "checkpoints_served",
+        "timing_p50_latency_us",
+        "timing_p99_latency_us",
+        "hot_requests",
+        "hot_distinct_plans",
+        "timing_hit_per_sec",
+        "timing_cold_per_sec",
+        "timing_hit_speedup",
+        "big_n",
+        "replan_tail",
+        "timing_full_solve_ms",
+        "timing_replan_us",
+        "timing_replan_speedup",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    assert_summary_schema(env!("CARGO_BIN_EXE_e14_service"), "e14_service", &keys, &["timing_"]);
+}

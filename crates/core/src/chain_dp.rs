@@ -393,6 +393,30 @@ impl ResumableDp {
             checkpoint_positions: positions_from_choice(&self.choice),
         }
     }
+
+    /// The committed optimal checkpoint positions of the suffix starting at
+    /// `from`, in increasing order, ending with the mandatory final
+    /// checkpoint at `len − 1` (empty for `from ≥ len`). After a
+    /// [`solve_suffix`](ResumableDp::solve_suffix) from `from`, this is the
+    /// mid-execution re-plan the request-serving tier returns: the remaining
+    /// chain's optimal placement, in the **full order's** position indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no solve was committed, or (via stale data) if positions
+    /// `< from` of the last commit were narrower than requested — callers
+    /// must not ask for positions below their last solved suffix.
+    pub fn suffix_positions(&self, from: usize) -> Vec<usize> {
+        assert!(self.len > 0, "suffix_positions before the first solve");
+        let mut positions = Vec::new();
+        let mut x = from;
+        while x < self.len {
+            let j = self.choice[x];
+            positions.push(j);
+            x = j + 1;
+        }
+        positions
+    }
 }
 
 /// Runs Algorithm 1's recurrence directly on a prebuilt [`SegmentCostTable`]

@@ -66,7 +66,7 @@ pub mod heuristics;
 pub mod instance;
 pub mod moldable;
 pub mod order_search;
-mod parallel;
+pub mod parallel;
 pub mod schedule;
 pub mod three_partition;
 

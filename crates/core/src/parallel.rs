@@ -1,5 +1,6 @@
 //! Deterministic contiguous-chunk parallelism, shared by every
-//! thread-parallel path of this crate (λ sweeps, the order search).
+//! thread-parallel path of this crate (λ sweeps, the order search) and by
+//! the request-serving tier (`ckpt-service`'s batched admission).
 //!
 //! The pattern is the Monte-Carlo engine's: items are split into contiguous
 //! chunks, one per worker; item `i`'s result always lands in slot `i`; and
@@ -9,7 +10,7 @@
 //! is **bit-identical for every worker count**.
 
 /// The number of worker threads to use (`0` = one per available core).
-pub(crate) fn effective_threads(requested: usize) -> usize {
+pub fn effective_threads(requested: usize) -> usize {
     if requested == 0 {
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
     } else {
@@ -21,12 +22,7 @@ pub(crate) fn effective_threads(requested: usize) -> usize {
 /// (`0` = one per core) in deterministic contiguous chunks; each worker
 /// owns one `init()` state for its whole chunk (a scratch arena, or `()`).
 /// Results come back in item order, independent of the worker count.
-pub(crate) fn chunked_map_with<I, S, T, G, F>(
-    items: &[I],
-    threads: usize,
-    init: G,
-    work: F,
-) -> Vec<T>
+pub fn chunked_map_with<I, S, T, G, F>(items: &[I], threads: usize, init: G, work: F) -> Vec<T>
 where
     I: Sync,
     T: Send,

@@ -222,6 +222,32 @@ impl SegmentCostTable {
         self.saturated
     }
 
+    /// A 64-bit fingerprint of the table's defining data — the rate `λ`, the
+    /// work prefix sums, the checkpoint costs and the segment coefficients
+    /// `e^{λR_x}(1/λ + D)` (which pin the downtime and recoveries at this
+    /// rate) — hashed over their exact `f64` bit patterns (FNV-1a).
+    ///
+    /// Two tables with bitwise-equal defining data always fingerprint
+    /// identically; the per-rate analogue of
+    /// [`LambdaSweep::fingerprint`](crate::sweep::LambdaSweep::fingerprint)
+    /// (which hashes the λ-independent order so one key can span many
+    /// rates). A hash, not an identity: collisions must be resolved by
+    /// comparing the data itself.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = crate::sweep::FNV_OFFSET;
+        crate::sweep::fnv_mix(&mut hash, self.lambda);
+        for &p in self.prefix.iter() {
+            crate::sweep::fnv_mix(&mut hash, p);
+        }
+        for &c in self.ckpt.iter() {
+            crate::sweep::fnv_mix(&mut hash, c);
+        }
+        for &coefficient in &self.coeff {
+            crate::sweep::fnv_mix(&mut hash, coefficient);
+        }
+        hash
+    }
+
     /// The work `w_x + … + w_j` of the segment covering positions `x..=j`.
     pub fn work(&self, x: usize, j: usize) -> f64 {
         debug_assert!(x <= j && j < self.len());

@@ -116,6 +116,19 @@ impl LambdaSweep {
         *self.prefix.last().expect("prefix always has n + 1 entries")
     }
 
+    /// A 64-bit fingerprint of the validated order's defining data: the
+    /// downtime, the work prefix sums, and the per-position checkpoint and
+    /// recovery costs, hashed over their exact `f64` bit patterns (FNV-1a).
+    ///
+    /// Two sweeps with bitwise-equal defining vectors always fingerprint
+    /// identically, so the fingerprint can key a plan cache across rates —
+    /// `ckpt-service` keys its cache by *fingerprint × rate bucket*. It is a
+    /// hash, not an identity: colliding orders must still be told apart by
+    /// comparing their defining vectors (which the service's cache does).
+    pub fn fingerprint(&self) -> u64 {
+        order_fingerprint(self.downtime, &self.prefix, &self.checkpoints, &self.recoveries)
+    }
+
     /// Instantiates the order's [`SegmentCostTable`] at failure rate
     /// `lambda`, redoing only the λ-dependent precomputation (the `O(n)`
     /// exponentials); validation, prefix sums and checkpoint costs are
@@ -189,6 +202,92 @@ impl LambdaSweep {
                     .sum())
             })
             .collect()
+    }
+}
+
+/// FNV-1a over the bit patterns of an execution order's defining vectors
+/// (shared by [`LambdaSweep::fingerprint`] and
+/// [`SegmentCostTable::fingerprint`], so the two can never diverge): the
+/// downtime, the work prefix sums (`n + 1` values, which pin both the
+/// weights and their summation), and the per-position checkpoint and
+/// recovery costs.
+pub(crate) fn order_fingerprint(
+    downtime: f64,
+    prefix: &[f64],
+    checkpoints: &[f64],
+    recoveries: &[f64],
+) -> u64 {
+    let mut hash = FNV_OFFSET;
+    fnv_mix(&mut hash, downtime);
+    for &p in prefix {
+        fnv_mix(&mut hash, p);
+    }
+    for &c in checkpoints {
+        fnv_mix(&mut hash, c);
+    }
+    for &r in recoveries {
+        fnv_mix(&mut hash, r);
+    }
+    hash
+}
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one `f64`'s exact bit pattern into a running FNV-1a hash.
+pub(crate) fn fnv_mix(hash: &mut u64, value: f64) {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for byte in value.to_bits().to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// The index of the grid rate nearest to `lambda` in **log space** — the
+/// rate-bucketing primitive of the planner-as-a-service tier: quantising a
+/// client's rate estimate onto a [`log_lambda_grid`] turns a continuum of
+/// λ values into a small set of cache buckets, and on a logarithmic grid the
+/// nearest bucket in log space bounds the relative rate error by half the
+/// grid ratio.
+///
+/// `grid` must be sorted ascending with strictly positive entries (what
+/// [`log_lambda_grid`] produces); `lambda` must be strictly positive and
+/// finite. Rates below the first or above the last grid point clamp to the
+/// end buckets.
+///
+/// # Panics
+///
+/// Panics if `grid` is empty (a programming error, not a data error).
+///
+/// # Example
+///
+/// ```
+/// use ckpt_expectation::sweep::{log_lambda_grid, nearest_rate_bucket};
+///
+/// let grid = log_lambda_grid(1e-6, 1e-2, 5)?; // one decade per step
+/// assert_eq!(nearest_rate_bucket(&grid, 1e-4), 2);
+/// // 3.3e-4 is nearer 1e-4 than 1e-3 in log space (ratio 3.3 < 3.03⁻¹·10).
+/// assert_eq!(nearest_rate_bucket(&grid, 3.1e-4), 2);
+/// assert_eq!(nearest_rate_bucket(&grid, 3.3e-4), 3);
+/// // Out-of-range rates clamp to the end buckets.
+/// assert_eq!(nearest_rate_bucket(&grid, 1e-9), 0);
+/// assert_eq!(nearest_rate_bucket(&grid, 1.0), 4);
+/// # Ok::<(), ckpt_expectation::ExpectationError>(())
+/// ```
+pub fn nearest_rate_bucket(grid: &[f64], lambda: f64) -> usize {
+    assert!(!grid.is_empty(), "rate grid needs at least one bucket");
+    let upper = grid.partition_point(|&g| g < lambda);
+    if upper == 0 {
+        return 0;
+    }
+    if upper == grid.len() {
+        return grid.len() - 1;
+    }
+    // Nearest in log space: compare against the geometric mean of the two
+    // neighbouring grid points (λ² vs product avoids any `ln` calls).
+    if lambda * lambda < grid[upper - 1] * grid[upper] {
+        upper - 1
+    } else {
+        upper
     }
 }
 
@@ -365,5 +464,85 @@ mod tests {
         assert!(log_lambda_grid(0.0, 1.0, 5).is_err());
         assert!(log_lambda_grid(1e-3, 1e-4, 5).is_err());
         assert!(log_lambda_grid(1e-5, 1e-3, 1).is_err());
+    }
+
+    #[test]
+    fn fingerprint_separates_orders_and_matches_equal_ones() {
+        let sweep = sample_sweep();
+        assert_eq!(sweep.fingerprint(), sample_sweep().fingerprint());
+        // Any single defining vector changing changes the fingerprint.
+        let other_weights = LambdaSweep::new(
+            30.0,
+            &[400.0, 100.0, 900.0, 251.0],
+            &[60.0, 10.0, 45.0, 30.0],
+            &[15.0, 60.0, 20.0, 10.0],
+        )
+        .unwrap();
+        let other_ckpt = LambdaSweep::new(
+            30.0,
+            &[400.0, 100.0, 900.0, 250.0],
+            &[60.0, 10.0, 45.0, 31.0],
+            &[15.0, 60.0, 20.0, 10.0],
+        )
+        .unwrap();
+        let other_rec = LambdaSweep::new(
+            30.0,
+            &[400.0, 100.0, 900.0, 250.0],
+            &[60.0, 10.0, 45.0, 30.0],
+            &[15.0, 60.0, 20.0, 11.0],
+        )
+        .unwrap();
+        let other_downtime = LambdaSweep::new(
+            31.0,
+            &[400.0, 100.0, 900.0, 250.0],
+            &[60.0, 10.0, 45.0, 30.0],
+            &[15.0, 60.0, 20.0, 10.0],
+        )
+        .unwrap();
+        for other in [other_weights, other_ckpt, other_rec, other_downtime] {
+            assert_ne!(sweep.fingerprint(), other.fingerprint());
+        }
+    }
+
+    #[test]
+    fn table_fingerprint_separates_rates_of_one_order() {
+        let sweep = sample_sweep();
+        let a = sweep.table_for(1e-4).unwrap();
+        let b = sweep.table_for(1e-3).unwrap();
+        assert_eq!(a.fingerprint(), sweep.table_for(1e-4).unwrap().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // The sweep fingerprint is rate-free: one key spans every rate.
+        assert_eq!(sweep.fingerprint(), sweep.fingerprint());
+    }
+
+    #[test]
+    fn nearest_bucket_is_nearest_in_log_space() {
+        let grid = log_lambda_grid(1e-6, 1e-2, 9).unwrap();
+        for (index, &rate) in grid.iter().enumerate() {
+            assert_eq!(nearest_rate_bucket(&grid, rate), index, "grid point {index}");
+        }
+        // Every λ maps to the log-nearest grid point (brute-force check).
+        let mut probe = 5e-7;
+        while probe < 5e-2 {
+            let bucket = nearest_rate_bucket(&grid, probe);
+            let best = grid
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da = (probe.ln() - a.ln()).abs();
+                    let db = (probe.ln() - b.ln()).abs();
+                    da.total_cmp(&db)
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(bucket, best, "λ = {probe}");
+            probe *= 1.37;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn nearest_bucket_rejects_empty_grids() {
+        let _ = nearest_rate_bucket(&[], 1e-4);
     }
 }

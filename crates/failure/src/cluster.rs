@@ -327,7 +327,12 @@ impl ClusterFailureInjector {
         for p in 0..faults.platform.processor_count() {
             faults.platform.record_repair(ProcessorId(p), done);
         }
-        faults.pending = None;
+        // Only candidates *inside* the repair interval are silenced: a cached
+        // natural-failure candidate beyond the repair completion was observed
+        // while the machine was (or will be) up and must survive — dropping
+        // it here would silently thin the machine's own failure process
+        // whenever a shock-triggered repair resolves before it.
+        faults.pending = faults.pending.filter(|&t| t > done);
         let absorbed = faults.shock_hits.partition_point(|&h| h <= done);
         faults.shock_hits.drain(..absorbed);
         done
@@ -537,5 +542,95 @@ mod tests {
     fn debug_output_is_nonempty() {
         let inj = ClusterFailureInjector::homogeneous(2, law(100.0), 1).unwrap();
         assert!(!format!("{inj:?}").is_empty());
+    }
+
+    #[test]
+    fn natural_candidate_beyond_the_repair_completion_survives() {
+        // Deterministic core of the `repro_pending` regression: a dense shock
+        // process fails (and immediately repairs) the machine many times
+        // before its own first natural failure; the natural candidate lies
+        // outside every repair interval and must still be observed.
+        let mut plain = ClusterFailureInjector::homogeneous(1, law(100.0), 42).unwrap();
+        let natural = plain.next_failure_after(0, 0.0);
+        let mut shocked = ClusterFailureInjector::homogeneous(1, law(100.0), 42)
+            .unwrap()
+            .with_shocks(ShockConfig::new(1.0, 1.0, 0.0).unwrap());
+        let mut t = 0.0;
+        let mut observed = false;
+        for _ in 0..10_000 {
+            t = shocked.next_failure_after(0, t);
+            if t == natural {
+                observed = true;
+                break;
+            }
+            if t > natural {
+                break;
+            }
+            shocked.begin_repair(0, t);
+        }
+        assert!(observed, "natural failure at {natural} was dropped");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The `begin_repair` contract: a failure candidate is silenced only
+        /// when it falls **inside** a repair interval. For every machine of a
+        /// random pool under a random shock process and repair duration, the
+        /// machine's first natural candidate (known from a shock-free
+        /// injector on the same seed, which shares the per-machine
+        /// sub-streams) must either be returned by the merged stream or lie
+        /// inside one of the repair intervals the walk opened — never vanish.
+        #[test]
+        fn prop_no_candidate_outside_a_repair_interval_is_lost(
+            seed in any::<u64>(),
+            machines in 1usize..4,
+            mtbf in 50.0f64..5_000.0,
+            shock_gap in 1.0f64..500.0,
+            fan_out in 0.1f64..1.0,
+            burst_width in 0.0f64..50.0,
+            repair in 0.0f64..200.0,
+        ) {
+            let mut plain =
+                ClusterFailureInjector::homogeneous(machines, law(mtbf), seed).unwrap();
+            let build = || {
+                ClusterFailureInjector::homogeneous(machines, law(mtbf), seed)
+                    .unwrap()
+                    .with_shocks(ShockConfig::new(1.0 / shock_gap, fan_out, burst_width).unwrap())
+                    .with_repair(RepairModel::Fixed(repair))
+                    .unwrap()
+            };
+            let mut shocked = build();
+            for m in 0..machines {
+                let natural = plain.next_failure_after(m, 0.0);
+                let mut t = 0.0;
+                let mut observed = false;
+                let mut absorbed = false;
+                for _ in 0..2_000 {
+                    let f = shocked.next_failure_after(m, t);
+                    if f == natural {
+                        observed = true;
+                        break;
+                    }
+                    if f > natural {
+                        break;
+                    }
+                    let done = shocked.begin_repair(m, f);
+                    if natural <= done {
+                        // The candidate fell inside this repair interval:
+                        // silencing it is exactly the documented contract.
+                        absorbed = true;
+                        break;
+                    }
+                    t = done;
+                }
+                prop_assert!(
+                    observed || absorbed,
+                    "machine {m}: natural candidate {natural} was neither observed nor \
+                     inside any repair interval"
+                );
+            }
+        }
     }
 }

@@ -4,7 +4,7 @@ use ckpt_failure::{ClusterFailureInjector, Exponential, RepairModel, ShockConfig
 fn pending_natural_candidate_survives_short_repair() {
     let law = Exponential::from_mtbf(100.0).unwrap();
     // Reference: no shocks — the machine's own first failure.
-    let mut plain = ClusterFailureInjector::homogeneous(1, law.clone(), 42).unwrap();
+    let mut plain = ClusterFailureInjector::homogeneous(1, law, 42).unwrap();
     let natural = plain.next_failure_after(0, 0.0);
 
     // Same seed, same per-machine sub-streams, plus a dense shock process.

@@ -1,0 +1,62 @@
+//! Quickstart for the planner-as-a-service tier: a small fleet of
+//! workflows asking for plans and re-plans through one [`Planner`].
+//!
+//! Run with `cargo run --example service_quickstart -p ckpt-service`.
+
+use ckpt_service::{PlanInstance, PlanRequest, Planner, RateBucketing};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A planner quantising client rate estimates onto a log grid spanning
+    // MTBFs from ~17 minutes to ~12 days, 13 buckets per the whole span.
+    let mut planner = Planner::new(RateBucketing::log_grid(1e-6, 1e-3, 13)?);
+
+    // Three workload shapes shared by the fleet (e.g. three pipeline
+    // templates); each instance validates and fingerprints once.
+    let shapes: Vec<PlanInstance> = [
+        vec![400.0, 100.0, 900.0, 250.0, 650.0, 300.0],
+        vec![1_200.0, 1_200.0, 1_200.0, 1_200.0],
+        vec![150.0; 12],
+    ]
+    .into_iter()
+    .map(|weights| {
+        let n = weights.len();
+        PlanInstance::new(30.0, &weights, &vec![60.0; n], &vec![45.0; n])
+    })
+    .collect::<Result<_, _>>()?;
+
+    // A batch of fleet requests: fresh plans at slightly different rate
+    // estimates (they coalesce per bucket), plus one mid-run re-plan after
+    // a failure recovered at position 3.
+    let mut batch = Vec::new();
+    for (workflow, shape) in (0..8u64).map(|w| (w, &shapes[w as usize % shapes.len()])) {
+        let estimate = 1e-4 * (1.0 + 0.03 * workflow as f64);
+        batch.push(PlanRequest::plan(workflow, shape.clone(), estimate)?);
+    }
+    batch.push(PlanRequest::replan(8, shapes[0].clone(), 1e-4, 3)?);
+
+    for response in planner.serve_batch(&batch) {
+        println!(
+            "workflow {:>2}  λ={:.2e} (served {:.2e})  E[T]={:>9.1}s  checkpoints after {:?}  [{:?}]",
+            response.id,
+            response.lambda,
+            response.effective_lambda,
+            response.expected_makespan,
+            response.checkpoint_positions,
+            response.source,
+        );
+    }
+
+    let stats = planner.stats();
+    println!(
+        "served {} requests: {} cache hits, {} cold solves, {} sweep solves, {} re-plans \
+         ({} orders, {} plans cached)",
+        stats.requests,
+        stats.cache_hits,
+        stats.cold_solves,
+        stats.sweep_solves,
+        stats.suffix_replans,
+        planner.cached_orders(),
+        planner.cached_plans(),
+    );
+    Ok(())
+}

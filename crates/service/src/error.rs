@@ -1,0 +1,98 @@
+//! Error type of the request-serving tier.
+
+use std::error::Error;
+use std::fmt;
+
+use ckpt_core::ScheduleError;
+use ckpt_expectation::ExpectationError;
+
+/// Error returned when a request or a planner configuration is invalid.
+///
+/// Everything that can fail is rejected at *construction* time
+/// ([`PlanInstance::new`](crate::PlanInstance::new),
+/// [`PlanRequest::plan`](crate::PlanRequest::plan), the bucketing
+/// constructors) — serving itself ([`Planner::serve_batch`](crate::Planner::serve_batch))
+/// is infallible, which keeps the hot path free of per-request error
+/// plumbing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The chain's cost data failed the §2 model validation (non-positive
+    /// weight, negative cost, non-finite parameter, …).
+    Invalid(ExpectationError),
+    /// [`PlanInstance::from_chain_instance`](crate::PlanInstance::from_chain_instance)
+    /// was given an instance whose graph is not a linear chain, or whose
+    /// cost data failed validation.
+    Instance(ScheduleError),
+    /// A re-plan's resume position does not satisfy `1 ≤ resume_from < n`.
+    ResumeOutOfRange {
+        /// Resume position supplied by the caller.
+        resume_from: usize,
+        /// Number of positions of the instance's order.
+        len: usize,
+    },
+    /// A rate-bucketing grid was empty.
+    EmptyGrid,
+    /// A rate-bucketing grid was not strictly increasing and positive at
+    /// the given index.
+    UnsortedGrid {
+        /// First index violating the strictly-increasing-positive invariant.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Invalid(err) => write!(f, "invalid chain data: {err}"),
+            ServiceError::Instance(err) => write!(f, "invalid problem instance: {err}"),
+            ServiceError::ResumeOutOfRange { resume_from, len } => {
+                write!(f, "resume position {resume_from} must satisfy 1 <= resume_from < {len}")
+            }
+            ServiceError::EmptyGrid => write!(f, "rate-bucketing grid needs at least one bucket"),
+            ServiceError::UnsortedGrid { index } => {
+                write!(
+                    f,
+                    "rate-bucketing grid must be strictly increasing and positive (violated at index {index})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Invalid(err) => Some(err),
+            ServiceError::Instance(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExpectationError> for ServiceError {
+    fn from(err: ExpectationError) -> Self {
+        ServiceError::Invalid(err)
+    }
+}
+
+impl From<ScheduleError> for ServiceError {
+    fn from(err: ScheduleError) -> Self {
+        ServiceError::Instance(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err: ServiceError =
+            ExpectationError::NonPositiveParameter { name: "lambda", value: 0.0 }.into();
+        assert!(err.to_string().contains("lambda"));
+        let err = ServiceError::ResumeOutOfRange { resume_from: 9, len: 4 };
+        assert!(err.to_string().contains('9') && err.to_string().contains('4'));
+        assert!(ServiceError::EmptyGrid.to_string().contains("grid"));
+        assert!(ServiceError::UnsortedGrid { index: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,75 @@
+//! Planner-as-a-service: batched, cached, bit-deterministic plan and
+//! re-plan serving for thousands of concurrent chain workflows.
+//!
+//! The analytical stack below this crate answers *one* question exactly:
+//! given a chain of tasks and a failure rate, where should the checkpoints
+//! go (the DSN 2012 Algorithm 1 DP on the Proposition 1 closed form)? A
+//! production planner faces that question thousands of times a second —
+//! fleets of workflows asking for plans, workflows interrupted by failures
+//! asking for *re*-plans of their remaining work, and rate estimates
+//! drifting with platform telemetry. This crate is that serving tier:
+//!
+//! * **Requests** ([`PlanRequest`]) carry a validated, fingerprinted
+//!   workload ([`PlanInstance`]) plus a failure rate (and, for re-plans, a
+//!   resume position). Validation happens at construction; serving is
+//!   infallible.
+//! * **The cache** is keyed by *instance fingerprint × rate bucket*
+//!   ([`RateBucketing`]): the fingerprint hashes the order's defining cost
+//!   vectors (FNV-1a over exact bit patterns), the bucket quantises the
+//!   rate onto a log grid. A hit answers with no DP at all; a miss at a new
+//!   rate of a known order reuses the cached λ-independent
+//!   [`LambdaSweep`](ckpt_expectation::sweep::LambdaSweep) — only an order
+//!   the service has never seen pays full admission.
+//! * **The solve phase** dispatches misses over the workspace's
+//!   deterministic contiguous-chunk worker pattern
+//!   ([`chunked_map_with`](ckpt_core::parallel::chunked_map_with)) with one
+//!   reusable [`ResumableDp`](ckpt_core::chain_dp::ResumableDp) arena per
+//!   worker; re-plans run its `O((n − from)²)` suffix path. Every response
+//!   is **bitwise identical** to a one-shot
+//!   [`optimal_chain_schedule`](ckpt_core::chain_dp::optimal_chain_schedule)
+//!   solve at the effective rate, at every worker count — the differential
+//!   suites in `tests/` hold that wall.
+//!
+//! # Example
+//!
+//! ```
+//! use ckpt_service::{PlanInstance, PlanRequest, Planner, RateBucketing, ResponseSource};
+//!
+//! // A planner quantising rates onto a 13-point grid per decade span.
+//! let mut planner = Planner::new(RateBucketing::log_grid(1e-6, 1e-3, 13)?);
+//! let chain = PlanInstance::new(
+//!     30.0,                               // downtime D
+//!     &[400.0, 100.0, 900.0, 250.0],      // task weights along the order
+//!     &[60.0, 60.0, 60.0, 60.0],          // checkpoint costs
+//!     &[15.0, 60.0, 60.0, 60.0],          // protecting recoveries
+//! )?;
+//!
+//! // Two estimates of the same platform's rate land in the same bucket…
+//! let responses = planner.serve_batch(&[
+//!     PlanRequest::plan(1, chain.clone(), 1.00e-4)?,
+//!     PlanRequest::plan(2, chain.clone(), 1.05e-4)?,
+//! ]);
+//! assert_eq!(responses[0].effective_lambda, responses[1].effective_lambda);
+//! // …so the second coalesces onto the first's solve, bit for bit.
+//! assert_eq!(responses[0].checkpoint_positions, responses[1].checkpoint_positions);
+//!
+//! // A failure at position 2: re-plan the remaining chain only.
+//! let replan = planner.serve_batch(&[PlanRequest::replan(3, chain, 1e-4, 2)?]).remove(0);
+//! assert_eq!(replan.source, ResponseSource::SuffixReplan);
+//! assert!(replan.checkpoint_positions.iter().all(|&j| j >= 2));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bucketing;
+pub mod error;
+pub mod planner;
+pub mod request;
+
+pub use bucketing::RateBucketing;
+pub use error::ServiceError;
+pub use planner::{Planner, ServiceStats};
+pub use request::{PlanInstance, PlanRequest, PlanResponse, ResponseSource};

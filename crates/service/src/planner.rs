@@ -1,0 +1,533 @@
+//! The planner: batched admission, the fingerprint × rate-bucket cache,
+//! and the deterministic parallel solve phase.
+//!
+//! # Serving pipeline
+//!
+//! [`Planner::serve_batch`] runs three phases:
+//!
+//! 1. **Admission** (serial, in request order): each request is keyed by
+//!    its instance's fingerprint (masked by the collision-test hook) and
+//!    its rate bucket. Cache hits are answered immediately; misses become
+//!    *work items*, deduplicated so that many identical requests in one
+//!    batch coalesce onto a single solve. A never-seen order adopts the
+//!    instance's λ-independent [`LambdaSweep`] into the cache.
+//! 2. **Solve** (parallel): the work items are mapped over
+//!    [`chunked_map_with`] — the workspace's deterministic contiguous-chunk
+//!    worker pattern — with one arena-allocated [`ResumableDp`] scratch per
+//!    worker. Each item stamps (or reuses) the bucket's
+//!    [`SegmentCostTable`] and runs the pruned Algorithm 1 DP, full or
+//!    suffix-only. Every result is a pure function of the item, so the
+//!    phase is **bit-identical for every worker count**.
+//! 3. **Commit + assembly** (serial, in request order): freshly stamped
+//!    tables and full plans enter the cache, and responses are assembled
+//!    in arrival order.
+//!
+//! Determinism falls out of the structure: hash maps are only ever probed
+//! by key (never iterated for results), admission and commit are serial,
+//! and the parallel phase uses the same chunking contract as every other
+//! thread-parallel path of the workspace.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ckpt_core::chain_dp::ResumableDp;
+use ckpt_core::parallel::chunked_map_with;
+use ckpt_expectation::segment_cost::SegmentCostTable;
+use ckpt_expectation::sweep::LambdaSweep;
+
+use crate::bucketing::RateBucketing;
+use crate::request::{PlanRequest, PlanResponse, ResponseSource};
+
+/// A cached full plan: the DP value and the shared checkpoint positions.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    expected_makespan: f64,
+    checkpoint_positions: Arc<Vec<usize>>,
+}
+
+/// One cached execution order: its λ-independent sweep plus the per-bucket
+/// tables and full plans stamped so far. Orders that collide on the
+/// (masked) fingerprint live side by side in a `Vec` and are told apart by
+/// comparing their sweeps' defining vectors.
+#[derive(Debug)]
+struct OrderShard {
+    sweep: Arc<LambdaSweep>,
+    tables: HashMap<u64, Arc<SegmentCostTable>>,
+    plans: HashMap<u64, CachedPlan>,
+}
+
+/// Running counters of how requests were served (monotonic; one increment
+/// per request, keyed by its [`ResponseSource`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests served in total.
+    pub requests: u64,
+    /// Full plans answered from the cache without running a DP.
+    pub cache_hits: u64,
+    /// Full solves that introduced a new order to the cache.
+    pub cold_solves: u64,
+    /// Full solves at a new rate bucket of an already-cached order.
+    pub sweep_solves: u64,
+    /// Suffix re-plans (always computed, never cached).
+    pub suffix_replans: u64,
+}
+
+/// The planner-as-a-service core: a plan cache keyed by *instance
+/// fingerprint × rate bucket* in front of the deterministic chain-DP
+/// solvers.
+///
+/// # Example
+///
+/// ```
+/// use ckpt_service::{PlanInstance, PlanRequest, Planner, RateBucketing, ResponseSource};
+///
+/// let mut planner = Planner::new(RateBucketing::Exact);
+/// let chain = PlanInstance::new(30.0, &[400.0, 100.0, 900.0], &[60.0; 3], &[15.0; 3])?;
+/// let first = PlanRequest::plan(1, chain.clone(), 1e-4)?;
+/// let again = PlanRequest::plan(2, chain, 1e-4)?;
+///
+/// let cold = planner.serve_batch(&[first.clone()]);
+/// assert_eq!(cold[0].source, ResponseSource::ColdSolve);
+/// let warm = planner.serve_batch(&[again]);
+/// assert_eq!(warm[0].source, ResponseSource::CacheHit);
+/// // Same plan, no DP ran the second time.
+/// assert_eq!(warm[0].checkpoint_positions, cold[0].checkpoint_positions);
+/// assert_eq!(warm[0].expected_makespan.to_bits(), cold[0].expected_makespan.to_bits());
+/// # Ok::<(), ckpt_service::ServiceError>(())
+/// ```
+#[derive(Debug)]
+pub struct Planner {
+    bucketing: RateBucketing,
+    threads: usize,
+    fingerprint_mask: u64,
+    shards: HashMap<u64, Vec<OrderShard>>,
+    stats: ServiceStats,
+    pending: Vec<PlanRequest>,
+}
+
+/// Where a work item's per-rate table comes from.
+enum TableSource {
+    /// Already stamped for this (order, bucket) — reuse it.
+    Cached(Arc<SegmentCostTable>),
+    /// Stamp it from the order's sweep inside the worker.
+    Stamp(Arc<LambdaSweep>),
+}
+
+/// One deduplicated solve: the table (or the sweep to stamp it from), the
+/// effective rate, and the suffix start (0 = full plan).
+struct WorkItem {
+    table: TableSource,
+    effective_lambda: f64,
+    resume_from: usize,
+    /// Cache coordinates for the commit phase.
+    masked: u64,
+    shard: usize,
+    bucket: u64,
+    source: ResponseSource,
+}
+
+/// A worker's result for one [`WorkItem`].
+struct SolveOutcome {
+    expected_makespan: f64,
+    checkpoint_positions: Arc<Vec<usize>>,
+    /// The table, iff the worker stamped it fresh (for the commit phase).
+    stamped: Option<Arc<SegmentCostTable>>,
+}
+
+/// Per-request admission verdict.
+enum Admitted {
+    /// Answered from the cache; payload cloned out of the shard.
+    Ready { expected_makespan: f64, checkpoint_positions: Arc<Vec<usize>>, effective_lambda: f64 },
+    /// Answered by work item `index` (possibly shared with other requests).
+    Computed { index: usize },
+}
+
+impl Planner {
+    /// A planner with the given rate-bucketing policy, solving on all
+    /// available cores ([`with_threads`](Planner::with_threads) overrides).
+    pub fn new(bucketing: RateBucketing) -> Self {
+        Planner {
+            bucketing,
+            threads: 0,
+            fingerprint_mask: u64::MAX,
+            shards: HashMap::new(),
+            stats: ServiceStats::default(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Sets the solve phase's worker count (`0` = one per core). Responses
+    /// are bit-identical for every choice; this only trades latency for
+    /// cores.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// **Differential-testing hook**: fingerprints are AND-masked with
+    /// `mask` before keying the cache, so a small mask (e.g. `0x3`) forces
+    /// unrelated orders to collide and exercises the collision-resolution
+    /// path (shards compare their orders' defining vectors, so collisions
+    /// cost a probe, never a wrong plan). Production planners keep the
+    /// default `u64::MAX`.
+    pub fn with_fingerprint_mask(mut self, mask: u64) -> Self {
+        self.fingerprint_mask = mask;
+        self
+    }
+
+    /// The serving counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Distinct execution orders currently cached.
+    pub fn cached_orders(&self) -> usize {
+        self.shards.values().map(Vec::len).sum()
+    }
+
+    /// Full plans currently cached, over all orders and rate buckets.
+    pub fn cached_plans(&self) -> usize {
+        self.shards.values().flatten().map(|shard| shard.plans.len()).sum()
+    }
+
+    /// Queues a request for the next [`flush`](Planner::flush); returns the
+    /// queue's new length.
+    pub fn enqueue(&mut self, request: PlanRequest) -> usize {
+        self.pending.push(request);
+        self.pending.len()
+    }
+
+    /// Serves every queued request as one batch (in enqueue order).
+    pub fn flush(&mut self) -> Vec<PlanResponse> {
+        let batch = std::mem::take(&mut self.pending);
+        self.serve_batch(&batch)
+    }
+
+    /// Serves a batch of requests, returning one response per request in
+    /// request order. Infallible: requests are validated at construction.
+    pub fn serve_batch(&mut self, requests: &[PlanRequest]) -> Vec<PlanResponse> {
+        // Phase 1 — serial admission in request order.
+        let mut work: Vec<WorkItem> = Vec::new();
+        let mut seen: HashMap<(u64, usize, u64, usize), usize> = HashMap::new();
+        let admitted: Vec<Admitted> = requests
+            .iter()
+            .map(|request| {
+                let masked = request.instance().fingerprint() & self.fingerprint_mask;
+                let (bucket, effective_lambda) = self.bucketing.bucket(request.lambda());
+                let colliders = self.shards.entry(masked).or_default();
+                let (shard_index, is_new_order) = match colliders.iter().position(|candidate| {
+                    Arc::ptr_eq(&candidate.sweep, request.instance().sweep())
+                        || *candidate.sweep == **request.instance().sweep()
+                }) {
+                    Some(index) => (index, false),
+                    None => {
+                        colliders.push(OrderShard {
+                            sweep: Arc::clone(request.instance().sweep()),
+                            tables: HashMap::new(),
+                            plans: HashMap::new(),
+                        });
+                        (colliders.len() - 1, true)
+                    }
+                };
+                let shard = &colliders[shard_index];
+                let resume_from = request.resume_from();
+                if resume_from == 0 {
+                    if let Some(plan) = shard.plans.get(&bucket) {
+                        return Admitted::Ready {
+                            expected_makespan: plan.expected_makespan,
+                            checkpoint_positions: Arc::clone(&plan.checkpoint_positions),
+                            effective_lambda,
+                        };
+                    }
+                }
+                let index =
+                    *seen.entry((masked, shard_index, bucket, resume_from)).or_insert_with(|| {
+                        let table = match shard.tables.get(&bucket) {
+                            Some(table) => TableSource::Cached(Arc::clone(table)),
+                            None => TableSource::Stamp(Arc::clone(&shard.sweep)),
+                        };
+                        let source = if resume_from > 0 {
+                            ResponseSource::SuffixReplan
+                        } else if is_new_order {
+                            ResponseSource::ColdSolve
+                        } else {
+                            ResponseSource::SweepSolve
+                        };
+                        work.push(WorkItem {
+                            table,
+                            effective_lambda,
+                            resume_from,
+                            masked,
+                            shard: shard_index,
+                            bucket,
+                            source,
+                        });
+                        work.len() - 1
+                    });
+                Admitted::Computed { index }
+            })
+            .collect();
+
+        // Phase 2 — deterministic parallel solve, one `ResumableDp` arena
+        // per worker (allocation-free after its first items).
+        let outcomes: Vec<SolveOutcome> =
+            chunked_map_with(&work, self.threads, ResumableDp::new, |dp, _, item| {
+                let table = match &item.table {
+                    TableSource::Cached(table) => Arc::clone(table),
+                    TableSource::Stamp(sweep) => Arc::new(
+                        sweep
+                            .table_for(item.effective_lambda)
+                            .expect("rates are validated at request construction"),
+                    ),
+                };
+                let expected_makespan = if item.resume_from == 0 {
+                    dp.solve(&table)
+                } else {
+                    dp.solve_suffix(&table, item.resume_from)
+                };
+                let checkpoint_positions = Arc::new(dp.suffix_positions(item.resume_from));
+                let stamped =
+                    matches!(item.table, TableSource::Stamp(_)).then(|| Arc::clone(&table));
+                SolveOutcome { expected_makespan, checkpoint_positions, stamped }
+            });
+
+        // Phase 3 — serial commit (in work order) and assembly (in request
+        // order).
+        for (item, outcome) in work.iter().zip(&outcomes) {
+            let shard =
+                &mut self.shards.get_mut(&item.masked).expect("admitted shard exists")[item.shard];
+            if let Some(table) = &outcome.stamped {
+                shard.tables.entry(item.bucket).or_insert_with(|| Arc::clone(table));
+            }
+            if item.resume_from == 0 {
+                shard.plans.entry(item.bucket).or_insert_with(|| CachedPlan {
+                    expected_makespan: outcome.expected_makespan,
+                    checkpoint_positions: Arc::clone(&outcome.checkpoint_positions),
+                });
+            }
+        }
+
+        let responses: Vec<PlanResponse> = requests
+            .iter()
+            .zip(admitted)
+            .map(|(request, verdict)| match verdict {
+                Admitted::Ready { expected_makespan, checkpoint_positions, effective_lambda } => {
+                    PlanResponse {
+                        id: request.id(),
+                        lambda: request.lambda(),
+                        effective_lambda,
+                        resume_from: 0,
+                        expected_makespan,
+                        checkpoint_positions,
+                        source: ResponseSource::CacheHit,
+                    }
+                }
+                Admitted::Computed { index } => {
+                    let (item, outcome) = (&work[index], &outcomes[index]);
+                    PlanResponse {
+                        id: request.id(),
+                        lambda: request.lambda(),
+                        effective_lambda: item.effective_lambda,
+                        resume_from: item.resume_from,
+                        expected_makespan: outcome.expected_makespan,
+                        checkpoint_positions: Arc::clone(&outcome.checkpoint_positions),
+                        source: item.source,
+                    }
+                }
+            })
+            .collect();
+
+        self.stats.requests += responses.len() as u64;
+        for response in &responses {
+            match response.source {
+                ResponseSource::CacheHit => self.stats.cache_hits += 1,
+                ResponseSource::ColdSolve => self.stats.cold_solves += 1,
+                ResponseSource::SweepSolve => self.stats.sweep_solves += 1,
+                ResponseSource::SuffixReplan => self.stats.suffix_replans += 1,
+            }
+        }
+        responses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::PlanInstance;
+    use ckpt_core::chain_dp::optimal_chain_schedule;
+    use ckpt_core::ProblemInstance;
+    use ckpt_dag::generators;
+
+    fn chain_problem(lambda: f64) -> ProblemInstance {
+        let graph = generators::chain(&[400.0, 100.0, 900.0, 250.0, 650.0, 300.0]).expect("chain");
+        ProblemInstance::builder(graph)
+            .uniform_checkpoint_cost(60.0)
+            .uniform_recovery_cost(60.0)
+            .downtime(30.0)
+            .platform_lambda(lambda)
+            .build()
+            .expect("valid instance")
+    }
+
+    fn instance() -> PlanInstance {
+        PlanInstance::from_chain_instance(&chain_problem(1e-4)).expect("chain")
+    }
+
+    #[test]
+    fn serves_the_one_shot_optimum_bit_for_bit() {
+        let mut planner = Planner::new(RateBucketing::Exact).with_threads(1);
+        let request = PlanRequest::plan(1, instance(), 1e-4).expect("valid");
+        let response = planner.serve_batch(&[request]).remove(0);
+        let reference = optimal_chain_schedule(&chain_problem(1e-4)).expect("solvable");
+        assert_eq!(*response.checkpoint_positions, reference.checkpoint_positions);
+        assert_eq!(response.expected_makespan.to_bits(), reference.expected_makespan.to_bits());
+        assert_eq!(response.source, ResponseSource::ColdSolve);
+        assert_eq!(response.effective_lambda, 1e-4);
+    }
+
+    #[test]
+    fn cache_hit_sweep_solve_and_replan_sources() {
+        let mut planner = Planner::new(RateBucketing::Exact).with_threads(2);
+        let inst = instance();
+        let batch = [
+            PlanRequest::plan(1, inst.clone(), 1e-4).expect("valid"),
+            PlanRequest::plan(2, inst.clone(), 1e-4).expect("valid"), // coalesces onto 1
+            PlanRequest::plan(3, inst.clone(), 1e-3).expect("valid"), // new bucket
+            PlanRequest::replan(4, inst.clone(), 1e-4, 3).expect("valid"),
+        ];
+        let responses = planner.serve_batch(&batch);
+        assert_eq!(responses[0].source, ResponseSource::ColdSolve);
+        // Coalesced onto the same solve: same label, same shared payload.
+        assert_eq!(responses[1].source, ResponseSource::ColdSolve);
+        assert!(Arc::ptr_eq(
+            &responses[0].checkpoint_positions,
+            &responses[1].checkpoint_positions
+        ));
+        assert_eq!(responses[2].source, ResponseSource::SweepSolve);
+        assert_eq!(responses[3].source, ResponseSource::SuffixReplan);
+        assert_eq!(responses[3].resume_from, 3);
+
+        // A later identical full plan is a pure cache hit…
+        let warm = planner
+            .serve_batch(&[PlanRequest::plan(5, inst.clone(), 1e-4).expect("valid")])
+            .remove(0);
+        assert_eq!(warm.source, ResponseSource::CacheHit);
+        assert_eq!(warm.expected_makespan.to_bits(), responses[0].expected_makespan.to_bits());
+        // …and re-plans always recompute.
+        let replan_again =
+            planner.serve_batch(&[PlanRequest::replan(6, inst, 1e-4, 3).expect("valid")]).remove(0);
+        assert_eq!(replan_again.source, ResponseSource::SuffixReplan);
+        assert_eq!(
+            replan_again.expected_makespan.to_bits(),
+            responses[3].expected_makespan.to_bits()
+        );
+
+        let stats = planner.stats();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cold_solves, 2);
+        assert_eq!(stats.sweep_solves, 1);
+        assert_eq!(stats.suffix_replans, 2);
+        assert_eq!(planner.cached_orders(), 1);
+        assert_eq!(planner.cached_plans(), 2);
+    }
+
+    #[test]
+    fn replan_matches_full_plan_tail_and_suffix_value() {
+        let mut planner = Planner::new(RateBucketing::Exact);
+        let inst = instance();
+        let full = planner
+            .serve_batch(&[PlanRequest::plan(1, inst.clone(), 1e-4).expect("valid")])
+            .remove(0);
+        for from in 1..inst.len() {
+            let replan = planner
+                .serve_batch(&[PlanRequest::replan(2, inst.clone(), 1e-4, from).expect("valid")])
+                .remove(0);
+            // Optimal substructure: once the full plan passes `from` at a
+            // checkpoint boundary, the suffix plans coincide.
+            if full.checkpoint_positions.contains(&(from - 1)) {
+                let tail: Vec<usize> =
+                    full.checkpoint_positions.iter().copied().filter(|&j| j >= from).collect();
+                assert_eq!(*replan.checkpoint_positions, tail, "suffix from {from}");
+            }
+            assert!(replan.expected_makespan <= full.expected_makespan);
+        }
+    }
+
+    #[test]
+    fn grid_bucketing_reports_the_effective_rate() {
+        let bucketing = RateBucketing::grid(vec![1e-5, 1e-4, 1e-3]).expect("valid grid");
+        let mut planner = Planner::new(bucketing).with_threads(1);
+        let inst = instance();
+        let responses = planner.serve_batch(&[
+            PlanRequest::plan(1, inst.clone(), 9e-5).expect("valid"),
+            PlanRequest::plan(2, inst.clone(), 1.2e-4).expect("valid"),
+        ]);
+        // Both quantise to the 1e-4 bucket: one solve, one coalesced.
+        assert_eq!(responses[0].effective_lambda, 1e-4);
+        assert_eq!(responses[1].effective_lambda, 1e-4);
+        assert_eq!(responses[0].lambda, 9e-5);
+        assert_eq!(
+            responses[0].expected_makespan.to_bits(),
+            responses[1].expected_makespan.to_bits()
+        );
+        // The served plan is the exact optimum for the effective rate.
+        let reference = optimal_chain_schedule(&chain_problem(1e-4)).expect("solvable");
+        assert_eq!(*responses[0].checkpoint_positions, reference.checkpoint_positions);
+        assert_eq!(responses[0].expected_makespan.to_bits(), reference.expected_makespan.to_bits());
+        assert_eq!(planner.cached_plans(), 1);
+    }
+
+    #[test]
+    fn forced_fingerprint_collisions_never_cross_plans() {
+        // Mask every fingerprint to one bucket: all orders collide, and the
+        // shard scan must still tell them apart by their defining vectors.
+        let mut planner = Planner::new(RateBucketing::Exact).with_fingerprint_mask(0);
+        let chains: Vec<PlanInstance> = (0..5)
+            .map(|k| {
+                PlanInstance::new(
+                    30.0,
+                    &[400.0 + f64::from(k), 100.0, 900.0],
+                    &[60.0; 3],
+                    &[15.0; 3],
+                )
+                .expect("valid order")
+            })
+            .collect();
+        let batch: Vec<PlanRequest> = chains
+            .iter()
+            .enumerate()
+            .map(|(id, inst)| PlanRequest::plan(id as u64, inst.clone(), 1e-4).expect("valid"))
+            .collect();
+        let cold = planner.serve_batch(&batch);
+        let warm = planner.serve_batch(&batch);
+        assert_eq!(planner.cached_orders(), 5);
+        for (before, after) in cold.iter().zip(&warm) {
+            assert_eq!(after.source, ResponseSource::CacheHit);
+            assert_eq!(after.checkpoint_positions, before.checkpoint_positions);
+            assert_eq!(after.expected_makespan.to_bits(), before.expected_makespan.to_bits());
+        }
+        // Distinct chains got distinct optima (the values differ).
+        assert!(cold[0].expected_makespan != cold[4].expected_makespan);
+    }
+
+    #[test]
+    fn enqueue_flush_equals_one_batch() {
+        let inst = instance();
+        let requests: Vec<PlanRequest> = (0..6)
+            .map(|id| {
+                let rate = 1e-4 * (id % 3 + 1) as f64;
+                PlanRequest::plan(id, inst.clone(), rate).expect("valid")
+            })
+            .collect();
+        let mut direct = Planner::new(RateBucketing::Exact).with_threads(2);
+        let expected = direct.serve_batch(&requests);
+        let mut queued = Planner::new(RateBucketing::Exact).with_threads(2);
+        for request in &requests {
+            queued.enqueue(request.clone());
+        }
+        let got = queued.flush();
+        assert_eq!(got, expected);
+        assert!(queued.flush().is_empty());
+    }
+}

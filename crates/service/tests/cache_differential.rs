@@ -1,0 +1,235 @@
+//! The differential-testing wall around the plan cache: **every** response
+//! the service produces — cold solve, sweep solve, cache hit, coalesced
+//! duplicate, suffix re-plan — must be bitwise identical to a cold
+//! one-shot solve of the same chain at the response's effective rate,
+//! including under forced fingerprint collisions and at rate-bucket
+//! boundaries.
+
+use std::collections::HashMap;
+
+use ckpt_bench::testgen;
+use ckpt_core::chain_dp::{optimal_chain_schedule, ResumableDp};
+use ckpt_core::evaluate::segment_cost_table;
+use ckpt_core::ProblemInstance;
+use ckpt_dag::properties;
+use ckpt_failure::{Pcg64, RandomSource};
+use ckpt_service::{PlanInstance, PlanRequest, Planner, RateBucketing, ResponseSource};
+use proptest::prelude::*;
+
+/// One workload shape of a differential run, reconstructible at any rate.
+#[derive(Clone, Copy)]
+struct Shape {
+    seed: u64,
+    n: usize,
+}
+
+impl Shape {
+    /// The chain at rate `lambda` — `heterogeneous_chain_instance` draws
+    /// its cost data before `lambda` is used, so every rate sees the
+    /// bitwise-same chain.
+    fn at(self, lambda: f64) -> ProblemInstance {
+        testgen::heterogeneous_chain_instance(self.seed, self.n, lambda)
+    }
+}
+
+/// The cold reference for a full plan: a fresh one-shot solve at `lambda`.
+fn cold_full(shape: Shape, lambda: f64) -> (f64, Vec<usize>) {
+    let solution = optimal_chain_schedule(&shape.at(lambda)).expect("chain instance");
+    (solution.expected_makespan, solution.checkpoint_positions)
+}
+
+/// The cold reference for a re-plan: a fresh full-order table at `lambda`
+/// and a fresh suffix solve — never a suffix-only table, whose prefix sums
+/// would be rebuilt from zero and differ in the last ulp.
+fn cold_replan(shape: Shape, lambda: f64, from: usize) -> (f64, Vec<usize>) {
+    let instance = shape.at(lambda);
+    let order = properties::as_chain(instance.graph()).expect("chain graph");
+    let table = segment_cost_table(&instance, &order).expect("valid instance");
+    let mut dp = ResumableDp::new();
+    let value = dp.solve_suffix(&table, from);
+    (value, dp.suffix_positions(from))
+}
+
+/// Asserts one response against its cold reference, bit for bit.
+fn assert_matches_cold(
+    response: &ckpt_service::PlanResponse,
+    shape: Shape,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let (value, positions) = if response.resume_from == 0 {
+        cold_full(shape, response.effective_lambda)
+    } else {
+        cold_replan(shape, response.effective_lambda, response.resume_from)
+    };
+    prop_assert!(
+        *response.checkpoint_positions == positions,
+        "positions diverge: {} (id {}): {:?} != {:?}",
+        context,
+        response.id,
+        response.checkpoint_positions,
+        positions
+    );
+    prop_assert!(
+        response.expected_makespan.to_bits() == value.to_bits(),
+        "value diverges: {} (id {}): {} != {}",
+        context,
+        response.id,
+        response.expected_makespan,
+        value
+    );
+    Ok(())
+}
+
+/// The seven-point grid every property below buckets onto.
+fn grid() -> Vec<f64> {
+    match RateBucketing::log_grid(1e-6, 1e-3, 7).expect("valid grid") {
+        RateBucketing::Grid(rates) => rates,
+        RateBucketing::Exact => unreachable!("log_grid returns a grid"),
+    }
+}
+
+/// A rate-request mix that deliberately stresses the bucketing: exact grid
+/// points, geometric bucket midpoints (the tie boundary), off-grid rates,
+/// and out-of-range rates that clamp to the end buckets.
+fn draw_rate(rng: &mut Pcg64, grid: &[f64]) -> f64 {
+    match rng.next_bounded(5) {
+        0 => grid[rng.next_bounded(grid.len() as u64) as usize],
+        1 => {
+            let i = rng.next_bounded(grid.len() as u64 - 1) as usize;
+            (grid[i] * grid[i + 1]).sqrt()
+        }
+        2 => 10f64.powf(rng.next_range(-6.5, -2.5)),
+        3 => grid[0] * rng.next_range(0.01, 0.99),
+        _ => grid[grid.len() - 1] * rng.next_range(1.5, 50.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random chains × random rate sequences, served twice: every response
+    /// of both passes matches a cold solve at its effective rate, and the
+    /// second pass's full plans are all cache hits with identical payloads.
+    #[test]
+    fn every_response_is_bitwise_identical_to_a_cold_solve(
+        seed in any::<u64>(),
+        shape_count in 1usize..4,
+        mask_choice in 0u32..3,
+    ) {
+        let grid = grid();
+        // mask u64::MAX = production; 0x7 / 0 = forced fingerprint
+        // collisions funnelling unrelated orders into shared shards.
+        let mask = [u64::MAX, 0x7, 0][mask_choice as usize];
+        let mut planner = Planner::new(RateBucketing::grid(grid.clone()).expect("sorted"))
+            .with_threads(3)
+            .with_fingerprint_mask(mask);
+
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let shapes: Vec<Shape> = (0..shape_count)
+            .map(|k| Shape {
+                seed: seed.wrapping_add(k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                n: 2 + rng.next_bounded(26) as usize,
+            })
+            .collect();
+        let instances: Vec<PlanInstance> = shapes
+            .iter()
+            .map(|shape| PlanInstance::from_chain_instance(&shape.at(1e-4)).expect("chain"))
+            .collect();
+
+        let mut requests = Vec::new();
+        let mut request_shapes = Vec::new();
+        for id in 0..14u64 {
+            let which = rng.next_bounded(shapes.len() as u64) as usize;
+            let rate = draw_rate(&mut rng, &grid);
+            let request = if shapes[which].n > 1 && rng.next_bool(0.3) {
+                let from = 1 + rng.next_bounded(shapes[which].n as u64 - 1) as usize;
+                PlanRequest::replan(id, instances[which].clone(), rate, from).expect("valid")
+            } else {
+                PlanRequest::plan(id, instances[which].clone(), rate).expect("valid")
+            };
+            requests.push(request);
+            request_shapes.push(shapes[which]);
+        }
+
+        let first = planner.serve_batch(&requests);
+        let second = planner.serve_batch(&requests);
+        for (response, &shape) in first.iter().zip(&request_shapes) {
+            assert_matches_cold(response, shape, "first pass")?;
+        }
+        for ((response, cold), &shape) in second.iter().zip(&first).zip(&request_shapes) {
+            assert_matches_cold(response, shape, "second pass")?;
+            if response.resume_from == 0 {
+                prop_assert_eq!(response.source, ResponseSource::CacheHit);
+            } else {
+                prop_assert_eq!(response.source, ResponseSource::SuffixReplan);
+            }
+            prop_assert_eq!(&response.checkpoint_positions, &cold.checkpoint_positions);
+            prop_assert_eq!(
+                response.expected_makespan.to_bits(),
+                cold.expected_makespan.to_bits()
+            );
+            prop_assert_eq!(
+                response.effective_lambda.to_bits(),
+                cold.effective_lambda.to_bits()
+            );
+        }
+    }
+
+    /// Rates straddling a bucket boundary either quantise to the same
+    /// bucket (identical responses) or to adjacent buckets — and in both
+    /// cases each response is the exact optimum for its own effective rate.
+    #[test]
+    fn bucket_boundaries_stay_consistent(seed in any::<u64>(), n in 2usize..24) {
+        let grid = grid();
+        let mut planner =
+            Planner::new(RateBucketing::grid(grid.clone()).expect("sorted")).with_threads(2);
+        let shape = Shape { seed, n };
+        let instance = PlanInstance::from_chain_instance(&shape.at(1e-4)).expect("chain");
+
+        let mut id = 0u64;
+        for window in grid.windows(2) {
+            let boundary = (window[0] * window[1]).sqrt();
+            // The boundary itself plus one rate just inside each side.
+            for rate in [boundary, boundary * (1.0 - 1e-9), boundary * (1.0 + 1e-9)] {
+                let request = PlanRequest::plan(id, instance.clone(), rate).expect("valid");
+                id += 1;
+                let response = planner.serve_batch(&[request]).remove(0);
+                prop_assert!(
+                    response.effective_lambda.to_bits() == window[0].to_bits()
+                        || response.effective_lambda.to_bits() == window[1].to_bits(),
+                    "rate {rate:e} left its straddled buckets"
+                );
+                assert_matches_cold(&response, shape, "boundary")?;
+            }
+        }
+    }
+}
+
+/// Exact (bit-pattern) bucketing never quantises: a planner serving a
+/// hostile mix of nearly-identical rates answers each with the optimum for
+/// precisely that rate.
+#[test]
+fn exact_bucketing_matches_cold_solves_per_bit_pattern() {
+    let mut planner = Planner::new(RateBucketing::Exact).with_threads(2);
+    let shape = Shape { seed: 7, n: 12 };
+    let instance = PlanInstance::from_chain_instance(&shape.at(1e-4)).expect("chain");
+    let base = 1e-4f64;
+    let rates = [base, f64::from_bits(base.to_bits() + 1), f64::from_bits(base.to_bits() - 1)];
+    let requests: Vec<PlanRequest> = rates
+        .iter()
+        .enumerate()
+        .map(|(id, &rate)| PlanRequest::plan(id as u64, instance.clone(), rate).expect("valid"))
+        .collect();
+    let responses = planner.serve_batch(&requests);
+    let mut distinct = HashMap::new();
+    for (response, &rate) in responses.iter().zip(&rates) {
+        assert_eq!(response.effective_lambda.to_bits(), rate.to_bits());
+        let (value, positions) = cold_full(shape, rate);
+        assert_eq!(*response.checkpoint_positions, positions);
+        assert_eq!(response.expected_makespan.to_bits(), value.to_bits());
+        distinct.insert(rate.to_bits(), ());
+    }
+    // Adjacent bit patterns really are distinct buckets under Exact.
+    assert_eq!(distinct.len(), 3);
+    assert_eq!(planner.cached_plans(), 3);
+}

@@ -23,7 +23,11 @@
 //! * [`cluster`] — the multi-machine execution tier: a deterministic
 //!   event-driven engine running many chain jobs on a machine pool under
 //!   correlated failures, with policies choosing between restart, migration
-//!   and hot-replica failover, and a paired-trial Monte-Carlo harness.
+//!   and hot-replica failover, and a paired-trial Monte-Carlo harness;
+//! * [`service`] — the planner-as-a-service tier: batched plan/re-plan
+//!   serving for fleets of workflows, with a plan cache keyed by instance
+//!   fingerprint × rate bucket and a bit-deterministic parallel solve
+//!   phase.
 //!
 //! # Quickstart
 //!
@@ -62,4 +66,5 @@ pub use ckpt_core as core;
 pub use ckpt_dag as dag;
 pub use ckpt_expectation as expectation;
 pub use ckpt_failure as failure;
+pub use ckpt_service as service;
 pub use ckpt_simulator as simulator;
