@@ -528,6 +528,7 @@ impl DagPolicy for DagRelinearise {
                         self.planner = planner;
                         reorder_suffix = Some(new_suffix.iter().map(|t| t.index()).collect());
                         self.reorders += 1;
+                        crate::stats::DAG_RELINEARISATIONS.add(1);
                     }
                 }
             }

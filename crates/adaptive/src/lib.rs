@@ -59,6 +59,7 @@ pub mod dag;
 pub mod error;
 pub mod harness;
 pub mod policies;
+pub mod stats;
 
 pub use chain::ChainSpec;
 pub use dag::{

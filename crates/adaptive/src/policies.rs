@@ -222,6 +222,7 @@ impl Policy for AdaptiveResolve {
                 self.dp.solve_suffix(&table, start);
                 self.plan_rate = estimate;
                 self.replans += 1;
+                crate::stats::ADAPTIVE_RESOLVE_REPLANS.add(1);
             }
         }
         // `choice_at(start)` is the plan's next checkpoint for the suffix
@@ -325,6 +326,7 @@ impl Policy for RateLearning {
                             self.dp.solve_suffix(&table, start);
                             self.plan_rate = estimate;
                             self.replans += 1;
+                            crate::stats::RATE_LEARNING_REPLANS.add(1);
                         }
                     }
                 }

@@ -5,6 +5,7 @@
 use ckpt_bench::testgen;
 use ckpt_failure::{Pcg64, RandomSource};
 use ckpt_service::{PlanInstance, PlanRequest, Planner, RateBucketing};
+use ckpt_telemetry::{HistogramSpec, LogHistogram};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -105,5 +106,27 @@ fn bench_request_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sustained_stream, bench_request_paths);
+/// Tail-latency report over the fleet stream (batch size 1, warm cache):
+/// per-request latencies land in a `ckpt-telemetry` log-bucketed histogram
+/// and the quantiles come from its quantile API — the same estimator E14
+/// and E15 report, so the bench and experiment numbers are comparable.
+fn report_latency_tail(_c: &mut Criterion) {
+    let requests = stream();
+    let mut planner = Planner::new(bucketing());
+    let mut latency = LogHistogram::new(HistogramSpec::default());
+    for request in &requests {
+        let t = std::time::Instant::now();
+        let _ = black_box(planner.serve_batch(std::slice::from_ref(request)));
+        latency.record(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let q = |p: f64| latency.quantile(p).expect("non-empty latency histogram");
+    println!(
+        "service_latency_tail/requests={REQUESTS}: p50 {:.1} µs, p90 {:.1} µs, p99 {:.1} µs",
+        q(0.50),
+        q(0.90),
+        q(0.99)
+    );
+}
+
+criterion_group!(benches, bench_sustained_stream, bench_request_paths, report_latency_tail);
 criterion_main!(benches);

@@ -6,12 +6,13 @@ use std::sync::Arc;
 
 use ckpt_adaptive::ChainSpec;
 use ckpt_cluster::{
-    run_cluster_monte_carlo, BaselinePolicy, ClusterConfig, ClusterPolicy, ClusterRepair,
-    ClusterScenario,
+    run_cluster_monte_carlo, run_cluster_monte_carlo_with_metrics, BaselinePolicy, ClusterConfig,
+    ClusterPolicy, ClusterRepair, ClusterScenario,
 };
 use ckpt_failure::{
     ClusterFailureInjector, Exponential, FailureDistribution, Pcg64, RandomSource, ShockConfig,
 };
+use ckpt_telemetry::MetricsRegistry;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -115,5 +116,35 @@ fn bench_injector_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cluster_monte_carlo, bench_cluster_scaling, bench_injector_queries);
+/// Per-trial makespan spread of the reference policy batch, reported via
+/// the metrics-recording Monte-Carlo runner: the `cluster_makespan`
+/// histogram's quantile API gives the p50/p99 (simulated time, not wall
+/// time) without re-sorting the sample vector.
+fn report_makespan_tail(_c: &mut Criterion) {
+    let sc = scenario(6, 8);
+    let mut metrics = MetricsRegistry::new();
+    let outcome = run_cluster_monte_carlo_with_metrics(
+        black_box(&sc),
+        || Box::new(BaselinePolicy::AlwaysMigrate) as Box<dyn ClusterPolicy>,
+        &mut metrics,
+    )
+    .expect("cluster run");
+    let makespans = metrics.histogram("cluster_makespan").expect("recorded histogram");
+    let q = |p: f64| makespans.quantile(p).expect("non-empty makespan histogram");
+    println!(
+        "cluster_makespan_tail/trials={}: mean {:.0}, p50 {:.0}, p99 {:.0} (sim s)",
+        outcome.trials,
+        outcome.makespan.mean,
+        q(0.50),
+        q(0.99)
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_monte_carlo,
+    bench_cluster_scaling,
+    bench_injector_queries,
+    report_makespan_tail
+);
 criterion_main!(benches);

@@ -21,18 +21,21 @@
 //! its primary — while wider bursts stagger the hits and let failover win.
 //!
 //! Run with `cargo run --release -p ckpt-bench --bin e13_cluster`
-//! (`--json` / `--json=PATH` additionally emits the key metrics).
+//! (`--json` / `--json=PATH` additionally emits the key metrics;
+//! `--trace=PATH` dumps one full trial's simulated event timeline as JSONL).
 
 use std::sync::Arc;
 
 use ckpt_adaptive::{ChainSpec, StaticPlan};
 use ckpt_bench::{print_header, JsonSummary};
 use ckpt_cluster::{
-    compare_baselines, run_cluster, run_cluster_monte_carlo, BaselinePolicy, ClusterComparison,
-    ClusterConfig, ClusterJob, ClusterRepair, ClusterScenario, ExponentialMachineSource,
+    compare_baselines, run_cluster, run_cluster_monte_carlo, run_cluster_traced, BaselinePolicy,
+    ClusterComparison, ClusterConfig, ClusterJob, ClusterRepair, ClusterScenario,
+    ExponentialMachineSource,
 };
 use ckpt_failure::{Exponential, FailureDistribution, Pcg64, RandomSource, ShockConfig};
 use ckpt_simulator::{simulate_policy, ChainTask, ExponentialStream};
+use ckpt_telemetry::{DigestSink, JsonlSink, TeeSink};
 
 /// Machines in the pool.
 const MACHINES: usize = 6;
@@ -192,6 +195,7 @@ fn main() {
     let waiting = graceful_degradation_check(&mut summary);
     degenerate_chain_check();
     determinism_check();
+    trace_dump_if_requested();
 
     println!(
         "Acceptance (asserted): at every burst width, always-migrate and\n\
@@ -278,6 +282,41 @@ fn degenerate_chain_check() {
         "Degeneracy: single-machine cluster vs chain engine over 25 seeds — \
          bitwise identical.\n"
     );
+}
+
+/// `--trace=PATH`: replays trial 0 of the middle burst scenario under the
+/// replicate-top-2 policy with a JSONL sink attached and writes the full
+/// sim-domain event timeline (dispatches, shocks-turned-failures, replica
+/// losses, migrations, failovers, completions) to `PATH` — one JSON object
+/// per line. A digest sink tees off the same stream, so the reported FNV-1a
+/// digest can be compared across runs and machines: the timeline is a pure
+/// function of the scenario seed.
+fn trace_dump_if_requested() {
+    for arg in std::env::args().skip(1) {
+        let Some(path) = arg.strip_prefix("--trace=") else { continue };
+        let sc = scenario(BURST_WIDTHS[1], 1);
+        let mut admission = BaselinePolicy::ReplicateTopK { k: 2 };
+        let jobs = sc.build_jobs(&mut admission).expect("job mix");
+        let mut injector = sc.trial_injector(0).expect("trial injector");
+        let mut policy = BaselinePolicy::ReplicateTopK { k: 2 };
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|error| panic!("cannot create trace file {path}: {error}"));
+        let mut jsonl = JsonlSink::new(std::io::BufWriter::new(file));
+        let mut digest = DigestSink::new();
+        let mut tee = TeeSink::new(&mut jsonl, &mut digest);
+        run_cluster_traced(&jobs, MACHINES, &mut injector, &mut policy, &config(), &mut tee)
+            .expect("traced trial");
+        use std::io::Write as _;
+        let mut writer = jsonl.finish().expect("flush trace file");
+        writer.flush().expect("flush trace file");
+        println!(
+            "Trace: wrote {} sim-domain events of trial 0 (burst width {}) to {path}\n\
+             (timeline digest {}).\n",
+            digest.sim_events(),
+            BURST_WIDTHS[1],
+            digest.hex(),
+        );
+    }
 }
 
 /// Re-runs the middle burst scenario at several worker counts and demands

@@ -28,6 +28,7 @@ use ckpt_core::evaluate::segment_cost_table;
 use ckpt_dag::properties;
 use ckpt_failure::{Pcg64, RandomSource};
 use ckpt_service::{PlanInstance, PlanRequest, PlanResponse, Planner, RateBucketing};
+use ckpt_telemetry::{HistogramSpec, LogHistogram};
 
 const SEED: u64 = 14;
 const SHAPES: usize = 48;
@@ -127,11 +128,6 @@ fn assert_matches_cold(response: &PlanResponse, shape: Shape) {
     );
 }
 
-fn percentile(sorted_micros: &[f64], p: f64) -> f64 {
-    let index = ((sorted_micros.len() - 1) as f64 * p).round() as usize;
-    sorted_micros[index]
-}
-
 fn main() {
     println!(
         "E14 — planner-as-a-service throughput\n\
@@ -205,16 +201,16 @@ fn main() {
 
     // --- Per-request latency distribution (batch size 1, warm cache) -----
     let mut latency_planner = Planner::new(bucketing());
-    let mut micros: Vec<f64> = requests
-        .iter()
-        .map(|request| {
-            let t = Instant::now();
-            let _ = latency_planner.serve_batch(std::slice::from_ref(request));
-            t.elapsed().as_secs_f64() * 1e6
-        })
-        .collect();
-    micros.sort_by(f64::total_cmp);
-    let (p50, p99) = (percentile(&micros, 0.50), percentile(&micros, 0.99));
+    let mut latency = LogHistogram::new(HistogramSpec::default());
+    for request in &requests {
+        let t = Instant::now();
+        let _ = latency_planner.serve_batch(std::slice::from_ref(request));
+        latency.record(t.elapsed().as_secs_f64() * 1e6);
+    }
+    // The quantile API returns `None` only on an empty histogram; REQUESTS
+    // samples were just recorded, so a missing quantile is a real bug.
+    let p50 = latency.quantile(0.50).expect("non-empty latency histogram");
+    let p99 = latency.quantile(0.99).expect("non-empty latency histogram");
     println!("{:>28} {:>11.1} µs", "p50 latency", p50);
     println!("{:>28} {:>11.1} µs", "p99 latency", p99);
     summary.metric("timing_p50_latency_us", p50).metric("timing_p99_latency_us", p99);

@@ -12,6 +12,8 @@
 
 use std::fmt::Write as _;
 
+use ckpt_telemetry::json::{json_number, json_string};
+
 /// A flat, ordered JSON object of experiment metrics.
 #[derive(Debug, Clone)]
 pub struct JsonSummary {
@@ -75,39 +77,6 @@ impl JsonSummary {
             }
         }
     }
-}
-
-/// Serialises a finite number in Rust `Display` form (valid JSON for every
-/// finite `f64`); non-finite values become `null`.
-fn json_number(value: f64) -> String {
-    if value.is_finite() {
-        // `Display` omits a trailing `.0` for integral values, which JSON
-        // accepts as an integer — fine for metric consumers.
-        format!("{value}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// Serialises a string with the JSON escapes our keys and values can need.
-fn json_string(value: &str) -> String {
-    let mut out = String::with_capacity(value.len() + 2);
-    out.push('"');
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

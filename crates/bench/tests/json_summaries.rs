@@ -234,3 +234,54 @@ fn e14_json_summary_schema_and_determinism() {
     .collect();
     assert_summary_schema(env!("CARGO_BIN_EXE_e14_service"), "e14_service", &keys, &["timing_"]);
 }
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs release experiment binaries (see CI)")]
+fn e15_json_summary_schema_and_determinism() {
+    // E15 is the telemetry subsystem's own wall: the service/solver/cluster
+    // counters, the makespan quantiles, the re-plan counters and — above
+    // all — the sim-time trace digest must be byte-identical between two
+    // runs. Only the `timing_` overhead ratios are wall-clock.
+    let keys: Vec<String> = [
+        "requests",
+        "cluster_trials",
+        "service_requests_total",
+        "service_cache_hits_total",
+        "service_cold_solves_total",
+        "service_sweep_solves_total",
+        "service_suffix_replans_total",
+        "service_coalesced_total",
+        "service_work_items_total",
+        "service_batches_total",
+        "solver_dp_positions_total",
+        "solver_dp_candidates_total",
+        "solver_dp_prune_breaks_total",
+        "solver_full_solves_total",
+        "solver_prefix_trials_total",
+        "solver_suffix_solves_total",
+        "solver_suffix_reused_positions_total",
+        "solver_li_chao_inserts_total",
+        "solver_li_chao_node_visits_total",
+        "cluster_failures_total",
+        "cluster_migrations_total",
+        "cluster_failovers_total",
+        "cluster_makespan_p50",
+        "cluster_makespan_p99",
+        "policy_adaptive_resolve_replans_total",
+        "policy_rate_learning_replans_total",
+        "sim_trace_digest",
+        "sim_trace_events",
+        "prometheus_lines",
+        "timing_noop_overhead_ratio",
+        "timing_live_overhead_ratio",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    assert_summary_schema(
+        env!("CARGO_BIN_EXE_e15_telemetry"),
+        "e15_telemetry",
+        &keys,
+        &["timing_"],
+    );
+}

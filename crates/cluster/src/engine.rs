@@ -42,6 +42,7 @@ use ckpt_simulator::rollback::{
     absorb_recovery_failure, absorb_run_failure, commit_run, run_phase, PhaseOutcome,
 };
 use ckpt_simulator::{ExecutionRecord, TimeBreakdown};
+use ckpt_telemetry::{NoopSink, TelemetrySink, TraceEvent};
 
 /// Cluster-level cost and robustness knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,6 +318,36 @@ where
     S: MachineFailureSource + ?Sized,
     P: ClusterPolicy + ?Sized,
 {
+    run_cluster_traced(jobs, machines, source, policy, config, &mut NoopSink)
+}
+
+/// [`run_cluster`] with structured trace emission: every engine transition
+/// (job ready, dispatch, machine failure, repair, migration, failover,
+/// replica loss, queue-depth change, job completion, standby release) is
+/// recorded into `sink` as a **sim-domain** [`TraceEvent`], stamped with
+/// simulated time.
+///
+/// The trace is part of the deterministic output surface: the outcome and
+/// the emitted event stream are pure functions of the inputs, bitwise
+/// identical to the sink-less [`run_cluster`] (instrumentation is
+/// observation-only, and event construction is skipped entirely for
+/// disabled sinks such as [`ckpt_telemetry::NoopSink`]).
+///
+/// # Errors
+///
+/// Exactly the [`run_cluster`] error conditions.
+pub fn run_cluster_traced<S, P>(
+    jobs: &[ClusterJob],
+    machines: usize,
+    source: &mut S,
+    policy: &mut P,
+    config: &ClusterConfig,
+    sink: &mut dyn TelemetrySink,
+) -> Result<ClusterOutcome, ClusterError>
+where
+    S: MachineFailureSource + ?Sized,
+    P: ClusterPolicy + ?Sized,
+{
     if machines == 0 {
         return Err(ClusterError::EmptyCluster);
     }
@@ -356,8 +387,18 @@ where
             return Err(ClusterError::EventCapExceeded { cap: config.event_cap });
         }
         match event.kind {
-            EventKind::JobReady(j) => ready.push(j),
-            EventKind::MachineFreed(m) => idle[m] = true,
+            EventKind::JobReady(j) => {
+                ready.push(j);
+                if sink.enabled() {
+                    sink.record(&TraceEvent::sim("job_ready", event.time).with("job", j));
+                }
+            }
+            EventKind::MachineFreed(m) => {
+                idle[m] = true;
+                if sink.enabled() {
+                    sink.record(&TraceEvent::sim("machine_up", event.time).with("machine", m));
+                }
+            }
         }
         // Drain every event at this exact instant before dispatching, so
         // simultaneous arrivals contend (and are measured) together.
@@ -367,11 +408,28 @@ where
                 return Err(ClusterError::EventCapExceeded { cap: config.event_cap });
             }
             match events.pop().expect("peeked").kind {
-                EventKind::JobReady(j) => ready.push(j),
-                EventKind::MachineFreed(m) => idle[m] = true,
+                EventKind::JobReady(j) => {
+                    ready.push(j);
+                    if sink.enabled() {
+                        sink.record(&TraceEvent::sim("job_ready", event.time).with("job", j));
+                    }
+                }
+                EventKind::MachineFreed(m) => {
+                    idle[m] = true;
+                    if sink.enabled() {
+                        sink.record(&TraceEvent::sim("machine_up", event.time).with("machine", m));
+                    }
+                }
             }
         }
         peak_queue_depth = peak_queue_depth.max(ready.len());
+        if sink.enabled() {
+            sink.record(
+                &TraceEvent::sim("queue_depth", event.time)
+                    .with("depth", ready.len())
+                    .with("idle_machines", idle.iter().filter(|&&free| free).count()),
+            );
+        }
 
         // Dispatch as many ready jobs as there are idle machines, FIFO,
         // lowest machine index first.
@@ -390,6 +448,16 @@ where
             } else {
                 None
             };
+            if sink.enabled() {
+                let mut dispatch = TraceEvent::sim("dispatch", event.time)
+                    .with("job", j)
+                    .with("machine", machine)
+                    .with("waited", event.time - states[j].ready_since);
+                if let Some(b) = buddy {
+                    dispatch = dispatch.with("replica", b);
+                }
+                sink.record(&dispatch);
+            }
             states[j].waiting += event.time - states[j].ready_since;
             run_episode(
                 jobs,
@@ -403,6 +471,7 @@ where
                 machine,
                 buddy,
                 event.time,
+                sink,
             );
         }
     }
@@ -449,6 +518,7 @@ fn run_episode<S, P>(
     mut machine: usize,
     mut buddy: Option<usize>,
     start: f64,
+    sink: &mut dyn TelemetrySink,
 ) where
     S: MachineFailureSource + ?Sized,
     P: ClusterPolicy + ?Sized,
@@ -478,6 +548,7 @@ fn run_episode<S, P>(
                 watch_from,
                 &mut clock,
                 $at,
+                sink,
             )
         };
     }
@@ -609,9 +680,14 @@ fn run_episode<S, P>(
 
         // Chain complete.
         states[j].completed_at = Some(clock);
+        if sink.enabled() {
+            sink.record(
+                &TraceEvent::sim("job_complete", clock).with("job", j).with("machine", machine),
+            );
+        }
         events.push(clock, EventKind::MachineFreed(machine));
         if let Some(b) = buddy {
-            release_standby(source, events, b, watch_from, clock);
+            release_standby(source, events, b, watch_from, clock, sink);
         }
         return;
     }
@@ -634,12 +710,28 @@ fn release_standby<S: MachineFailureSource + ?Sized>(
     standby: usize,
     watch_from: f64,
     now: f64,
+    sink: &mut dyn TelemetrySink,
 ) {
     let failed_at = source.next_failure_after(standby, watch_from);
     if failed_at <= now {
         let done = source.begin_repair(standby, failed_at);
+        if sink.enabled() {
+            sink.record(
+                &TraceEvent::sim("standby_release", now)
+                    .with("machine", standby)
+                    .with("failed", true)
+                    .with("repair_done", done),
+            );
+        }
         events.push(done.max(now), EventKind::MachineFreed(standby));
     } else {
+        if sink.enabled() {
+            sink.record(
+                &TraceEvent::sim("standby_release", now)
+                    .with("machine", standby)
+                    .with("failed", false),
+            );
+        }
         events.push(now, EventKind::MachineFreed(standby));
     }
 }
@@ -662,6 +754,7 @@ fn failure_decision<S, P>(
     watch_from: f64,
     clock: &mut f64,
     at: f64,
+    sink: &mut dyn TelemetrySink,
 ) -> AfterFailure
 where
     S: MachineFailureSource + ?Sized,
@@ -669,6 +762,16 @@ where
 {
     st.retries += 1;
     let repair_done = source.begin_repair(*machine, at);
+    if sink.enabled() {
+        sink.record(
+            &TraceEvent::sim("machine_failure", at)
+                .with("machine", *machine)
+                .with("job", j)
+                .with("retries", st.retries)
+                .with("resume_position", st.resume_position())
+                .with("repair_done", repair_done),
+        );
+    }
 
     // Is the replica still alive? Its stream is inspected (not consumed past
     // the failure instant); a dead replica goes to repair and detaches.
@@ -677,6 +780,15 @@ where
         let buddy_failed_at = source.next_failure_after(b, watch_from);
         if buddy_failed_at <= at {
             let done = source.begin_repair(b, buddy_failed_at);
+            if sink.enabled() {
+                sink.record(
+                    &TraceEvent::sim("replica_lost", at)
+                        .with("machine", b)
+                        .with("job", j)
+                        .with("failed_at", buddy_failed_at)
+                        .with("repair_done", done),
+                );
+            }
             events.push(done.max(at), EventKind::MachineFreed(b));
             *buddy = None;
         } else {
@@ -706,6 +818,14 @@ where
         FailureAction::Failover if replica_alive => {
             let b = buddy.take().expect("replica_alive implies an attached buddy");
             events.push(repair_done, EventKind::MachineFreed(*machine));
+            if sink.enabled() {
+                sink.record(
+                    &TraceEvent::sim("failover", at)
+                        .with("job", j)
+                        .with("from_machine", *machine)
+                        .with("to_machine", b),
+                );
+            }
             *machine = b;
             st.failovers += 1;
             if config.failover_overhead > 0.0 {
@@ -729,6 +849,15 @@ where
             } else {
                 0.0
             };
+            if sink.enabled() {
+                sink.record(
+                    &TraceEvent::sim("migrate", *clock)
+                        .with("job", j)
+                        .with("machine", *machine)
+                        .with("backoff", backoff)
+                        .with("ready_at", *clock + backoff),
+                );
+            }
             AfterFailure::Leave { ready_at: *clock + backoff }
         }
         // Restart, or a failover request the engine cannot honour (replica
@@ -737,6 +866,14 @@ where
             if repair_done > *clock {
                 st.breakdown.downtime += repair_done - *clock;
                 *clock = repair_done;
+            }
+            if sink.enabled() {
+                sink.record(
+                    &TraceEvent::sim("restart", *clock)
+                        .with("job", j)
+                        .with("machine", *machine)
+                        .with("resume_position", st.resume_position()),
+                );
             }
             AfterFailure::Resume
         }
@@ -972,5 +1109,77 @@ mod tests {
         assert_eq!(cfg.migration_overhead(), 1.0);
         assert_eq!(cfg.failover_overhead(), 2.0);
         assert_eq!(cfg.replication_checkpoint_factor(), 1.25);
+    }
+
+    /// One eventful scenario reused by the tracing tests: replication with a
+    /// dead buddy (degrades to migration), plus a later restart on the same
+    /// machine — it exercises dispatch, failure, replica-loss, migration and
+    /// completion events.
+    fn eventful_run(sink: &mut dyn TelemetrySink) -> ClusterOutcome {
+        let jobs = vec![
+            job(&[100.0], 10.0, 5.0, 5.0, 3.0, &[true]).with_replica(),
+            job(&[50.0], 10.0, 5.0, 5.0, 3.0, &[true]),
+        ];
+        let mut source = ScriptedSource::new(vec![vec![40.0], vec![30.0], vec![160.0]], 1000.0);
+        let mut policy = BaselinePolicy::ReplicateTopK { k: 1 };
+        run_cluster_traced(&jobs, 3, &mut source, &mut policy, &ClusterConfig::default(), sink)
+            .unwrap()
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run_exactly() {
+        let jobs = vec![
+            job(&[100.0], 10.0, 5.0, 5.0, 3.0, &[true]).with_replica(),
+            job(&[50.0], 10.0, 5.0, 5.0, 3.0, &[true]),
+        ];
+        let mut policy = BaselinePolicy::ReplicateTopK { k: 1 };
+        let mut source = ScriptedSource::new(vec![vec![40.0], vec![30.0], vec![160.0]], 1000.0);
+        let untraced =
+            run_cluster(&jobs, 3, &mut source, &mut policy, &ClusterConfig::default()).unwrap();
+
+        let mut sink = ckpt_telemetry::RingBufferSink::new(4096);
+        let traced = eventful_run(&mut sink);
+        assert_eq!(traced.makespan, untraced.makespan);
+        assert_eq!(traced.utilisation, untraced.utilisation);
+        for (t, u) in traced.jobs.iter().zip(&untraced.jobs) {
+            assert_eq!(t.record.makespan, u.record.makespan);
+            assert_eq!(t.record.failures, u.record.failures);
+            assert_eq!(t.migrations, u.migrations);
+            assert_eq!(t.waiting, u.waiting);
+        }
+    }
+
+    #[test]
+    fn traced_run_emits_the_expected_event_kinds() {
+        let mut sink = ckpt_telemetry::RingBufferSink::new(4096);
+        eventful_run(&mut sink);
+        assert_eq!(sink.dropped(), 0);
+        let names: Vec<&str> = sink.events().map(|e| e.name()).collect();
+        for expected in [
+            "job_ready",
+            "machine_up",
+            "queue_depth",
+            "dispatch",
+            "machine_failure",
+            "replica_lost",
+            "migrate",
+            "job_complete",
+        ] {
+            assert!(names.contains(&expected), "missing event {expected} in {names:?}");
+        }
+        // Every engine event carries simulated time, and the trace opens at
+        // the first arrival (time 0).
+        assert!(sink.events().all(|e| e.domain() == ckpt_telemetry::TimeDomain::Sim));
+        assert_eq!(sink.events().next().unwrap().time(), 0.0);
+    }
+
+    #[test]
+    fn trace_digest_is_stable_across_runs() {
+        let mut first = ckpt_telemetry::DigestSink::new();
+        eventful_run(&mut first);
+        let mut second = ckpt_telemetry::DigestSink::new();
+        eventful_run(&mut second);
+        assert!(first.sim_events() > 0);
+        assert_eq!(first.hex(), second.hex());
     }
 }

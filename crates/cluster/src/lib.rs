@@ -57,13 +57,13 @@ mod montecarlo;
 mod policy;
 mod source;
 
-pub use engine::{run_cluster, ClusterConfig, ClusterOutcome};
+pub use engine::{run_cluster, run_cluster_traced, ClusterConfig, ClusterOutcome};
 pub use error::ClusterError;
 pub use job::{ClusterJob, JobRecord};
 pub use montecarlo::{
-    compare_baselines, compare_cluster_policies, run_cluster_monte_carlo, ClusterComparison,
-    ClusterComparisonEntry, ClusterMonteCarloOutcome, ClusterPolicyFactory, ClusterRepair,
-    ClusterScenario,
+    compare_baselines, compare_cluster_policies, run_cluster_monte_carlo,
+    run_cluster_monte_carlo_with_metrics, ClusterComparison, ClusterComparisonEntry,
+    ClusterMonteCarloOutcome, ClusterPolicyFactory, ClusterRepair, ClusterScenario,
 };
 pub use policy::{AdmissionContext, BaselinePolicy, ClusterPolicy, FailureAction, FailureContext};
 pub use source::{ExponentialMachineSource, MachineFailureSource};

@@ -25,7 +25,8 @@ use ckpt_expectation::numeric::SampleStats;
 use ckpt_failure::{
     ClusterFailureInjector, FailureDistribution, Pcg64, RandomSource, RepairModel, ShockConfig,
 };
-use ckpt_simulator::scatter_trials;
+use ckpt_simulator::{scatter_trials, scatter_trials_with};
+use ckpt_telemetry::MetricsRegistry;
 
 /// Machine-repair model of a scenario — the clonable (per-trial) counterpart
 /// of the injector's [`RepairModel`].
@@ -270,6 +271,20 @@ impl ClusterScenario {
         Ok(jobs)
     }
 
+    /// Builds the failure injector for one trial — the same streams the
+    /// Monte-Carlo runners drive, exposed so a single trial can be replayed
+    /// in isolation (e.g. traced through
+    /// [`run_cluster_traced`](crate::run_cluster_traced) for a JSONL event
+    /// dump).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClusterError`] when the injector rejects the pool or
+    /// repair model.
+    pub fn trial_injector(&self, trial: usize) -> Result<ClusterFailureInjector, ClusterError> {
+        self.injector(trial)
+    }
+
     /// Builds the failure injector for one trial. Trial `t` of a scenario is
     /// always driven by the same streams, whatever policy runs on top —
     /// policy comparisons are paired.
@@ -338,7 +353,91 @@ where
             let mut policy = factory();
             run_cluster(&jobs, scenario.machines, &mut injector, &mut policy, &scenario.config)
         });
+    aggregate_trials(results)
+}
 
+/// [`run_cluster_monte_carlo`] that additionally records per-trial telemetry
+/// into `metrics`.
+///
+/// Every trial observes its cluster makespan, mean job makespan, total
+/// waiting time and utilisation into per-worker [`MetricsRegistry`] shards
+/// (histograms `cluster_makespan`, `cluster_job_makespan`,
+/// `cluster_waiting`, `cluster_utilisation`) and bumps the
+/// `cluster_trials_total`, `cluster_failures_total`,
+/// `cluster_migrations_total` and `cluster_failovers_total` counters. Shards
+/// are merged into `metrics` **in chunk order** (worker 0 first), so the
+/// merged registry — like the outcome itself — is bit-identical at any
+/// thread count; `cluster_max_queue_depth` is set as a gauge from the
+/// aggregated outcome. The returned outcome (including the `samples`
+/// vector) is identical to the plain runner's: recording observes the
+/// trials, it never perturbs them.
+///
+/// # Errors
+///
+/// Propagates the first [`ClusterError`] from job building or any trial.
+pub fn run_cluster_monte_carlo_with_metrics<F>(
+    scenario: &ClusterScenario,
+    factory: F,
+    metrics: &mut MetricsRegistry,
+) -> Result<ClusterMonteCarloOutcome, ClusterError>
+where
+    F: Fn() -> Box<dyn ClusterPolicy> + Sync,
+{
+    let mut admission = factory();
+    let jobs = scenario.build_jobs(&mut admission)?;
+    drop(admission);
+
+    let (results, shards) = scatter_trials_with(
+        scenario.trials(),
+        scenario.workers(),
+        MetricsRegistry::new,
+        |trial, shard: &mut MetricsRegistry| {
+            let mut injector = scenario.injector(trial)?;
+            let mut policy = factory();
+            let outcome = run_cluster(
+                &jobs,
+                scenario.machines,
+                &mut injector,
+                &mut policy,
+                &scenario.config,
+            )?;
+            let jobs_n = outcome.jobs.len() as f64;
+            shard.counter_add("cluster_trials_total", 1);
+            shard.counter_add(
+                "cluster_failures_total",
+                outcome.jobs.iter().map(|j| j.record.failures).sum(),
+            );
+            shard.counter_add(
+                "cluster_migrations_total",
+                outcome.jobs.iter().map(|j| j.migrations).sum(),
+            );
+            shard.counter_add(
+                "cluster_failovers_total",
+                outcome.jobs.iter().map(|j| j.failovers).sum(),
+            );
+            shard.observe("cluster_makespan", outcome.makespan);
+            shard.observe(
+                "cluster_job_makespan",
+                outcome.jobs.iter().map(|j| j.record.makespan).sum::<f64>() / jobs_n,
+            );
+            shard.observe("cluster_waiting", outcome.jobs.iter().map(|j| j.waiting).sum::<f64>());
+            shard.observe("cluster_utilisation", outcome.utilisation);
+            Ok(outcome)
+        },
+    );
+    for shard in &shards {
+        metrics.merge_from(shard).map_err(|e| ClusterError::Planning(e.to_string()))?;
+    }
+    let outcome = aggregate_trials(results)?;
+    metrics.gauge_set("cluster_max_queue_depth", outcome.max_queue_depth as f64);
+    Ok(outcome)
+}
+
+/// Trial-order aggregation shared by the plain and metrics-recording
+/// runners: one code path, so the two cannot drift apart numerically.
+fn aggregate_trials(
+    results: Vec<Result<ClusterOutcome, ClusterError>>,
+) -> Result<ClusterMonteCarloOutcome, ClusterError> {
     let mut makespans = Vec::with_capacity(results.len());
     let mut job_makespans = Vec::with_capacity(results.len());
     let mut waits = Vec::with_capacity(results.len());
@@ -533,6 +632,40 @@ mod tests {
         // the same streams; migration can only shed queueing, which this
         // 3-machine 3-job mix does not have — outcomes must be identical.
         assert_eq!(cmp.entries[0].outcome.makespan.mean, cmp.entries[1].outcome.makespan.mean);
+    }
+
+    #[test]
+    fn metrics_runner_matches_plain_runner_and_merges_deterministically() {
+        let base = scenario(3, 24);
+        let factory = || Box::new(BaselinePolicy::AlwaysMigrate) as Box<dyn ClusterPolicy>;
+        let plain = run_cluster_monte_carlo(&base.clone().with_threads(1), factory).unwrap();
+
+        let mut reference = MetricsRegistry::new();
+        let with_metrics = run_cluster_monte_carlo_with_metrics(
+            &base.clone().with_threads(1),
+            factory,
+            &mut reference,
+        )
+        .unwrap();
+        // Recording observes trials without perturbing them.
+        assert_eq!(with_metrics.samples, plain.samples);
+        assert_eq!(with_metrics.makespan.mean, plain.makespan.mean);
+        assert_eq!(reference.counter("cluster_trials_total"), 24);
+        let makespans = reference.histogram("cluster_makespan").unwrap();
+        assert_eq!(makespans.count(), 24);
+
+        // Shard-merged registries are bitwise identical at any thread count.
+        for threads in [2usize, 3, 8] {
+            let mut merged = MetricsRegistry::new();
+            let outcome = run_cluster_monte_carlo_with_metrics(
+                &base.clone().with_threads(threads),
+                factory,
+                &mut merged,
+            )
+            .unwrap();
+            assert_eq!(outcome.samples, plain.samples, "threads={threads}");
+            assert_eq!(merged, reference, "threads={threads}");
+        }
     }
 
     #[test]

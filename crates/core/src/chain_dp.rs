@@ -65,6 +65,7 @@ use crate::error::ScheduleError;
 use crate::evaluate::segment_cost_table;
 use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
+use crate::solver_stats;
 
 /// The result of the chain dynamic program.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,6 +184,10 @@ fn pruned_dp_span(
     debug_assert_eq!(value.len(), n + 1);
     debug_assert_eq!(choice.len(), n);
     debug_assert!(from <= below && below <= n);
+    // Telemetry is accumulated in locals (register-resident) and flushed
+    // with one relaxed add per span, keeping the inner loop untouched.
+    let mut candidates = 0u64;
+    let mut prune_breaks = 0u64;
     for x in (from..below).rev() {
         let mut best = f64::INFINITY;
         let mut best_j = n - 1;
@@ -190,8 +195,10 @@ fn pruned_dp_span(
             // The bound is valid for every j′ ≥ j and non-decreasing in j:
             // once it clears the incumbent, no later split can win.
             if table.segment_lower_bound(x, j) > best {
+                prune_breaks += 1;
                 break;
             }
+            candidates += 1;
             let cost = table.cost(x, j) + value[j + 1];
             if cost < best {
                 best = cost;
@@ -201,6 +208,9 @@ fn pruned_dp_span(
         value[x] = best;
         choice[x] = best_j;
     }
+    solver_stats::DP_POSITIONS.add((below - from) as u64);
+    solver_stats::DP_CANDIDATES.add(candidates);
+    solver_stats::DP_PRUNE_BREAKS.add(prune_breaks);
 }
 
 /// The pruned bottom-up Algorithm 1 recurrence, on a prebuilt table.
@@ -274,6 +284,7 @@ impl ResumableDp {
         self.value.resize(n + 1, 0.0);
         self.choice.clear();
         self.choice.resize(n, 0);
+        solver_stats::FULL_SOLVES.add(1);
         pruned_dp_range(table, &mut self.value, &mut self.choice, n);
         self.trial_pending = false;
         self.value[0]
@@ -298,6 +309,8 @@ impl ResumableDp {
         self.trial_value.extend_from_slice(&self.value);
         self.trial_choice.clear();
         self.trial_choice.extend_from_slice(&self.choice);
+        solver_stats::PREFIX_TRIALS.add(1);
+        solver_stats::SUFFIX_REUSED_POSITIONS.add((n - below) as u64);
         pruned_dp_range(table, &mut self.trial_value, &mut self.trial_choice, below);
         self.trial_pending = true;
         self.trial_value[0]
@@ -350,6 +363,8 @@ impl ResumableDp {
             self.choice.resize(n, 0);
         }
         let from = from.min(n);
+        solver_stats::SUFFIX_SOLVES.add(1);
+        solver_stats::SUFFIX_REUSED_POSITIONS.add(from as u64);
         pruned_dp_span(table, &mut self.value, &mut self.choice, from, n);
         self.trial_pending = false;
         self.value[from]
@@ -965,31 +980,35 @@ impl LiChaoTree {
 
     fn insert(&mut self, line: LiChaoLine) {
         let hi = self.xs.len() - 1;
-        self.insert_in(1, 0, hi, line);
+        let visited = self.insert_in(1, 0, hi, line);
+        solver_stats::LI_CHAO_INSERTS.add(1);
+        solver_stats::LI_CHAO_NODE_VISITS.add(visited);
     }
 
-    fn insert_in(&mut self, node: usize, lo: usize, hi: usize, mut line: LiChaoLine) {
+    /// Returns the number of tree nodes visited (for the solver telemetry).
+    fn insert_in(&mut self, node: usize, lo: usize, hi: usize, mut line: LiChaoLine) -> u64 {
         let mid = (lo + hi) / 2;
         let mid_x = self.xs[mid];
         match &mut self.nodes[node] {
             slot @ None => {
                 *slot = Some(line);
+                1
             }
             Some(current) => {
                 if line.eval(mid_x) < current.eval(mid_x) {
                     std::mem::swap(current, &mut line);
                 }
                 if lo == hi {
-                    return;
+                    return 1;
                 }
                 // `line` lost at the midpoint; two lines cross at most once,
                 // so it can only win on the side where it beats the winner at
                 // the boundary.
                 let lo_x = self.xs[lo];
                 if line.eval(lo_x) < current.eval(lo_x) {
-                    self.insert_in(2 * node, lo, mid, line);
+                    1 + self.insert_in(2 * node, lo, mid, line)
                 } else {
-                    self.insert_in(2 * node + 1, mid + 1, hi, line);
+                    1 + self.insert_in(2 * node + 1, mid + 1, hi, line)
                 }
             }
         }

@@ -68,6 +68,7 @@ pub mod moldable;
 pub mod order_search;
 pub mod parallel;
 pub mod schedule;
+pub mod solver_stats;
 pub mod three_partition;
 
 pub use error::ScheduleError;

@@ -25,6 +25,30 @@ pub fn effective_threads(requested: usize) -> usize {
 pub fn chunked_map_with<I, S, T, G, F>(items: &[I], threads: usize, init: G, work: F) -> Vec<T>
 where
     I: Sync,
+    S: Send,
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &I) -> T + Sync,
+{
+    chunked_map_with_states(items, threads, init, work).0
+}
+
+/// Like [`chunked_map_with`], but also hands back each worker's final state
+/// **in chunk order** (chunk 0's state first). This is the deterministic
+/// shard-merge channel used by the telemetry layer: give every worker a
+/// metrics-registry shard as its state, then fold the returned shards into
+/// the main registry in order — since shard merges are exact, the merged
+/// registry is bit-identical at any worker count, and since the states are
+/// scratch the mapped results are untouched.
+pub fn chunked_map_with_states<I, S, T, G, F>(
+    items: &[I],
+    threads: usize,
+    init: G,
+    work: F,
+) -> (Vec<T>, Vec<S>)
+where
+    I: Sync,
+    S: Send,
     T: Send,
     G: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &I) -> T + Sync,
@@ -32,19 +56,19 @@ where
     let workers = effective_threads(threads).min(items.len()).max(1);
     if workers <= 1 {
         let mut state = init();
-        return items
-            .iter()
-            .enumerate()
-            .map(|(index, item)| work(&mut state, index, item))
-            .collect();
+        let results =
+            items.iter().enumerate().map(|(index, item)| work(&mut state, index, item)).collect();
+        return (results, vec![state]);
     }
 
     let mut slots: Vec<Option<T>> = items.iter().map(|_| None).collect();
     let chunk = items.len().div_ceil(workers);
+    let chunk_count = items.len().div_ceil(chunk);
+    let mut states: Vec<Option<S>> = (0..chunk_count).map(|_| None).collect();
     let (init, work) = (&init, &work);
     std::thread::scope(|scope| {
-        for (chunk_index, (slot_chunk, item_chunk)) in
-            slots.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate()
+        for ((chunk_index, (slot_chunk, item_chunk)), state_slot) in
+            slots.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate().zip(states.iter_mut())
         {
             scope.spawn(move || {
                 let mut state = init();
@@ -52,10 +76,13 @@ where
                 for (offset, (slot, item)) in slot_chunk.iter_mut().zip(item_chunk).enumerate() {
                     *slot = Some(work(&mut state, base + offset, item));
                 }
+                *state_slot = Some(state);
             });
         }
     });
-    slots.into_iter().map(|slot| slot.expect("every item slot is filled")).collect()
+    let results = slots.into_iter().map(|slot| slot.expect("every item slot is filled")).collect();
+    let states = states.into_iter().map(|slot| slot.expect("every chunk leaves a state")).collect();
+    (results, states)
 }
 
 #[cfg(test)]
@@ -104,6 +131,27 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(chunked_map_with(&empty, 8, || (), |_, _, &x: &u32| x).is_empty());
         assert_eq!(chunked_map_with(&[7u32], 8, || (), |_, _, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn states_come_back_in_chunk_order() {
+        let items: Vec<usize> = (0..20).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let (results, states) = chunked_map_with_states(
+                &items,
+                threads,
+                Vec::new,
+                |seen: &mut Vec<usize>, index, &item| {
+                    seen.push(index);
+                    item * 2
+                },
+            );
+            assert_eq!(results, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+            // Concatenating the per-chunk states in order recovers the full
+            // index sequence — the property deterministic shard merges need.
+            let concatenated: Vec<usize> = states.into_iter().flatten().collect();
+            assert_eq!(concatenated, items, "differs at {threads} workers");
+        }
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Process-wide solver activity counters.
+//!
+//! The chain-DP inner loop, the Li Chao envelope and the resumable-DP reuse
+//! paths are the workspace's hot kernels; threading a metrics registry
+//! through their signatures would contaminate every caller. Instead they bump
+//! [`ckpt_telemetry::StaticCounter`]s — accumulated locally inside each call
+//! and flushed with **one** relaxed add per solver invocation, so the
+//! instrumentation stays at noise level (the `e15_telemetry` binary measures
+//! it).
+//!
+//! Determinism: the counters are observation-only `u64` adds; per-item totals
+//! are pure functions of the work items, so the totals read at a quiescent
+//! point (no solver running) are identical at any thread count. Counters are
+//! process-global — [`reset`] before and [`snapshot`] after the region you
+//! want to attribute, and don't run unrelated solver work concurrently while
+//! attributing.
+
+use ckpt_telemetry::{MetricsRegistry, StaticCounter};
+
+/// Positions relaxed by the pruned Algorithm 1 recurrence.
+pub static DP_POSITIONS: StaticCounter = StaticCounter::new();
+/// Candidate splits `(x, j)` actually evaluated by the recurrence.
+pub static DP_CANDIDATES: StaticCounter = StaticCounter::new();
+/// Inner loops cut short by the monotone segment lower bound.
+pub static DP_PRUNE_BREAKS: StaticCounter = StaticCounter::new();
+/// From-scratch [`ResumableDp::solve`](crate::chain_dp::ResumableDp::solve) calls.
+pub static FULL_SOLVES: StaticCounter = StaticCounter::new();
+/// Prefix-trial evaluations ([`ResumableDp::try_prefix`](crate::chain_dp::ResumableDp::try_prefix)).
+pub static PREFIX_TRIALS: StaticCounter = StaticCounter::new();
+/// Suffix re-plans ([`ResumableDp::solve_suffix`](crate::chain_dp::ResumableDp::solve_suffix)).
+pub static SUFFIX_SOLVES: StaticCounter = StaticCounter::new();
+/// Positions *not* recomputed thanks to suffix/prefix reuse — the "reuse
+/// depth": per `try_prefix` the untouched suffix length, per `solve_suffix`
+/// the skipped prefix length.
+pub static SUFFIX_REUSED_POSITIONS: StaticCounter = StaticCounter::new();
+/// Lines inserted into Li Chao envelopes.
+pub static LI_CHAO_INSERTS: StaticCounter = StaticCounter::new();
+/// Li Chao tree nodes visited by those insertions.
+pub static LI_CHAO_NODE_VISITS: StaticCounter = StaticCounter::new();
+
+/// A point-in-time copy of every solver counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStatsSnapshot {
+    /// Positions relaxed by the pruned recurrence.
+    pub dp_positions: u64,
+    /// Candidate splits evaluated.
+    pub dp_candidates: u64,
+    /// Inner loops cut short by the lower-bound prune.
+    pub dp_prune_breaks: u64,
+    /// From-scratch resumable solves.
+    pub full_solves: u64,
+    /// Prefix-trial evaluations.
+    pub prefix_trials: u64,
+    /// Suffix re-plans.
+    pub suffix_solves: u64,
+    /// Positions skipped thanks to reuse.
+    pub suffix_reused_positions: u64,
+    /// Li Chao line insertions.
+    pub li_chao_inserts: u64,
+    /// Li Chao nodes visited by insertions.
+    pub li_chao_node_visits: u64,
+}
+
+impl SolverStatsSnapshot {
+    /// The counter increments between `earlier` and `self` (saturating, in
+    /// case a [`reset`] happened in between).
+    pub fn since(&self, earlier: &SolverStatsSnapshot) -> SolverStatsSnapshot {
+        SolverStatsSnapshot {
+            dp_positions: self.dp_positions.saturating_sub(earlier.dp_positions),
+            dp_candidates: self.dp_candidates.saturating_sub(earlier.dp_candidates),
+            dp_prune_breaks: self.dp_prune_breaks.saturating_sub(earlier.dp_prune_breaks),
+            full_solves: self.full_solves.saturating_sub(earlier.full_solves),
+            prefix_trials: self.prefix_trials.saturating_sub(earlier.prefix_trials),
+            suffix_solves: self.suffix_solves.saturating_sub(earlier.suffix_solves),
+            suffix_reused_positions: self
+                .suffix_reused_positions
+                .saturating_sub(earlier.suffix_reused_positions),
+            li_chao_inserts: self.li_chao_inserts.saturating_sub(earlier.li_chao_inserts),
+            li_chao_node_visits: self
+                .li_chao_node_visits
+                .saturating_sub(earlier.li_chao_node_visits),
+        }
+    }
+
+    /// Adds the snapshot to `registry` under the catalogued
+    /// `solver_*_total` counter names (see `docs/OBSERVABILITY.md`).
+    pub fn record_into(&self, registry: &mut MetricsRegistry) {
+        registry.counter_add("solver_dp_positions_total", self.dp_positions);
+        registry.counter_add("solver_dp_candidates_total", self.dp_candidates);
+        registry.counter_add("solver_dp_prune_breaks_total", self.dp_prune_breaks);
+        registry.counter_add("solver_full_solves_total", self.full_solves);
+        registry.counter_add("solver_prefix_trials_total", self.prefix_trials);
+        registry.counter_add("solver_suffix_solves_total", self.suffix_solves);
+        registry.counter_add("solver_suffix_reused_positions_total", self.suffix_reused_positions);
+        registry.counter_add("solver_li_chao_inserts_total", self.li_chao_inserts);
+        registry.counter_add("solver_li_chao_node_visits_total", self.li_chao_node_visits);
+    }
+}
+
+/// Reads every solver counter (relaxed; exact at quiescent points).
+pub fn snapshot() -> SolverStatsSnapshot {
+    SolverStatsSnapshot {
+        dp_positions: DP_POSITIONS.get(),
+        dp_candidates: DP_CANDIDATES.get(),
+        dp_prune_breaks: DP_PRUNE_BREAKS.get(),
+        full_solves: FULL_SOLVES.get(),
+        prefix_trials: PREFIX_TRIALS.get(),
+        suffix_solves: SUFFIX_SOLVES.get(),
+        suffix_reused_positions: SUFFIX_REUSED_POSITIONS.get(),
+        li_chao_inserts: LI_CHAO_INSERTS.get(),
+        li_chao_node_visits: LI_CHAO_NODE_VISITS.get(),
+    }
+}
+
+/// Resets every solver counter to zero.
+pub fn reset() {
+    DP_POSITIONS.reset();
+    DP_CANDIDATES.reset();
+    DP_PRUNE_BREAKS.reset();
+    FULL_SOLVES.reset();
+    PREFIX_TRIALS.reset();
+    SUFFIX_SOLVES.reset();
+    SUFFIX_REUSED_POSITIONS.reset();
+    LI_CHAO_INSERTS.reset();
+    LI_CHAO_NODE_VISITS.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_and_registry_record() {
+        let earlier = SolverStatsSnapshot { dp_candidates: 10, ..Default::default() };
+        let later = SolverStatsSnapshot { dp_candidates: 35, full_solves: 2, ..Default::default() };
+        let delta = later.since(&earlier);
+        assert_eq!(delta.dp_candidates, 25);
+        assert_eq!(delta.full_solves, 2);
+
+        let mut registry = MetricsRegistry::new();
+        delta.record_into(&mut registry);
+        assert_eq!(registry.counter("solver_dp_candidates_total"), 25);
+        assert_eq!(registry.counter("solver_full_solves_total"), 2);
+        assert_eq!(registry.counter("solver_li_chao_inserts_total"), 0);
+    }
+}

@@ -323,6 +323,7 @@ impl ClusterFailureInjector {
             RepairModel::Random(law) => law.sample(&mut self.machines[machine].repair_rng),
         };
         let done = at + duration;
+        crate::stats::REPAIRS_TOTAL.add(1);
         let faults = &mut self.machines[machine];
         for p in 0..faults.platform.processor_count() {
             faults.platform.record_repair(ProcessorId(p), done);
@@ -341,6 +342,8 @@ impl ClusterFailureInjector {
     fn materialise_one_shock(&mut self) {
         let Some(state) = self.shocks.as_mut() else { return };
         let shock_time = state.next_shock;
+        crate::stats::SHOCKS_TOTAL.add(1);
+        let mut hits = 0u64;
         for faults in self.machines.iter_mut() {
             // Always draw both variates so the struck-machine pattern is
             // invariant across burst widths (and the offset draw across
@@ -351,8 +354,10 @@ impl ClusterFailureInjector {
                 let hit = shock_time + u_offset * state.config.burst_width;
                 let pos = faults.shock_hits.partition_point(|&h| h <= hit);
                 faults.shock_hits.insert(pos, hit);
+                hits += 1;
             }
         }
+        crate::stats::SHOCK_HITS_TOTAL.add(hits);
         state.next_shock = shock_time + state.law.sample(&mut state.rng);
     }
 }

@@ -47,6 +47,7 @@ pub mod math;
 pub mod mixture;
 pub mod platform;
 pub mod rng;
+pub mod stats;
 pub mod trace;
 pub mod weibull;
 

@@ -1,0 +1,86 @@
+//! Process-wide fault-injection counters (telemetry).
+//!
+//! The cluster injector's shock bursts and repairs are the phenomena the
+//! robustness experiments stress; these [`StaticCounter`]s make them
+//! observable across every injector instance in the process without
+//! threading a registry through trial construction. Recording is a relaxed
+//! atomic increment — it never perturbs the injector's deterministic
+//! streams.
+
+use ckpt_telemetry::{MetricsRegistry, StaticCounter};
+
+/// Correlated shocks materialised by
+/// [`ClusterFailureInjector`](crate::ClusterFailureInjector) (arrival
+/// instants of the shared Poisson shock process actually drawn).
+pub static SHOCKS_TOTAL: StaticCounter = StaticCounter::new();
+
+/// Machines struck by a materialised shock (one shock can hit many
+/// machines — this counts the fan-out).
+pub static SHOCK_HITS_TOTAL: StaticCounter = StaticCounter::new();
+
+/// Machine repairs started via
+/// [`begin_repair`](crate::ClusterFailureInjector::begin_repair).
+pub static REPAIRS_TOTAL: StaticCounter = StaticCounter::new();
+
+/// A point-in-time copy of the fault-injection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureStatsSnapshot {
+    /// [`SHOCKS_TOTAL`] at snapshot time.
+    pub shocks: u64,
+    /// [`SHOCK_HITS_TOTAL`] at snapshot time.
+    pub shock_hits: u64,
+    /// [`REPAIRS_TOTAL`] at snapshot time.
+    pub repairs: u64,
+}
+
+impl FailureStatsSnapshot {
+    /// The counter increments between `earlier` and `self` (saturating).
+    pub fn since(&self, earlier: &FailureStatsSnapshot) -> FailureStatsSnapshot {
+        FailureStatsSnapshot {
+            shocks: self.shocks.saturating_sub(earlier.shocks),
+            shock_hits: self.shock_hits.saturating_sub(earlier.shock_hits),
+            repairs: self.repairs.saturating_sub(earlier.repairs),
+        }
+    }
+
+    /// Adds the snapshot to `metrics` under the `failure_*_total` names.
+    pub fn record_into(&self, metrics: &mut MetricsRegistry) {
+        metrics.counter_add("failure_shocks_total", self.shocks);
+        metrics.counter_add("failure_shock_hits_total", self.shock_hits);
+        metrics.counter_add("failure_repairs_total", self.repairs);
+    }
+}
+
+/// Reads all fault-injection counters at once.
+pub fn snapshot() -> FailureStatsSnapshot {
+    FailureStatsSnapshot {
+        shocks: SHOCKS_TOTAL.get(),
+        shock_hits: SHOCK_HITS_TOTAL.get(),
+        repairs: REPAIRS_TOTAL.get(),
+    }
+}
+
+/// Resets all fault-injection counters to zero (test isolation).
+pub fn reset() {
+    SHOCKS_TOTAL.reset();
+    SHOCK_HITS_TOTAL.reset();
+    REPAIRS_TOTAL.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_and_registry_export() {
+        let before = snapshot();
+        SHOCKS_TOTAL.add(1);
+        SHOCK_HITS_TOTAL.add(3);
+        REPAIRS_TOTAL.add(2);
+        let delta = snapshot().since(&before);
+        assert_eq!((delta.shocks, delta.shock_hits, delta.repairs), (1, 3, 2));
+        let mut metrics = MetricsRegistry::new();
+        delta.record_into(&mut metrics);
+        assert_eq!(metrics.counter("failure_shock_hits_total"), 3);
+    }
+}

@@ -29,11 +29,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use ckpt_core::chain_dp::ResumableDp;
 use ckpt_core::parallel::chunked_map_with;
 use ckpt_expectation::segment_cost::SegmentCostTable;
 use ckpt_expectation::sweep::LambdaSweep;
+use ckpt_telemetry::{wall_seconds, MetricsRegistry, NoopSink, TelemetrySink, TraceEvent};
 
 use crate::bucketing::RateBucketing;
 use crate::request::{PlanRequest, PlanResponse, ResponseSource};
@@ -58,6 +60,11 @@ struct OrderShard {
 
 /// Running counters of how requests were served (monotonic; one increment
 /// per request, keyed by its [`ResponseSource`]).
+///
+/// Since the telemetry migration this is a *view*: the counters live on the
+/// planner's [`MetricsRegistry`] (under the `service_*_total` names, see
+/// `docs/OBSERVABILITY.md`) and [`Planner::stats`] materialises this struct
+/// from them, keeping the original accessor and its semantics intact.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests served in total.
@@ -101,7 +108,7 @@ pub struct Planner {
     threads: usize,
     fingerprint_mask: u64,
     shards: HashMap<u64, Vec<OrderShard>>,
-    stats: ServiceStats,
+    metrics: MetricsRegistry,
     pending: Vec<PlanRequest>,
 }
 
@@ -151,7 +158,7 @@ impl Planner {
             threads: 0,
             fingerprint_mask: u64::MAX,
             shards: HashMap::new(),
-            stats: ServiceStats::default(),
+            metrics: MetricsRegistry::new(),
             pending: Vec::new(),
         }
     }
@@ -175,9 +182,27 @@ impl Planner {
         self
     }
 
-    /// The serving counters so far.
+    /// The serving counters so far (materialised from the metrics registry;
+    /// see [`Planner::metrics`] for the full set including phase timings).
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        ServiceStats {
+            requests: self.metrics.counter("service_requests_total"),
+            cache_hits: self.metrics.counter("service_cache_hits_total"),
+            cold_solves: self.metrics.counter("service_cold_solves_total"),
+            sweep_solves: self.metrics.counter("service_sweep_solves_total"),
+            suffix_replans: self.metrics.counter("service_suffix_replans_total"),
+        }
+    }
+
+    /// The planner's full metrics registry: the [`ServiceStats`] counters
+    /// plus batch/coalescing counters and per-phase wall-time histograms
+    /// (`service_admission_us` / `service_solve_us` / `service_commit_us` /
+    /// `service_batch_us`). Wall-time values are in the non-deterministic
+    /// domain; the counters are deterministic for a deterministic request
+    /// stream. Export with [`ckpt_telemetry::export::prometheus_text`] or
+    /// [`MetricsRegistry::to_json`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Distinct execution orders currently cached.
@@ -206,6 +231,20 @@ impl Planner {
     /// Serves a batch of requests, returning one response per request in
     /// request order. Infallible: requests are validated at construction.
     pub fn serve_batch(&mut self, requests: &[PlanRequest]) -> Vec<PlanResponse> {
+        self.serve_batch_with_sink(requests, &mut NoopSink)
+    }
+
+    /// [`serve_batch`](Planner::serve_batch) with a telemetry sink: one
+    /// **wall-domain** `service_batch` event is emitted per batch, carrying
+    /// the batch composition and per-phase timings. Responses are bitwise
+    /// identical to the sink-less path for every sink and thread count —
+    /// instrumentation is observation-only.
+    pub fn serve_batch_with_sink(
+        &mut self,
+        requests: &[PlanRequest],
+        sink: &mut dyn TelemetrySink,
+    ) -> Vec<PlanResponse> {
+        let batch_started = Instant::now();
         // Phase 1 — serial admission in request order.
         let mut work: Vec<WorkItem> = Vec::new();
         let mut seen: HashMap<(u64, usize, u64, usize), usize> = HashMap::new();
@@ -267,9 +306,11 @@ impl Planner {
                 Admitted::Computed { index }
             })
             .collect();
+        let admission_us = batch_started.elapsed().as_secs_f64() * 1e6;
 
         // Phase 2 — deterministic parallel solve, one `ResumableDp` arena
         // per worker (allocation-free after its first items).
+        let solve_started = Instant::now();
         let outcomes: Vec<SolveOutcome> =
             chunked_map_with(&work, self.threads, ResumableDp::new, |dp, _, item| {
                 let table = match &item.table {
@@ -291,8 +332,11 @@ impl Planner {
                 SolveOutcome { expected_makespan, checkpoint_positions, stamped }
             });
 
+        let solve_us = solve_started.elapsed().as_secs_f64() * 1e6;
+
         // Phase 3 — serial commit (in work order) and assembly (in request
         // order).
+        let commit_started = Instant::now();
         for (item, outcome) in work.iter().zip(&outcomes) {
             let shard =
                 &mut self.shards.get_mut(&item.masked).expect("admitted shard exists")[item.shard];
@@ -337,14 +381,49 @@ impl Planner {
             })
             .collect();
 
-        self.stats.requests += responses.len() as u64;
+        let commit_us = commit_started.elapsed().as_secs_f64() * 1e6;
+
+        let mut cache_hits = 0u64;
+        let mut cold_solves = 0u64;
+        let mut sweep_solves = 0u64;
+        let mut suffix_replans = 0u64;
         for response in &responses {
             match response.source {
-                ResponseSource::CacheHit => self.stats.cache_hits += 1,
-                ResponseSource::ColdSolve => self.stats.cold_solves += 1,
-                ResponseSource::SweepSolve => self.stats.sweep_solves += 1,
-                ResponseSource::SuffixReplan => self.stats.suffix_replans += 1,
+                ResponseSource::CacheHit => cache_hits += 1,
+                ResponseSource::ColdSolve => cold_solves += 1,
+                ResponseSource::SweepSolve => sweep_solves += 1,
+                ResponseSource::SuffixReplan => suffix_replans += 1,
             }
+        }
+        // Requests that shared (coalesced onto) another request's solve.
+        let computed = (responses.len() as u64) - cache_hits;
+        let coalesced = computed - work.len() as u64;
+
+        self.metrics.counter_add("service_requests_total", responses.len() as u64);
+        self.metrics.counter_add("service_cache_hits_total", cache_hits);
+        self.metrics.counter_add("service_cold_solves_total", cold_solves);
+        self.metrics.counter_add("service_sweep_solves_total", sweep_solves);
+        self.metrics.counter_add("service_suffix_replans_total", suffix_replans);
+        self.metrics.counter_add("service_coalesced_total", coalesced);
+        self.metrics.counter_add("service_work_items_total", work.len() as u64);
+        self.metrics.counter_add("service_batches_total", 1);
+        let batch_us = batch_started.elapsed().as_secs_f64() * 1e6;
+        self.metrics.observe("service_admission_us", admission_us);
+        self.metrics.observe("service_solve_us", solve_us);
+        self.metrics.observe("service_commit_us", commit_us);
+        self.metrics.observe("service_batch_us", batch_us);
+
+        if sink.enabled() {
+            sink.record(
+                &TraceEvent::wall("service_batch", wall_seconds())
+                    .with("requests", responses.len())
+                    .with("work_items", work.len())
+                    .with("cache_hits", cache_hits)
+                    .with("coalesced", coalesced)
+                    .with("admission_us", admission_us)
+                    .with("solve_us", solve_us)
+                    .with("commit_us", commit_us),
+            );
         }
         responses
     }

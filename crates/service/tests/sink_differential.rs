@@ -1,0 +1,88 @@
+//! The differential wall around the service tier's telemetry: attaching any
+//! live sink to `serve_batch_with_sink` must leave every response — and the
+//! serving counters — bitwise identical to the sink-less path, at every
+//! worker-thread count, while the sink observes one wall-domain
+//! `service_batch` event per batch.
+
+use ckpt_bench::testgen;
+use ckpt_failure::{Pcg64, RandomSource};
+use ckpt_service::{PlanInstance, PlanRequest, PlanResponse, Planner, RateBucketing};
+use ckpt_telemetry::{JsonlSink, NoopSink, RingBufferSink, TelemetrySink, TimeDomain};
+
+const BATCH: usize = 32;
+
+fn bucketing() -> RateBucketing {
+    RateBucketing::log_grid(1e-6, 1e-3, 9).expect("valid grid")
+}
+
+/// A small mixed stream: a handful of shapes, three rates, ~25% re-plans.
+fn stream() -> Vec<PlanRequest> {
+    let shapes: Vec<PlanInstance> = (0..5)
+        .map(|k| {
+            let problem =
+                testgen::heterogeneous_chain_instance(0x51D ^ (k as u64), 12 + k * 9, 1e-4);
+            PlanInstance::from_chain_instance(&problem).expect("chain instance")
+        })
+        .collect();
+    let mut rng = Pcg64::seed_from_u64(0x51D);
+    let rates = [3e-5, 1e-4, 3e-4];
+    (0..160u64)
+        .map(|id| {
+            let instance = &shapes[rng.next_bounded(shapes.len() as u64) as usize];
+            let rate = rates[rng.next_bounded(3) as usize];
+            if instance.len() > 1 && rng.next_bool(0.25) {
+                let from = 1 + rng.next_bounded(instance.len() as u64 - 1) as usize;
+                PlanRequest::replan(id, instance.clone(), rate, from).expect("valid request")
+            } else {
+                PlanRequest::plan(id, instance.clone(), rate).expect("valid request")
+            }
+        })
+        .collect()
+}
+
+fn serve(
+    requests: &[PlanRequest],
+    threads: usize,
+    sink: &mut dyn TelemetrySink,
+) -> (Vec<PlanResponse>, Planner) {
+    let mut planner = Planner::new(bucketing()).with_threads(threads);
+    let responses = requests
+        .chunks(BATCH)
+        .flat_map(|chunk| planner.serve_batch_with_sink(chunk, sink))
+        .collect();
+    (responses, planner)
+}
+
+#[test]
+fn live_sinks_never_change_responses_or_counters() {
+    let requests = stream();
+    let batches = requests.len().div_ceil(BATCH);
+
+    let mut plain_planner = Planner::new(bucketing());
+    let plain: Vec<PlanResponse> =
+        requests.chunks(BATCH).flat_map(|chunk| plain_planner.serve_batch(chunk)).collect();
+
+    for threads in [1usize, 2, 3, 8] {
+        let (noop, noop_planner) = serve(&requests, threads, &mut NoopSink);
+        assert_eq!(noop, plain, "no-op sink diverges at {threads} workers");
+        assert_eq!(noop_planner.stats(), plain_planner.stats());
+
+        let mut ring = RingBufferSink::new(256);
+        let (ringed, ring_planner) = serve(&requests, threads, &mut ring);
+        assert_eq!(ringed, plain, "ring sink diverges at {threads} workers");
+        assert_eq!(ring_planner.stats(), plain_planner.stats());
+        assert_eq!(ring.len(), batches, "one service_batch event per batch");
+        assert!(ring
+            .events()
+            .all(|e| e.name() == "service_batch" && e.domain() == TimeDomain::Wall));
+
+        let mut jsonl = JsonlSink::new(Vec::new());
+        let (streamed, _) = serve(&requests, threads, &mut jsonl);
+        assert_eq!(streamed, plain, "jsonl sink diverges at {threads} workers");
+        assert_eq!(jsonl.lines(), batches as u64);
+        let bytes = jsonl.finish().expect("in-memory writer");
+        let text = String::from_utf8(bytes).expect("utf-8 trace");
+        assert_eq!(text.lines().count(), batches);
+        assert!(text.lines().all(|l| l.starts_with("{\"domain\":\"wall\",")));
+    }
+}

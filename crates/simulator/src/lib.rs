@@ -60,13 +60,14 @@ pub mod policy;
 pub mod rollback;
 pub mod segment;
 pub mod stream;
+pub mod trace;
 
 pub use engine::{simulate, ExecutionRecord, TimeBreakdown};
 pub use error::SimulationError;
 pub use event_log::{simulate_with_log, ExecutionEvent, LoggedExecution};
 pub use montecarlo::{
-    scatter_trials, DagPolicyMonteCarloOutcome, MonteCarloOutcome, PolicyMonteCarloOutcome,
-    SimulationScenario,
+    scatter_trials, scatter_trials_with, DagPolicyMonteCarloOutcome, MonteCarloOutcome,
+    PolicyMonteCarloOutcome, SimulationScenario,
 };
 pub use policy::{
     simulate_dag_policy, simulate_dag_policy_with_log, simulate_policy, simulate_policy_with_log,
@@ -76,3 +77,4 @@ pub use policy::{
 };
 pub use segment::Segment;
 pub use stream::{ExponentialStream, FailureStream, PlatformStream, TraceStream};
+pub use trace::{execution_event_to_trace, replay_log};

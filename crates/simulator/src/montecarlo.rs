@@ -680,26 +680,63 @@ where
     E: Send,
     R: Fn(usize) -> Result<T, E> + Sync,
 {
+    scatter_trials_with(trials, workers, || (), |trial, ()| run_trial(trial)).0
+}
+
+/// [`scatter_trials`] with a per-worker scratch state, returned **in chunk
+/// order** alongside the trial records.
+///
+/// Each worker owns one `S` built by `init` and threads it through every
+/// trial of its contiguous chunk; the states come back ordered by chunk
+/// index (worker 0's chunk first), so any order-sensitive reduction over
+/// them — merging per-worker telemetry shards, concatenating logs — is a
+/// pure function of `(trials, workers)` and never of thread scheduling.
+/// With `workers <= 1` exactly one state is returned.
+pub fn scatter_trials_with<T, E, S, G, R>(
+    trials: usize,
+    workers: usize,
+    init: G,
+    run_trial: R,
+) -> (Vec<Result<T, E>>, Vec<S>)
+where
+    T: Send,
+    E: Send,
+    S: Send,
+    G: Fn() -> S + Sync,
+    R: Fn(usize, &mut S) -> Result<T, E> + Sync,
+{
     let mut records: Vec<Option<Result<T, E>>> = (0..trials).map(|_| None).collect();
-    if workers <= 1 {
+    let states = if workers <= 1 {
+        let mut state = init();
         for (trial, slot) in records.iter_mut().enumerate() {
-            *slot = Some(run_trial(trial));
+            *slot = Some(run_trial(trial, &mut state));
         }
+        vec![state]
     } else {
         let chunk = trials.div_ceil(workers);
+        let chunk_count = trials.div_ceil(chunk.max(1));
+        let mut slots: Vec<Option<S>> = (0..chunk_count).map(|_| None).collect();
+        let init = &init;
         let run_trial = &run_trial;
         std::thread::scope(|scope| {
-            for (index, slice) in records.chunks_mut(chunk).enumerate() {
+            for ((index, slice), state_slot) in
+                records.chunks_mut(chunk).enumerate().zip(slots.iter_mut())
+            {
                 scope.spawn(move || {
+                    let mut state = init();
                     let base = index * chunk;
                     for (offset, slot) in slice.iter_mut().enumerate() {
-                        *slot = Some(run_trial(base + offset));
+                        *slot = Some(run_trial(base + offset, &mut state));
                     }
+                    *state_slot = Some(state);
                 });
             }
         });
-    }
-    records.into_iter().map(|slot| slot.expect("every trial slot is filled")).collect()
+        slots.into_iter().map(|slot| slot.expect("every worker chunk ran")).collect()
+    };
+    let records =
+        records.into_iter().map(|slot| slot.expect("every trial slot is filled")).collect();
+    (records, states)
 }
 
 /// A cloneable, shareable view over a prototype failure law.

@@ -1,0 +1,116 @@
+//! Adapters from the simulator's [`ExecutionEvent`] logs to `ckpt-telemetry`
+//! trace events.
+//!
+//! [`simulate_with_log`](crate::simulate_with_log) and the policy runners
+//! already produce chronological event logs; this module re-expresses them
+//! as sim-domain [`TraceEvent`]s so they can flow into any
+//! [`TelemetrySink`] — a ring buffer for interactive inspection, a JSONL
+//! file for offline analysis, or a [`DigestSink`](ckpt_telemetry::DigestSink)
+//! for byte-level determinism checks. The adapter is a pure function of the
+//! log: replaying the same log always yields the same trace.
+
+use crate::event_log::ExecutionEvent;
+use ckpt_telemetry::{TelemetrySink, TraceEvent};
+
+/// Converts one [`ExecutionEvent`] into a sim-domain [`TraceEvent`].
+///
+/// Event names mirror the enum variants in snake case (`attempt_started`,
+/// `failure`, `downtime_completed`, `recovery_completed`,
+/// `segment_completed`, `policy_decision`); every event carries the
+/// `segment` field, failures add `wasted`, policy decisions add
+/// `checkpoint`.
+pub fn execution_event_to_trace(event: &ExecutionEvent) -> TraceEvent {
+    match *event {
+        ExecutionEvent::AttemptStarted { segment, time } => {
+            TraceEvent::sim("attempt_started", time).with("segment", segment)
+        }
+        ExecutionEvent::Failure { segment, time, wasted } => {
+            TraceEvent::sim("failure", time).with("segment", segment).with("wasted", wasted)
+        }
+        ExecutionEvent::DowntimeCompleted { segment, time } => {
+            TraceEvent::sim("downtime_completed", time).with("segment", segment)
+        }
+        ExecutionEvent::RecoveryCompleted { segment, time } => {
+            TraceEvent::sim("recovery_completed", time).with("segment", segment)
+        }
+        ExecutionEvent::SegmentCompleted { segment, time } => {
+            TraceEvent::sim("segment_completed", time).with("segment", segment)
+        }
+        ExecutionEvent::PolicyDecision { segment, time, checkpoint } => {
+            TraceEvent::sim("policy_decision", time)
+                .with("segment", segment)
+                .with("checkpoint", checkpoint)
+        }
+    }
+}
+
+/// Replays a whole execution log into `sink`, in log order.
+///
+/// Returns the number of events forwarded (`0` when the sink is disabled —
+/// the conversion cost is skipped entirely, mirroring the engine-side
+/// emission guards).
+pub fn replay_log(events: &[ExecutionEvent], sink: &mut dyn TelemetrySink) -> usize {
+    if !sink.enabled() {
+        return 0;
+    }
+    for event in events {
+        sink.record(&execution_event_to_trace(event));
+    }
+    events.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Segment;
+    use crate::simulate_with_log;
+    use crate::stream::ScriptedStream;
+    use ckpt_telemetry::{DigestSink, NoopSink, RingBufferSink, TimeDomain};
+
+    fn logged() -> Vec<ExecutionEvent> {
+        let mut stream = ScriptedStream::new(vec![30.0]);
+        simulate_with_log(&[Segment::new(100.0, 10.0, 20.0).unwrap()], 5.0, &mut stream)
+            .unwrap()
+            .events
+    }
+
+    #[test]
+    fn replay_preserves_order_names_and_times() {
+        let events = logged();
+        let mut sink = RingBufferSink::new(64);
+        assert_eq!(replay_log(&events, &mut sink), events.len());
+        let traced: Vec<_> = sink.events().collect();
+        assert_eq!(traced.len(), events.len());
+        let names: Vec<&str> = traced.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "attempt_started",
+                "failure",
+                "downtime_completed",
+                "recovery_completed",
+                "attempt_started",
+                "segment_completed",
+            ]
+        );
+        for (trace, event) in traced.iter().zip(&events) {
+            assert_eq!(trace.time(), event.time());
+            assert_eq!(trace.domain(), TimeDomain::Sim);
+        }
+    }
+
+    #[test]
+    fn replay_skips_disabled_sinks() {
+        assert_eq!(replay_log(&logged(), &mut NoopSink), 0);
+    }
+
+    #[test]
+    fn replayed_digest_is_reproducible() {
+        let mut a = DigestSink::new();
+        let mut b = DigestSink::new();
+        replay_log(&logged(), &mut a);
+        replay_log(&logged(), &mut b);
+        assert_eq!(a.hex(), b.hex());
+        assert!(a.sim_events() > 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Process-wide static counters for hot solver paths.
+//!
+//! A [`MetricsRegistry`](crate::MetricsRegistry) is a plain value that must be
+//! threaded through call sites; deep solver internals (the chain-DP inner
+//! loop, the Li Chao tree) have no such channel without contaminating their
+//! signatures. [`StaticCounter`] fills that gap: a `const`-constructible
+//! relaxed `AtomicU64` that instrumented code bumps **once per call** with a
+//! locally accumulated total, never per inner-loop iteration.
+//!
+//! Determinism contract: relaxed `u64` additions commute, so the value read
+//! at any quiescent point (no solver running) is independent of thread
+//! interleaving — the counters are observation-only and never feed back into
+//! any computation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `const`-constructible, relaxed atomic counter for global solver stats.
+pub struct StaticCounter(AtomicU64);
+
+impl std::fmt::Debug for StaticCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("StaticCounter").field(&self.get()).finish()
+    }
+}
+
+impl Default for StaticCounter {
+    fn default() -> Self {
+        StaticCounter::new()
+    }
+}
+
+impl StaticCounter {
+    /// A counter starting at zero, usable in `static` position.
+    pub const fn new() -> Self {
+        StaticCounter(AtomicU64::new(0))
+    }
+
+    /// Adds `delta` (relaxed). Accumulate locally and call this once per
+    /// solver invocation, not per inner-loop step.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if delta > 0 {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (relaxed; exact when no instrumented code is running).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns the current value and resets to zero in one atomic step.
+    pub fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_COUNTER: StaticCounter = StaticCounter::new();
+
+    #[test]
+    fn static_counter_accumulates_and_resets() {
+        TEST_COUNTER.reset();
+        TEST_COUNTER.add(3);
+        TEST_COUNTER.add(0);
+        TEST_COUNTER.add(4);
+        assert_eq!(TEST_COUNTER.get(), 7);
+        assert_eq!(TEST_COUNTER.take(), 7);
+        assert_eq!(TEST_COUNTER.get(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Metric exposition: Prometheus-style text format and flat JSON.
+//!
+//! Both expositions iterate the registry in insertion order and render
+//! numbers through the shared [`json`](crate::json) helpers, so their output
+//! is byte-deterministic for deterministic registry state — the property the
+//! golden-snapshot CI tests rely on.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricView, MetricsRegistry};
+
+/// Renders the registry in the Prometheus text exposition format
+/// (`# TYPE` lines plus samples).
+///
+/// Histograms render cumulative `_bucket{le="…"}` samples for their
+/// **non-empty** buckets plus the `+Inf` bucket and a `_count` sample, and
+/// exact `_min`/`_max` gauges. There is deliberately **no `_sum`**: the
+/// histogram keeps no floating-point running sum because such a sum would
+/// depend on merge order and break the workspace's bit-identity contract.
+pub fn prometheus_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, view) in registry.iter() {
+        match view {
+            MetricView::Counter(value) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {value}");
+            }
+            MetricView::Gauge(value) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {value}");
+            }
+            MetricView::Histogram(histogram) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = histogram.underflow_count();
+                if cumulative > 0 {
+                    let (lower, _) = histogram.spec().bucket_bounds(0);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{lower}\"}} {cumulative}");
+                }
+                for (index, &count) in histogram.bucket_counts().iter().enumerate() {
+                    cumulative += count;
+                    if count > 0 {
+                        let (_, upper) = histogram.spec().bucket_bounds(index);
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+                    }
+                }
+                let total = cumulative + histogram.overflow_count();
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+                let _ = writeln!(out, "{name}_count {total}");
+                if let (Some(min), Some(max)) = (histogram.min(), histogram.max()) {
+                    let _ = writeln!(out, "# TYPE {name}_min gauge");
+                    let _ = writeln!(out, "{name}_min {min}");
+                    let _ = writeln!(out, "# TYPE {name}_max gauge");
+                    let _ = writeln!(out, "{name}_max {max}");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSpec;
+
+    #[test]
+    fn prometheus_counters_and_gauges() {
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add("requests_total", 12);
+        registry.gauge_set("queue_depth", 3.0);
+        let text = prometheus_text(&registry);
+        assert_eq!(
+            text,
+            "# TYPE requests_total counter\nrequests_total 12\n\
+             # TYPE queue_depth gauge\nqueue_depth 3\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_histogram_has_cumulative_buckets_and_no_sum() {
+        let mut registry = MetricsRegistry::new();
+        let spec = HistogramSpec::new(1.0, 2.0, 4).unwrap();
+        registry.observe_with("latency", spec, 1.5);
+        registry.observe_with("latency", spec, 3.0);
+        registry.observe_with("latency", spec, 100.0); // overflow
+        let text = prometheus_text(&registry);
+        assert!(text.contains("# TYPE latency histogram"), "{text}");
+        assert!(text.contains("latency_bucket{le=\"2\"} 1"), "{text}");
+        assert!(text.contains("latency_bucket{le=\"4\"} 2"), "{text}");
+        assert!(text.contains("latency_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("latency_count 3"), "{text}");
+        assert!(text.contains("latency_min 1.5"), "{text}");
+        assert!(text.contains("latency_max 100"), "{text}");
+        assert!(!text.contains("latency_sum"), "{text}");
+    }
+
+    #[test]
+    fn exposition_is_deterministic() {
+        let build = || {
+            let mut registry = MetricsRegistry::new();
+            registry.counter_add("a", 1);
+            registry.observe("h", 2.5);
+            registry.gauge_set("g", -0.25);
+            prometheus_text(&registry)
+        };
+        assert_eq!(build(), build());
+    }
+}

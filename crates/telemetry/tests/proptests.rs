@@ -1,0 +1,132 @@
+//! Property tests for the two quantitative promises the histogram layer
+//! makes:
+//!
+//! 1. **Shard merging is exact.** Splitting a value stream into contiguous
+//!    per-worker chunks, recording each chunk into its own shard on a real
+//!    thread and folding the shards back in chunk order yields a histogram
+//!    *bitwise identical* to recording the stream sequentially — at 1, 2, 3
+//!    and 8 workers. This is the property that lets the Monte-Carlo runners
+//!    record metrics without perturbing their deterministic results.
+//! 2. **Quantiles are bucket-accurate.** For samples inside the finite
+//!    bucket range, `LogHistogram::quantile` is within one bucket's relative
+//!    width (a multiplicative factor of [`HistogramSpec::growth`]) of the
+//!    exact order statistic computed by `select_nth_unstable_by` on the raw
+//!    samples.
+
+use std::thread;
+
+use ckpt_telemetry::{HistogramSpec, LogHistogram};
+use proptest::prelude::*;
+
+/// Deterministic splitmix64 stream — the vendored proptest shim only samples
+/// scalars, so vector-valued cases derive their content from a sampled seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A mixed value stream: mostly finite-bucket samples (log-uniform across
+/// the default spec's range), with underflow, overflow, negative and
+/// non-finite observations sprinkled in so the merge property covers every
+/// recording path.
+fn mixed_values(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| match splitmix64(&mut state) % 16 {
+            0 => -1.0 - unit_f64(&mut state),         // invalid: negative
+            1 => f64::NAN,                            // invalid: non-finite
+            2 => 1e-4 * unit_f64(&mut state),         // underflow (< scale)
+            3 => 1e14 * (1.0 + unit_f64(&mut state)), // overflow
+            _ => {
+                // Log-uniform across the finite buckets: 1e-3 … 1e12.
+                let log10 = -3.0 + 15.0 * unit_f64(&mut state);
+                10f64.powf(log10)
+            }
+        })
+        .collect()
+}
+
+/// Records `values` sequentially into one histogram.
+fn sequential(values: &[f64]) -> LogHistogram {
+    let mut histogram = LogHistogram::new(HistogramSpec::default());
+    for &value in values {
+        histogram.record(value);
+    }
+    histogram
+}
+
+/// Records `values` split into `workers` contiguous chunks, one shard per
+/// chunk on its own OS thread, then merges the shards in chunk order.
+fn sharded(values: &[f64], workers: usize) -> LogHistogram {
+    let chunk = values.len().div_ceil(workers).max(1);
+    let shards: Vec<LogHistogram> = thread::scope(|scope| {
+        let handles: Vec<_> =
+            values.chunks(chunk).map(|slice| scope.spawn(move || sequential(slice))).collect();
+        handles.into_iter().map(|handle| handle.join().expect("shard worker")).collect()
+    });
+    let mut merged = LogHistogram::new(HistogramSpec::default());
+    for shard in &shards {
+        merged.merge_from(shard).expect("same spec");
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunk-ordered shard merges are bitwise lossless at every worker
+    /// count the engines use.
+    #[test]
+    fn shard_merge_is_bitwise_identical_at_any_worker_count(
+        seed in any::<u64>(),
+        len in 0usize..300,
+    ) {
+        let values = mixed_values(seed, len);
+        let reference = sequential(&values);
+        for workers in [1usize, 2, 3, 8] {
+            let merged = sharded(&values, workers);
+            prop_assert_eq!(&merged, &reference);
+            prop_assert_eq!(merged.count(), len as u64 - merged.invalid_count());
+        }
+    }
+
+    /// `quantile` agrees with the exact `select_nth_unstable_by` order
+    /// statistic to within one bucket's relative width.
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact(
+        seed in any::<u64>(),
+        len in 1usize..400,
+        q_raw in 0.0f64..1.0,
+    ) {
+        let mut state = seed;
+        let values: Vec<f64> = (0..len)
+            .map(|_| {
+                let log10 = -3.0 + 15.0 * unit_f64(&mut state);
+                10f64.powf(log10)
+            })
+            .collect();
+        let histogram = sequential(&values);
+        let growth = histogram.spec().growth();
+        for q in [0.0, q_raw, 0.5, 1.0] {
+            let rank = ((len - 1) as f64 * q).round() as usize;
+            let mut scratch = values.clone();
+            let (_, exact, _) =
+                scratch.select_nth_unstable_by(rank, |a, b| a.total_cmp(b));
+            let exact = *exact;
+            let estimate = histogram.quantile(q).expect("non-empty histogram");
+            prop_assert!(
+                estimate <= exact * growth * (1.0 + 1e-12)
+                    && estimate >= exact / growth * (1.0 - 1e-12),
+                "quantile {} estimate {} not within growth {} of exact {}",
+                q, estimate, growth, exact
+            );
+        }
+    }
+}

@@ -27,7 +27,13 @@
 //! * [`service`] — the planner-as-a-service tier: batched plan/re-plan
 //!   serving for fleets of workflows, with a plan cache keyed by instance
 //!   fingerprint × rate bucket and a bit-deterministic parallel solve
-//!   phase.
+//!   phase;
+//! * [`telemetry`] — the deterministic observability layer: a metrics
+//!   registry (counters, gauges, log-bucketed histograms with exact shard
+//!   merges), structured sim-time/wall-time event tracing with pluggable
+//!   sinks, and Prometheus/JSON exposition — wired through the solver,
+//!   service, cluster and adaptive tiers without perturbing bit-identical
+//!   results.
 //!
 //! # Quickstart
 //!
@@ -68,3 +74,4 @@ pub use ckpt_expectation as expectation;
 pub use ckpt_failure as failure;
 pub use ckpt_service as service;
 pub use ckpt_simulator as simulator;
+pub use ckpt_telemetry as telemetry;
