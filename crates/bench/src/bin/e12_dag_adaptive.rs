@@ -104,6 +104,7 @@ fn scenarios() -> Vec<Scenario> {
 }
 
 fn main() {
+    let stats_start = ckpt_adaptive::stats::snapshot();
     let spec = spec();
     let config = EvaluationConfig { trials: TRIALS, seed: 0x5EED12, threads: 0 };
     let search = search();
@@ -188,6 +189,11 @@ fn main() {
          options); at the true rate dag-relinearise stays within 1% of the clairvoyant;\n\
          and every comparison is bit-identical at 1/2/3/8 worker threads."
     );
+    // The process-wide policy counters, as a delta over the whole experiment:
+    // both golden-test invocations execute identical work, so the delta is
+    // deterministic even though the underlying atomics are cumulative.
+    let replans = ckpt_adaptive::stats::snapshot().since(&stats_start);
+    summary.count("policy_dag_relinearisations_total", replans.dag_relinearisations as usize);
     summary.emit();
     if horizon_rejected {
         std::process::exit(2);

@@ -129,6 +129,7 @@ fn main() {
         ("fails", 6),
     ]);
 
+    let stats_start = ckpt_failure::stats::snapshot();
     let mut summary = JsonSummary::new("e13_cluster");
     summary
         .count("machines", MACHINES)
@@ -205,6 +206,14 @@ fn main() {
          a single-machine cluster matches the chain engine seed for seed; and\n\
          every comparison is bit-identical at 1/2/3/8 threads."
     );
+    // The injector's process-wide counters, as a delta over the whole
+    // experiment: both golden-test invocations execute identical work, so
+    // the delta is deterministic even though the atomics are cumulative.
+    let faults = ckpt_failure::stats::snapshot().since(&stats_start);
+    summary
+        .count("failure_shocks_total", faults.shocks as usize)
+        .count("failure_shock_hits_total", faults.shock_hits as usize)
+        .count("failure_repairs_total", faults.repairs as usize);
     summary.emit();
 }
 

@@ -172,6 +172,7 @@ fn e12_json_summary_schema_and_determinism() {
         keys.push(format!("{scenario}_relinearise_reorders"));
         keys.push(format!("{scenario}_horizon_exceeded_trials"));
     }
+    keys.push("policy_dag_relinearisations_total".to_string());
     assert_summary_schema(env!("CARGO_BIN_EXE_e12_dag_adaptive"), "e12_dag_adaptive", &keys, &[]);
 }
 
@@ -185,6 +186,9 @@ fn e13_json_summary_schema_and_determinism() {
         "planning_rate".to_string(),
         "degradation_mean_waiting".to_string(),
         "degradation_max_queue_depth".to_string(),
+        "failure_shocks_total".to_string(),
+        "failure_shock_hits_total".to_string(),
+        "failure_repairs_total".to_string(),
     ];
     for width in ["w0", "w150", "w1200"] {
         for policy in ["checkpoint_only", "always_migrate", "replicate_top_2", "setlur"] {
@@ -193,6 +197,34 @@ fn e13_json_summary_schema_and_determinism() {
         keys.push(format!("{width}_replication_advantage"));
     }
     assert_summary_schema(env!("CARGO_BIN_EXE_e13_cluster"), "e13_cluster", &keys, &[]);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "runs release experiment binaries (see CI)")]
+fn e16_json_summary_schema_and_determinism() {
+    // E16 is pure analytic planning (no Monte-Carlo, no wall-clock keys):
+    // every metric — the exhaustive-wall gap, the slot-monotonicity curve
+    // and the λ-sweep gains — must be byte-identical between two runs.
+    let keys: Vec<String> = [
+        "exhaustive_max_gap",
+        "exhaustive_candidates",
+        "collapse_bitwise_checks_passed",
+        "slots_0_makespan",
+        "slots_4_makespan",
+        "slots_8_makespan",
+        "slots_8_improvement",
+        "slots_8_fast_checkpoints",
+        "sweep_points",
+        "sweep_gain_at_min_lambda",
+        "sweep_gain_at_mid_lambda",
+        "sweep_gain_at_max_lambda",
+        "sweep_fast_checkpoints_at_max_lambda",
+        "sweep_total_checkpoints_at_max_lambda",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    assert_summary_schema(env!("CARGO_BIN_EXE_e16_storage"), "e16_storage", &keys, &[]);
 }
 
 #[test]

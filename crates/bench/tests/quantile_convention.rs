@@ -1,0 +1,84 @@
+//! Cross-check of the quantile rank convention across subsystems (ISSUE 10
+//! satellite): the simulator's raw-sample `makespan_quantile` and the
+//! telemetry tier's bucketed `LogHistogram::quantile` must agree on *which*
+//! order statistic a given `q` names — both look up rank
+//! `round((n − 1)·q)` — so a quantile read off raw samples and one read off
+//! a histogram of the same samples can only differ by the histogram's
+//! bucket resolution, never by a rank-off-by-one.
+
+use ckpt_simulator::{Segment, SimulationScenario};
+use ckpt_telemetry::{HistogramSpec, LogHistogram};
+
+/// A quantile grid spanning the awkward spots of the rank convention:
+/// the extremes, the median and two ranks where `floor`- and
+/// `round`-based conventions disagree.
+const QUANTILES: [f64; 7] = [0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99];
+
+fn makespan_samples(trials: usize) -> Vec<f64> {
+    let segments = vec![
+        Segment::new(900.0, 40.0, 25.0).expect("valid segment"),
+        Segment::new(1_400.0, 55.0, 30.0).expect("valid segment"),
+        Segment::new(600.0, 35.0, 20.0).expect("valid segment"),
+    ];
+    SimulationScenario::exponential(8e-4)
+        .with_downtime(30.0)
+        .with_trials(trials)
+        .with_seed(0x0A11CE)
+        .run(&segments)
+        .samples
+}
+
+/// The rank both conventions are documented to pick.
+fn rank(n: usize, q: f64) -> usize {
+    (((n - 1) as f64) * q).round() as usize
+}
+
+#[test]
+fn simulator_quantile_is_the_shared_rank_order_statistic() {
+    let segments = vec![Segment::new(1_000.0, 50.0, 25.0).expect("valid segment")];
+    let outcome = SimulationScenario::exponential(1e-3)
+        .with_downtime(30.0)
+        .with_trials(501)
+        .with_seed(7)
+        .run(&segments);
+    let mut sorted = outcome.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite makespans"));
+    for q in QUANTILES {
+        assert_eq!(
+            outcome.makespan_quantile(q).to_bits(),
+            sorted[rank(sorted.len(), q)].to_bits(),
+            "makespan_quantile({q}) is not the round((n-1)q) order statistic"
+        );
+    }
+}
+
+#[test]
+fn histogram_quantile_agrees_with_simulator_quantile_to_bucket_resolution() {
+    let samples = makespan_samples(800);
+    // A fine log-bucketed histogram: 1 s scale, 0.5 % growth, enough
+    // buckets to cover any makespan this workload can produce.
+    let growth = 1.005;
+    let spec = HistogramSpec::new(1.0, growth, 4_000).expect("valid spec");
+    let mut histogram = LogHistogram::new(spec);
+    for &sample in &samples {
+        histogram.record(sample);
+    }
+    assert_eq!(histogram.count(), samples.len() as u64);
+
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite makespans"));
+    for q in QUANTILES {
+        let exact = sorted[rank(sorted.len(), q)];
+        let bucketed = histogram.quantile(q).expect("non-empty histogram");
+        // Same rank, so the only admissible error is the bucket width: the
+        // histogram's representative sits within one growth factor of any
+        // sample in its bucket. A rank-convention mismatch (e.g. floor vs
+        // round) would jump a whole order statistic and blow this band on
+        // the heavy upper tail.
+        assert!(
+            bucketed >= exact / growth && bucketed <= exact * growth,
+            "quantile({q}): histogram {bucketed} vs exact {exact} exceeds the \
+             {growth}x bucket resolution"
+        );
+    }
+}

@@ -18,9 +18,10 @@
 use std::collections::BTreeSet;
 
 use ckpt_dag::{topo, TaskId};
+use ckpt_expectation::storage::StorageLevels;
 
 use crate::error::ScheduleError;
-use crate::evaluate::segment_cost_table;
+use crate::evaluate::{levelled_cost_table, segment_cost_table};
 use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 
@@ -174,6 +175,87 @@ pub fn optimal_checkpoints_for_order(
         schedule,
         expected_makespan: scan.expected_makespan,
         candidates_evaluated: scan.candidates,
+    })
+}
+
+/// An exhaustive levelled-search result: the best joint `(position, level)`
+/// checkpoint assignment for a fixed execution order over a storage
+/// hierarchy (see [`optimal_levelled_checkpoints_for_order`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelledBruteForceSolution {
+    /// The optimal expected makespan found.
+    pub expected_makespan: f64,
+    /// Its checkpoints as `(position, level)` pairs in increasing position
+    /// order, the final position being `n − 1`.
+    pub checkpoints: Vec<(usize, usize)>,
+    /// How many feasible (position-set, level-assignment) candidates were
+    /// evaluated.
+    pub candidates_evaluated: u64,
+}
+
+/// Finds the optimal `(position, level)` checkpoint assignment for a
+/// **fixed** execution order by enumerating all `2^{n−1}` checkpoint subsets
+/// **times** all `L^k` level assignments of each subset, skipping
+/// assignments that overrun a bounded level's slots. The exact reference
+/// the levelled chain DP
+/// ([`crate::chain_dp::optimal_levelled_schedule`]) is certified against.
+///
+/// # Errors
+///
+/// * [`ScheduleError::TooLargeForBruteForce`] if the instance has more than
+///   [`MAX_BRUTE_FORCE_TASKS`] tasks (the position × level product grows as
+///   `(2L)^n`);
+/// * [`ScheduleError::InvalidOrder`] if `order` is not a topological order;
+/// * [`ScheduleError::EmptyInstance`] if the instance has no tasks.
+pub fn optimal_levelled_checkpoints_for_order(
+    instance: &ProblemInstance,
+    order: &[TaskId],
+    levels: &StorageLevels,
+) -> Result<LevelledBruteForceSolution, ScheduleError> {
+    let n = instance.task_count();
+    if n == 0 {
+        return Err(ScheduleError::EmptyInstance);
+    }
+    if n > MAX_BRUTE_FORCE_TASKS {
+        return Err(ScheduleError::TooLargeForBruteForce {
+            tasks: n,
+            limit: MAX_BRUTE_FORCE_TASKS,
+        });
+    }
+    let table = levelled_cost_table(instance, order, levels.clone())?;
+    let level_count = levels.len() as u64;
+    let bounded = levels.bounded();
+    let mut best: Option<(f64, Vec<(usize, usize)>)> = None;
+    let mut candidates = 0u64;
+    let mut plan: Vec<(usize, usize)> = Vec::with_capacity(n);
+    for mask in 0..(1u64 << (n - 1)) {
+        let positions: Vec<usize> =
+            (0..n - 1).filter(|&p| mask & (1 << p) != 0).chain(std::iter::once(n - 1)).collect();
+        let assignments = level_count.pow(positions.len() as u32);
+        for code in 0..assignments {
+            plan.clear();
+            let mut digits = code;
+            for &pos in &positions {
+                plan.push((pos, (digits % level_count) as usize));
+                digits /= level_count;
+            }
+            if let Some((level, slots)) = bounded {
+                if plan.iter().filter(|&&(_, l)| l == level).count() > slots {
+                    continue;
+                }
+            }
+            candidates += 1;
+            let cost = table.total_cost(&plan);
+            if best.as_ref().is_none_or(|(incumbent, _)| cost < *incumbent) {
+                best = Some((cost, plan.clone()));
+            }
+        }
+    }
+    let (expected_makespan, checkpoints) = best.ok_or(ScheduleError::EmptyInstance)?;
+    Ok(LevelledBruteForceSolution {
+        expected_makespan,
+        checkpoints,
+        candidates_evaluated: candidates,
     })
 }
 

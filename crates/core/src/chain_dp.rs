@@ -60,9 +60,10 @@
 use ckpt_dag::{properties, TaskId};
 use ckpt_expectation::exact::{expected_time, ExecutionParams};
 use ckpt_expectation::segment_cost::SegmentCostTable;
+use ckpt_expectation::storage::{LevelledCostTable, StorageLevels};
 
 use crate::error::ScheduleError;
-use crate::evaluate::segment_cost_table;
+use crate::evaluate::{levelled_cost_table, segment_cost_table};
 use crate::instance::ProblemInstance;
 use crate::schedule::Schedule;
 use crate::solver_stats;
@@ -494,6 +495,295 @@ pub fn optimal_chain_schedule(instance: &ProblemInstance) -> Result<ChainSolutio
         placement.checkpoint_positions,
         placement.expected_makespan,
     )
+}
+
+/// A levelled checkpoint placement computed directly on a
+/// [`LevelledCostTable`]: each checkpoint is a `(position, level)` pair —
+/// after which position it is taken and which storage level it is written
+/// to. The hierarchical-storage analogue of [`TablePlacement`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelledPlacement {
+    /// The optimal expected makespan over the table's order (the DP value).
+    pub expected_makespan: f64,
+    /// The checkpoints as `(position, level)` pairs in increasing position
+    /// order. The final position is always the table's last (the mandatory
+    /// final checkpoint).
+    pub checkpoints: Vec<(usize, usize)>,
+}
+
+impl LevelledPlacement {
+    /// The checkpoint positions alone, in increasing order.
+    pub fn checkpoint_positions(&self) -> Vec<usize> {
+        self.checkpoints.iter().map(|&(j, _)| j).collect()
+    }
+
+    /// The placement with levels erased, in the form the single-level
+    /// consumers ([`Schedule::new`] via
+    /// [`TablePlacement::checkpoint_after`]) understand.
+    pub fn table_placement(&self) -> TablePlacement {
+        TablePlacement {
+            expected_makespan: self.expected_makespan,
+            checkpoint_positions: self.checkpoint_positions(),
+        }
+    }
+
+    /// The number of checkpoints written to `level`.
+    pub fn checkpoints_on_level(&self, level: usize) -> usize {
+        self.checkpoints.iter().filter(|&&(_, l)| l == level).count()
+    }
+
+    /// The number of checkpoints taken (the final mandatory one included).
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+}
+
+/// Computes the optimal `(position, level)` checkpoint placement on a
+/// [`LevelledCostTable`]: Algorithm 1 generalised to hierarchical storage.
+///
+/// The DP state is `(x, p, s)` — the suffix starts at position `x`,
+/// protected by a checkpoint written to level `p`, with `s` slots of the
+/// bounded level still unused (levels at most one of which is bounded; see
+/// [`StorageLevels`]). The recurrence extends the paper's over the written
+/// level `ℓ`:
+///
+/// ```text
+/// E(x, p, s) = min_{x ≤ j < n} min_ℓ [ T_{p,ℓ}(x, j) + E(j+1, ℓ, s − [ℓ bounded]) ]
+/// E(n, ·, ·) = 0
+/// ```
+///
+/// where `T_{p,ℓ}` charges level `p`'s protecting coefficient and level
+/// `ℓ`'s write cost
+/// ([`SegmentCostTable::cost_with_coefficient`]). Choosing the bounded
+/// level consumes a slot **permanently** (the fast tier holds only so many
+/// checkpoints for the lifetime of the run), which is what makes the
+/// reachable plan set — and hence the optimum — monotone in the slot
+/// budget. The inner loop keeps the single-level solver's pruning: the
+/// cross-level lower bound is the minimum of the per-level monotone bounds,
+/// so once it clears the incumbent no later split on any level can win.
+///
+/// With a single unbounded level the state space collapses to `(x)` and
+/// every floating-point operation replays [`optimal_placement_on_table`]'s
+/// in order, so the result is **bitwise identical** — the differential wall
+/// the tests enforce.
+///
+/// `O(n² · L · (L + S))` time for `L` levels and a slot budget of `S`,
+/// `O(n · L · S)` space.
+///
+/// # Panics
+///
+/// Panics if no feasible plan exists — only possible when *every* level is
+/// slot-bounded, i.e. a single bounded level with fewer slots than the one
+/// mandatory final checkpoint.
+pub fn optimal_levelled_placement_on_table(table: &LevelledCostTable) -> LevelledPlacement {
+    let n = table.len();
+    let levels = table.level_count();
+    let (bounded, budget) = match table.levels().bounded() {
+        // A plan never takes more than `n` checkpoints, so larger budgets
+        // are equivalent to `n` (keeps the state space `O(n)` in the budget).
+        Some((idx, slots)) => (Some(idx), slots.min(n)),
+        None => (None, 0),
+    };
+    let slot_states = budget + 1;
+    let states = levels * slot_states;
+    let idx = |x: usize, p: usize, s: usize| (x * levels + p) * slot_states + s;
+    // value[idx(x, p, s)] is E(x, p, s); row x = n is the 0 base case.
+    let mut value = vec![0.0f64; (n + 1) * states];
+    let mut choice_j = vec![0usize; n * states];
+    let mut choice_level = vec![0usize; n * states];
+    let mut candidates = 0u64;
+    let mut prune_breaks = 0u64;
+    for x in (0..n).rev() {
+        for p in 0..levels {
+            // Level p's protecting coefficient e^{λR_x}(1/λ+D); at x = 0 it
+            // is the level-independent initial recovery on every table.
+            let coefficient = table.table(p).coefficient(x);
+            for s in 0..slot_states {
+                let mut best = f64::INFINITY;
+                let mut best_j = n - 1;
+                let mut best_level = 0usize;
+                for j in x..n {
+                    let mut bound =
+                        table.table(0).segment_lower_bound_with_coefficient(x, j, coefficient);
+                    for level in 1..levels {
+                        bound = bound.min(table.table(level).segment_lower_bound_with_coefficient(
+                            x,
+                            j,
+                            coefficient,
+                        ));
+                    }
+                    if bound > best {
+                        prune_breaks += 1;
+                        break;
+                    }
+                    for level in 0..levels {
+                        let next_s = match bounded {
+                            Some(b) if b == level => {
+                                if s == 0 {
+                                    // The bounded level is exhausted: it
+                                    // cannot be written in this suffix.
+                                    continue;
+                                }
+                                s - 1
+                            }
+                            _ => s,
+                        };
+                        candidates += 1;
+                        let cost = table.table(level).cost_with_coefficient(x, j, coefficient)
+                            + value[idx(j + 1, level, next_s)];
+                        if cost < best {
+                            best = cost;
+                            best_j = j;
+                            best_level = level;
+                        }
+                    }
+                }
+                value[idx(x, p, s)] = best;
+                choice_j[idx(x, p, s)] = best_j;
+                choice_level[idx(x, p, s)] = best_level;
+            }
+        }
+    }
+    solver_stats::DP_POSITIONS.add((n * states) as u64);
+    solver_stats::DP_CANDIDATES.add(candidates);
+    solver_stats::DP_PRUNE_BREAKS.add(prune_breaks);
+
+    let expected_makespan = value[idx(0, 0, budget)];
+    assert!(
+        expected_makespan.is_finite(),
+        "no feasible levelled plan: the only storage level cannot hold the final checkpoint"
+    );
+    let mut checkpoints = Vec::new();
+    let (mut x, mut p, mut s) = (0usize, 0usize, budget);
+    while x < n {
+        let state = idx(x, p, s);
+        let j = choice_j[state];
+        let level = choice_level[state];
+        checkpoints.push((j, level));
+        if bounded == Some(level) {
+            s -= 1;
+        }
+        p = level;
+        x = j + 1;
+    }
+    LevelledPlacement { expected_makespan, checkpoints }
+}
+
+/// The result of the levelled chain dynamic program
+/// ([`optimal_levelled_schedule`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelledSolution {
+    /// The optimal schedule (chain order, optimal checkpoint positions) with
+    /// levels erased — drop-in compatible with every single-level consumer.
+    pub schedule: Schedule,
+    /// The optimal expected makespan under the storage hierarchy (the DP
+    /// value).
+    pub expected_makespan: f64,
+    /// The checkpoints as `(position, level)` pairs in increasing position
+    /// order. Always ends at position `n − 1`.
+    pub checkpoints: Vec<(usize, usize)>,
+    /// The storage hierarchy the plan was computed for.
+    pub levels: StorageLevels,
+}
+
+impl LevelledSolution {
+    /// The storage level the checkpoint after `position` is written to, or
+    /// `None` if no checkpoint is taken there.
+    pub fn level_at(&self, position: usize) -> Option<usize> {
+        self.checkpoints.iter().find(|&&(j, _)| j == position).map(|&(_, level)| level)
+    }
+
+    /// Converts the levelled plan into simulator [`Segment`](ckpt_simulator::Segment)s: each
+    /// segment's checkpoint cost is scaled by the written level's write
+    /// factor, and the *next* segment's recovery by that same level's read
+    /// factor (see [`ckpt_simulator::levelled_segments`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates segment-validation errors (cannot occur for instances
+    /// built through [`ProblemInstance::builder`], whose weights are
+    /// positive).
+    pub fn to_segments(
+        &self,
+        instance: &ProblemInstance,
+    ) -> Result<Vec<ckpt_simulator::Segment>, ckpt_simulator::SimulationError> {
+        let order = self.schedule.order();
+        let works: Vec<f64> = order.iter().map(|&t| instance.weight(t)).collect();
+        let checkpoints: Vec<f64> = order.iter().map(|&t| instance.checkpoint_cost(t)).collect();
+        let recoveries: Vec<f64> = order.iter().map(|&t| instance.recovery_cost(t)).collect();
+        ckpt_simulator::levelled_segments(
+            &works,
+            &checkpoints,
+            &recoveries,
+            instance.initial_recovery(),
+            &self.levels,
+            &self.checkpoints,
+        )
+    }
+}
+
+/// Computes the optimal joint `(position, level)` checkpoint plan for a
+/// linear-chain instance over a storage hierarchy: Algorithm 1 with the
+/// written storage level as a second decision per checkpoint and the fast
+/// tier's slot budget threaded through the DP state
+/// ([`optimal_levelled_placement_on_table`]).
+///
+/// With `StorageLevels::single()` this is **bitwise identical** to
+/// [`optimal_chain_schedule`] — same expected makespan to the last bit,
+/// same positions (differential-tested).
+///
+/// # Example
+///
+/// ```
+/// use ckpt_core::{chain_dp, ProblemInstance};
+/// use ckpt_dag::generators;
+/// use ckpt_expectation::storage::{StorageLevel, StorageLevels};
+///
+/// let graph = generators::chain(&[500.0, 1_500.0, 250.0, 750.0])?;
+/// let instance = ProblemInstance::builder(graph)
+///     .uniform_checkpoint_cost(25.0)
+///     .uniform_recovery_cost(40.0)
+///     .platform_lambda(1.0 / 2_000.0)
+///     .build()?;
+/// // A burst-buffer tier: 4× cheaper writes, 5× cheaper reads, 1 slot.
+/// let levels = StorageLevels::two_level(
+///     StorageLevel::new(0.25, 0.2)?.with_slots(1),
+///     StorageLevel::new(1.0, 1.0)?,
+/// )?;
+///
+/// let levelled = chain_dp::optimal_levelled_schedule(&instance, &levels)?;
+/// let flat = chain_dp::optimal_chain_schedule(&instance)?;
+/// // The hierarchy can only help: the flat plan is still available.
+/// assert!(levelled.expected_makespan <= flat.expected_makespan);
+/// // The final checkpoint is mandatory and carries its level.
+/// assert_eq!(levelled.checkpoints.last().unwrap().0, 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// * [`ScheduleError::NotAChain`] if the instance graph is not a linear
+///   chain;
+/// * propagated validation errors (cannot occur for instances built through
+///   [`ProblemInstance::builder`]).
+pub fn optimal_levelled_schedule(
+    instance: &ProblemInstance,
+    levels: &StorageLevels,
+) -> Result<LevelledSolution, ScheduleError> {
+    let order = properties::as_chain(instance.graph()).ok_or(ScheduleError::NotAChain)?;
+    let table = levelled_cost_table(instance, &order, levels.clone())?;
+    let placement = optimal_levelled_placement_on_table(&table);
+    let mut checkpoint_after = vec![false; order.len()];
+    for &(j, _) in &placement.checkpoints {
+        checkpoint_after[j] = true;
+    }
+    let schedule = Schedule::new(instance, order, checkpoint_after)?;
+    Ok(LevelledSolution {
+        schedule,
+        expected_makespan: placement.expected_makespan,
+        checkpoints: placement.checkpoints,
+        levels: levels.clone(),
+    })
 }
 
 /// Computes the optimal checkpoint placement in `O(n log n)` by treating each
@@ -1706,6 +1996,223 @@ mod tests {
             let brute = exhaustive_optimum(&inst);
             prop_assert!((dc.expected_makespan - brute).abs() / brute < 1e-10,
                 "divide-conquer {} vs exhaustive {brute}", dc.expected_makespan);
+        }
+    }
+
+    mod levelled {
+        use super::*;
+        use crate::brute_force::optimal_levelled_checkpoints_for_order;
+        use ckpt_expectation::storage::StorageLevel;
+
+        fn two_level(slots: usize) -> StorageLevels {
+            StorageLevels::two_level(
+                StorageLevel::new(0.25, 0.2).unwrap().with_slots(slots),
+                StorageLevel::new(1.0, 1.0).unwrap(),
+            )
+            .unwrap()
+        }
+
+        /// A seed-derived hierarchy: a bounded fast tier with factors below
+        /// one and an unbounded slow tier with factors around one — keeps
+        /// the property tests away from the hand-picked constants.
+        fn random_two_level(rng: &mut Pcg64) -> StorageLevels {
+            let fast = StorageLevel::new(0.05 + rng.next_f64() * 0.9, 0.05 + rng.next_f64() * 0.9)
+                .unwrap()
+                .with_slots((rng.next_f64() * 4.0) as usize);
+            let slow =
+                StorageLevel::new(0.5 + rng.next_f64() * 2.0, 0.5 + rng.next_f64() * 2.0).unwrap();
+            StorageLevels::two_level(fast, slow).unwrap()
+        }
+
+        #[test]
+        fn single_unit_level_collapses_bitwise_to_the_flat_solver() {
+            // The differential wall: with `StorageLevels::single()` every
+            // floating-point operation of the levelled DP replays the flat
+            // DP's in order, so values agree to the last bit — on arbitrary
+            // heterogeneous instances, not just friendly ones.
+            for seed in 0..25u64 {
+                for lambda in [1e-5, 1e-3, 0.05] {
+                    let inst = random_heterogeneous_chain(seed, 3 + (seed % 30) as usize, lambda);
+                    let flat = optimal_chain_schedule(&inst).unwrap();
+                    let levelled =
+                        optimal_levelled_schedule(&inst, &StorageLevels::single()).unwrap();
+                    assert_eq!(
+                        levelled.expected_makespan.to_bits(),
+                        flat.expected_makespan.to_bits(),
+                        "seed {seed} λ {lambda}: {} vs {}",
+                        levelled.expected_makespan,
+                        flat.expected_makespan
+                    );
+                    assert_eq!(
+                        levelled.checkpoints.iter().map(|&(j, _)| j).collect::<Vec<_>>(),
+                        flat.checkpoint_positions,
+                    );
+                    assert!(levelled.checkpoints.iter().all(|&(_, l)| l == 0));
+                    assert_eq!(levelled.schedule, flat.schedule);
+                }
+            }
+        }
+
+        #[test]
+        fn collapse_also_holds_on_saturated_tables() {
+            // λ·total work beyond the table's safe exponent: both solvers run
+            // in the per-call exp_m1 regime and must still agree bitwise.
+            let inst = chain_instance(&[2_000.0; 6], 60.0, 90.0, 30.0, 0.1);
+            let flat = optimal_chain_schedule(&inst).unwrap();
+            let levelled = optimal_levelled_schedule(&inst, &StorageLevels::single()).unwrap();
+            assert_eq!(levelled.expected_makespan.to_bits(), flat.expected_makespan.to_bits());
+        }
+
+        #[test]
+        fn fast_tier_with_ample_slots_takes_every_checkpoint() {
+            // A strictly cheaper tier with enough slots dominates level by
+            // level: the optimum writes everything to it.
+            let inst = chain_instance(&[400.0, 100.0, 900.0, 250.0, 650.0], 60.0, 60.0, 30.0, 1e-3);
+            let sol = optimal_levelled_schedule(&inst, &two_level(5)).unwrap();
+            assert!(sol.checkpoints.iter().all(|&(_, l)| l == 0), "plan {:?}", sol.checkpoints);
+            let flat = optimal_chain_schedule(&inst).unwrap();
+            assert!(sol.expected_makespan < flat.expected_makespan);
+        }
+
+        #[test]
+        fn bounded_slots_are_respected_and_zero_slots_collapse_to_slow() {
+            let inst = chain_instance(&[400.0, 100.0, 900.0, 250.0, 650.0], 60.0, 60.0, 30.0, 1e-3);
+            for slots in 0..=3usize {
+                let sol = optimal_levelled_schedule(&inst, &two_level(slots)).unwrap();
+                let used = sol.checkpoints.iter().filter(|&&(_, l)| l == 0).count();
+                assert!(used <= slots, "{used} fast checkpoints with {slots} slots");
+            }
+            // Zero fast slots: the plan (and its value) is the slow tier's —
+            // here the slow tier is the unit level, i.e. the flat optimum.
+            let zero = optimal_levelled_schedule(&inst, &two_level(0)).unwrap();
+            let flat = optimal_chain_schedule(&inst).unwrap();
+            assert!((zero.expected_makespan - flat.expected_makespan).abs() < 1e-9);
+        }
+
+        #[test]
+        fn more_slots_never_hurt() {
+            // Monotone improvement by plan-set inclusion: every plan feasible
+            // with s slots is feasible with s + 1.
+            let inst =
+                chain_instance(&[400.0, 100.0, 900.0, 250.0, 650.0, 300.0], 60.0, 60.0, 30.0, 1e-3);
+            let mut last = f64::INFINITY;
+            for slots in 0..=6usize {
+                let sol = optimal_levelled_schedule(&inst, &two_level(slots)).unwrap();
+                assert!(
+                    sol.expected_makespan <= last + 1e-12,
+                    "slots {slots}: {} after {last}",
+                    sol.expected_makespan
+                );
+                last = sol.expected_makespan;
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "no feasible levelled plan")]
+        fn slotless_single_level_has_no_plan() {
+            let inst = chain_instance(&[400.0, 100.0], 60.0, 60.0, 30.0, 1e-3);
+            let levels =
+                StorageLevels::new(vec![StorageLevel::new(1.0, 1.0).unwrap().with_slots(0)])
+                    .unwrap();
+            let _ = optimal_levelled_schedule(&inst, &levels);
+        }
+
+        #[test]
+        fn levelled_value_matches_table_total_cost_and_segments() {
+            // The DP value, the levelled table's plan evaluation and the
+            // closed form summed over the executable segments all agree.
+            let inst = chain_instance(&[400.0, 100.0, 900.0, 250.0, 650.0], 45.0, 80.0, 25.0, 2e-3);
+            let sol = optimal_levelled_schedule(&inst, &two_level(2)).unwrap();
+            let order = properties::as_chain(inst.graph()).unwrap();
+            let table = levelled_cost_table(&inst, &order, two_level(2)).unwrap();
+            let total = table.total_cost(&sol.checkpoints);
+            assert!((sol.expected_makespan - total).abs() / total < 1e-10);
+            let segments = sol.to_segments(&inst).unwrap();
+            assert_eq!(segments.len(), sol.checkpoints.len());
+            let summed: f64 = segments
+                .iter()
+                .map(|s| {
+                    expected_time(
+                        &ExecutionParams::new(
+                            s.work(),
+                            s.checkpoint(),
+                            inst.downtime(),
+                            s.recovery(),
+                            inst.lambda(),
+                        )
+                        .unwrap(),
+                    )
+                })
+                .sum();
+            assert!(
+                (sol.expected_makespan - summed).abs() / summed < 1e-10,
+                "dp {} vs segment sum {summed}",
+                sol.expected_makespan
+            );
+        }
+
+        #[test]
+        fn levelled_analytic_value_matches_simulation() {
+            // Execution-semantics wall: the Monte-Carlo engine run on the
+            // levelled segments reproduces the levelled DP's expectation.
+            let inst =
+                chain_instance(&[400.0, 100.0, 900.0, 250.0], 60.0, 60.0, 30.0, 1.0 / 2_000.0);
+            let sol = optimal_levelled_schedule(&inst, &two_level(1)).unwrap();
+            let segments = sol.to_segments(&inst).unwrap();
+            let outcome = ckpt_simulator::SimulationScenario::exponential(inst.lambda())
+                .with_downtime(inst.downtime())
+                .with_trials(20_000)
+                .with_seed(23)
+                .run(&segments);
+            let rel = outcome.makespan.relative_error(sol.expected_makespan);
+            assert!(rel < 0.02, "relative error {rel}");
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(40))]
+
+            #[test]
+            fn prop_levelled_dp_matches_exhaustive(
+                seed in any::<u64>(),
+                n in 2usize..7,
+                lambda_exp in -5.0f64..-2.0,
+            ) {
+                let lambda = 10f64.powf(lambda_exp);
+                let inst = random_heterogeneous_chain(seed, n, lambda);
+                let mut rng = Pcg64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+                let levels = random_two_level(&mut rng);
+                let sol = optimal_levelled_schedule(&inst, &levels).unwrap();
+                let order = properties::as_chain(inst.graph()).unwrap();
+                let brute =
+                    optimal_levelled_checkpoints_for_order(&inst, &order, &levels).unwrap();
+                let gap = (sol.expected_makespan - brute.expected_makespan).abs()
+                    / brute.expected_makespan;
+                prop_assert!(gap < 1e-10,
+                    "dp {} vs exhaustive {} (plan {:?} vs {:?})",
+                    sol.expected_makespan, brute.expected_makespan,
+                    sol.checkpoints, brute.checkpoints);
+            }
+
+            #[test]
+            fn prop_single_unit_level_collapse_is_bitwise(
+                seed in any::<u64>(),
+                n in 2usize..24,
+                lambda_exp in -6.0f64..-1.0,
+            ) {
+                let lambda = 10f64.powf(lambda_exp);
+                let inst = random_heterogeneous_chain(seed, n, lambda);
+                let order = properties::as_chain(inst.graph()).unwrap();
+                let base = segment_cost_table(&inst, &order).unwrap();
+                let table =
+                    levelled_cost_table(&inst, &order, StorageLevels::single()).unwrap();
+                let flat = optimal_placement_on_table(&base);
+                let levelled = optimal_levelled_placement_on_table(&table);
+                prop_assert_eq!(
+                    levelled.expected_makespan.to_bits(),
+                    flat.expected_makespan.to_bits()
+                );
+                prop_assert_eq!(levelled.checkpoint_positions(), flat.checkpoint_positions);
+            }
         }
     }
 }

@@ -69,6 +69,9 @@ pub enum ScheduleError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A storage hierarchy is malformed (more than one slot-bounded level —
+    /// the levelled DP threads a single slot budget through its state).
+    InvalidStorageLevels,
 }
 
 impl fmt::Display for ScheduleError {
@@ -111,6 +114,9 @@ impl fmt::Display for ScheduleError {
             ScheduleError::InvalidThreePartition { reason } => {
                 write!(f, "invalid 3-PARTITION instance: {reason}")
             }
+            ScheduleError::InvalidStorageLevels => {
+                write!(f, "at most one storage level may carry a slot bound")
+            }
         }
     }
 }
@@ -137,6 +143,7 @@ impl ScheduleError {
             ExpectationError::ZeroProcessors => {
                 ScheduleError::NonPositiveParameter { name: "processors", value: 0.0 }
             }
+            ExpectationError::MultipleBoundedLevels => ScheduleError::InvalidStorageLevels,
         }
     }
 }

@@ -8,6 +8,7 @@
 use ckpt_dag::{topo, TaskId};
 use ckpt_expectation::exact::{expected_time, ExecutionParams};
 use ckpt_expectation::segment_cost::SegmentCostTable;
+use ckpt_expectation::storage::{LevelledCostTable, StorageLevels};
 use ckpt_expectation::sweep::LambdaSweep;
 
 use crate::error::ScheduleError;
@@ -80,6 +81,33 @@ pub fn segment_cost_table(
         &weights,
         &checkpoints,
         &recoveries,
+    )
+    .map_err(ScheduleError::from_expectation)
+}
+
+/// Builds a [`LevelledCostTable`] for `instance` along `order`: one
+/// [`SegmentCostTable`] per storage level, the per-position checkpoint and
+/// protecting-recovery costs scaled by each level's write/read factors (the
+/// initial recovery `R₀` excepted — it belongs to no level). The
+/// hierarchical-storage analogue of [`segment_cost_table`], consumed by
+/// [`crate::chain_dp::optimal_levelled_schedule`].
+///
+/// # Errors
+///
+/// Same as [`segment_cost_table`].
+pub fn levelled_cost_table(
+    instance: &ProblemInstance,
+    order: &[TaskId],
+    levels: StorageLevels,
+) -> Result<LevelledCostTable, ScheduleError> {
+    let (weights, checkpoints, recoveries) = order_cost_vectors(instance, order)?;
+    LevelledCostTable::new(
+        instance.lambda(),
+        instance.downtime(),
+        &weights,
+        &checkpoints,
+        &recoveries,
+        levels,
     )
     .map_err(ScheduleError::from_expectation)
 }

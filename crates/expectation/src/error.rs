@@ -39,6 +39,9 @@ pub enum ExpectationError {
     },
     /// The processor count must be at least one.
     ZeroProcessors,
+    /// At most one storage level may carry a slot bound (the hierarchical
+    /// planning DP tracks one slot budget; see [`crate::storage`]).
+    MultipleBoundedLevels,
 }
 
 impl fmt::Display for ExpectationError {
@@ -58,6 +61,9 @@ impl fmt::Display for ExpectationError {
             }
             ExpectationError::ZeroProcessors => {
                 write!(f, "the platform needs at least one processor")
+            }
+            ExpectationError::MultipleBoundedLevels => {
+                write!(f, "at most one storage level may carry a slot bound")
             }
         }
     }

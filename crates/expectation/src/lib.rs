@@ -57,6 +57,7 @@ pub mod numeric;
 pub mod optimal_period;
 pub mod overhead;
 pub mod segment_cost;
+pub mod storage;
 pub mod sweep;
 pub mod waste;
 pub mod workload;
@@ -64,4 +65,5 @@ pub mod workload;
 pub use error::ExpectationError;
 pub use exact::{expected_lost, expected_recovery, expected_time, ExecutionParams};
 pub use overhead::OverheadModel;
+pub use storage::{LevelledCostTable, StorageLevel, StorageLevels};
 pub use workload::WorkloadModel;

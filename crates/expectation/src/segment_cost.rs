@@ -277,6 +277,53 @@ impl SegmentCostTable {
         self.coeff[x]
     }
 
+    /// [`cost`]`(x, j)` with the protecting coefficient `e^{λR_x}(1/λ + D)`
+    /// supplied by the caller instead of read from this table — the
+    /// cross-level query of hierarchical storage planning: the Proposition-1
+    /// segment cost factors into a coefficient that depends only on the
+    /// **protecting** checkpoint (whose recovery cost is set by the level it
+    /// was written to) and an exponent term that depends only on the segment
+    /// span and the **written** checkpoint, so a levelled cost is this
+    /// table's exponent term (write level) times another table's coefficient
+    /// (protecting level).
+    ///
+    /// With `coefficient == self.coefficient(x)` this is bitwise identical
+    /// to [`cost`]`(x, j)` — the property the levelled DP's single-level
+    /// collapse rests on.
+    ///
+    /// [`cost`]: SegmentCostTable::cost
+    pub fn cost_with_coefficient(&self, x: usize, j: usize, coefficient: f64) -> f64 {
+        debug_assert!(x <= j && j < self.len());
+        let z = self.lambda * (self.work(x, j) + self.ckpt[j]);
+        if self.saturated || z < SMALL_EXPONENT {
+            coefficient * z.exp_m1()
+        } else {
+            coefficient * (self.exp_prefix[j + 1] * self.inv_exp_prefix[x] * self.exp_ckpt[j] - 1.0)
+        }
+    }
+
+    /// [`segment_lower_bound`]`(x, j)` with a caller-supplied protecting
+    /// coefficient (see
+    /// [`cost_with_coefficient`](SegmentCostTable::cost_with_coefficient)):
+    /// a lower bound on `cost_with_coefficient(x, j′, coefficient)` for
+    /// every `j′ ≥ j`, non-decreasing in `j`. Bitwise identical to
+    /// [`segment_lower_bound`] when `coefficient == self.coefficient(x)`.
+    ///
+    /// [`segment_lower_bound`]: SegmentCostTable::segment_lower_bound
+    pub fn segment_lower_bound_with_coefficient(
+        &self,
+        x: usize,
+        j: usize,
+        coefficient: f64,
+    ) -> f64 {
+        debug_assert!(x <= j && j < self.len());
+        if self.saturated {
+            coefficient * (self.min_log_slope_suffix[j] - self.lambda * self.prefix[x]).exp_m1()
+        } else {
+            coefficient * (self.min_slope_suffix[j] * self.inv_exp_prefix[x] - 1.0)
+        }
+    }
+
     /// The "query point" `t_x = e^{λR_x}(1/λ + D)·e^{−λ·prefix[x]}` of
     /// position `x`: [`cost`]`(x, j) = `[`slope`]`(j)·t_x − `
     /// [`coefficient`]`(x) + `[`slope`]-independent terms — i.e. for fixed

@@ -284,7 +284,22 @@ pub fn nearest_rate_bucket(grid: &[f64], lambda: f64) -> usize {
     }
     // Nearest in log space: compare against the geometric mean of the two
     // neighbouring grid points (λ² vs product avoids any `ln` calls).
-    if lambda * lambda < grid[upper - 1] * grid[upper] {
+    //
+    // Both products can leave the normal `f64` range for extreme-but-valid
+    // rates: `λ²` underflows to 0 below ~1.5e-162 and `grid[i−1]·grid[i]`
+    // overflows to ∞ above ~1.3e154 (and symmetrically). A degenerate
+    // product would silently bias the comparison towards one neighbour, so
+    // those cases fall back to the mathematically identical — just slower —
+    // log-space comparison.
+    let squared = lambda * lambda;
+    let neighbours = grid[upper - 1] * grid[upper];
+    let below_midpoint =
+        if squared > 0.0 && squared.is_finite() && neighbours > 0.0 && neighbours.is_finite() {
+            squared < neighbours
+        } else {
+            2.0 * lambda.ln() < grid[upper - 1].ln() + grid[upper].ln()
+        };
+    if below_midpoint {
         upper - 1
     } else {
         upper
@@ -544,5 +559,65 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn nearest_bucket_rejects_empty_grids() {
         let _ = nearest_rate_bucket(&[], 1e-4);
+    }
+
+    #[test]
+    fn nearest_bucket_handles_underflowing_and_overflowing_products() {
+        // λ² underflows to 0 here, as does the neighbour product: the fast
+        // comparison `0 < 0` is false and would clamp every interior probe
+        // to the upper bucket regardless of its actual position.
+        let tiny = [1e-200, 1e-190];
+        assert_eq!(nearest_rate_bucket(&tiny, 1e-199), 0);
+        assert_eq!(nearest_rate_bucket(&tiny, 1e-191), 1);
+        // λ² and the neighbour product both overflow to ∞ (`∞ < ∞` is
+        // false): probes just above the lower grid point would misbucket.
+        let huge = [1e180, 1e190];
+        assert_eq!(nearest_rate_bucket(&huge, 1e181), 0);
+        assert_eq!(nearest_rate_bucket(&huge, 1e189), 1);
+        // Subnormal grid entries: the products are flushed to zero.
+        let subnormal = [1e-310, 1e-305];
+        assert_eq!(nearest_rate_bucket(&subnormal, 2e-310), 0);
+        assert_eq!(nearest_rate_bucket(&subnormal, 2e-306), 1);
+    }
+
+    mod bucket_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_nearest_bucket_is_log_nearest_at_any_scale(
+                exponent in -305.0f64..160.0,
+                ratio in 1.2f64..10.0,
+                points in 2usize..9,
+                probe in 0.0f64..1.0,
+            ) {
+                // Grids anchored anywhere from subnormal-scale (1e-305, where
+                // λ² and the neighbour products flush to zero) up to 1e160
+                // (where they overflow to ∞): the regimes where the log-space
+                // fallback must take over. The ranges keep every grid entry
+                // itself finite, positive and strictly increasing.
+                let scale = 10.0f64.powf(exponent);
+                let grid: Vec<f64> =
+                    (0..points).map(|i| scale * ratio.powi(i as i32)).collect();
+                let lambda = scale * ratio.powf(probe * points as f64);
+
+                let bucket = nearest_rate_bucket(&grid, lambda);
+                let chosen = (lambda.ln() - grid[bucket].ln()).abs();
+                let best = grid
+                    .iter()
+                    .map(|g| (lambda.ln() - g.ln()).abs())
+                    .fold(f64::INFINITY, f64::min);
+                // Nearest in log space up to rounding of the `ln` calls
+                // (exact geometric-mean ties may resolve either way).
+                prop_assert!(
+                    chosen <= best * (1.0 + 1e-12) + 1e-12,
+                    "bucket {} at log-distance {} but best is {}",
+                    bucket,
+                    chosen,
+                    best
+                );
+            }
+        }
     }
 }

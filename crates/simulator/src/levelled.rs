@@ -1,0 +1,163 @@
+//! Hierarchical-storage execution: mapping a levelled checkpoint plan onto
+//! the simulator's segment semantics.
+//!
+//! The §2 rollback engine ([`crate::engine::simulate`], the policy engines)
+//! is already level-aware in the only way execution needs: every
+//! [`Segment`] carries the recovery cost *protecting* it, and a failure
+//! inside segment `k` recovers with `segments[k].recovery()` — the read
+//! cost of the checkpoint written at the end of segment `k − 1`, whatever
+//! medium it was written to. Levelled execution therefore reduces to
+//! building the right segments: segment `k`'s checkpoint cost is the base
+//! write cost scaled by the **written** level's factor, and segment
+//! `k + 1`'s recovery is the base read cost scaled by that same level's
+//! factor (the level the checkpoint actually lives on). [`levelled_segments`]
+//! performs exactly that mapping, so every existing engine — single-run,
+//! Monte-Carlo, policy, cluster — executes hierarchical-storage plans
+//! unchanged, rollback helpers ([`crate::rollback`]) included.
+
+use ckpt_expectation::storage::StorageLevels;
+
+use crate::error::SimulationError;
+use crate::segment::Segment;
+
+/// Builds the executable [`Segment`]s of a levelled checkpoint plan over one
+/// execution order, described positionally: `works[i]` is the work at
+/// position `i`, `checkpoints[i]` the **base** (level factor 1) cost of a
+/// checkpoint written right after it, `recoveries[i]` the base read cost of
+/// that same checkpoint. `plan` lists the checkpoints as `(position, level)`
+/// pairs in increasing position order, ending at the mandatory final
+/// position `n − 1`.
+///
+/// Segment `k` is charged:
+///
+/// * the summed work of its positions;
+/// * the written level's checkpoint cost, `checkpoints[j_k] ·
+///   checkpoint_factor(ℓ_k)`;
+/// * a protecting recovery equal to the **previous** segment's written-level
+///   read cost, `recoveries[j_{k−1}] · recovery_factor(ℓ_{k−1})` — the
+///   initial recovery for `k = 0`, which belongs to no level.
+///
+/// # Errors
+///
+/// Propagates [`Segment::new`] validation errors (cannot occur when the
+/// positional costs come from a validated instance).
+///
+/// # Panics
+///
+/// Panics if the positional slices differ in length, `plan` is empty, a
+/// position or level is out of range, positions are not strictly
+/// increasing, the final position is not `n − 1`, or the plan overruns a
+/// bounded level's slots — malformed plans are programming errors, not
+/// simulation outcomes.
+pub fn levelled_segments(
+    works: &[f64],
+    checkpoints: &[f64],
+    recoveries: &[f64],
+    initial_recovery: f64,
+    levels: &StorageLevels,
+    plan: &[(usize, usize)],
+) -> Result<Vec<Segment>, SimulationError> {
+    let n = works.len();
+    assert_eq!(checkpoints.len(), n, "one checkpoint cost per position");
+    assert_eq!(recoveries.len(), n, "one recovery cost per position");
+    assert!(!plan.is_empty(), "a plan needs at least the final checkpoint");
+    assert_eq!(plan.last().unwrap().0, n - 1, "final checkpoint is mandatory");
+    if let Some((bounded, slots)) = levels.bounded() {
+        let used = plan.iter().filter(|(_, level)| *level == bounded).count();
+        assert!(used <= slots, "plan uses {used} slots of {slots} on level {bounded}");
+    }
+    let mut segments = Vec::with_capacity(plan.len());
+    let mut start = 0usize;
+    let mut recovery = initial_recovery;
+    for &(j, level) in plan {
+        assert!(start <= j && j < n, "plan positions must be strictly increasing");
+        assert!(level < levels.len(), "level {level} out of range");
+        let spec = levels.levels()[level];
+        let work: f64 = works[start..=j].iter().sum();
+        segments.push(Segment::new(work, checkpoints[j] * spec.checkpoint_factor(), recovery)?);
+        recovery = recoveries[j] * spec.recovery_factor();
+        start = j + 1;
+    }
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckpt_expectation::storage::StorageLevel;
+
+    const WORKS: [f64; 4] = [400.0, 100.0, 900.0, 250.0];
+    const CKPTS: [f64; 4] = [60.0, 10.0, 45.0, 30.0];
+    const RECS: [f64; 4] = [15.0, 60.0, 20.0, 10.0];
+
+    fn two_level() -> StorageLevels {
+        StorageLevels::two_level(
+            StorageLevel::new(0.25, 0.2).unwrap().with_slots(2),
+            StorageLevel::new(1.0, 1.0).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn charges_written_level_on_write_and_next_recovery() {
+        // Fast checkpoint after 1, slow final checkpoint after 3.
+        let segs =
+            levelled_segments(&WORKS, &CKPTS, &RECS, 5.0, &two_level(), &[(1, 0), (3, 1)]).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].work(), 500.0);
+        assert_eq!(segs[0].checkpoint(), 10.0 * 0.25);
+        assert_eq!(segs[0].recovery(), 5.0, "first segment recovers from R0, level-free");
+        assert_eq!(segs[1].work(), 1150.0);
+        assert_eq!(segs[1].checkpoint(), 30.0 * 1.0);
+        // The protecting checkpoint was written to the fast tier: reads are
+        // scaled by *its* factor, not the writing segment's.
+        assert_eq!(segs[1].recovery(), 60.0 * 0.2);
+    }
+
+    #[test]
+    fn unit_single_level_matches_flat_segments() {
+        let flat = StorageLevels::single();
+        let segs = levelled_segments(&WORKS, &CKPTS, &RECS, 5.0, &flat, &[(0, 0), (2, 0), (3, 0)])
+            .unwrap();
+        assert_eq!(segs[0].checkpoint(), CKPTS[0]);
+        assert_eq!(segs[1].recovery(), RECS[0]);
+        assert_eq!(segs[2].recovery(), RECS[2]);
+        assert_eq!(segs[2].checkpoint(), CKPTS[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slots")]
+    fn slot_overrun_is_rejected() {
+        let levels = StorageLevels::two_level(
+            StorageLevel::new(0.25, 0.2).unwrap().with_slots(1),
+            StorageLevel::new(1.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        let _ = levelled_segments(&WORKS, &CKPTS, &RECS, 5.0, &levels, &[(0, 0), (3, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "final checkpoint")]
+    fn missing_final_checkpoint_is_rejected() {
+        let _ = levelled_segments(&WORKS, &CKPTS, &RECS, 5.0, &two_level(), &[(1, 1)]);
+    }
+
+    #[test]
+    fn levelled_simulation_agrees_with_flat_simulation_of_the_same_segments() {
+        // A levelled plan is just segments: the Monte-Carlo engine needs no
+        // changes, and an identical manually built flat schedule replays it
+        // seed for seed.
+        let levels = two_level();
+        let plan = [(1, 0), (3, 1)];
+        let segs = levelled_segments(&WORKS, &CKPTS, &RECS, 5.0, &levels, &plan).unwrap();
+        let manual =
+            vec![Segment::new(500.0, 2.5, 5.0).unwrap(), Segment::new(1150.0, 30.0, 12.0).unwrap()];
+        let scenario = crate::SimulationScenario::exponential(1e-3)
+            .with_downtime(30.0)
+            .with_trials(200)
+            .with_seed(42);
+        let a = scenario.run(&segs);
+        let b = scenario.run(&manual);
+        assert_eq!(a.samples, b.samples);
+    }
+}

@@ -55,6 +55,7 @@
 pub mod engine;
 pub mod error;
 pub mod event_log;
+pub mod levelled;
 pub mod montecarlo;
 pub mod policy;
 pub mod rollback;
@@ -65,6 +66,7 @@ pub mod trace;
 pub use engine::{simulate, ExecutionRecord, TimeBreakdown};
 pub use error::SimulationError;
 pub use event_log::{simulate_with_log, ExecutionEvent, LoggedExecution};
+pub use levelled::levelled_segments;
 pub use montecarlo::{
     scatter_trials, scatter_trials_with, DagPolicyMonteCarloOutcome, MonteCarloOutcome,
     PolicyMonteCarloOutcome, SimulationScenario,

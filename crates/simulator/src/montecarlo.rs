@@ -64,7 +64,11 @@ impl MonteCarloOutcome {
         self.samples.iter().filter(|&&m| m > threshold).count() as f64 / self.samples.len() as f64
     }
 
-    /// The empirical `q`-quantile of the makespan (`0 < q < 1`).
+    /// The empirical `q`-quantile of the makespan (`0 < q < 1`): the order
+    /// statistic at rank `round((n − 1)·q)`, the same nearest-rank convention
+    /// `ckpt_telemetry`'s `LogHistogram::quantile` uses — so a quantile read
+    /// off raw samples and one read off a histogram of the same samples
+    /// always pick the same rank.
     ///
     /// # Panics
     ///
@@ -76,9 +80,9 @@ impl MonteCarloOutcome {
         // O(n log n) full sort; `samples` stays in trial order, so the
         // selection works on a scratch copy.
         let mut scratch = self.samples.clone();
-        let idx = (((scratch.len() as f64) * q).floor() as usize).min(scratch.len() - 1);
+        let rank = (((scratch.len() - 1) as f64) * q).round() as usize;
         let (_, nth, _) = scratch
-            .select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("makespans are finite"));
+            .select_nth_unstable_by(rank, |a, b| a.partial_cmp(b).expect("makespans are finite"));
         *nth
     }
 }
@@ -913,6 +917,22 @@ mod tests {
         let q95 = outcome.makespan_quantile(0.95);
         assert!(q95 >= q50);
         assert!(q50 >= 110.0 - 1e-9);
+    }
+
+    #[test]
+    fn quantile_rank_matches_telemetry_convention() {
+        // The workspace-wide convention is the telemetry histogram's
+        // nearest-rank rule `round((n − 1)·q)` — not `floor(n·q)`, which
+        // disagrees at the upper tail (n = 4, q = 0.75 → index 3 instead
+        // of 2).
+        let scenario = SimulationScenario::exponential(1e-4).with_trials(4).with_seed(1);
+        let outcome = scenario.run(&[seg(100.0, 10.0, 5.0)]);
+        let mut sorted = outcome.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(outcome.makespan_quantile(0.25), sorted[1]); // round(0.75)
+        assert_eq!(outcome.makespan_quantile(0.5), sorted[2]); // round(1.5)
+        assert_eq!(outcome.makespan_quantile(0.75), sorted[2]); // round(2.25)
+        assert_eq!(outcome.makespan_quantile(0.95), sorted[3]); // round(2.85)
     }
 
     #[test]

@@ -94,6 +94,81 @@ mod tests {
         assert!(!text.contains("latency_sum"), "{text}");
     }
 
+    /// Extracts the cumulative `_bucket` sample values of `name`, in
+    /// rendering order, plus the rendered `_count` value.
+    fn bucket_series(text: &str, name: &str) -> (Vec<u64>, u64) {
+        let bucket_prefix = format!("{name}_bucket{{le=");
+        let count_prefix = format!("{name}_count ");
+        let mut buckets = Vec::new();
+        let mut count = None;
+        for line in text.lines() {
+            if line.starts_with(&bucket_prefix) {
+                let value = line.rsplit(' ').next().expect("sample value");
+                buckets.push(value.parse().expect("integer bucket count"));
+            } else if let Some(rest) = line.strip_prefix(&count_prefix) {
+                count = Some(rest.parse().expect("integer count"));
+            }
+        }
+        (buckets, count.expect("histogram renders a _count sample"))
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_count_includes_the_open_ends() {
+        // Observations landing in the underflow bucket, several finite
+        // buckets (some left empty) and the overflow bucket: the rendered
+        // `_bucket` series must be non-decreasing (cumulative, not
+        // per-bucket), terminate in a `+Inf` sample, and `_count` must equal
+        // the total number of valid observations — under- and overflow
+        // included, invalid (NaN) excluded.
+        let mut registry = MetricsRegistry::new();
+        let spec = HistogramSpec::new(1.0, 2.0, 4).unwrap(); // buckets up to 16
+        let observations = [0.25, 0.5, 1.5, 1.7, 6.0, 40.0, 400.0];
+        for value in observations {
+            registry.observe_with("latency", spec, value);
+        }
+        registry.observe_with("latency", spec, f64::NAN); // rejected, not counted
+
+        let text = prometheus_text(&registry);
+        let (buckets, count) = bucket_series(&text, "latency");
+        assert!(
+            buckets.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative bucket counts must be non-decreasing: {buckets:?}\n{text}"
+        );
+        assert_eq!(
+            buckets.last().copied(),
+            Some(observations.len() as u64),
+            "the +Inf bucket must cover every valid observation\n{text}"
+        );
+        assert_eq!(count, observations.len() as u64, "{text}");
+        assert!(text.contains("latency_bucket{le=\"+Inf\"} 7"), "{text}");
+        // The underflow samples surface as a bucket at the first finite
+        // lower bound, so scrapes see them instead of a silent gap.
+        assert!(text.contains("latency_bucket{le=\"1\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn underflow_only_histogram_renders_well_formed() {
+        // Every observation below the first finite bucket: the exposition
+        // must still render a cumulative series ending in `+Inf`, a `_count`
+        // equal to the observation count, and min/max gauges — not an empty
+        // or truncated histogram block.
+        let mut registry = MetricsRegistry::new();
+        let spec = HistogramSpec::new(1.0, 2.0, 4).unwrap();
+        registry.observe_with("tiny", spec, 0.125);
+        registry.observe_with("tiny", spec, 0.25);
+        registry.observe_with("tiny", spec, 0.0625);
+
+        let text = prometheus_text(&registry);
+        let (buckets, count) = bucket_series(&text, "tiny");
+        assert_eq!(count, 3, "{text}");
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}\n{text}");
+        assert_eq!(buckets.last().copied(), Some(3), "{text}");
+        assert!(text.contains("tiny_bucket{le=\"1\"} 3"), "{text}");
+        assert!(text.contains("tiny_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("tiny_min 0.0625"), "{text}");
+        assert!(text.contains("tiny_max 0.25"), "{text}");
+    }
+
     #[test]
     fn exposition_is_deterministic() {
         let build = || {
